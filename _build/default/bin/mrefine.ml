@@ -1,0 +1,446 @@
+(** [mrefine] — command-line driver for the model-refinement flow:
+    parse a specification, derive its access graph, partition it, refine
+    it to one of the four implementation models, simulate, and check
+    functional equivalence. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_spec path =
+  match Spec.Parser.program_of_string (read_file path) with
+  | Ok p ->
+    begin match Spec.Program.validate p with
+    | Ok () -> Ok p
+    | Error msgs -> Error ("invalid specification: " ^ String.concat "; " msgs)
+    end
+  | Error msg -> Error msg
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("mrefine: " ^ msg);
+    exit 1
+
+(* --- common arguments -------------------------------------------------- *)
+
+let spec_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SPEC" ~doc:"Specification file (textual SpecCharts-like syntax).")
+
+let model_arg =
+  let parse s =
+    match Core.Model.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown model %S (use 1-4)" s))
+  in
+  let print ppf m = Format.pp_print_string ppf (Core.Model.name m) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Core.Model.Model2
+    & info [ "m"; "model" ] ~docv:"MODEL"
+        ~doc:"Implementation model: model1..model4 (or 1..4).")
+
+let parts_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "p"; "parts" ] ~docv:"N" ~doc:"Number of partitions (components).")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int 42
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for randomized algorithms.")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt (enum
+             [ ("greedy", `Greedy); ("kl", `Kl); ("annealing", `Annealing);
+               ("clustering", `Clustering) ])
+        `Greedy
+    & info [ "a"; "algo" ] ~docv:"ALGO"
+        ~doc:"Automatic partitioner: greedy, kl, annealing or clustering.")
+
+let assign_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "assign" ] ~docv:"ASSIGN"
+        ~doc:
+          "Manual partition, e.g. \"A=0,B=1,x=1\"; every behavior object and \
+           variable must be assigned.  Overrides $(b,--algo).")
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt (enum
+             [ ("four-phase", Core.Protocol.Four_phase);
+               ("two-phase", Core.Protocol.Two_phase) ])
+        Core.Protocol.Four_phase
+    & info [ "protocol" ] ~docv:"PROTO"
+        ~doc:"Bus handshake: four-phase (paper Figure 5d) or two-phase.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write output to FILE.")
+
+(* --- partition construction -------------------------------------------- *)
+
+let partition_of_assign g n_parts assign =
+  let entries = String.split_on_char ',' assign in
+  let parse_entry e =
+    match String.split_on_char '=' (String.trim e) with
+    | [ name; idx ] ->
+      let name = String.trim name in
+      let idx = int_of_string (String.trim idx) in
+      let obj =
+        if List.mem name g.Agraph.Access_graph.g_objects then
+          Partitioning.Partition.Obj_behavior name
+        else if List.mem name g.Agraph.Access_graph.g_variables then
+          Partitioning.Partition.Obj_variable name
+        else failwith (Printf.sprintf "unknown object %s" name)
+      in
+      (obj, idx)
+    | _ -> failwith (Printf.sprintf "bad assignment entry %S" e)
+  in
+  match List.map parse_entry entries with
+  | assocs ->
+    let part = Partitioning.Partition.make ~n_parts assocs in
+    begin match Partitioning.Partition.complete_for g part with
+    | Ok () -> Ok part
+    | Error msgs -> Error (String.concat "; " msgs)
+    end
+  | exception Failure msg -> Error msg
+
+let make_partition g ~n_parts ~algo ~seed ~assign =
+  match assign with
+  | Some a -> partition_of_assign g n_parts a
+  | None ->
+    Ok
+      (match algo with
+      | `Greedy -> Partitioning.Greedy.run g ~n_parts
+      | `Kl -> Partitioning.Kl.run_from_scratch g ~n_parts
+      | `Annealing ->
+        Partitioning.Annealing.run
+          ~config:{ Partitioning.Annealing.default_config with seed }
+          g ~n_parts
+      | `Clustering -> Partitioning.Clustering.run g ~n_parts)
+
+let write_out output text =
+  match output with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
+(* --- subcommands -------------------------------------------------------- *)
+
+let parse_cmd =
+  let run spec_path =
+    let p = or_die (load_spec spec_path) in
+    let m = Core.Metrics.of_program p in
+    Format.printf "%s: %a@." p.Spec.Ast.p_name Core.Metrics.pp m
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and validate a specification.")
+    Term.(const run $ spec_arg)
+
+let graph_cmd =
+  let run spec_path dot output =
+    let p = or_die (load_spec spec_path) in
+    let g = Agraph.Access_graph.of_program p in
+    if dot then write_out output (Agraph.Access_graph.to_dot g)
+    else begin
+      Printf.printf "objects: %s\n"
+        (String.concat ", " g.Agraph.Access_graph.g_objects);
+      Printf.printf "variables: %s\n"
+        (String.concat ", " g.Agraph.Access_graph.g_variables);
+      Printf.printf "data channels: %d, control arcs: %d\n"
+        (Agraph.Access_graph.channel_count g)
+        (List.length g.Agraph.Access_graph.g_control);
+      List.iter
+        (fun (e : Agraph.Access_graph.data_edge) ->
+          Printf.printf "  %s %s %s (%d x %d bits)\n"
+            e.Agraph.Access_graph.de_behavior
+            (match e.Agraph.Access_graph.de_dir with
+            | Agraph.Access_graph.Dread -> "reads"
+            | Agraph.Access_graph.Dwrite -> "writes")
+            e.Agraph.Access_graph.de_variable e.Agraph.Access_graph.de_count
+            e.Agraph.Access_graph.de_bits)
+        g.Agraph.Access_graph.g_data
+    end
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of a summary.")
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Derive and display the access graph.")
+    Term.(const run $ spec_arg $ dot $ output_arg)
+
+let partition_cmd =
+  let run spec_path n_parts algo seed assign =
+    let p = or_die (load_spec spec_path) in
+    let g = Agraph.Access_graph.of_program p in
+    let part = or_die (make_partition g ~n_parts ~algo ~seed ~assign) in
+    Format.printf "%a@." Partitioning.Partition.pp part;
+    let r = Partitioning.Classify.report g part in
+    Printf.printf "local variables: %s\nglobal variables: %s\n"
+      (String.concat ", " r.Partitioning.Classify.locals)
+      (String.concat ", " r.Partitioning.Classify.globals);
+    Printf.printf "cross-partition traffic: %d bits\n"
+      (Partitioning.Cost.comm_bits g part)
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc:"Partition a specification and classify variables.")
+    Term.(const run $ spec_arg $ parts_arg $ algo_arg $ seed_arg $ assign_arg)
+
+let refine_cmd =
+  let run spec_path model n_parts algo seed assign output quiet protocol =
+    let p = or_die (load_spec spec_path) in
+    let g = Agraph.Access_graph.of_program p in
+    let part = or_die (make_partition g ~n_parts ~algo ~seed ~assign) in
+    let options = { Core.Refiner.default_options with protocol } in
+    let r =
+      try Core.Refiner.refine ~options p g part model
+      with Core.Refiner.Refine_error msg -> or_die (Error msg)
+    in
+    begin match Core.Check.run ~original:p r with
+    | Ok () -> ()
+    | Error msgs ->
+      prerr_endline ("mrefine: check failed: " ^ String.concat "; " msgs);
+      exit 1
+    end;
+    if not quiet then begin
+      Printf.eprintf "model: %s\n" (Core.Model.name model);
+      Printf.eprintf "buses: %s\n"
+        (String.concat ", "
+           (List.map
+              (fun (b : Core.Refiner.bus_inst) ->
+                Printf.sprintf "%s(%d masters%s)"
+                  b.Core.Refiner.bi_signals.Core.Protocol.bs_label
+                  (List.length b.Core.Refiner.bi_requesters)
+                  (match b.Core.Refiner.bi_arbiter with
+                  | Some _ -> ", arbitrated"
+                  | None -> ""))
+              r.Core.Refiner.rf_buses));
+      Printf.eprintf "memories: %s\n" (String.concat ", " r.Core.Refiner.rf_memories);
+      Printf.eprintf "moved behaviors: %s\n"
+        (String.concat ", " r.Core.Refiner.rf_moved);
+      Printf.eprintf "size: %d -> %d lines (%.1fx)\n"
+        (Spec.Printer.line_count p)
+        (Spec.Printer.line_count r.Core.Refiner.rf_program)
+        (Core.Metrics.growth ~original:p ~refined:r.Core.Refiner.rf_program)
+    end;
+    write_out output (Spec.Printer.program_to_string r.Core.Refiner.rf_program)
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the report.")
+  in
+  Cmd.v
+    (Cmd.info "refine" ~doc:"Refine a partitioned specification to a model.")
+    Term.(
+      const run $ spec_arg $ model_arg $ parts_arg $ algo_arg $ seed_arg
+      $ assign_arg $ output_arg $ quiet $ protocol_arg)
+
+let simulate_cmd =
+  let run spec_path vcd_path =
+    let p = or_die (load_spec spec_path) in
+    let config =
+      { Sim.Engine.default_config with trace_signals = vcd_path <> None }
+    in
+    let r = Sim.Engine.run ~config p in
+    Printf.printf "outcome: %s (deltas=%d, steps=%d)\n"
+      (Sim.Engine.outcome_to_string r.Sim.Engine.r_outcome)
+      r.Sim.Engine.r_deltas r.Sim.Engine.r_steps;
+    List.iter
+      (fun e ->
+        Format.printf "  emit %s = %a@." e.Sim.Trace.ev_tag Spec.Expr.pp_value
+          e.Sim.Trace.ev_value)
+      r.Sim.Engine.r_trace;
+    List.iter
+      (fun (name, v) ->
+        Format.printf "  final %s = %a@." name Spec.Expr.pp_value v)
+      r.Sim.Engine.r_final;
+    match vcd_path with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Sim.Vcd.of_result p r);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  let vcd =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE" ~doc:"Dump signal waveforms as VCD to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate a specification and print its trace.")
+    Term.(const run $ spec_arg $ vcd)
+
+let cosim_cmd =
+  let run spec_path model n_parts algo seed assign protocol =
+    let p = or_die (load_spec spec_path) in
+    let g = Agraph.Access_graph.of_program p in
+    let part = or_die (make_partition g ~n_parts ~algo ~seed ~assign) in
+    let options = { Core.Refiner.default_options with protocol } in
+    let r =
+      try Core.Refiner.refine ~options p g part model
+      with Core.Refiner.Refine_error msg -> or_die (Error msg)
+    in
+    let v = Sim.Cosim.check ~original:p ~refined:r.Core.Refiner.rf_program () in
+    if v.Sim.Cosim.v_equivalent then begin
+      Printf.printf
+        "equivalent: refined %s design matches the original specification\n"
+        (Core.Model.name model);
+      Printf.printf "(original: %d deltas; refined: %d deltas)\n"
+        v.Sim.Cosim.v_original.Sim.Engine.r_deltas
+        v.Sim.Cosim.v_refined.Sim.Engine.r_deltas
+    end
+    else begin
+      Printf.printf "NOT equivalent:\n";
+      List.iter (fun m -> Printf.printf "  %s\n" m) v.Sim.Cosim.v_problems;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "cosim"
+       ~doc:"Refine, then co-simulate original vs refined and compare.")
+    Term.(
+      const run $ spec_arg $ model_arg $ parts_arg $ algo_arg $ seed_arg
+      $ assign_arg $ protocol_arg)
+
+let typecheck_cmd =
+  let run spec_path =
+    let p = or_die (load_spec spec_path) in
+    match Spec.Typecheck.check p with
+    | Ok () -> Printf.printf "%s: well typed\n" p.Spec.Ast.p_name
+    | Error errs ->
+      List.iter (fun e -> Printf.printf "type error: %s\n" e) errs;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "typecheck" ~doc:"Statically typecheck a specification.")
+    Term.(const run $ spec_arg)
+
+let export_cmd =
+  let run spec_path backend output refine_first model n_parts algo seed assign =
+    let p = or_die (load_spec spec_path) in
+    let p =
+      if not refine_first then p
+      else begin
+        let g = Agraph.Access_graph.of_program p in
+        let part = or_die (make_partition g ~n_parts ~algo ~seed ~assign) in
+        let r =
+          try Core.Refiner.refine p g part model
+          with Core.Refiner.Refine_error msg -> or_die (Error msg)
+        in
+        r.Core.Refiner.rf_program
+      end
+    in
+    let code =
+      match backend with
+      | `Vhdl -> Export.Vhdl.emit_program p
+      | `C -> Export.C_backend.emit_program p
+    in
+    write_out output (or_die code)
+  in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("vhdl", `Vhdl); ("c", `C) ]) `Vhdl
+      & info [ "b"; "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Code generator: vhdl (full specifications) or c (sequential \
+             software).")
+  in
+  let refine_first =
+    Arg.(
+      value & flag
+      & info [ "refine" ]
+          ~doc:"Refine first (with --model/--parts/--algo/--assign), then export.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Generate VHDL or C from a specification.")
+    Term.(
+      const run $ spec_arg $ backend $ output_arg $ refine_first $ model_arg
+      $ parts_arg $ algo_arg $ seed_arg $ assign_arg)
+
+let quality_cmd =
+  let run spec_path model n_parts algo seed assign =
+    let p = or_die (load_spec spec_path) in
+    let g = Agraph.Access_graph.of_program p in
+    let part = or_die (make_partition g ~n_parts ~algo ~seed ~assign) in
+    let r =
+      try Core.Refiner.refine p g part model
+      with Core.Refiner.Refine_error msg -> or_die (Error msg)
+    in
+    if n_parts > 2 then
+      prerr_endline
+        "mrefine: note: the default allocation pairs a processor with ASICs";
+    let alloc =
+      Arch.Allocation.make
+        (List.init n_parts (fun i ->
+             if i = 0 then Arch.Catalog.i8086 else Arch.Catalog.asic_10k))
+    in
+    let q = Core.Quality.of_refinement ~alloc r in
+    Format.printf "@[<v>%a@]@." Core.Quality.pp q
+  in
+  Cmd.v
+    (Cmd.info "quality"
+       ~doc:"Refine and estimate quality metrics (time, size, gates, pins).")
+    Term.(
+      const run $ spec_arg $ model_arg $ parts_arg $ algo_arg $ seed_arg
+      $ assign_arg)
+
+let demo_cmd =
+  let run () =
+    let spec = Workloads.Medical.spec in
+    let g = Workloads.Medical.graph in
+    Printf.printf "medical system: %d lines, %d channels\n"
+      (Spec.Printer.line_count spec)
+      (Agraph.Access_graph.channel_count g);
+    List.iter
+      (fun (d : Workloads.Designs.design) ->
+        List.iter
+          (fun m ->
+            let r = Core.Refiner.refine spec g d.Workloads.Designs.d_partition m in
+            let v =
+              Sim.Cosim.check ~original:spec
+                ~refined:r.Core.Refiner.rf_program ()
+            in
+            Printf.printf "%-8s %-7s -> %4d lines, %d buses, cosim %s\n"
+              d.Workloads.Designs.d_name (Core.Model.name m)
+              (Spec.Printer.line_count r.Core.Refiner.rf_program)
+              (List.length r.Core.Refiner.rf_buses)
+              (if v.Sim.Cosim.v_equivalent then "ok" else "FAILED"))
+          Core.Model.all)
+      Workloads.Designs.all
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the built-in medical workload across all models.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "mrefine" ~version:"1.0.0"
+      ~doc:"Model refinement for hardware-software codesign."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ parse_cmd; graph_cmd; partition_cmd; refine_cmd; simulate_cmd;
+            cosim_cmd; typecheck_cmd; export_cmd; quality_cmd; demo_cmd ]))

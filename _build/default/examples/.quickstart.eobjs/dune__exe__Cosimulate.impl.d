@@ -1,0 +1,1 @@
+examples/cosimulate.ml: Agraph Core Generator List Partitioning Printf Sim Spec String Workloads

@@ -1,0 +1,1 @@
+examples/cosimulate.mli:

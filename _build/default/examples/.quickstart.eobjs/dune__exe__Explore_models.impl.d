@@ -1,0 +1,1 @@
+examples/explore_models.ml: Agraph Core List Partitioning Printf Sim Smallspecs Spec String Workloads

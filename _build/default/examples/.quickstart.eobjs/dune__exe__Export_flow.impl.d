@@ -1,0 +1,1 @@
+examples/export_flow.ml: Core Designs Export Format List Medical Printf String Workloads

@@ -1,0 +1,1 @@
+examples/medical_flow.ml: Agraph Core Designs Estimate Float List Medical Partitioning Printf Sim Spec String Workloads

@@ -1,0 +1,1 @@
+examples/medical_flow.mli:

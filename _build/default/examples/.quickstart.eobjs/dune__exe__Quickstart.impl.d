@@ -1,0 +1,1 @@
+examples/quickstart.ml: Agraph Core Format List Partitioning Printf Sim Spec String Workloads

@@ -1,0 +1,118 @@
+program elevator is
+  var floor : int<8> := 0;
+  var target : int<8> := 0;
+  var requests : int<8> := 0;
+  var direction : int<8> := 0;
+  var motor : int<8> := 0;
+  var door : int<8> := 0;
+  var trips : int<8> := 0;
+  var wear : int<16> := 0;
+  var overload : bool := false;
+  var load : int<8> := 0;
+  behavior ELEVATOR : seq is
+  begin
+    behavior E_INIT : leaf is
+    begin
+      requests := 45;
+      floor := 0;
+      direction := 0;
+      motor := 0;
+      door := 0;
+      trips := 0;
+      wear := 0;
+      load := 3;
+    end behavior
+    ;
+    behavior SCAN : leaf is
+    begin
+      target := requests % 6;
+      if target > floor then
+        direction := 1;
+      elsif target < floor then
+        direction := 2;
+      else
+        direction := 0;
+      end if;
+    end behavior
+    ;
+    behavior SERVICE : seq is
+    begin
+      behavior WEIGH : leaf is
+      begin
+        if load > 8 then
+          overload := true;
+        else
+          overload := false;
+        end if;
+      end behavior
+      ;
+      behavior MOTOR_START : leaf is
+      begin
+        if not overload then
+          motor := direction;
+        else
+          motor := 0;
+        end if;
+        wear := wear + motor * 3;
+      end behavior
+      ;
+      behavior TRAVEL : leaf is
+      begin
+        while motor = 1 and floor < target do
+          floor := floor + 1;
+        end while;
+        while motor = 2 and floor > target do
+          floor := floor - 1;
+        end while;
+      end behavior
+      ;
+      behavior MOTOR_STOP : leaf is
+      begin
+        motor := 0;
+      end behavior
+      ;
+      behavior CLEAR_REQUEST : leaf is
+      begin
+        requests := requests / 2;
+      end behavior
+      ;
+      behavior DOOR_CYCLE : seq is
+      begin
+        behavior DOOR_OPEN : leaf is
+        begin
+          while door < 3 do
+            door := door + 1;
+          end while;
+        end behavior
+        ;
+        behavior EXCHANGE : leaf is
+        begin
+          load := (load * 5 + 4) % 11;
+          door := 3;
+        end behavior
+        ;
+        behavior DOOR_CLOSE : leaf is
+        begin
+          while door > 0 do
+            door := door - 1;
+          end while;
+        end behavior
+        ;
+      end behavior
+      ;
+      behavior LOG_TRIP : leaf is
+      begin
+        trips := trips + 1;
+        emit "served" floor;
+      end behavior
+      ;
+    end behavior
+    -> (requests > 0 and trips < 8) SCAN, E_REPORT;
+    behavior E_REPORT : leaf is
+    begin
+      emit "trips" trips;
+      emit "wear" wear;
+    end behavior
+    ;
+  end behavior
+end program

@@ -1,0 +1,23 @@
+program fig1 is
+  var x : int<16> := 0;
+  behavior TOP : seq is
+  begin
+    behavior A : leaf is
+    begin
+      x := 3;
+      emit "A" x;
+    end behavior
+    -> (x > 1) B, (x < 1) C;
+    behavior B : leaf is
+    begin
+      x := x + 5;
+      emit "B" x;
+    end behavior
+    -> complete;
+    behavior C : leaf is
+    begin
+      emit "C" x;
+    end behavior
+    -> complete;
+  end behavior
+end program

@@ -1,0 +1,37 @@
+program fig2 is
+  var v1 : int<16> := 1;
+  var v2 : int<16> := 0;
+  var v3 : int<16> := 2;
+  var v4 : int<16> := 0;
+  var v5 : int<16> := 0;
+  var v6 : int<16> := 0;
+  var v7 : int<16> := 0;
+  behavior TOP : seq is
+  begin
+    behavior B1 : leaf is
+    begin
+      v1 := v1 + 1;
+      v2 := v1 * 2;
+      v4 := v2 + v1;
+    end behavior
+    ;
+    behavior B2 : leaf is
+    begin
+      v5 := v2 + v3 + v4 + v7;
+      emit "B2" v5;
+    end behavior
+    ;
+    behavior B3 : leaf is
+    begin
+      v6 := v5 * 2;
+      v7 := v6 + v5;
+      emit "B3" v7;
+    end behavior
+    ;
+    behavior B4 : leaf is
+    begin
+      emit "B4" v6 + v7 + v4;
+    end behavior
+    ;
+  end behavior
+end program

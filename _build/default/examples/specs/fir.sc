@@ -1,0 +1,54 @@
+program fir is
+  var coeff : int<16>[4] := 0;
+  var delay : int<16>[4] := 0;
+  var sample : int<16> := 0;
+  var output : int<16> := 0;
+  var acc_energy : int<16> := 0;
+  var n : int<8> := 0;
+  var seed_v : int<16> := 7;
+  behavior FIR : seq is
+  begin
+    behavior LOAD_COEFFS : leaf is
+    begin
+      coeff[0] := 3;
+      coeff[1] := 5;
+      coeff[2] := 5;
+      coeff[3] := 3;
+    end behavior
+    ;
+    behavior PRODUCE : leaf is
+    begin
+      seed_v := (seed_v * 13 + 41) % 128;
+      sample := seed_v - 64;
+    end behavior
+    ;
+    behavior FILTER : leaf is
+      var k : int<8>;
+      var sum : int<16> := 0;
+    begin
+      delay[3] := delay[2];
+      delay[2] := delay[1];
+      delay[1] := delay[0];
+      delay[0] := sample;
+      sum := 0;
+      for k := 0 to 3 do
+        sum := sum + coeff[k] * delay[k];
+      end for;
+      output := sum / 16;
+    end behavior
+    ;
+    behavior COLLECT : leaf is
+    begin
+      acc_energy := acc_energy + output * output;
+      n := n + 1;
+      emit "y" output;
+    end behavior
+    -> (n < 10) PRODUCE, FIR_DONE;
+    behavior FIR_DONE : leaf is
+    begin
+      emit "energy" acc_energy;
+      emit "tail" delay[3];
+    end behavior
+    ;
+  end behavior
+end program

@@ -1,0 +1,147 @@
+program medical is
+  var mode : int<8> := 0;
+  var sample : int<16> := 0;
+  var sum : int<16> := 0;
+  var count : int<8> := 0;
+  var average : int<16> := 0;
+  var threshold : int<16> := 0;
+  var volume : int<16> := 0;
+  var calib_gain : int<16> := 16;
+  var calib_offset : int<16> := 0;
+  var peak : int<16> := 0;
+  var valid : bool := false;
+  var display_code : int<16> := 0;
+  var alarm_on : bool := false;
+  var log_index : int<8> := 0;
+  behavior MEDICAL : seq is
+  begin
+    behavior INIT : leaf is
+    begin
+      mode := 1;
+      sum := 0;
+      count := 0;
+      calib_gain := 20;
+      calib_offset := 5;
+      log_index := 0;
+    end behavior
+    ;
+    behavior SELF_TEST : leaf is
+    begin
+      if mode > 0 then
+        valid := true;
+      else
+        valid := false;
+      end if;
+    end behavior
+    ;
+    behavior CALIB_SENSE : leaf is
+    begin
+      threshold := calib_gain * 8 + calib_offset;
+    end behavior
+    ;
+    behavior MEASURE_CYCLE : seq is
+    begin
+      behavior ACQUIRE : leaf is
+      begin
+        sample := (mode * 17 + count * 13 + 23) % 101;
+      end behavior
+      ;
+      behavior FILTER : leaf is
+      begin
+        sample := sample * calib_gain / 16;
+      end behavior
+      ;
+      behavior ACCUMULATE : leaf is
+      begin
+        sum := sum + sample;
+        count := count + 1;
+      end behavior
+      -> (count < 8) ACQUIRE, complete;
+    end behavior
+    ;
+    behavior COMPUTE : seq is
+    begin
+      behavior AVERAGE_CALC : leaf is
+      begin
+        if count > 0 then
+          average := sum / count;
+        else
+          average := 0;
+        end if;
+      end behavior
+      ;
+      behavior VOLUME_CALC : leaf is
+      begin
+        volume := average * calib_gain / 8 + calib_offset;
+      end behavior
+      ;
+      behavior PEAK_TRACK : leaf is
+      begin
+        if volume > peak then
+          peak := volume;
+        end if;
+      end behavior
+      ;
+    end behavior
+    ;
+    behavior ANALYZE : seq is
+    begin
+      behavior VALIDATE : leaf is
+      begin
+        if volume > 0 and sample >= 0 then
+          valid := true;
+        else
+          valid := false;
+        end if;
+      end behavior
+      ;
+      behavior THRESH_CHECK : leaf is
+      begin
+        if valid and volume > threshold then
+          alarm_on := true;
+        else
+          alarm_on := false;
+        end if;
+      end behavior
+      ;
+    end behavior
+    ;
+    behavior OUTPUT : seq is
+    begin
+      behavior DISPLAY : leaf is
+      begin
+        display_code := (volume + mode * 3) % 256;
+      end behavior
+      ;
+      behavior ALARM : leaf is
+      begin
+        if alarm_on then
+          display_code := 999;
+        end if;
+      end behavior
+      ;
+      behavior LOG : leaf is
+      begin
+        emit "log_volume" volume;
+        log_index := log_index + 1;
+      end behavior
+      ;
+    end behavior
+    ;
+    behavior NOTIFY : leaf is
+    begin
+      if valid and not alarm_on then
+        mode := 2;
+      else
+        mode := 0;
+      end if;
+    end behavior
+    ;
+    behavior SHUTDOWN : leaf is
+    begin
+      emit "final_mode" mode;
+      mode := mode - mode;
+    end behavior
+    ;
+  end behavior
+end program

@@ -1,0 +1,18 @@
+program pingpong is
+  var n : int<16> := 0;
+  behavior TOP : seq is
+  begin
+    behavior PING : leaf is
+    begin
+      n := n + 1;
+      emit "ping" n;
+    end behavior
+    ;
+    behavior PONG : leaf is
+    begin
+      n := n * 2;
+      emit "pong" n;
+    end behavior
+    -> (n < 20) PING, complete;
+  end behavior
+end program

@@ -1,0 +1,1 @@
+lib/agraph/access_graph.ml: Analysis Ast Behavior Buffer Expr Hashtbl List Printf Program Spec String

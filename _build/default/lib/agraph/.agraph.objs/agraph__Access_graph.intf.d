@@ -1,0 +1,1 @@
+lib/agraph/access_graph.mli: Ast Spec

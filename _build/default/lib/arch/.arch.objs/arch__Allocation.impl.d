@@ -1,0 +1,1 @@
+lib/arch/allocation.ml: Catalog Component Format List Printf String

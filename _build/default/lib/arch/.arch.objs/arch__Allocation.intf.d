@@ -1,0 +1,1 @@
+lib/arch/allocation.mli: Component Format

@@ -1,0 +1,1 @@
+lib/arch/catalog.ml: Component List String

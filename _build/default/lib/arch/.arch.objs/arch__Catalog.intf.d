@@ -1,0 +1,1 @@
+lib/arch/catalog.mli: Component

@@ -1,0 +1,1 @@
+lib/core/arbiter.ml: Behavior Builder Expr List Naming Printf Spec

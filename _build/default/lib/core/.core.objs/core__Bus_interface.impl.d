@@ -1,0 +1,1 @@
+lib/core/bus_interface.ml: Arbiter Behavior Builder Expr Fun List Memory_gen Naming Option Printf Protocol Spec

@@ -1,0 +1,1 @@
+lib/core/bus_interface.mli: Arbiter Ast Naming Protocol Spec

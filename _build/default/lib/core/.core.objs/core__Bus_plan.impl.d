@@ -1,0 +1,1 @@
+lib/core/bus_plan.ml: Access_graph Agraph Format Fun List Model Partitioning Printf String

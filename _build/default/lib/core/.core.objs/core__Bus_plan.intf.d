@@ -1,0 +1,1 @@
+lib/core/bus_plan.mli: Access_graph Agraph Format Model Partitioning

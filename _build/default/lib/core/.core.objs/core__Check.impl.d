@@ -1,0 +1,1 @@
+lib/core/check.ml: Ast Behavior Bus_plan List Model Printf Program Protocol Refiner Spec Stmt String Typecheck

@@ -1,0 +1,1 @@
+lib/core/control_refine.ml: Behavior Builder Expr List Naming Spec String

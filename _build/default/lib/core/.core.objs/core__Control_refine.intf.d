@@ -1,0 +1,1 @@
+lib/core/control_refine.mli: Ast Naming Spec

@@ -1,0 +1,1 @@
+lib/core/data_refine.ml: Arbiter Behavior Builder Expr List Naming Printf Protocol Spec String

@@ -1,0 +1,1 @@
+lib/core/data_refine.mli: Arbiter Ast Naming Protocol Spec

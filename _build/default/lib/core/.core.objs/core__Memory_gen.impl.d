@@ -1,0 +1,1 @@
+lib/core/memory_gen.ml: Behavior Builder Expr List Naming Printf Protocol Spec

@@ -1,0 +1,1 @@
+lib/core/memory_gen.mli: Ast Naming Protocol Spec

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Ast Behavior Format List Printer Spec

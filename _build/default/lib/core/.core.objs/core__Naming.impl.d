@@ -1,0 +1,1 @@
+lib/core/naming.ml: Ast Behavior List Printf Set Spec String

@@ -1,0 +1,1 @@
+lib/core/quality.ml: Arch Behavior Bus_plan Estimate Expr Format Fun List Model Printf Program Protocol Refiner Spec String

@@ -1,0 +1,1 @@
+lib/core/refiner.mli: Agraph Arbiter Ast Bus_plan Model Partitioning Protocol Spec

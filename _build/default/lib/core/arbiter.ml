@@ -1,0 +1,95 @@
+(** Bus arbiters (paper, Section 4.3, Figure 7).  When more than one
+    concurrent process masters a bus, each such requester gets a
+    [Req]/[Ack] signal pair and the bus gets a perpetual arbiter behavior
+    granting access by fixed priority — requester 0 (the paper's [B1])
+    wins over requester 1, and so on. *)
+
+open Spec
+open Spec.Ast
+
+type requester = {
+  rq_index : int;
+  rq_req : string;  (** request signal *)
+  rq_ack : string;  (** acknowledge signal *)
+}
+
+type t = {
+  arb_bus : string;  (** bus label *)
+  arb_behavior_name : string;
+  arb_requesters : requester list;
+}
+
+(** Allocate the request/acknowledge signals for [n] requesters of the
+    given bus. *)
+let make naming ~bus_label ~n =
+  if n < 2 then invalid_arg "Arbiter.make: an arbiter needs >= 2 requesters";
+  let requesters =
+    List.init n (fun i ->
+        {
+          rq_index = i;
+          rq_req = Naming.fresh naming (Printf.sprintf "%s_req_%d" bus_label i);
+          rq_ack = Naming.fresh naming (Printf.sprintf "%s_ack_%d" bus_label i);
+        })
+  in
+  {
+    arb_bus = bus_label;
+    arb_behavior_name = Naming.fresh naming ("ARB_" ^ bus_label);
+    arb_requesters = requesters;
+  }
+
+let signal_decls t =
+  List.concat_map
+    (fun r ->
+      [
+        Builder.bool_signal ~init:false r.rq_req;
+        Builder.bool_signal ~init:false r.rq_ack;
+      ])
+    t.arb_requesters
+
+let requester t i =
+  match List.find_opt (fun r -> r.rq_index = i) t.arb_requesters with
+  | Some r -> r
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Arbiter.requester: bus %s has no requester %d" t.arb_bus i)
+
+(** Master-side statements bracketing a bus transaction. *)
+let acquire r =
+  [
+    Builder.(r.rq_req <== Expr.tru);
+    Builder.wait_until Expr.(ref_ r.rq_ack = tru);
+  ]
+
+let release r =
+  [
+    Builder.(r.rq_req <== Expr.fls);
+    Builder.wait_until Expr.(ref_ r.rq_ack = fls);
+  ]
+
+(** The perpetual arbiter behavior: wait for any request, then grant the
+    highest-priority requester and hold the grant until it releases. *)
+let behavior t =
+  let any_request =
+    match t.arb_requesters with
+    | [] -> Expr.fls
+    | first :: rest ->
+      List.fold_left
+        (fun acc r -> Expr.(acc || (ref_ r.rq_req = tru)))
+        Expr.(ref_ first.rq_req = tru)
+        rest
+  in
+  let grant r =
+    [
+      Builder.(r.rq_ack <== Expr.tru);
+      Builder.wait_until Expr.(ref_ r.rq_req = fls);
+      Builder.(r.rq_ack <== Expr.fls);
+    ]
+  in
+  let branches =
+    List.map (fun r -> (Expr.(ref_ r.rq_req = tru), grant r)) t.arb_requesters
+  in
+  Behavior.leaf t.arb_behavior_name
+    [
+      Builder.while_ Expr.tru
+        [ Builder.wait_until any_request; If (branches, []) ];
+    ]

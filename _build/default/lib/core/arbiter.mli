@@ -1,0 +1,37 @@
+(** Bus arbiters (paper, Section 4.3, Figure 7).  When more than one
+    concurrent sequential region masters a bus, each requester gets a
+    [Req]/[Ack] signal pair and the bus gets a perpetual arbiter behavior
+    granting access by fixed priority (requester 0 first). *)
+
+open Spec
+
+type requester = {
+  rq_index : int;
+  rq_req : string;  (** request signal *)
+  rq_ack : string;  (** acknowledge signal *)
+}
+
+type t = {
+  arb_bus : string;  (** bus label *)
+  arb_behavior_name : string;
+  arb_requesters : requester list;
+}
+
+val make : Naming.t -> bus_label:string -> n:int -> t
+(** Allocate signals for [n] requesters.
+    @raise Invalid_argument when [n < 2] — a single master needs no
+    arbiter. *)
+
+val signal_decls : t -> Ast.sig_decl list
+
+val requester : t -> int -> requester
+(** @raise Invalid_argument on an unknown index. *)
+
+val acquire : requester -> Ast.stmt list
+(** Master-side statements taking the bus grant. *)
+
+val release : requester -> Ast.stmt list
+
+val behavior : t -> Ast.behavior
+(** The perpetual arbiter: wait for any request, grant the
+    highest-priority requester, hold until release. *)

@@ -1,0 +1,186 @@
+open Agraph
+
+type memory_id =
+  | Gmem
+  | Gmem_part of int
+  | Lmem of int
+
+type bus_role =
+  | Shared_global
+  | Local of int
+  | Dedicated of { master : int; mem : int }
+  | Chain_request of int
+  | Chain_inter
+
+type bus = {
+  bus_role : bus_role;
+  bus_edges : Access_graph.data_edge list;
+}
+
+type t = {
+  bp_model : Model.t;
+  bp_parts : int;
+  bp_buses : bus list;
+  bp_memory_of : (string * memory_id) list;
+}
+
+let equal_role (a : bus_role) (b : bus_role) = a = b
+
+let role_label = function
+  | Shared_global -> "global"
+  | Local i -> Printf.sprintf "local%d" i
+  | Dedicated { master; mem } -> Printf.sprintf "ded%d_%d" master mem
+  | Chain_request i -> Printf.sprintf "req%d" i
+  | Chain_inter -> "inter"
+
+let home part v =
+  match Partitioning.Partition.part_of_variable part v with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Bus_plan: variable %s unassigned" v)
+
+let bpart part b =
+  match Partitioning.Partition.part_of_behavior part b with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Bus_plan: behavior %s unassigned" b)
+
+(* Memory assignment of every variable under a model.  Unaccessed
+   variables are treated as local.  [extra_readers] declares additional
+   (variable, partition) readers the refined structure introduces — TOC
+   conditions are re-evaluated by the home partition of their sequential
+   composition, which can differ from the arm child the access graph
+   charges (see {!Refiner}); a variable with a reader outside its home
+   partition must live in a globally reachable memory. *)
+let memory_assignment ?(extra_readers = []) model g part =
+  let report = Partitioning.Classify.report g part in
+  let is_global v =
+    List.mem v report.Partitioning.Classify.globals
+    || List.exists
+         (fun (v', reader) -> String.equal v v' && reader <> home part v)
+         extra_readers
+  in
+  List.map
+    (fun v ->
+      let mem =
+        match model with
+        | Model.Model1 -> Gmem
+        | Model.Model2 -> if is_global v then Gmem else Lmem (home part v)
+        | Model.Model3 ->
+          if is_global v then Gmem_part (home part v) else Lmem (home part v)
+        | Model.Model4 -> Lmem (home part v)
+      in
+      (v, mem))
+    g.Access_graph.g_variables
+
+(* Bus skeletons per model, in the paper's figure order for the layout of
+   Figure 9: partition-0 local bus, then global/dedicated buses, then the
+   remaining local buses; Model4 interleaves its chain between the
+   locals. *)
+let bus_roles model p =
+  let locals = List.init p (fun i -> Local i) in
+  match model with
+  | Model.Model1 -> [ Shared_global ]
+  | Model.Model2 ->
+    begin match locals with
+    | first :: rest -> (first :: Shared_global :: rest)
+    | [] -> [ Shared_global ]
+    end
+  | Model.Model3 ->
+    let dedicated =
+      List.concat_map
+        (fun master ->
+          let mems =
+            master :: List.filter (fun g -> g <> master) (List.init p Fun.id)
+          in
+          List.map (fun mem -> Dedicated { master; mem }) mems)
+        (List.init p Fun.id)
+    in
+    begin match locals with
+    | first :: rest -> (first :: dedicated) @ rest
+    | [] -> dedicated
+    end
+  | Model.Model4 ->
+    let chain =
+      List.init p (fun i -> Chain_request i) @ [ Chain_inter ]
+    in
+    begin match locals with
+    | first :: rest -> (first :: chain) @ rest
+    | [] -> chain
+    end
+
+(* The buses one data edge traverses. *)
+let edge_buses part memory_of (e : Access_graph.data_edge) =
+  let master = bpart part e.Access_graph.de_behavior in
+  match List.assoc e.Access_graph.de_variable memory_of with
+  | Gmem -> [ Shared_global ]
+  | Gmem_part mem -> [ Dedicated { master; mem } ]
+  | Lmem h ->
+    if master = h then [ Local h ]
+    else
+      (* Model4 message passing: the transfer crosses the requester's
+         request bus, the inter-interface bus and the home request bus. *)
+      [ Chain_request master; Chain_inter; Chain_request h ]
+
+let build ?extra_readers model g part =
+  begin match Partitioning.Partition.complete_for g part with
+  | Ok () -> ()
+  | Error msgs -> invalid_arg ("Bus_plan.build: " ^ String.concat "; " msgs)
+  end;
+  let p = Partitioning.Partition.n_parts part in
+  let memory_of = memory_assignment ?extra_readers model g part in
+  let roles = bus_roles model p in
+  let buses =
+    List.map
+      (fun role ->
+        let edges =
+          List.filter
+            (fun e ->
+              List.exists (equal_role role) (edge_buses part memory_of e))
+            g.Access_graph.g_data
+        in
+        { bus_role = role; bus_edges = edges })
+      roles
+  in
+  { bp_model = model; bp_parts = p; bp_buses = buses; bp_memory_of = memory_of }
+
+let memory_of t v = List.assoc v t.bp_memory_of
+
+let vars_of_memory t mem =
+  List.filter_map
+    (fun (v, m) -> if m = mem then Some v else None)
+    t.bp_memory_of
+
+let memories t =
+  let rec dedup seen = function
+    | [] -> []
+    | (_, m) :: rest ->
+      if List.mem m seen then dedup seen rest else m :: dedup (m :: seen) rest
+  in
+  dedup [] t.bp_memory_of
+
+let bus_of_access t ~master ~variable =
+  match memory_of t variable with
+  | Gmem -> Shared_global
+  | Gmem_part mem -> Dedicated { master; mem }
+  | Lmem h -> if master = h then Local h else Chain_request master
+  | exception Not_found ->
+    invalid_arg (Printf.sprintf "Bus_plan.bus_of_access: unknown variable %s" variable)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s plan, %d partitions@," (Model.name t.bp_model)
+    t.bp_parts;
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "bus %-8s: %d channels@," (role_label b.bus_role)
+        (List.length b.bus_edges))
+    t.bp_buses;
+  List.iter
+    (fun (v, m) ->
+      let ms =
+        match m with
+        | Gmem -> "Gmem"
+        | Gmem_part i -> Printf.sprintf "Gmem%d" i
+        | Lmem i -> Printf.sprintf "Lmem%d" i
+      in
+      Format.fprintf ppf "var %-10s -> %s@," v ms)
+    t.bp_memory_of;
+  Format.fprintf ppf "@]"

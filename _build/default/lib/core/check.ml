@@ -1,0 +1,120 @@
+(** Structural invariant checks on a refinement result, beyond
+    {!Spec.Program.validate}: they catch refiner bugs early and are also
+    exercised directly by the failure-injection tests. *)
+
+open Spec
+
+type violation = string
+
+(* Every partitioned variable of the original program must have
+   disappeared from the refined program's variable section — all storage
+   now lives inside memory behaviors. *)
+let check_no_program_vars (r : Refiner.t) acc =
+  match r.Refiner.rf_program.Ast.p_vars with
+  | [] -> acc
+  | vs ->
+    Printf.sprintf "refined program still declares top-level variables: %s"
+      (String.concat ", " (List.map (fun v -> v.Ast.v_name) vs))
+    :: acc
+
+(* Every bus with two or more requesters must have an arbiter, and
+   single-requester buses must not (paper: an arbiter is required when
+   more than one behavior wants the bus). *)
+let check_arbiters (r : Refiner.t) acc =
+  List.fold_left
+    (fun acc (bi : Refiner.bus_inst) ->
+      let n = List.length bi.Refiner.bi_requesters in
+      match bi.Refiner.bi_arbiter with
+      | None when n >= 2 ->
+        Printf.sprintf "bus %s has %d masters but no arbiter"
+          bi.Refiner.bi_signals.Protocol.bs_label n
+        :: acc
+      | Some _ when n < 2 ->
+        Printf.sprintf "bus %s has %d master(s) but an arbiter"
+          bi.Refiner.bi_signals.Protocol.bs_label n
+        :: acc
+      | _ -> acc)
+    acc r.Refiner.rf_buses
+
+(* The number of instantiated buses must respect the model's bound. *)
+let check_bus_bound (r : Refiner.t) acc =
+  let p = r.Refiner.rf_plan.Bus_plan.bp_parts in
+  let bound = Model.max_buses r.Refiner.rf_model ~p in
+  let n = List.length r.Refiner.rf_buses in
+  if n > bound then
+    Printf.sprintf "%s instantiates %d buses, above the model bound %d"
+      (Model.name r.Refiner.rf_model) n bound
+    :: acc
+  else acc
+
+(* Every generated server must exist and be registered. *)
+let check_servers (r : Refiner.t) acc =
+  let prog = r.Refiner.rf_program in
+  List.fold_left
+    (fun acc name ->
+      match Program.lookup_behavior prog name with
+      | Some _ ->
+        if Program.is_server prog name then acc
+        else Printf.sprintf "generated behavior %s is not a server" name :: acc
+      | None -> Printf.sprintf "server %s does not exist" name :: acc)
+    acc
+    (r.Refiner.rf_memories @ r.Refiner.rf_arbiters @ r.Refiner.rf_moved)
+
+(* No leaf of the refined program may still reference an original
+   partitioned variable by name (they were all renamed to tmps or routed
+   through protocols); memory behaviors hold the storage and are the only
+   legal place for those names. *)
+let check_no_direct_access (original : Ast.program) (r : Refiner.t) acc =
+  let program_vars = Program.var_names original in
+  let memory_scope =
+    List.concat_map
+      (fun m ->
+        match Program.lookup_behavior r.Refiner.rf_program m with
+        | Some b -> Behavior.names b
+        | None -> [])
+      r.Refiner.rf_memories
+  in
+  Behavior.fold
+    (fun acc b ->
+      if List.mem b.Ast.b_name memory_scope then acc
+      else
+        match b.Ast.b_body with
+        | Ast.Leaf stmts ->
+          let touched =
+            List.filter
+              (fun x ->
+                List.mem x program_vars
+                && not
+                     (List.exists
+                        (fun v -> String.equal v.Ast.v_name x)
+                        b.Ast.b_vars))
+              (Stmt.reads stmts @ Stmt.writes stmts)
+          in
+          List.fold_left
+            (fun acc x ->
+              Printf.sprintf
+                "behavior %s still accesses partitioned variable %s directly"
+                b.Ast.b_name x
+              :: acc)
+            acc touched
+        | Ast.Seq _ | Ast.Par _ -> acc)
+    acc r.Refiner.rf_program.Ast.p_top
+
+let run ~original (r : Refiner.t) : (unit, violation list) result =
+  let acc = [] in
+  let acc = check_no_program_vars r acc in
+  let acc = check_arbiters r acc in
+  let acc = check_bus_bound r acc in
+  let acc = check_servers r acc in
+  let acc = check_no_direct_access original r acc in
+  let acc =
+    match Program.validate r.Refiner.rf_program with
+    | Ok () -> acc
+    | Error msgs -> msgs @ acc
+  in
+  let acc =
+    match Typecheck.check r.Refiner.rf_program with
+    | Ok () -> acc
+    | Error msgs -> List.map (fun m -> "type error: " ^ m) msgs @ acc
+  in
+  match acc with [] -> Ok () | _ -> Error (List.rev acc)

@@ -1,0 +1,11 @@
+(** Structural invariant checks on a refinement result, beyond
+    {!Spec.Program.validate}: no leftover top-level variables, an arbiter
+    exactly when a bus has several masters, the model's bus-count bound,
+    registered servers, no remaining direct accesses to partitioned
+    variables outside the memories, validity and well-typedness of the
+    refined output.  Exercised directly by the failure-injection tests. *)
+
+type violation = string
+
+val run : original:Spec.Ast.program -> Refiner.t -> (unit, violation list) result
+(** All violations found (empty = sound refinement result). *)

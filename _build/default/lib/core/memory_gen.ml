@@ -1,0 +1,63 @@
+(** Generation of memory-module behaviors.  A memory holds the variables
+    mapped to it (with their original initial values) and serves
+    read/write requests on its port buses with the slave side of the
+    handshake protocol (the paper's [Memory] behavior of Figure 5c).  A
+    multi-port memory (Model3) runs one serving process per port, all
+    sharing the same storage. *)
+
+open Spec
+open Spec.Ast
+
+(** Response branches serving every variable of [vars] (declaration
+    order: read branch then write branch per variable).  A scalar is
+    served at its single address; an array is served over its address
+    range, the element selected by [bus_addr - base]. *)
+let branches_for ?style bs ~addr_of vars =
+  List.concat_map
+    (fun v ->
+      let addr = addr_of v.v_name in
+      match v.v_ty with
+      | TBool | TInt _ ->
+        [
+          Protocol.slv_send_branch ?style bs ~addr ~var:v.v_name;
+          Protocol.slv_receive_branch ?style bs ~addr ~var:v.v_name;
+        ]
+      | TArray (_, size) ->
+        let a = Ref bs.Protocol.bs_addr in
+        let last = addr + size - 1 in
+        let in_range = Expr.(a >= int addr && a <= int last) in
+        let element = Expr.(a - int addr) in
+        [
+          ( Expr.(ref_ bs.Protocol.bs_rd = tru && in_range),
+            Builder.(bs.Protocol.bs_data <== Index (v.v_name, element))
+            :: Protocol.slv_complete ?style bs );
+          ( Expr.(ref_ bs.Protocol.bs_wr = tru && in_range),
+            Assign_idx (v.v_name, element, Ref bs.Protocol.bs_data)
+            :: Protocol.slv_complete ?style bs );
+        ])
+    vars
+
+(** A memory behavior named [name] holding [vars] and serving the port
+    buses [buses].  With no port the memory is pure storage (an empty
+    leaf); with one port it is a single serving leaf; with several ports
+    it is a parallel composition of per-port serving leaves sharing the
+    storage. *)
+let memory ?style ~naming ~name ~vars ~addr_of ~buses () =
+  match buses with
+  | [] -> Behavior.leaf ~vars name []
+  | [ bs ] ->
+    Behavior.leaf ~vars name
+      (Protocol.slave_loop ?style bs (branches_for ?style bs ~addr_of vars))
+  | _ ->
+    let ports =
+      List.map
+        (fun bs ->
+          let port_name =
+            Naming.fresh naming
+              (Printf.sprintf "%s_port_%s" name bs.Protocol.bs_label)
+          in
+          Behavior.leaf port_name
+            (Protocol.slave_loop ?style bs (branches_for ?style bs ~addr_of vars)))
+        buses
+    in
+    Behavior.par ~vars name ports

@@ -1,0 +1,29 @@
+(** Generation of memory-module behaviors (the paper's [Memory] behavior
+    of Figure 5c).  A memory holds the variables mapped to it, with their
+    original initial values (booleans bus-encoded as int<1>), and serves
+    read/write requests on its port buses with the slave side of the
+    handshake protocol.  A multi-port memory (Model3) runs one serving
+    process per port, all sharing the storage. *)
+
+open Spec
+
+val branches_for :
+  ?style:Protocol.style ->
+  Protocol.bus_signals ->
+  addr_of:(string -> int) ->
+  Ast.var_decl list ->
+  (Ast.expr * Ast.stmt list) list
+(** Read + write response branches for every variable, in declaration
+    order. *)
+
+val memory :
+  ?style:Protocol.style ->
+  naming:Naming.t ->
+  name:string ->
+  vars:Ast.var_decl list ->
+  addr_of:(string -> int) ->
+  buses:Protocol.bus_signals list ->
+  unit ->
+  Ast.behavior
+(** No port: pure storage.  One port: a single serving leaf.  Several
+    ports: a parallel composition of per-port serving leaves. *)

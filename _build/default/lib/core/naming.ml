@@ -1,0 +1,59 @@
+(** Fresh-name generation for the refinement procedures.  All generated
+    names are derived from the paper's conventions ([B_CTRL], [B_NEW],
+    [B_start], [B_done], [tmp], [Memory], …) and uniquified against every
+    name already present in the specification. *)
+
+module Sset = Set.Make (String)
+
+type t = { mutable used : Sset.t }
+
+let of_names names = { used = Sset.of_list names }
+
+(** All names occurring in a program: behaviors, variables (program-level
+    and local), signals, procedures, parameters. *)
+let of_program (p : Spec.Ast.program) =
+  let open Spec in
+  let names = ref [] in
+  let add n = names := n :: !names in
+  List.iter (fun v -> add v.Ast.v_name) p.Ast.p_vars;
+  List.iter (fun s -> add s.Ast.s_name) p.Ast.p_signals;
+  List.iter
+    (fun pr ->
+      add pr.Ast.prc_name;
+      List.iter (fun prm -> add prm.Ast.prm_name) pr.Ast.prc_params;
+      List.iter (fun v -> add v.Ast.v_name) pr.Ast.prc_vars)
+    p.Ast.p_procs;
+  ignore
+    (Behavior.fold
+       (fun () b ->
+         add b.Ast.b_name;
+         List.iter (fun v -> add v.Ast.v_name) b.Ast.b_vars)
+       () p.Ast.p_top);
+  of_names !names
+
+(** [fresh t base] is [base] if unused, otherwise [base_2], [base_3], …
+    The returned name is recorded as used. *)
+let fresh t base =
+  let name =
+    if not (Sset.mem base t.used) then base
+    else
+      let rec go i =
+        let candidate = Printf.sprintf "%s_%d" base i in
+        if Sset.mem candidate t.used then go (i + 1) else candidate
+      in
+      go 2
+  in
+  t.used <- Sset.add name t.used;
+  name
+
+(** Reserve an externally chosen name (no-op if already used). *)
+let reserve t name = t.used <- Sset.add name t.used
+
+let is_used t name = Sset.mem name t.used
+
+(* Conventional derived names (paper, Section 4). *)
+let ctrl t base = fresh t (base ^ "_CTRL")
+let moved t base = fresh t (base ^ "_NEW")
+let start_signal t base = fresh t (base ^ "_start")
+let done_signal t base = fresh t (base ^ "_done")
+let tmp_var t base = fresh t ("tmp_" ^ base)

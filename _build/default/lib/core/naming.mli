@@ -1,0 +1,39 @@
+(** Fresh-name generation for the refinement procedures.  All generated
+    names follow the paper's conventions ([B_CTRL], [B_NEW], [B_start],
+    [B_done], [tmp], …) and are uniquified against every name already
+    present in the specification. *)
+
+type t
+
+val of_names : string list -> t
+
+val of_program : Spec.Ast.program -> t
+(** Seeds the generator with every name in the program: behaviors,
+    variables (program-level and local), signals, procedures and
+    parameters. *)
+
+val fresh : t -> string -> string
+(** [fresh t base] is [base] if unused, else [base_2], [base_3], …; the
+    result is recorded as used. *)
+
+val reserve : t -> string -> unit
+(** Record an externally chosen name. *)
+
+val is_used : t -> string -> bool
+
+(** {1 Conventional derived names (paper, Section 4)} *)
+
+val ctrl : t -> string -> string
+(** [B] -> [B_CTRL] *)
+
+val moved : t -> string -> string
+(** [B] -> [B_NEW] *)
+
+val start_signal : t -> string -> string
+(** [B] -> [B_start] *)
+
+val done_signal : t -> string -> string
+(** [B] -> [B_done] *)
+
+val tmp_var : t -> string -> string
+(** [x] -> [tmp_x] *)

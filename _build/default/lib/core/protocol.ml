@@ -1,0 +1,229 @@
+(** Bus handshake protocols (paper, Figure 5d).  Each bus consists of four
+    control lines ([start], [done], [rd], [wr]), an address bus and a data
+    bus.  The master-side protocol is encapsulated in generated
+    [MST_send_*] / [MST_receive_*] procedures; the slave side
+    ([SLV_send] / [SLV_receive]) is inlined into the generated memory
+    behaviors as response branches.
+
+    Two protocol styles are provided, as the paper anticipates ("generally
+    we can select different protocols to exchange data ... the content in
+    the subroutines will change correspondingly"):
+
+    - {!Four_phase} — the full return-to-zero handshake of Figure 5d:
+      request, acknowledge, release, acknowledge-release (four signal
+      edges per transfer);
+    - {!Two_phase} — a transition-signalled (non-return-to-zero) variant:
+      [start] and [done] are parity toggles, idle when equal; the master
+      flips [start] to request and the slave copies [start] into [done] to
+      complete (two signal edges per transfer, roughly halving the delta
+      cycles each transfer costs). *)
+
+open Spec
+open Spec.Ast
+
+type style =
+  | Four_phase
+  | Two_phase
+
+let style_name = function
+  | Four_phase -> "four-phase"
+  | Two_phase -> "two-phase"
+
+type bus_signals = {
+  bs_label : string;  (** bus label, e.g. [b1] *)
+  bs_start : string;
+  bs_done : string;
+  bs_rd : string;
+  bs_wr : string;
+  bs_addr : string;
+  bs_data : string;
+  bs_addr_width : int;
+  bs_data_width : int;
+}
+
+(** Allocate the six signals of a bus. *)
+let make_bus_signals naming ~label ~addr_width ~data_width =
+  let sig_name suffix = Naming.fresh naming (label ^ "_" ^ suffix) in
+  {
+    bs_label = label;
+    bs_start = sig_name "start";
+    bs_done = sig_name "done";
+    bs_rd = sig_name "rd";
+    bs_wr = sig_name "wr";
+    bs_addr = sig_name "addr";
+    bs_data = sig_name "data";
+    bs_addr_width = addr_width;
+    bs_data_width = data_width;
+  }
+
+let signal_decls bs =
+  [
+    Builder.bool_signal ~init:false bs.bs_start;
+    Builder.bool_signal ~init:false bs.bs_done;
+    Builder.bool_signal ~init:false bs.bs_rd;
+    Builder.bool_signal ~init:false bs.bs_wr;
+    Builder.int_signal ~width:bs.bs_addr_width ~init:0 bs.bs_addr;
+    Builder.int_signal ~width:bs.bs_data_width ~init:0 bs.bs_data;
+  ]
+
+let mst_send_name bs = "MST_send_" ^ bs.bs_label
+let mst_receive_name bs = "MST_receive_" ^ bs.bs_label
+
+(** The master-side write protocol.  Four-phase: drive address, data and
+    [wr], raise [start], wait for the slave's [done], then release the
+    bus.  Two-phase: drive the request lines, flip [start], and wait for
+    [done] to catch up. *)
+let mst_send_proc ?(style = Four_phase) bs =
+  let body =
+    match style with
+    | Four_phase ->
+      [
+        Builder.(bs.bs_addr <== Expr.ref_ "a");
+        Builder.(bs.bs_data <== Expr.ref_ "d");
+        Builder.(bs.bs_wr <== Expr.tru);
+        Builder.(bs.bs_start <== Expr.tru);
+        Builder.wait_until Expr.(ref_ bs.bs_done = tru);
+        Builder.(bs.bs_start <== Expr.fls);
+        Builder.(bs.bs_wr <== Expr.fls);
+        Builder.wait_until Expr.(ref_ bs.bs_done = fls);
+      ]
+    | Two_phase ->
+      (* The target parity is latched in a local first: [start] only
+         commits at the next delta, so waiting on [done = start] directly
+         would satisfy itself with the stale value. *)
+      [
+        Builder.(bs.bs_addr <== Expr.ref_ "a");
+        Builder.(bs.bs_data <== Expr.ref_ "d");
+        Builder.(bs.bs_wr <== Expr.tru);
+        Builder.(bs.bs_rd <== Expr.fls);
+        Builder.("t" <-- Expr.not_ (Expr.ref_ bs.bs_done));
+        Builder.(bs.bs_start <== Expr.ref_ "t");
+        Builder.wait_until Expr.(ref_ bs.bs_done = ref_ "t");
+      ]
+  in
+  Builder.proc (mst_send_name bs)
+    ~params:
+      [
+        Builder.param_in "a" (TInt bs.bs_addr_width);
+        Builder.param_in "d" (TInt bs.bs_data_width);
+      ]
+    ~vars:
+      (match style with
+      | Four_phase -> []
+      | Two_phase -> [ Builder.bool_var "t" ])
+    body
+
+(** The master-side read protocol. *)
+let mst_receive_proc ?(style = Four_phase) bs =
+  let body =
+    match style with
+    | Four_phase ->
+      [
+        Builder.(bs.bs_addr <== Expr.ref_ "a");
+        Builder.(bs.bs_rd <== Expr.tru);
+        Builder.(bs.bs_start <== Expr.tru);
+        Builder.wait_until Expr.(ref_ bs.bs_done = tru);
+        Builder.("d" <-- Expr.ref_ bs.bs_data);
+        Builder.(bs.bs_start <== Expr.fls);
+        Builder.(bs.bs_rd <== Expr.fls);
+        Builder.wait_until Expr.(ref_ bs.bs_done = fls);
+      ]
+    | Two_phase ->
+      [
+        Builder.(bs.bs_addr <== Expr.ref_ "a");
+        Builder.(bs.bs_rd <== Expr.tru);
+        Builder.(bs.bs_wr <== Expr.fls);
+        Builder.("t" <-- Expr.not_ (Expr.ref_ bs.bs_done));
+        Builder.(bs.bs_start <== Expr.ref_ "t");
+        Builder.wait_until Expr.(ref_ bs.bs_done = ref_ "t");
+        Builder.("d" <-- Expr.ref_ bs.bs_data);
+      ]
+  in
+  Builder.proc (mst_receive_name bs)
+    ~params:
+      [
+        Builder.param_in "a" (TInt bs.bs_addr_width);
+        Builder.param_out "d" (TInt bs.bs_data_width);
+      ]
+    ~vars:
+      (match style with
+      | Four_phase -> []
+      | Two_phase -> [ Builder.bool_var "t" ])
+    body
+
+(** Statements for the master: [call MST_receive_b(addr, out target)]. *)
+let master_read bs ~addr ~target =
+  Call (mst_receive_name bs, [ Arg_expr (Expr.int addr); Arg_var target ])
+
+let master_write bs ~addr ~value =
+  Call (mst_send_name bs, [ Arg_expr (Expr.int addr); Arg_expr value ])
+
+(** The slave-side completion handshake.  Four-phase: raise [done], wait
+    for the master to release [start], lower [done].  Two-phase: copy
+    [start] into [done]. *)
+let slv_complete ?(style = Four_phase) bs =
+  match style with
+  | Four_phase ->
+    [
+      Builder.(bs.bs_done <== Expr.tru);
+      Builder.wait_until Expr.(ref_ bs.bs_start = fls);
+      Builder.(bs.bs_done <== Expr.fls);
+    ]
+  | Two_phase ->
+    (* Wait for the completion to commit, otherwise the serving loop would
+       still see the request pending and re-serve it within the same
+       delta. *)
+    [
+      Builder.(bs.bs_done <== Expr.ref_ bs.bs_start);
+      Builder.wait_until Expr.(ref_ bs.bs_done = ref_ bs.bs_start);
+    ]
+
+(** The slave-side request condition: a transaction is pending. *)
+let slv_pending ?(style = Four_phase) bs =
+  match style with
+  | Four_phase -> Expr.(ref_ bs.bs_start = tru)
+  | Two_phase -> Expr.(ref_ bs.bs_start <> ref_ bs.bs_done)
+
+(** The condition a non-addressed slave waits for before re-arming: the
+    transaction (served by another slave) is over. *)
+let slv_idle ?(style = Four_phase) bs =
+  match style with
+  | Four_phase -> Expr.(ref_ bs.bs_start = fls)
+  | Two_phase -> Expr.(ref_ bs.bs_start = ref_ bs.bs_done)
+
+(** A slave response branch serving a read of the storage location [var]
+    at [addr] (the paper's [SLV_send]). *)
+let slv_send_branch ?style bs ~addr ~var:store =
+  ( Expr.(ref_ bs.bs_rd = tru && ref_ bs.bs_addr = int addr),
+    (Builder.(bs.bs_data <== Expr.ref_ store) :: slv_complete ?style bs) )
+
+(** A slave response branch serving a write (the paper's
+    [SLV_receive]). *)
+let slv_receive_branch ?style bs ~addr ~var:store =
+  ( Expr.(ref_ bs.bs_wr = tru && ref_ bs.bs_addr = int addr),
+    (Builder.(store <-- Expr.ref_ bs.bs_data) :: slv_complete ?style bs) )
+
+(** One full slave serving loop over the given response branches.  The
+    final branch answers unmapped addresses with an [emit] marker and a
+    completed handshake, so a master is never dead-locked but the
+    co-simulation trace exposes the fault. *)
+let slave_loop ?style bs branches =
+  let unmapped =
+    Emit ("MEM_UNMAPPED_" ^ bs.bs_label, Ref bs.bs_addr)
+    :: slv_complete ?style bs
+  in
+  [
+    Builder.while_ Expr.tru
+      (Builder.wait_until (slv_pending ?style bs) :: [ If (branches, unmapped) ]);
+  ]
+
+(** A slave serving loop for a bus with {e several} slaves (Model4's
+    inter-interface bus): requests whose address is not served by this
+    slave are left for another slave — the loop just waits out the
+    transaction instead of answering. *)
+let slave_loop_selective ?style bs branches =
+  let leave_alone = [ Builder.wait_until (slv_idle ?style bs) ] in
+  [
+    Builder.while_ Expr.tru
+      (Builder.wait_until (slv_pending ?style bs) :: [ If (branches, leave_alone) ]);
+  ]

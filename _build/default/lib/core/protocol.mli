@@ -1,0 +1,88 @@
+(** Bus handshake protocols (paper, Figure 5d).  Each bus consists of four
+    control lines ([start], [done], [rd], [wr]), an address bus and a data
+    bus.  The master side is encapsulated in generated [MST_send_*] /
+    [MST_receive_*] procedures; the slave side ([SLV_send] /
+    [SLV_receive]) is inlined into the generated memory behaviors as
+    response branches.
+
+    Two protocol styles are provided, as the paper anticipates ("generally
+    we can select different protocols to exchange data"): the four-phase
+    return-to-zero handshake of Figure 5d, and a transition-signalled
+    two-phase variant that roughly halves the delta cycles per transfer. *)
+
+open Spec
+
+type style =
+  | Four_phase  (** the paper's Figure 5d handshake *)
+  | Two_phase
+      (** [start]/[done] as parity toggles, idle when equal; two signal
+          edges per transfer *)
+
+val style_name : style -> string
+
+type bus_signals = {
+  bs_label : string;  (** bus label, e.g. [bus_global] *)
+  bs_start : string;
+  bs_done : string;
+  bs_rd : string;
+  bs_wr : string;
+  bs_addr : string;
+  bs_data : string;
+  bs_addr_width : int;
+  bs_data_width : int;
+}
+
+val make_bus_signals :
+  Naming.t -> label:string -> addr_width:int -> data_width:int -> bus_signals
+(** Allocate the six signals of a bus. *)
+
+val signal_decls : bus_signals -> Ast.sig_decl list
+
+val mst_send_name : bus_signals -> string
+val mst_receive_name : bus_signals -> string
+
+val mst_send_proc : ?style:style -> bus_signals -> Ast.proc_decl
+(** The master-side write protocol as a procedure
+    [MST_send_<bus>(a, d)]. *)
+
+val mst_receive_proc : ?style:style -> bus_signals -> Ast.proc_decl
+(** The master-side read protocol [MST_receive_<bus>(a, out d)]. *)
+
+val master_read : bus_signals -> addr:int -> target:string -> Ast.stmt
+(** [call MST_receive_<bus>(addr, out target)]. *)
+
+val master_write : bus_signals -> addr:int -> value:Ast.expr -> Ast.stmt
+
+val slv_complete : ?style:style -> bus_signals -> Ast.stmt list
+(** The slave-side completion handshake. *)
+
+val slv_pending : ?style:style -> bus_signals -> Ast.expr
+(** A transaction is pending on the bus. *)
+
+val slv_idle : ?style:style -> bus_signals -> Ast.expr
+(** The current transaction (served by another slave) is over. *)
+
+val slv_send_branch :
+  ?style:style -> bus_signals -> addr:int -> var:string ->
+  Ast.expr * Ast.stmt list
+(** Response branch serving a read of the storage location (the paper's
+    [SLV_send]). *)
+
+val slv_receive_branch :
+  ?style:style -> bus_signals -> addr:int -> var:string ->
+  Ast.expr * Ast.stmt list
+(** Response branch serving a write (the paper's [SLV_receive]). *)
+
+val slave_loop :
+  ?style:style -> bus_signals -> (Ast.expr * Ast.stmt list) list ->
+  Ast.stmt list
+(** A perpetual single-slave serving loop; unmapped addresses answer with
+    an [emit] marker plus a completed handshake, so masters never
+    deadlock but co-simulation exposes the fault. *)
+
+val slave_loop_selective :
+  ?style:style -> bus_signals -> (Ast.expr * Ast.stmt list) list ->
+  Ast.stmt list
+(** A serving loop for a bus with several slaves (Model4's
+    inter-interface bus): requests for other slaves' addresses are waited
+    out, not answered. *)

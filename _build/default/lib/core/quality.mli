@@ -1,0 +1,33 @@
+(** Quality-metric estimation for a refined design (paper, Section 1:
+    "estimation of quality metrics such as performance, size, pins, power
+    and cost ... as guidance for the partitioning process").  The models
+    are simple and documented in the implementation; relative comparisons
+    between implementation models are the purpose, as in the paper. *)
+
+type component_quality = {
+  cq_partition : int;
+  cq_component : Arch.Component.t;
+  cq_exec_seconds : float;
+      (** summed estimated execution time of the partition's processes *)
+  cq_software_bytes : int option;  (** processors: estimated code size *)
+  cq_gates : int option;  (** ASICs: estimated gate count *)
+  cq_pins : int;  (** bus + handshake wires crossing the boundary *)
+  cq_gates_ok : bool option;  (** within the ASIC's gate capacity *)
+  cq_pins_ok : bool option;  (** within the ASIC's pin count *)
+}
+
+type memory_quality = {
+  mq_name : string;
+  mq_words : int;
+  mq_width : int;
+  mq_ports : int;
+}
+
+type t = {
+  q_components : component_quality list;
+  q_memories : memory_quality list;
+}
+
+val of_refinement : alloc:Arch.Allocation.t -> Refiner.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+(** The top-level model-refinement procedure (paper, Sections 4–5): given
+    a functional specification, its access graph, an allocation, a
+    partition and a chosen implementation model, produce the refined
+    implementation-model specification — functionally equivalent, with the
+    emerging architecture (components, memories, buses, protocols,
+    arbiters and bus interfaces) made explicit. *)
+
+open Spec
+
+type options = {
+  force_nonleaf : bool;
+      (** use the non-leaf control scheme (Figure 4c) even for leaves *)
+  protocol : Protocol.style;
+      (** bus handshake style: the paper's four-phase handshake of
+          Figure 5d, or the faster transition-signalled two-phase
+          variant *)
+}
+
+val default_options : options
+
+type bus_inst = {
+  bi_role : Bus_plan.bus_role;
+  bi_signals : Protocol.bus_signals;
+  bi_requesters : (string * int) list;
+      (** master process name -> requester index *)
+  bi_arbiter : Arbiter.t option;  (** present when >= 2 requesters *)
+}
+
+type t = {
+  rf_program : Ast.program;  (** the refined specification, validated *)
+  rf_model : Model.t;
+  rf_plan : Bus_plan.t;
+  rf_buses : bus_inst list;  (** instantiated buses, plan order *)
+  rf_memories : string list;  (** generated memory behavior names *)
+  rf_arbiters : string list;  (** generated arbiter behavior names *)
+  rf_moved : string list;  (** generated [B_NEW] behavior names *)
+  rf_top_home : int;
+  rf_processes : (string * int) list;
+      (** every concurrent process (the main control tree and the [B_NEW]
+          wrappers) with the partition it executes on *)
+}
+
+exception Refine_error of string
+
+val refine :
+  ?options:options ->
+  Ast.program ->
+  Agraph.Access_graph.t ->
+  Partitioning.Partition.t ->
+  Model.t ->
+  t
+(** Refine [program] under the given partition and model.  The access
+    graph must have been derived from the same program; the partition must
+    cover all of its objects and variables.
+    @raise Refine_error on untranslatable constructs (see
+    {!Data_refine.Refine_error}) or an invalid input program. *)

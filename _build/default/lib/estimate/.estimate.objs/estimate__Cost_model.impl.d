@@ -1,0 +1,1 @@
+lib/estimate/cost_model.ml: Arch Ast Expr List Spec

@@ -1,0 +1,1 @@
+lib/estimate/cost_model.mli: Arch Spec

@@ -1,0 +1,1 @@
+lib/estimate/lifetime.ml: Arch Ast Cost_model List Partitioning Printf Program Spec

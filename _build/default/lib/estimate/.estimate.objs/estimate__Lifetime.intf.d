@@ -1,0 +1,1 @@
+lib/estimate/lifetime.mli: Arch Cost_model Partitioning Spec

@@ -1,0 +1,1 @@
+lib/estimate/rates.ml: Access_graph Agraph Arch Cost_model Lifetime List Partitioning Spec

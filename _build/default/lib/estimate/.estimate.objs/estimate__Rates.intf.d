@@ -1,0 +1,1 @@
+lib/estimate/rates.mli: Agraph Arch Cost_model Partitioning Spec

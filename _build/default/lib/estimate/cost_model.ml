@@ -1,0 +1,90 @@
+(** Per-statement execution-cost model.  Software estimation on processors
+    follows the per-statement cycle counts of the component's attributes
+    (in the spirit of the paper's reference [8], "Software estimation from
+    executable specifications"); hardware estimation on ASICs charges the
+    datapath operation count of each expression. *)
+
+open Spec
+
+type config = { while_iterations : int }
+
+let default_config = { while_iterations = 8 }
+
+let expr_ops e = float_of_int (Expr.size e)
+
+let trip_count cfg lo hi =
+  match (Expr.eval_const lo, Expr.eval_const hi) with
+  | Some (Ast.VInt a), Some (Ast.VInt b) -> float_of_int (max 0 (b - a + 1))
+  | _ -> float_of_int cfg.while_iterations
+
+(* Cycle cost of a statement list on a processor. *)
+let rec proc_cycles cfg (p : Arch.Component.proc_attrs) stmts =
+  List.fold_left (fun acc s -> acc +. proc_stmt cfg p s) 0.0 stmts
+
+and proc_stmt cfg p = function
+  | Ast.Assign (_, e) -> p.Arch.Component.proc_cycles_assign +. expr_ops e
+  | Ast.Assign_idx (_, i, e) ->
+    p.Arch.Component.proc_cycles_assign +. expr_ops i +. expr_ops e
+  | Ast.Signal_assign (_, e) ->
+    p.Arch.Component.proc_cycles_io +. expr_ops e
+  | Ast.If (branches, els) ->
+    let branch_costs =
+      List.map
+        (fun (c, body) ->
+          p.Arch.Component.proc_cycles_branch +. expr_ops c
+          +. proc_cycles cfg p body)
+        branches
+    in
+    let else_cost = proc_cycles cfg p els in
+    (* Pessimistic: the most expensive alternative. *)
+    List.fold_left max else_cost branch_costs
+  | Ast.While (c, body) ->
+    float_of_int cfg.while_iterations
+    *. (p.Arch.Component.proc_cycles_branch +. expr_ops c
+       +. proc_cycles cfg p body)
+  | Ast.For (_, lo, hi, body) ->
+    trip_count cfg lo hi
+    *. (p.Arch.Component.proc_cycles_branch +. proc_cycles cfg p body)
+  | Ast.Wait_until c -> p.Arch.Component.proc_cycles_branch +. expr_ops c
+  | Ast.Call (_, args) ->
+    p.Arch.Component.proc_cycles_io +. float_of_int (List.length args)
+  | Ast.Emit (_, e) -> p.Arch.Component.proc_cycles_assign +. expr_ops e
+  | Ast.Skip -> 1.0
+
+(* Cycle cost on an ASIC: one [cycles_per_op] per expression node, one
+   cycle of control per statement. *)
+let rec asic_cycles cfg (a : Arch.Component.asic_attrs) stmts =
+  List.fold_left (fun acc s -> acc +. asic_stmt cfg a s) 0.0 stmts
+
+and asic_stmt cfg a =
+  let per_op = a.Arch.Component.asic_cycles_per_op in
+  function
+  | Ast.Assign (_, e) -> 1.0 +. (per_op *. expr_ops e)
+  | Ast.Assign_idx (_, i, e) -> 1.0 +. (per_op *. (expr_ops i +. expr_ops e))
+  | Ast.Signal_assign (_, e) -> 1.0 +. (per_op *. expr_ops e)
+  | Ast.If (branches, els) ->
+    let branch_costs =
+      List.map
+        (fun (c, body) ->
+          1.0 +. (per_op *. expr_ops c) +. asic_cycles cfg a body)
+        branches
+    in
+    List.fold_left max (asic_cycles cfg a els) branch_costs
+  | Ast.While (c, body) ->
+    float_of_int cfg.while_iterations
+    *. (1.0 +. (per_op *. expr_ops c) +. asic_cycles cfg a body)
+  | Ast.For (_, lo, hi, body) ->
+    trip_count cfg lo hi *. (1.0 +. asic_cycles cfg a body)
+  | Ast.Wait_until c -> 1.0 +. (per_op *. expr_ops c)
+  | Ast.Call (_, args) -> 2.0 +. float_of_int (List.length args)
+  | Ast.Emit (_, e) -> 1.0 +. (per_op *. expr_ops e)
+  | Ast.Skip -> 1.0
+
+(** Cycle cost of a statement list on any executing component.
+    @raise Invalid_argument for memory components, which execute nothing. *)
+let stmt_cycles ?(config = default_config) (c : Arch.Component.t) stmts =
+  match c.Arch.Component.c_kind with
+  | Arch.Component.Processor p -> proc_cycles config p stmts
+  | Arch.Component.Asic a -> asic_cycles config a stmts
+  | Arch.Component.Memory _ ->
+    invalid_arg "Cost_model.stmt_cycles: memory components execute no code"

@@ -1,0 +1,1 @@
+lib/export/c_backend.ml: Buffer List Printf Spec String

@@ -1,0 +1,1 @@
+lib/export/c_backend.mli: Spec

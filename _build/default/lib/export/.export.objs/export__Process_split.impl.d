@@ -1,0 +1,1 @@
+lib/export/process_split.ml: List Printf Program Spec

@@ -1,0 +1,1 @@
+lib/export/process_split.mli: Ast Spec

@@ -1,0 +1,1 @@
+lib/export/vhdl.ml: Behavior Buffer Hashtbl List Printf Process_split Spec Stmt String

@@ -1,0 +1,1 @@
+lib/export/vhdl.mli: Spec

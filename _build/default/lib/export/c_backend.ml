@@ -1,0 +1,328 @@
+(** C backend — "software compilation" of a sequential specification (the
+    role the paper assigns to the tools downstream of codesign).
+
+    Scope: purely sequential specifications — a single process, no
+    signals.  This is the shape of a functional model before refinement
+    (and of a pure-software partition).  Hierarchical sequential
+    composition with TOC arcs compiles to nested [switch]-based state
+    machines; behavior-local variables are block-scoped so re-entering an
+    arm re-initializes them, exactly like the reference simulator.
+
+    The generated program prints one [EMIT tag value] line per [emit] and
+    one [FINAL var value] line per program variable at the end, so its
+    output can be compared verbatim against {!Sim.Engine} — the test suite
+    compiles the output with the system C compiler and does exactly
+    that. *)
+
+open Spec.Ast
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* C identifiers: prefix to dodge keywords and reserved names. *)
+let cvar x = "v_" ^ x
+let cproc x = "p_" ^ x
+
+let escape_c s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let cvalue = function
+  | VInt n -> Printf.sprintf "%dLL" n
+  | VBool true -> "1LL"
+  | VBool false -> "0LL"
+
+(* Fully parenthesized expression translation; booleans are 0/1. *)
+let rec cexpr ~deref = function
+  | Const v -> cvalue v
+  | Ref x -> if List.mem x deref then Printf.sprintf "(*%s)" (cvar x) else cvar x
+  | Index (x, i) -> Printf.sprintf "%s[%s]" (cvar x) (cexpr ~deref i)
+  | Unop (Neg, e) -> Printf.sprintf "(-%s)" (cexpr ~deref e)
+  | Unop (Not, e) -> Printf.sprintf "(!%s)" (cexpr ~deref e)
+  | Binop (op, a, b) ->
+    let sym =
+      match op with
+      | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+      | Eq -> "==" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+      | And -> "&&" | Or -> "||"
+    in
+    Printf.sprintf "(%s %s %s)" (cexpr ~deref a) sym (cexpr ~deref b)
+
+type ctx = {
+  buf : Buffer.t;
+  mutable indent : int;
+  mutable fresh : int;
+  procs : proc_decl list;
+}
+
+let line ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+let with_indent ctx f =
+  ctx.indent <- ctx.indent + 1;
+  f ();
+  ctx.indent <- ctx.indent - 1
+
+let fresh ctx base =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "%s_%d" base ctx.fresh
+
+let decl_var ctx ~deref (v : var_decl) =
+  let init =
+    match v.v_init with Some i -> cvalue i | None -> cvalue (default_value v.v_ty)
+  in
+  ignore deref;
+  match v.v_ty with
+  | TArray (_, size) ->
+    (* fill-initialize: designated initializers keep it one line *)
+    if init = "0LL" then line ctx "long long %s[%d] = {0};" (cvar v.v_name) size
+    else begin
+      let fill = List.init size (fun _ -> init) in
+      line ctx "long long %s[%d] = {%s};" (cvar v.v_name) size
+        (String.concat ", " fill)
+    end
+  | TBool | TInt _ -> line ctx "long long %s = %s;" (cvar v.v_name) init
+
+let rec emit_stmts ctx ~deref stmts = List.iter (emit_stmt ctx ~deref) stmts
+
+and emit_stmt ctx ~deref = function
+  | Skip -> line ctx ";"
+  | Assign (x, e) ->
+    if List.mem x deref then
+      line ctx "(*%s) = %s;" (cvar x) (cexpr ~deref e)
+    else line ctx "%s = %s;" (cvar x) (cexpr ~deref e)
+  | Assign_idx (x, i, e) ->
+    line ctx "%s[%s] = %s;" (cvar x) (cexpr ~deref i) (cexpr ~deref e)
+  | Signal_assign (s, _) ->
+    unsupported "signal assignment to %s: the C backend is for sequential software (no signals)" s
+  | If (branches, els) ->
+    List.iteri
+      (fun i (c, body) ->
+        line ctx "%sif (%s) {" (if i = 0 then "" else "} else ") (cexpr ~deref c);
+        with_indent ctx (fun () -> emit_stmts ctx ~deref body))
+      branches;
+    if els <> [] then begin
+      line ctx "} else {";
+      with_indent ctx (fun () -> emit_stmts ctx ~deref els)
+    end;
+    line ctx "}"
+  | While (c, body) ->
+    line ctx "while (%s) {" (cexpr ~deref c);
+    with_indent ctx (fun () -> emit_stmts ctx ~deref body);
+    line ctx "}"
+  | For (i, lo, hi, body) ->
+    (* Bounds are evaluated once and a hidden iterator drives the loop,
+       like the reference simulator: the body may freely overwrite the
+       index variable (including via a nested loop on the same name)
+       without changing the trip count. *)
+    let it_tmp = fresh ctx "it" and hi_tmp = fresh ctx "hi" in
+    line ctx "{";
+    with_indent ctx (fun () ->
+        line ctx "long long %s = %s, %s = %s;" it_tmp (cexpr ~deref lo) hi_tmp
+          (cexpr ~deref hi);
+        let iv = if List.mem i deref then Printf.sprintf "(*%s)" (cvar i) else cvar i in
+        line ctx "for (; %s <= %s; %s++) {" it_tmp hi_tmp it_tmp;
+        with_indent ctx (fun () ->
+            line ctx "%s = %s;" iv it_tmp;
+            emit_stmts ctx ~deref body);
+        line ctx "}");
+    line ctx "}"
+  | Wait_until _ ->
+    unsupported "wait until: the C backend is for sequential software (no signals)"
+  | Call (name, args) ->
+    let pr =
+      match List.find_opt (fun pr -> String.equal pr.prc_name name) ctx.procs with
+      | Some pr -> pr
+      | None -> unsupported "call to unknown procedure %s" name
+    in
+    let actuals =
+      List.map2
+        (fun prm arg ->
+          match (prm.prm_mode, arg) with
+          | Mode_in, Arg_expr e -> cexpr ~deref e
+          | Mode_in, Arg_var x -> cexpr ~deref (Ref x)
+          | Mode_out, Arg_var x ->
+            if List.mem x deref then cvar x else "&" ^ cvar x
+          | Mode_out, Arg_expr _ ->
+            unsupported "expression bound to out parameter of %s" name)
+        pr.prc_params args
+    in
+    line ctx "%s(%s);" (cproc name) (String.concat ", " actuals)
+  | Emit (tag, e) ->
+    line ctx "coref_emit(\"%s\", %s);" (escape_c tag) (cexpr ~deref e)
+
+(* Compile a Par-free behavior.  Sequential compositions become
+   switch-based state machines; arm locals are block-scoped, so
+   re-entering an arm (a TOC loop) re-initializes them. *)
+let rec emit_behavior ctx ~deref (b : behavior) =
+  match b.b_body with
+  | Par _ -> unsupported "parallel composition %s" b.b_name
+  | Leaf stmts ->
+    line ctx "{ /* leaf %s */" b.b_name;
+    with_indent ctx (fun () ->
+        List.iter (decl_var ctx ~deref) b.b_vars;
+        emit_stmts ctx ~deref stmts);
+    line ctx "}"
+  | Seq arms ->
+    let st = fresh ctx "st" and live = fresh ctx "live" in
+    line ctx "{ /* seq %s */" b.b_name;
+    with_indent ctx (fun () ->
+        List.iter (decl_var ctx ~deref) b.b_vars;
+        line ctx "int %s = 0, %s = 1;" st live;
+        line ctx "while (%s) {" live;
+        with_indent ctx (fun () ->
+            line ctx "switch (%s) {" st;
+            List.iteri
+              (fun i arm ->
+                line ctx "case %d: { /* arm %s */" i arm.a_behavior.b_name;
+                with_indent ctx (fun () ->
+                    emit_behavior ctx ~deref arm.a_behavior;
+                    emit_transitions ctx ~deref arms ~st ~live i arm);
+                line ctx "} break;")
+              arms;
+            line ctx "default: %s = 0;" live;
+            line ctx "}");
+        line ctx "}");
+    line ctx "}"
+
+and emit_transitions ctx ~deref arms ~st ~live i arm =
+  let index_of name =
+    let rec go j = function
+      | [] -> unsupported "transition to unknown arm %s" name
+      | a :: rest ->
+        if String.equal a.a_behavior.b_name name then j else go (j + 1) rest
+    in
+    go 0 arms
+  in
+  (* Arcs after the first unconditional one are dead. *)
+  let rec live_prefix = function
+    | [] -> []
+    | t :: rest ->
+      if t.t_cond = None then [ t ] else t :: live_prefix rest
+  in
+  match live_prefix arm.a_transitions with
+  | [] ->
+    if i + 1 < List.length arms then line ctx "%s = %d;" st (i + 1)
+    else line ctx "%s = 0;" live
+  | ts ->
+    List.iteri
+      (fun k t ->
+        let target_code () =
+          match t.t_target with
+          | Complete -> line ctx "%s = 0;" live
+          | Goto name -> line ctx "%s = %d;" st (index_of name)
+        in
+        match t.t_cond with
+        | Some c ->
+          line ctx "%sif (%s) {" (if k = 0 then "" else "} else ") (cexpr ~deref c);
+          with_indent ctx target_code
+        | None ->
+          if k = 0 then target_code ()
+          else begin
+            line ctx "} else {";
+            with_indent ctx target_code
+          end)
+      ts;
+    (* If every arc is conditional and none fired, the composition
+       completes. *)
+    let all_conditional = List.for_all (fun t -> t.t_cond <> None) ts in
+    if List.exists (fun t -> t.t_cond <> None) ts then begin
+      if all_conditional then begin
+        line ctx "} else {";
+        with_indent ctx (fun () -> line ctx "%s = 0;" live)
+      end;
+      line ctx "}"
+    end
+
+let emit_proc ctx (pr : proc_decl) =
+  let params =
+    List.map
+      (fun prm ->
+        match prm.prm_mode with
+        | Mode_in -> Printf.sprintf "long long %s" (cvar prm.prm_name)
+        | Mode_out -> Printf.sprintf "long long *%s" (cvar prm.prm_name))
+      pr.prc_params
+  in
+  let deref =
+    List.filter_map
+      (fun prm ->
+        match prm.prm_mode with
+        | Mode_out -> Some prm.prm_name
+        | Mode_in -> None)
+      pr.prc_params
+  in
+  line ctx "static void %s(%s) {" (cproc pr.prc_name)
+    (if params = [] then "void" else String.concat ", " params);
+  with_indent ctx (fun () ->
+      List.iter (decl_var ctx ~deref) pr.prc_vars;
+      emit_stmts ctx ~deref pr.prc_body);
+  line ctx "}";
+  line ctx ""
+
+(** Generate a complete C program.
+    @raise Unsupported on signals, parallel composition or waits. *)
+let emit_program_exn (p : program) =
+  if p.p_signals <> [] then
+    unsupported "program %s declares signals; the C backend is for sequential software" p.p_name;
+  let ctx = { buf = Buffer.create 4096; indent = 0; fresh = 0; procs = p.p_procs } in
+  line ctx "/* generated by coref from specification %s */" p.p_name;
+  line ctx "#include <stdio.h>";
+  line ctx "";
+  line ctx "static void coref_emit(const char *tag, long long v) {";
+  line ctx "  printf(\"EMIT %%s %%lld\\n\", tag, v);";
+  line ctx "}";
+  line ctx "";
+  List.iter
+    (fun v ->
+      let init =
+        match v.v_init with Some i -> cvalue i | None -> cvalue (default_value v.v_ty)
+      in
+      match v.v_ty with
+      | TArray (_, size) ->
+        if init = "0LL" then
+          line ctx "static long long %s[%d] = {0};" (cvar v.v_name) size
+        else
+          line ctx "static long long %s[%d] = {%s};" (cvar v.v_name) size
+            (String.concat ", " (List.init size (fun _ -> init)))
+      | TBool | TInt _ ->
+        line ctx "static long long %s = %s;" (cvar v.v_name) init)
+    p.p_vars;
+  line ctx "";
+  List.iter (emit_proc ctx) p.p_procs;
+  line ctx "int main(void) {";
+  with_indent ctx (fun () ->
+      emit_behavior ctx ~deref:[] p.p_top;
+      List.iter
+        (fun v ->
+          match v.v_ty with
+          | TArray (_, size) ->
+            for k = 0 to size - 1 do
+              line ctx "printf(\"FINAL %s[%d] %%lld\\n\", %s[%d]);" v.v_name k
+                (cvar v.v_name) k
+            done
+          | TBool | TInt _ ->
+            line ctx "printf(\"FINAL %s %%lld\\n\", %s);" v.v_name
+              (cvar v.v_name))
+        p.p_vars;
+      line ctx "return 0;");
+  line ctx "}";
+  Buffer.contents ctx.buf
+
+let emit_program p =
+  match emit_program_exn p with
+  | code -> Ok code
+  | exception Unsupported msg -> Error msg

@@ -1,0 +1,18 @@
+(** Process splitting for the code-generation backends: flatten the
+    behavior tree into its concurrent processes.  Parallel composition may
+    only appear above sequential composition (the shape of refined outputs
+    and of typical functional specifications); a [Par] nested beneath a
+    [Seq] would need a fork/join protocol and is rejected. *)
+
+open Spec
+
+type proc_inst = {
+  pi_name : string;  (** name of the process root behavior *)
+  pi_behavior : Ast.behavior;  (** a Par-free subtree *)
+  pi_shared_vars : Ast.var_decl list;
+      (** variables declared on [Par] ancestors, shared with sibling
+          processes (e.g. multi-port memory storage) *)
+  pi_server : bool;  (** registered server, or inside one *)
+}
+
+val split : Ast.program -> (proc_inst list, string) result

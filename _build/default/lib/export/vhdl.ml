@@ -1,0 +1,438 @@
+(** VHDL backend — the refined implementation model printed as a
+    behavioral VHDL architecture, the form the paper feeds to behavioral
+    synthesis ("the refined specification ... can serve as an input for
+    functional verification, behavioral synthesis or software compilation
+    tools").
+
+    Mapping:
+    - the program becomes one entity plus one [behavioral] architecture;
+    - signals become architecture signals ([boolean] / [integer]);
+    - each concurrent process (see {!Process_split}) becomes a VHDL
+      process; perpetual servers loop forever, terminating processes end
+      in a final [wait];
+    - sequential composition with TOC arcs becomes a state-machine loop
+      (an integer state variable and a [case]), nested compositions nest;
+    - behavior variables shared between sibling processes (memory storage
+      serving several ports) become [shared variable]s;
+    - the generated [MST_send_* ] / [MST_receive_*] protocol procedures
+      are emitted into the declarative part of each process that calls
+      them, where VHDL permits them to drive the bus signals;
+    - [emit] becomes a [report];
+    - [wait until c] is guarded by [if not c] because VHDL's [wait until]
+      needs an event even when the condition already holds, whereas the
+      specification semantics (and the reference simulator) proceed
+      immediately. *)
+
+open Spec
+open Spec.Ast
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* VHDL identifiers: lowercase-insensitive; avoid collisions with
+   keywords by suffixing. *)
+let keywords =
+  [ "in"; "out"; "signal"; "variable"; "process"; "begin"; "end"; "is";
+    "wait"; "report"; "entity"; "architecture"; "of"; "all"; "loop";
+    "case"; "when"; "then"; "else"; "elsif"; "if"; "while"; "for"; "to" ]
+
+let vid x =
+  let lower = String.lowercase_ascii x in
+  if List.mem lower keywords then x ^ "_v" else x
+
+(* Arrays use a per-size named type [coref_arr_<n>], declared once in the
+   architecture declarative part. *)
+let arr_ty_name n = Printf.sprintf "coref_arr_%d" n
+
+let vty = function
+  | TBool -> "boolean"
+  | TInt _ -> "integer"
+  | TArray (_, n) -> arr_ty_name n
+
+let vvalue = function
+  | VBool true -> "true"
+  | VBool false -> "false"
+  | VInt n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+
+let rec vexpr = function
+  | Const v -> vvalue v
+  | Ref x -> vid x
+  | Index (x, i) -> Printf.sprintf "%s(%s)" (vid x) (vexpr i)
+  | Unop (Neg, e) -> Printf.sprintf "(-%s)" (vexpr e)
+  | Unop (Not, e) -> Printf.sprintf "(not %s)" (vexpr e)
+  | Binop (op, a, b) ->
+    let sym =
+      match op with
+      | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "mod"
+      | Eq -> "=" | Neq -> "/=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+      | And -> "and" | Or -> "or"
+    in
+    Printf.sprintf "(%s %s %s)" (vexpr a) sym (vexpr b)
+
+type ctx = {
+  buf : Buffer.t;
+  mutable indent : int;
+  mutable fresh : int;
+  signals : string list;  (** names with signal (<=) assignment *)
+  shared : string list;  (** names declared as shared variables *)
+  procs : proc_decl list;
+}
+
+let line ctx fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.buf (String.make (2 * ctx.indent) ' ');
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+let with_indent ctx f =
+  ctx.indent <- ctx.indent + 1;
+  f ();
+  ctx.indent <- ctx.indent - 1
+
+let fresh ctx base =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "%s_%d" base ctx.fresh
+
+let init_of (v : var_decl) =
+  match v.v_init with Some i -> i | None -> default_value v.v_ty
+
+(* Initializer literal: scalars print their value, arrays fill. *)
+let vinit (v : var_decl) =
+  match v.v_ty with
+  | TArray _ -> Printf.sprintf "(others => %s)" (vvalue (init_of v))
+  | TBool | TInt _ -> vvalue (init_of v)
+
+let rec emit_stmts ctx stmts = List.iter (emit_stmt ctx) stmts
+
+and emit_stmt ctx = function
+  | Skip -> line ctx "null;"
+  | Assign (x, e) ->
+    if List.mem x ctx.signals then
+      unsupported "variable assignment to signal %s" x
+    else line ctx "%s := %s;" (vid x) (vexpr e)
+  | Assign_idx (x, i, e) ->
+    line ctx "%s(%s) := %s;" (vid x) (vexpr i) (vexpr e)
+  | Signal_assign (s, e) -> line ctx "%s <= %s;" (vid s) (vexpr e)
+  | If (branches, els) ->
+    List.iteri
+      (fun i (c, body) ->
+        line ctx "%s %s then" (if i = 0 then "if" else "elsif") (vexpr c);
+        with_indent ctx (fun () -> emit_stmts ctx body))
+      branches;
+    if els <> [] then begin
+      line ctx "else";
+      with_indent ctx (fun () -> emit_stmts ctx els)
+    end;
+    line ctx "end if;"
+  | While (c, body) ->
+    line ctx "while %s loop" (vexpr c);
+    with_indent ctx (fun () -> emit_stmts ctx body);
+    line ctx "end loop;"
+  | For (i, lo, hi, body) ->
+    (* VHDL for-loop parameters are implicitly declared and read-only; the
+       specification's [for] writes a declared variable, and the reference
+       semantics fix the trip count at loop entry, so compile to a while
+       loop over a hidden iterator that re-assigns the index variable each
+       iteration. *)
+    let it_tmp = fresh ctx "it" and hi_tmp = fresh ctx "hi" in
+    line ctx "%s := %s;" it_tmp (vexpr lo);
+    line ctx "%s := %s;" hi_tmp (vexpr hi);
+    line ctx "while %s <= %s loop" it_tmp hi_tmp;
+    with_indent ctx (fun () ->
+        line ctx "%s := %s;" (vid i) it_tmp;
+        emit_stmts ctx body;
+        line ctx "%s := %s + 1;" it_tmp it_tmp);
+    line ctx "end loop;"
+  | Wait_until c ->
+    line ctx "if not (%s) then" (vexpr c);
+    with_indent ctx (fun () -> line ctx "wait until %s;" (vexpr c));
+    line ctx "end if;"
+  | Call (name, args) ->
+    let pr =
+      match List.find_opt (fun pr -> String.equal pr.prc_name name) ctx.procs with
+      | Some pr -> pr
+      | None -> unsupported "call to unknown procedure %s" name
+    in
+    let actuals =
+      List.map2
+        (fun _prm arg ->
+          match arg with Arg_expr e -> vexpr e | Arg_var x -> vid x)
+        pr.prc_params args
+    in
+    line ctx "%s(%s);" (vid name) (String.concat ", " actuals)
+  | Emit (tag, e) ->
+    line ctx "report \"EMIT %s \" & integer'image(%s);" tag
+      (match e with
+      | Const (VBool _) | Unop (Not, _) | Binop ((Eq | Neq | Lt | Le | Gt | Ge | And | Or), _, _) ->
+        Printf.sprintf "boolean'pos(%s)" (vexpr e)
+      | _ -> vexpr e)
+
+(* Compile a Par-free behavior into sequential VHDL statements.  State
+   machines use pre-declared state/live variables. *)
+let rec emit_behavior ctx b =
+  match b.b_body with
+  | Par _ -> unsupported "parallel composition %s below a process" b.b_name
+  | Leaf stmts ->
+    line ctx "-- leaf %s" b.b_name;
+    List.iter
+      (fun v ->
+        line ctx "%s := %s; -- (re)initialize local" (vid v.v_name) (vinit v))
+      b.b_vars;
+    emit_stmts ctx stmts
+  | Seq arms ->
+    let st = fresh ctx "st" and live = fresh ctx "live" in
+    line ctx "-- seq %s" b.b_name;
+    List.iter
+      (fun v -> line ctx "%s := %s;" (vid v.v_name) (vinit v))
+      b.b_vars;
+    line ctx "%s := 0; %s := true;" st live;
+    line ctx "while %s loop" live;
+    with_indent ctx (fun () ->
+        line ctx "case %s is" st;
+        List.iteri
+          (fun i arm ->
+            line ctx "when %d =>" i;
+            with_indent ctx (fun () ->
+                emit_behavior ctx arm.a_behavior;
+                emit_transitions ctx arms ~st ~live i arm))
+          arms;
+        line ctx "when others => %s := false;" live;
+        line ctx "end case;");
+    line ctx "end loop;"
+
+and emit_transitions ctx arms ~st ~live i arm =
+  let index_of name =
+    let rec go j = function
+      | [] -> unsupported "transition to unknown arm %s" name
+      | a :: rest ->
+        if String.equal a.a_behavior.b_name name then j else go (j + 1) rest
+    in
+    go 0 arms
+  in
+  let rec live_prefix = function
+    | [] -> []
+    | t :: rest -> if t.t_cond = None then [ t ] else t :: live_prefix rest
+  in
+  let target_line t =
+    match t.t_target with
+    | Complete -> Printf.sprintf "%s := false;" live
+    | Goto name -> Printf.sprintf "%s := %d;" st (index_of name)
+  in
+  match live_prefix arm.a_transitions with
+  | [] ->
+    if i + 1 < List.length arms then line ctx "%s := %d;" st (i + 1)
+    else line ctx "%s := false;" live
+  | [ ({ t_cond = None; _ } as t) ] -> line ctx "%s" (target_line t)
+  | ts ->
+    List.iteri
+      (fun k t ->
+        match t.t_cond with
+        | Some c ->
+          line ctx "%s %s then" (if k = 0 then "if" else "elsif") (vexpr c);
+          with_indent ctx (fun () -> line ctx "%s" (target_line t))
+        | None ->
+          line ctx "else";
+          with_indent ctx (fun () -> line ctx "%s" (target_line t)))
+      ts;
+    if List.for_all (fun t -> t.t_cond <> None) ts then begin
+      line ctx "else";
+      with_indent ctx (fun () -> line ctx "%s := false;" live)
+    end;
+    line ctx "end if;"
+
+(* Variable declarations of a Par-free subtree, flattened into the process
+   declarative part (initialization happens in the body so TOC re-entry
+   re-initializes). *)
+let rec subtree_vars b =
+  b.b_vars
+  @
+  match b.b_body with
+  | Leaf _ -> []
+  | Seq arms -> List.concat_map (fun a -> subtree_vars a.a_behavior) arms
+  | Par children -> List.concat_map subtree_vars children
+
+let emit_proc_decl ctx (pr : proc_decl) =
+  let params =
+    List.map
+      (fun prm ->
+        let mode = match prm.prm_mode with Mode_in -> "in" | Mode_out -> "out" in
+        Printf.sprintf "%s : %s %s" (vid prm.prm_name) mode (vty prm.prm_ty))
+      pr.prc_params
+  in
+  if params = [] then line ctx "procedure %s is" (vid pr.prc_name)
+  else line ctx "procedure %s (%s) is" (vid pr.prc_name) (String.concat "; " params);
+  with_indent ctx (fun () ->
+      List.iter
+        (fun v ->
+          line ctx "variable %s : %s := %s;" (vid v.v_name) (vty v.v_ty)
+            (vinit v))
+        pr.prc_vars);
+  line ctx "begin";
+  with_indent ctx (fun () ->
+      if pr.prc_body = [] then line ctx "null;" else emit_stmts ctx pr.prc_body);
+  line ctx "end procedure;"
+
+let procs_called_by b procs =
+  let names =
+    Behavior.fold
+      (fun acc b ->
+        match b.b_body with
+        | Leaf stmts -> Stmt.calls stmts @ acc
+        | Seq _ | Par _ -> acc)
+      [] b
+  in
+  List.filter (fun pr -> List.mem pr.prc_name names) procs
+
+(** Generate a complete VHDL design unit.
+    @raise Unsupported on parallel composition nested below sequential
+    composition. *)
+let emit_program_exn (p : program) =
+  let split =
+    match Process_split.split p with
+    | Ok procs -> procs
+    | Error msg -> unsupported "%s" msg
+  in
+  (* Shared variables: declared on Par nodes, visible to several
+     processes. *)
+  let shared =
+    List.sort_uniq String.compare
+      (List.concat_map
+         (fun (pi : Process_split.proc_inst) ->
+           List.map (fun v -> v.v_name) pi.Process_split.pi_shared_vars)
+         split)
+  in
+  let ctx =
+    {
+      buf = Buffer.create 8192;
+      indent = 0;
+      fresh = 0;
+      signals = List.map (fun s -> s.s_name) p.p_signals;
+      shared;
+      procs = p.p_procs;
+    }
+  in
+  line ctx "-- generated by coref from specification %s" p.p_name;
+  line ctx "entity %s is" (vid p.p_name);
+  line ctx "end entity;";
+  line ctx "";
+  line ctx "architecture behavioral of %s is" (vid p.p_name);
+  with_indent ctx (fun () ->
+      List.iter
+        (fun (s : sig_decl) ->
+          let init =
+            match s.s_init with Some i -> i | None -> default_value s.s_ty
+          in
+          line ctx "signal %s : %s := %s;" (vid s.s_name) (vty s.s_ty)
+            (vvalue init))
+        p.p_signals;
+      (* Storage shared between the serving processes of one memory. *)
+      let shared_decls =
+        List.concat_map
+          (fun (pi : Process_split.proc_inst) -> pi.Process_split.pi_shared_vars)
+          split
+      in
+      (* Named array types, one per element count used anywhere. *)
+      let arr_sizes = Hashtbl.create 4 in
+      let note_ty = function
+        | TArray (_, n) -> Hashtbl.replace arr_sizes n ()
+        | TBool | TInt _ -> ()
+      in
+      List.iter (fun (v : var_decl) -> note_ty v.v_ty) p.p_vars;
+      List.iter (fun (v : var_decl) -> note_ty v.v_ty) shared_decls;
+      List.iter
+        (fun (pi : Process_split.proc_inst) ->
+          List.iter
+            (fun (v : var_decl) -> note_ty v.v_ty)
+            (subtree_vars pi.Process_split.pi_behavior))
+        split;
+      Hashtbl.iter
+        (fun n () ->
+          line ctx "type %s is array (0 to %d) of integer;" (arr_ty_name n)
+            (n - 1))
+        arr_sizes;
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (v : var_decl) ->
+          if not (Hashtbl.mem seen v.v_name) then begin
+            Hashtbl.add seen v.v_name ();
+            line ctx "shared variable %s : %s := %s;" (vid v.v_name)
+              (vty v.v_ty) (vinit v)
+          end)
+        shared_decls;
+      (* Program-level variables of an unrefined specification are global
+         storage: emit them as shared variables too. *)
+      List.iter
+        (fun (v : var_decl) ->
+          line ctx "shared variable %s : %s := %s;" (vid v.v_name) (vty v.v_ty)
+            (vinit v))
+        p.p_vars);
+  line ctx "begin";
+  with_indent ctx (fun () ->
+      List.iter
+        (fun (pi : Process_split.proc_inst) ->
+          let b = pi.Process_split.pi_behavior in
+          line ctx "";
+          line ctx "%s : process" (vid b.b_name);
+          with_indent ctx (fun () ->
+              List.iter
+                (fun v ->
+                  line ctx "variable %s : %s := %s;" (vid v.v_name)
+                    (vty v.v_ty) (vinit v))
+                (subtree_vars b);
+              (* Pre-declare the st/live/hi temporaries deterministically:
+                 the body allocates them in this order. *)
+              let save = ctx.fresh in
+              let rec predeclare b =
+                match b.b_body with
+                | Leaf stmts -> predeclare_stmts stmts
+                | Seq arms ->
+                  let st = fresh ctx "st" and live = fresh ctx "live" in
+                  line ctx "variable %s : integer := 0;" st;
+                  line ctx "variable %s : boolean := true;" live;
+                  List.iter (fun a -> predeclare a.a_behavior) arms
+                | Par _ -> ()
+              and predeclare_stmts stmts =
+                List.iter
+                  (fun s ->
+                    match s with
+                    | For (_, _, _, body) ->
+                      let it = fresh ctx "it" in
+                      let hi = fresh ctx "hi" in
+                      line ctx "variable %s : integer := 0;" it;
+                      line ctx "variable %s : integer := 0;" hi;
+                      predeclare_stmts body
+                    | While (_, body) -> predeclare_stmts body
+                    | If (branches, els) ->
+                      List.iter (fun (_, b) -> predeclare_stmts b) branches;
+                      predeclare_stmts els
+                    | Assign _ | Assign_idx _ | Signal_assign _ | Wait_until _
+                    | Call _ | Emit _ | Skip -> ())
+                  stmts
+              in
+              predeclare b;
+              ctx.fresh <- save;
+              List.iter (emit_proc_decl ctx) (procs_called_by b p.p_procs));
+          line ctx "begin";
+          with_indent ctx (fun () ->
+              if pi.Process_split.pi_server then begin
+                (* Perpetual server: its own loop already never ends; if
+                   it somehow does, suspend. *)
+                emit_behavior ctx b;
+                line ctx "wait;"
+              end
+              else begin
+                emit_behavior ctx b;
+                line ctx "wait; -- process complete"
+              end);
+          line ctx "end process;")
+        split);
+  line ctx "end architecture;";
+  Buffer.contents ctx.buf
+
+let emit_program p =
+  match emit_program_exn p with
+  | code -> Ok code
+  | exception Unsupported msg -> Error msg

@@ -1,0 +1,1 @@
+lib/partition/annealing.ml: Cost List Partition Rng

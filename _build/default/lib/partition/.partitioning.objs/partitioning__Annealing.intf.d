@@ -1,0 +1,1 @@
+lib/partition/annealing.mli: Agraph Cost Partition

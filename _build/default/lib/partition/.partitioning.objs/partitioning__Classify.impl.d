@@ -1,0 +1,1 @@
+lib/partition/classify.ml: Agraph List Partition Printf

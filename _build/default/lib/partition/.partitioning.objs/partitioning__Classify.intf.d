@@ -1,0 +1,1 @@
+lib/partition/classify.mli: Agraph Partition

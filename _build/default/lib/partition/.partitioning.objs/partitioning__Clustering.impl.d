@@ -1,0 +1,1 @@
+lib/partition/clustering.ml: Access_graph Agraph Hashtbl List Map Partition

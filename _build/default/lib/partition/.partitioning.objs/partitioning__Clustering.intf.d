@@ -1,0 +1,1 @@
+lib/partition/clustering.mli: Agraph Partition

@@ -1,0 +1,1 @@
+lib/partition/constrained.ml: Access_graph Agraph Annealing Array Cost List Partition

@@ -1,0 +1,1 @@
+lib/partition/constrained.mli: Agraph Partition

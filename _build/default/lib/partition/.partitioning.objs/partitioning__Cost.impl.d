@@ -1,0 +1,1 @@
+lib/partition/cost.ml: Access_graph Agraph Array List Partition Printf

@@ -1,0 +1,1 @@
+lib/partition/cost.mli: Agraph Partition

@@ -1,0 +1,1 @@
+lib/partition/design_search.ml: Annealing Classify Cost List Partition

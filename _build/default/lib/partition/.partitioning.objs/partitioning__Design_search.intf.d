@@ -1,0 +1,1 @@
+lib/partition/design_search.mli: Agraph Partition

@@ -1,0 +1,1 @@
+lib/partition/greedy.ml: Access_graph Agraph Array Hashtbl List Partition

@@ -1,0 +1,1 @@
+lib/partition/kl.ml: Cost Greedy List Partition

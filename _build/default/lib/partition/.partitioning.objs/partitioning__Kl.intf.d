@@ -1,0 +1,1 @@
+lib/partition/kl.mli: Agraph Cost Partition

@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Agraph Format List Map Printf String

@@ -1,0 +1,1 @@
+lib/partition/rng.ml: Array Int64 List

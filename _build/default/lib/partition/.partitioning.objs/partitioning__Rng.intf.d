@@ -1,0 +1,1 @@
+lib/partition/rng.mli:

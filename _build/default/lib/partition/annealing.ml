@@ -1,0 +1,51 @@
+(** Simulated-annealing partitioner with a caller-supplied objective.  The
+    default objective is {!Cost.total}; {!Design_search} reuses the engine
+    with a local/global-ratio objective.  Fully deterministic given the
+    seed. *)
+
+type config = {
+  seed : int;
+  initial_temp : float;
+  cooling : float;  (** multiplicative factor per step *)
+  steps : int;
+}
+
+let default_config =
+  { seed = 42; initial_temp = 1000.0; cooling = 0.995; steps = 2000 }
+
+let random_partition rng g ~n_parts =
+  Partition.of_graph g ~n_parts (fun _ -> Rng.int rng n_parts)
+
+let run_objective ?(config = default_config) ~objective g ~n_parts =
+  let rng = Rng.create config.seed in
+  let current = ref (random_partition rng g ~n_parts) in
+  let current_cost = ref (objective !current) in
+  let best = ref !current in
+  let best_cost = ref !current_cost in
+  let objs = List.map fst (Partition.objects !current) in
+  let n_objs = List.length objs in
+  let temp = ref config.initial_temp in
+  for _ = 1 to config.steps do
+    let o = List.nth objs (Rng.int rng n_objs) in
+    let target = Rng.int rng n_parts in
+    let next = Partition.assign !current o target in
+    let next_cost = objective next in
+    let delta = next_cost -. !current_cost in
+    let accept =
+      delta <= 0.0
+      || (!temp > 0.0 && Rng.float rng < exp (-.delta /. !temp))
+    in
+    if accept then begin
+      current := next;
+      current_cost := next_cost;
+      if next_cost < !best_cost then begin
+        best := next;
+        best_cost := next_cost
+      end
+    end;
+    temp := !temp *. config.cooling
+  done;
+  !best
+
+let run ?config ?weights g ~n_parts =
+  run_objective ?config ~objective:(fun p -> Cost.total ?weights g p) g ~n_parts

@@ -1,0 +1,26 @@
+(** Simulated-annealing partitioner with a caller-supplied objective;
+    fully deterministic given the seed.  {!Design_search} and
+    {!Constrained} reuse the engine with their own objectives. *)
+
+type config = {
+  seed : int;
+  initial_temp : float;
+  cooling : float;  (** multiplicative factor per step *)
+  steps : int;
+}
+
+val default_config : config
+
+val run_objective :
+  ?config:config ->
+  objective:(Partition.t -> float) ->
+  Agraph.Access_graph.t ->
+  n_parts:int ->
+  Partition.t
+(** Minimize an arbitrary objective over complete partitions; returns the
+    best state visited. *)
+
+val run :
+  ?config:config -> ?weights:Cost.weights -> Agraph.Access_graph.t ->
+  n_parts:int -> Partition.t
+(** Anneal under the default {!Cost.total} objective. *)

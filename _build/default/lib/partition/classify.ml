@@ -1,0 +1,46 @@
+type klass = Local | Global
+
+type report = {
+  locals : string list;
+  globals : string list;
+  unaccessed : string list;
+}
+
+let home_of part v =
+  match Partition.part_of_variable part v with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Classify: variable %s unassigned" v)
+
+let part_of_behavior part b =
+  match Partition.part_of_behavior part b with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Classify: behavior %s unassigned" b)
+
+let classify g part v =
+  let home = home_of part v in
+  let users = Agraph.Access_graph.behaviors_accessing g v in
+  if List.for_all (fun b -> part_of_behavior part b = home) users then Local
+  else Global
+
+let report g part =
+  let step (locals, globals, unaccessed) v =
+    match Agraph.Access_graph.behaviors_accessing g v with
+    | [] -> (locals, globals, v :: unaccessed)
+    | _ ->
+      begin match classify g part v with
+      | Local -> (v :: locals, globals, unaccessed)
+      | Global -> (locals, v :: globals, unaccessed)
+      end
+  in
+  let locals, globals, unaccessed =
+    List.fold_left step ([], [], []) g.Agraph.Access_graph.g_variables
+  in
+  {
+    locals = List.rev locals;
+    globals = List.rev globals;
+    unaccessed = List.rev unaccessed;
+  }
+
+let ratio r =
+  float_of_int (List.length r.locals)
+  /. float_of_int (max 1 (List.length r.globals))

@@ -1,0 +1,5 @@
+(** Hierarchical closeness clustering: objects merge bottom-up by affinity
+    (bits exchanged) until as many clusters remain as partitions; clusters
+    are then assigned to partitions by decreasing size. *)
+
+val run : Agraph.Access_graph.t -> n_parts:int -> Partition.t

@@ -1,0 +1,54 @@
+(** Partitioning cost: cross-partition communication plus load imbalance.
+    Used as the objective of the automatic partitioners. *)
+
+open Agraph
+
+type weights = {
+  w_comm : float;  (** weight of cross-partition traffic (bits) *)
+  w_balance : float;  (** weight of the load spread between partitions *)
+}
+
+let default_weights = { w_comm = 1.0; w_balance = 0.25 }
+
+let part_of_behavior part b =
+  match Partition.part_of_behavior part b with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Cost: behavior %s unassigned" b)
+
+let part_of_variable part v =
+  match Partition.part_of_variable part v with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Cost: variable %s unassigned" v)
+
+(** Total bits crossing partition boundaries: for every data edge whose
+    behavior and variable live in different partitions, [count * bits]. *)
+let comm_bits (g : Access_graph.t) part =
+  List.fold_left
+    (fun acc (e : Access_graph.data_edge) ->
+      if
+        part_of_behavior part e.Access_graph.de_behavior
+        <> part_of_variable part e.Access_graph.de_variable
+      then acc + Access_graph.edge_bits e
+      else acc)
+    0 g.Access_graph.g_data
+
+(** Activity load of each partition: every data edge contributes its bits
+    to the partition of its behavior. *)
+let part_loads (g : Access_graph.t) part =
+  let loads = Array.make (Partition.n_parts part) 0.0 in
+  List.iter
+    (fun (e : Access_graph.data_edge) ->
+      let i = part_of_behavior part e.Access_graph.de_behavior in
+      loads.(i) <- loads.(i) +. float_of_int (Access_graph.edge_bits e))
+    g.Access_graph.g_data;
+  loads
+
+let imbalance g part =
+  let loads = part_loads g part in
+  let mx = Array.fold_left max neg_infinity loads in
+  let mn = Array.fold_left min infinity loads in
+  mx -. mn
+
+let total ?(weights = default_weights) g part =
+  (weights.w_comm *. float_of_int (comm_bits g part))
+  +. (weights.w_balance *. imbalance g part)

@@ -1,0 +1,34 @@
+(** Search for partitions with a prescribed local/global variable balance —
+    how the paper's three experimental designs are characterized
+    (Design1: local = global, Design2: local > global, Design3:
+    local < global).  Reuses the annealing engine with an objective that
+    penalizes deviation from the target global-variable count, plus a small
+    communication term so the result is still a sensible partition. *)
+
+type bias = Balanced | Mostly_local | Mostly_global
+
+let target_globals bias n_accessed =
+  match bias with
+  | Balanced -> n_accessed / 2
+  | Mostly_local -> max 1 (n_accessed / 4)
+  | Mostly_global -> n_accessed - max 1 (n_accessed / 4)
+
+let objective g ~bias part =
+  let r = Classify.report g part in
+  let n_accessed = List.length r.Classify.locals + List.length r.Classify.globals in
+  let target = target_globals bias n_accessed in
+  let deviation = abs (List.length r.Classify.globals - target) in
+  (* Also require every partition to hold at least one behavior, so all
+     components are actually used. *)
+  let n = Partition.n_parts part in
+  let empty_parts =
+    List.length
+      (List.filter (fun i -> Partition.behaviors_in part i = []) (List.init n (fun i -> i)))
+  in
+  (1000.0 *. float_of_int deviation)
+  +. (10000.0 *. float_of_int empty_parts)
+  +. (0.001 *. float_of_int (Cost.comm_bits g part))
+
+let run ?(seed = 42) ?(steps = 4000) g ~n_parts ~bias =
+  let config = { Annealing.default_config with seed; steps } in
+  Annealing.run_objective ~config ~objective:(objective g ~bias) g ~n_parts

@@ -1,0 +1,70 @@
+(** Kernighan–Lin / Fiduccia–Mattheyses style improvement: repeated passes
+    of single-object moves.  Within a pass every object moves at most once
+    (it is then locked); the pass keeps the best prefix of moves, and
+    passes repeat until no improvement is found. *)
+
+let all_objects part = List.map fst (Partition.objects part)
+
+let best_move ?weights g part locked =
+  let n = Partition.n_parts part in
+  let candidates =
+    List.concat_map
+      (fun o ->
+        if List.exists (fun l -> Partition.compare_obj l o = 0) locked then []
+        else
+          match Partition.part_of part o with
+          | None -> []
+          | Some cur ->
+            List.filter_map
+              (fun i -> if i <> cur then Some (o, i) else None)
+              (List.init n (fun i -> i)))
+      (all_objects part)
+  in
+  let scored =
+    List.map
+      (fun (o, i) ->
+        let part' = Partition.assign part o i in
+        (Cost.total ?weights g part', o, i, part'))
+      candidates
+  in
+  match scored with
+  | [] -> None
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun (bc, bo, bi, bp) (c, o, i, p) ->
+          if c < bc then (c, o, i, p) else (bc, bo, bi, bp))
+        first rest
+    in
+    Some best
+
+(* One KL pass: greedily apply best moves (even cost-increasing ones,
+   locking each moved object), remember the best intermediate state, and
+   return it. *)
+let one_pass ?weights ?(max_moves = 64) g part =
+  let rec go part locked best best_cost moves =
+    if moves >= max_moves then best
+    else
+      match best_move ?weights g part locked with
+      | None -> best
+      | Some (cost, o, _, part') ->
+        let best, best_cost =
+          if cost < best_cost then (part', cost) else (best, best_cost)
+        in
+        go part' (o :: locked) best best_cost (moves + 1)
+  in
+  go part [] part (Cost.total ?weights g part) 0
+
+let run ?weights ?(max_passes = 8) g part =
+  let rec go part cost pass =
+    if pass >= max_passes then part
+    else
+      let part' = one_pass ?weights g part in
+      let cost' = Cost.total ?weights g part' in
+      if cost' < cost then go part' cost' (pass + 1) else part
+  in
+  go part (Cost.total ?weights g part) 0
+
+(** Convenience: greedy construction followed by KL refinement. *)
+let run_from_scratch ?weights g ~n_parts =
+  run ?weights g (Greedy.run g ~n_parts)

@@ -1,0 +1,100 @@
+type obj =
+  | Obj_behavior of string
+  | Obj_variable of string
+
+let obj_name = function Obj_behavior n -> n | Obj_variable n -> n
+
+let compare_obj a b =
+  match (a, b) with
+  | Obj_behavior x, Obj_behavior y -> String.compare x y
+  | Obj_variable x, Obj_variable y -> String.compare x y
+  | Obj_behavior _, Obj_variable _ -> -1
+  | Obj_variable _, Obj_behavior _ -> 1
+
+let pp_obj ppf = function
+  | Obj_behavior n -> Format.fprintf ppf "behavior %s" n
+  | Obj_variable n -> Format.fprintf ppf "variable %s" n
+
+module Omap = Map.Make (struct
+  type t = obj
+
+  let compare = compare_obj
+end)
+
+type t = { assignment : int Omap.t; parts : int }
+
+let make ~n_parts assocs =
+  if n_parts < 1 then invalid_arg "Partition.make: n_parts < 1";
+  let assignment =
+    List.fold_left
+      (fun m (o, i) ->
+        if i < 0 || i >= n_parts then
+          invalid_arg
+            (Printf.sprintf "Partition.make: %s assigned to partition %d of %d"
+               (obj_name o) i n_parts);
+        if Omap.mem o m then
+          invalid_arg
+            (Printf.sprintf "Partition.make: duplicate object %s" (obj_name o));
+        Omap.add o i m)
+      Omap.empty assocs
+  in
+  { assignment; parts = n_parts }
+
+let n_parts t = t.parts
+let part_of t o = Omap.find_opt o t.assignment
+let part_of_behavior t n = part_of t (Obj_behavior n)
+let part_of_variable t n = part_of t (Obj_variable n)
+
+let assign t o i =
+  if i < 0 || i >= t.parts then
+    invalid_arg (Printf.sprintf "Partition.assign: partition %d out of range" i);
+  { t with assignment = Omap.add o i t.assignment }
+
+let objects t = Omap.bindings t.assignment
+
+let behaviors_in t i =
+  Omap.fold
+    (fun o j acc ->
+      match o with
+      | Obj_behavior n when j = i -> n :: acc
+      | Obj_behavior _ | Obj_variable _ -> acc)
+    t.assignment []
+  |> List.rev
+
+let variables_in t i =
+  Omap.fold
+    (fun o j acc ->
+      match o with
+      | Obj_variable n when j = i -> n :: acc
+      | Obj_behavior _ | Obj_variable _ -> acc)
+    t.assignment []
+  |> List.rev
+
+let graph_objects (g : Agraph.Access_graph.t) =
+  List.map (fun b -> Obj_behavior b) g.Agraph.Access_graph.g_objects
+  @ List.map (fun v -> Obj_variable v) g.Agraph.Access_graph.g_variables
+
+let of_graph g ~n_parts place =
+  make ~n_parts (List.map (fun o -> (o, place o)) (graph_objects g))
+
+let complete_for g t =
+  let missing =
+    List.filter_map
+      (fun o ->
+        match part_of t o with
+        | Some _ -> None
+        | None -> Some (Format.asprintf "unassigned %a" pp_obj o))
+      (graph_objects g)
+  in
+  match missing with [] -> Ok () | _ -> Error missing
+
+let pp ppf t =
+  let parts = List.init t.parts (fun i -> i) in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun i ->
+      Format.fprintf ppf "P%d: behaviors {%s} variables {%s}@," i
+        (String.concat ", " (behaviors_in t i))
+        (String.concat ", " (variables_in t i)))
+    parts;
+  Format.fprintf ppf "@]"

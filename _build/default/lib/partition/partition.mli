@@ -1,0 +1,45 @@
+(** Partitions: the assignment of the specification's objects — behaviors
+    and variables — to the allocated system components.  Partition indexes
+    correspond to components of an {!Arch.Allocation.t}. *)
+
+type obj =
+  | Obj_behavior of string
+  | Obj_variable of string
+
+val obj_name : obj -> string
+val compare_obj : obj -> obj -> int
+val pp_obj : Format.formatter -> obj -> unit
+
+type t
+
+val make : n_parts:int -> (obj * int) list -> t
+(** @raise Invalid_argument on an out-of-range partition index, a
+    duplicate object, or [n_parts < 1]. *)
+
+val n_parts : t -> int
+
+val part_of : t -> obj -> int option
+
+val part_of_behavior : t -> string -> int option
+
+val part_of_variable : t -> string -> int option
+
+val assign : t -> obj -> int -> t
+(** Functional update; adds the object if absent. *)
+
+val objects : t -> (obj * int) list
+(** All assignments, sorted by object. *)
+
+val behaviors_in : t -> int -> string list
+
+val variables_in : t -> int -> string list
+
+val of_graph :
+  Agraph.Access_graph.t -> n_parts:int -> (obj -> int) -> t
+(** Build a partition by applying a placement function to every object of
+    the access graph. *)
+
+val complete_for : Agraph.Access_graph.t -> t -> (unit, string list) result
+(** Check that every object of the graph is assigned. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(** Deterministic splitmix64 random generator.  Library code never uses
+    [Stdlib.Random], so every randomized result is reproducible from its
+    seed. *)
+
+type t
+
+val create : int -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates shuffle (returns a new list). *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element. @raise Invalid_argument on an empty list. *)

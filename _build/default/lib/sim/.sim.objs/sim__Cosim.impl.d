@@ -1,0 +1,1 @@
+lib/sim/cosim.ml: Ast Engine Expr Format List Printf Spec Trace

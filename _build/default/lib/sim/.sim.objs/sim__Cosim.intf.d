@@ -1,0 +1,1 @@
+lib/sim/cosim.mli: Engine Format Spec

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Env Expr Hashtbl Interp List Option Printf Sigtable Spec String Trace

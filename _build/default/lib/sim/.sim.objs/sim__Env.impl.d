@@ -1,0 +1,1 @@
+lib/sim/env.ml: Array Ast Hashtbl List Option Spec

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Env Expr List Printf Sigtable Spec String Trace

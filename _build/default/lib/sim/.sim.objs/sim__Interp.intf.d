@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Ast Env Sigtable Spec Trace

@@ -1,0 +1,1 @@
+lib/sim/sigtable.ml: Ast Hashtbl List Spec String

@@ -1,0 +1,1 @@
+lib/sim/sigtable.mli: Ast Spec

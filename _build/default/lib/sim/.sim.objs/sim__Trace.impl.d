@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Ast Expr Format List Spec String

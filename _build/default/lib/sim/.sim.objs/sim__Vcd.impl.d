@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Ast Buffer Bytes Char Engine List Printf Spec String

@@ -1,0 +1,299 @@
+(** The discrete-event simulation engine: instantiates the behavior tree
+    as a tree of processes, runs every runnable leaf until it blocks,
+    advances sequential compositions over their TOC arcs, and commits
+    delta cycles until the program completes, deadlocks, or exhausts its
+    budget. *)
+
+open Spec
+open Spec.Ast
+
+type config = {
+  max_steps : int;  (** total interpreter steps across all processes *)
+  max_deltas : int;
+  slice : int;  (** interpreter steps per process per scheduling round *)
+  trace_signals : bool;
+      (** record every committed signal change (for waveform dumps) *)
+}
+
+let default_config =
+  {
+    max_steps = 5_000_000;
+    max_deltas = 200_000;
+    slice = 10_000;
+    trace_signals = false;
+  }
+
+type outcome =
+  | Completed
+  | Deadlock of string list  (** blocked process descriptions *)
+  | Step_limit
+
+type result = {
+  r_outcome : outcome;
+  r_trace : Trace.event list;
+  r_deltas : int;
+  r_steps : int;
+  r_final : (string * value) list;
+      (** variable values at the end, preorder, first occurrence first *)
+  r_signal_trace : (int * (string * value) list) list;
+      (** with [trace_signals]: per delta cycle, the committed changes *)
+}
+
+type nstate =
+  | Nleaf of Interp.exec
+  | Nseq of seq_run
+  | Npar of node list
+  | Ndone
+
+and seq_run = { mutable s_idx : int; mutable s_child : node }
+
+and node = {
+  nd_behavior : behavior;
+  nd_frame : Env.frame;
+  mutable nd_state : nstate;
+}
+
+let rec instantiate parent_frame b =
+  let frame = Env.make ~parent:parent_frame ~owner:b.b_name b.b_vars in
+  let state =
+    match b.b_body with
+    | Leaf stmts -> Nleaf (Interp.make_exec ~owner:b.b_name ~frame stmts)
+    | Seq [] -> Ndone
+    | Seq (first :: _) ->
+      Nseq { s_idx = 0; s_child = instantiate frame first.a_behavior }
+    | Par [] -> Ndone
+    | Par children -> Npar (List.map (instantiate frame) children)
+  in
+  { nd_behavior = b; nd_frame = frame; nd_state = state }
+
+let is_done node = match node.nd_state with Ndone -> true | _ -> false
+
+let rec collect_leaves acc node =
+  match node.nd_state with
+  | Ndone -> acc
+  | Nleaf exec -> exec :: acc
+  | Nseq s -> collect_leaves acc s.s_child
+  | Npar children -> List.fold_left collect_leaves acc children
+
+let eval_cond cx frame c =
+  let lookup name =
+    match Env.lookup frame name with
+    | Some v -> Some v
+    | None -> Sigtable.read cx.Interp.cx_signals name
+  in
+  let lookup_idx name i =
+    match Env.find_array frame name with
+    | Some arr when i >= 0 && i < Array.length arr -> Some arr.(i)
+    | Some _ | None -> None
+  in
+  match Expr.eval ~lookup_idx ~lookup c with
+  | VBool b -> b
+  | VInt _ ->
+    raise
+      (Interp.Run_error
+         (Printf.sprintf "TOC condition %s is not boolean" (Expr.to_string c)))
+
+(* Advance structural state after leaves have run: leaves with an empty
+   stack become done; a sequential composition whose child completed takes
+   its TOC arc; a parallel composition completes with all children.
+   Returns true when anything changed. *)
+let rec advance cx node =
+  match node.nd_state with
+  | Ndone -> false
+  | Nleaf exec ->
+    if exec.Interp.stack = [] then begin
+      node.nd_state <- Ndone;
+      true
+    end
+    else false
+  | Npar children ->
+    let changed =
+      List.fold_left (fun acc c -> advance cx c || acc) false children
+    in
+    if List.for_all is_done children then begin
+      node.nd_state <- Ndone;
+      true
+    end
+    else changed
+  | Nseq s ->
+    let changed = advance cx s.s_child in
+    if not (is_done s.s_child) then changed
+    else begin
+      let arms =
+        match node.nd_behavior.b_body with
+        | Seq arms -> arms
+        | Leaf _ | Par _ -> assert false
+      in
+      let arm = List.nth arms s.s_idx in
+      let fired =
+        let rec first_true = function
+          | [] -> None
+          | t :: rest ->
+            begin match t.t_cond with
+            | None -> Some t.t_target
+            | Some c ->
+              if eval_cond cx node.nd_frame c then Some t.t_target
+              else first_true rest
+            end
+        in
+        match arm.a_transitions with
+        | [] ->
+          (* fall through to the next arm in the list *)
+          if s.s_idx + 1 < List.length arms then
+            Some (Goto (List.nth arms (s.s_idx + 1)).a_behavior.b_name)
+          else Some Complete
+        | ts ->
+          (* no arc firing completes the composition *)
+          begin match first_true ts with
+          | Some target -> Some target
+          | None -> Some Complete
+          end
+      in
+      begin match fired with
+      | Some Complete | None -> node.nd_state <- Ndone
+      | Some (Goto name) ->
+        let rec index i = function
+          | [] ->
+            raise
+              (Interp.Run_error
+                 (Printf.sprintf "behavior %s: transition to unknown arm %s"
+                    node.nd_behavior.b_name name))
+          | a :: rest ->
+            if String.equal a.a_behavior.b_name name then i
+            else index (i + 1) rest
+        in
+        let j = index 0 arms in
+        s.s_idx <- j;
+        s.s_child <- instantiate node.nd_frame (List.nth arms j).a_behavior
+      end;
+      true
+    end
+
+let rec advance_fixpoint cx node =
+  if advance cx node then begin
+    ignore (advance_fixpoint cx node);
+    true
+  end
+  else false
+
+(* A node is effectively done when it finished, is a registered server, or
+   is a parallel composition of effectively done children (a component
+   whose only remaining activity is its perpetual servers counts as
+   finished). *)
+let rec effectively_done servers node =
+  match node.nd_state with
+  | Ndone -> true
+  | _ when List.mem node.nd_behavior.b_name servers -> true
+  | Nleaf _ | Nseq _ -> false
+  | Npar children -> List.for_all (effectively_done servers) children
+
+let rec blocked_descriptions acc node =
+  match node.nd_state with
+  | Ndone -> acc
+  | Nleaf exec ->
+    begin match exec.Interp.stack with
+    | Interp.Twait c :: _ ->
+      Printf.sprintf "%s waiting until %s" exec.Interp.ex_owner
+        (Expr.to_string c)
+      :: acc
+    | _ -> Printf.sprintf "%s runnable" exec.Interp.ex_owner :: acc
+    end
+  | Nseq s -> blocked_descriptions acc s.s_child
+  | Npar children -> List.fold_left blocked_descriptions acc children
+
+(* Final variable values: the root frame (program variables) first, then
+   every live node's own declarations in preorder. *)
+let final_values root_frame root =
+  let acc = ref [] in
+  let seen = Hashtbl.create 32 in
+  let add name value =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      acc := (name, value) :: !acc
+    end
+  in
+  Hashtbl.iter (fun name cell -> add name !cell) root_frame.Env.f_vars;
+  let add_array name arr =
+    Array.iteri (fun i v -> add (Printf.sprintf "%s[%d]" name i) v) arr
+  in
+  Hashtbl.iter add_array root_frame.Env.f_arrays;
+  let rec walk node =
+    List.iter
+      (fun (d : var_decl) ->
+        match d.v_ty with
+        | TArray _ ->
+          begin match Env.find_array node.nd_frame d.v_name with
+          | Some arr -> add_array d.v_name arr
+          | None -> ()
+          end
+        | TBool | TInt _ ->
+          begin match Env.lookup node.nd_frame d.v_name with
+          | Some v -> add d.v_name v
+          | None -> ()
+          end)
+      node.nd_behavior.b_vars;
+    begin match node.nd_state with
+    | Nseq s -> walk s.s_child
+    | Npar children -> List.iter walk children
+    | Nleaf _ | Ndone -> ()
+    end
+  in
+  walk root;
+  List.rev !acc
+
+let run ?(config = default_config) (p : program) =
+  let cx =
+    {
+      Interp.cx_signals = Sigtable.make p.p_signals;
+      cx_trace = Trace.make ();
+      cx_procs = p.p_procs;
+      cx_delta = 0;
+    }
+  in
+  let root_frame = Env.make ~owner:p.p_name p.p_vars in
+  let root = instantiate root_frame p.p_top in
+  let total_steps = ref 0 in
+  let outcome = ref None in
+  let signal_trace = ref [] in
+  while !outcome = None do
+    (* Run every runnable leaf for one slice. *)
+    let ran = ref false in
+    List.iter
+      (fun exec ->
+        match exec.Interp.stack with
+        | [] -> ()
+        | _ ->
+          let _, steps = Interp.run cx exec ~fuel:config.slice in
+          total_steps := !total_steps + steps;
+          if steps > 0 then ran := true)
+      (List.rev (collect_leaves [] root));
+    let structural = advance_fixpoint cx root in
+    if !total_steps > config.max_steps then outcome := Some Step_limit
+    else if (not !ran) && not structural then begin
+      if Sigtable.pending cx.Interp.cx_signals then begin
+        let changes = Sigtable.commit_changes cx.Interp.cx_signals in
+        cx.Interp.cx_delta <- cx.Interp.cx_delta + 1;
+        if config.trace_signals && changes <> [] then
+          signal_trace := (cx.Interp.cx_delta, changes) :: !signal_trace;
+        if cx.Interp.cx_delta > config.max_deltas then
+          outcome := Some Step_limit
+      end
+      else if effectively_done p.p_servers root then outcome := Some Completed
+      else outcome := Some (Deadlock (List.rev (blocked_descriptions [] root)))
+    end
+  done;
+  let outcome = Option.get !outcome in
+  {
+    r_outcome = outcome;
+    r_trace = Trace.events cx.Interp.cx_trace;
+    r_deltas = cx.Interp.cx_delta;
+    r_steps = !total_steps;
+    r_final = final_values root_frame root;
+    r_signal_trace = List.rev !signal_trace;
+  }
+
+let outcome_to_string = function
+  | Completed -> "completed"
+  | Deadlock who ->
+    Printf.sprintf "deadlock (%s)" (String.concat "; " who)
+  | Step_limit -> "step limit exceeded"

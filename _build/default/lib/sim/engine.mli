@@ -1,0 +1,48 @@
+(** The discrete-event simulation engine.
+
+    The behavior tree is instantiated as a tree of processes; every
+    runnable leaf executes until it blocks on a [wait until], sequential
+    compositions advance over their TOC arcs, and when everything is
+    quiescent the scheduler commits the pending signal updates (one delta
+    cycle) and re-evaluates the blocked waits.  Simulation ends when the
+    design completes (every non-server process finished), deadlocks, or
+    exhausts its step/delta budget. *)
+
+open Spec
+
+type config = {
+  max_steps : int;  (** total interpreter steps across all processes *)
+  max_deltas : int;
+  slice : int;  (** interpreter steps per process per scheduling round *)
+  trace_signals : bool;
+      (** record every committed signal change (for waveform dumps) *)
+}
+
+val default_config : config
+
+type outcome =
+  | Completed
+      (** every process that is not a registered server finished *)
+  | Deadlock of string list  (** blocked process descriptions *)
+  | Step_limit  (** the step or delta budget ran out *)
+
+type result = {
+  r_outcome : outcome;
+  r_trace : Trace.event list;  (** the observable [emit] events, in order *)
+  r_deltas : int;
+  r_steps : int;
+  r_final : (string * Ast.value) list;
+      (** variable values at the end: program variables first, then every
+          live behavior's declarations in preorder (first occurrence
+          wins) *)
+  r_signal_trace : (int * (string * Ast.value) list) list;
+      (** with [trace_signals]: per delta cycle, the committed changes *)
+}
+
+val run : ?config:config -> Ast.program -> result
+(** Simulate a validated program.
+    @raise Interp.Run_error on dynamic errors (unbound names, type
+    confusion) — run {!Spec.Program.validate} and {!Spec.Typecheck.check}
+    first to rule these out statically. *)
+
+val outcome_to_string : outcome -> string

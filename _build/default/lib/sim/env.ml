@@ -1,0 +1,82 @@
+(** Variable environments: a chain of frames, one per behavior instance or
+    procedure activation.  Variables are mutable cells; [out] procedure
+    parameters alias the caller's cell. *)
+
+open Spec
+
+type frame = {
+  f_vars : (string, Ast.value ref) Hashtbl.t;
+  f_arrays : (string, Ast.value array) Hashtbl.t;
+  f_parent : frame option;
+  f_behavior : string;  (** name of the owning behavior / procedure *)
+}
+
+let init_of (d : Ast.var_decl) =
+  match d.Ast.v_init with
+  | Some v -> v
+  | None -> Ast.default_value d.Ast.v_ty
+
+let make ?parent ~owner decls =
+  let f =
+    {
+      f_vars = Hashtbl.create 8;
+      f_arrays = Hashtbl.create 2;
+      f_parent = parent;
+      f_behavior = owner;
+    }
+  in
+  List.iter
+    (fun (d : Ast.var_decl) ->
+      match d.Ast.v_ty with
+      | Ast.TArray (_, size) ->
+        Hashtbl.replace f.f_arrays d.Ast.v_name (Array.make size (init_of d))
+      | Ast.TBool | Ast.TInt _ ->
+        Hashtbl.replace f.f_vars d.Ast.v_name (ref (init_of d)))
+    decls;
+  f
+
+let bind f name cell = Hashtbl.replace f.f_vars name cell
+
+let rec find_cell f name =
+  match Hashtbl.find_opt f.f_vars name with
+  | Some cell -> Some cell
+  | None ->
+    begin match f.f_parent with
+    | Some parent -> find_cell parent name
+    | None -> None
+    end
+
+let lookup f name = Option.map (fun cell -> !cell) (find_cell f name)
+
+let assign f name v =
+  match find_cell f name with
+  | Some cell ->
+    cell := v;
+    true
+  | None -> false
+
+(** The innermost array binding for the name, walking the parent chain. *)
+let rec find_array f name =
+  match Hashtbl.find_opt f.f_arrays name with
+  | Some arr -> Some arr
+  | None ->
+    begin match f.f_parent with
+    | Some parent -> find_array parent name
+    | None -> None
+    end
+
+(** Re-run the initializers of the given declarations in this exact frame
+    (used by the simulator when a sequential arm is re-entered). *)
+let reinitialize f decls =
+  List.iter
+    (fun (d : Ast.var_decl) ->
+      let init = init_of d in
+      match d.Ast.v_ty with
+      | Ast.TArray (_, size) ->
+        Hashtbl.replace f.f_arrays d.Ast.v_name (Array.make size init)
+      | Ast.TBool | Ast.TInt _ ->
+        begin match Hashtbl.find_opt f.f_vars d.Ast.v_name with
+        | Some cell -> cell := init
+        | None -> Hashtbl.replace f.f_vars d.Ast.v_name (ref init)
+        end)
+    decls

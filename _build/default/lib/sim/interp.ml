@@ -1,0 +1,209 @@
+(** The leaf-statement interpreter: an explicit task-stack machine so a
+    process can suspend at any [wait until] and resume later.  Variable
+    assignments take effect immediately; signal assignments are scheduled
+    on the {!Sigtable} and take effect at the next delta cycle. *)
+
+open Spec
+open Spec.Ast
+
+exception Run_error of string
+
+let run_error fmt = Printf.ksprintf (fun s -> raise (Run_error s)) fmt
+
+type task =
+  | Tstmts of stmt list
+  | Twhile of expr * stmt list
+  | Tfor of string * int * int * stmt list  (** index, next value, hi *)
+  | Twait of expr
+  | Tpop_frame
+
+type exec = {
+  mutable stack : task list;
+  mutable frame : Env.frame;
+  ex_owner : string;  (** behavior name, for diagnostics *)
+}
+
+type context = {
+  cx_signals : Sigtable.t;
+  cx_trace : Trace.t;
+  cx_procs : proc_decl list;
+  mutable cx_delta : int;  (** current delta cycle, stamped onto events *)
+}
+
+let make_exec ~owner ~frame stmts =
+  { stack = [ Tstmts stmts ]; frame; ex_owner = owner }
+
+let lookup cx exec name =
+  match Env.lookup exec.frame name with
+  | Some v -> Some v
+  | None -> Sigtable.read cx.cx_signals name
+
+let lookup_idx exec name i =
+  match Env.find_array exec.frame name with
+  | Some arr ->
+    if i < 0 || i >= Array.length arr then
+      run_error "%s: index %d out of bounds for %s (size %d)" exec.ex_owner i
+        name (Array.length arr)
+    else Some arr.(i)
+  | None -> run_error "%s: %s is not an array" exec.ex_owner name
+
+let eval cx exec e =
+  Expr.eval ~lookup_idx:(lookup_idx exec) ~lookup:(lookup cx exec) e
+
+let eval_bool cx exec e =
+  match eval cx exec e with
+  | VBool b -> b
+  | VInt _ ->
+    run_error "%s: condition %s is not boolean" exec.ex_owner (Expr.to_string e)
+
+let eval_int cx exec e =
+  match eval cx exec e with
+  | VInt n -> n
+  | VBool _ ->
+    run_error "%s: expression %s is not an integer" exec.ex_owner
+      (Expr.to_string e)
+
+let find_proc cx name =
+  match List.find_opt (fun pr -> String.equal pr.prc_name name) cx.cx_procs with
+  | Some pr -> pr
+  | None -> run_error "call to unknown procedure %s" name
+
+(* Enter a procedure: in-parameters get fresh cells with the evaluated
+   arguments, out-parameters alias the caller's cell, locals get fresh
+   cells.  The procedure frame's parent is the caller frame, so globals
+   and signals stay reachable. *)
+let enter_proc cx exec name args =
+  let pr = find_proc cx name in
+  if List.length pr.prc_params <> List.length args then
+    run_error "%s: call to %s with wrong arity" exec.ex_owner name;
+  let frame = Env.make ~parent:exec.frame ~owner:name pr.prc_vars in
+  List.iter2
+    (fun prm arg ->
+      match (prm.prm_mode, arg) with
+      | Mode_in, Arg_expr e ->
+        Env.bind frame prm.prm_name (ref (eval cx exec e))
+      | Mode_in, Arg_var x ->
+        begin match lookup cx exec x with
+        | Some v -> Env.bind frame prm.prm_name (ref v)
+        | None -> run_error "%s: unbound argument %s" exec.ex_owner x
+        end
+      | Mode_out, Arg_var x ->
+        begin match Env.find_cell exec.frame x with
+        | Some cell -> Env.bind frame prm.prm_name cell
+        | None ->
+          run_error "%s: out argument %s is not a variable" exec.ex_owner x
+        end
+      | Mode_out, Arg_expr _ ->
+        run_error "%s: expression passed to out parameter %s of %s"
+          exec.ex_owner prm.prm_name name)
+    pr.prc_params args;
+  exec.frame <- frame;
+  exec.stack <- Tstmts pr.prc_body :: Tpop_frame :: exec.stack
+
+type status =
+  | Progress  (** executed at least one step and can continue *)
+  | Blocked of expr  (** stopped at an unsatisfied wait *)
+  | Finished
+
+(* Execute one statement (the head of the stack is already popped). *)
+let exec_stmt cx exec s =
+  match s with
+  | Skip -> ()
+  | Assign (x, e) ->
+    let v = eval cx exec e in
+    if not (Env.assign exec.frame x v) then
+      run_error "%s: assignment to unbound variable %s" exec.ex_owner x
+  | Assign_idx (x, i, e) ->
+    let i = eval_int cx exec i in
+    let v = eval cx exec e in
+    begin match Env.find_array exec.frame x with
+    | Some arr ->
+      if i < 0 || i >= Array.length arr then
+        run_error "%s: index %d out of bounds for %s (size %d)" exec.ex_owner
+          i x (Array.length arr)
+      else arr.(i) <- v
+    | None -> run_error "%s: %s is not an array" exec.ex_owner x
+    end
+  | Signal_assign (sg, e) ->
+    let v = eval cx exec e in
+    if not (Sigtable.schedule cx.cx_signals sg v) then
+      run_error "%s: signal assignment to non-signal %s" exec.ex_owner sg
+  | If (branches, els) ->
+    let rec choose = function
+      | [] -> exec.stack <- Tstmts els :: exec.stack
+      | (c, body) :: rest ->
+        if eval_bool cx exec c then exec.stack <- Tstmts body :: exec.stack
+        else choose rest
+    in
+    choose branches
+  | While (c, body) -> exec.stack <- Twhile (c, body) :: exec.stack
+  | For (i, lo, hi, body) ->
+    let lo = eval_int cx exec lo and hi = eval_int cx exec hi in
+    exec.stack <- Tfor (i, lo, hi, body) :: exec.stack
+  | Wait_until c -> exec.stack <- Twait c :: exec.stack
+  | Call (name, args) -> enter_proc cx exec name args
+  | Emit (tag, e) ->
+    Trace.record cx.cx_trace ~delta:cx.cx_delta ~tag ~value:(eval cx exec e)
+
+(* One machine step.  Returns [Progress] unless the machine is blocked or
+   finished. *)
+let step cx exec =
+  match exec.stack with
+  | [] -> Finished
+  | task :: rest ->
+    begin match task with
+    | Tstmts [] ->
+      exec.stack <- rest;
+      Progress
+    | Tstmts (s :: more) ->
+      exec.stack <- Tstmts more :: rest;
+      exec_stmt cx exec s;
+      Progress
+    | Twhile (c, body) ->
+      if eval_bool cx exec c then begin
+        exec.stack <- Tstmts body :: task :: rest;
+        Progress
+      end
+      else begin
+        exec.stack <- rest;
+        Progress
+      end
+    | Tfor (i, cur, hi, body) ->
+      if cur > hi then begin
+        exec.stack <- rest;
+        Progress
+      end
+      else begin
+        if not (Env.assign exec.frame i (VInt cur)) then
+          run_error "%s: for index %s is not a variable" exec.ex_owner i;
+        exec.stack <- Tstmts body :: Tfor (i, cur + 1, hi, body) :: rest;
+        Progress
+      end
+    | Twait c ->
+      if eval_bool cx exec c then begin
+        exec.stack <- rest;
+        Progress
+      end
+      else Blocked c
+    | Tpop_frame ->
+      begin match exec.frame.Env.f_parent with
+      | Some parent ->
+        exec.frame <- parent;
+        exec.stack <- rest;
+        Progress
+      | None -> run_error "%s: frame underflow" exec.ex_owner
+      end
+    end
+
+(** Run the machine until it blocks, finishes, or exhausts [fuel] steps.
+    Returns the final status and the number of steps consumed. *)
+let run cx exec ~fuel =
+  let rec go steps =
+    if steps >= fuel then (Progress, steps)
+    else
+      match step cx exec with
+      | Progress -> go (steps + 1)
+      | Blocked c -> (Blocked c, steps)
+      | Finished -> (Finished, steps)
+  in
+  go 0

@@ -1,0 +1,44 @@
+(** The leaf-statement interpreter: an explicit task-stack machine so a
+    process can suspend at any [wait until] and resume later.  Variable
+    assignments take effect immediately; signal assignments are scheduled
+    on the {!Sigtable} and commit at the next delta cycle. *)
+
+open Spec
+
+exception Run_error of string
+(** Dynamic error: unbound name, non-boolean condition, bad call. *)
+
+type task =
+  | Tstmts of Ast.stmt list
+  | Twhile of Ast.expr * Ast.stmt list
+  | Tfor of string * int * int * Ast.stmt list
+      (** index, next value, upper bound *)
+  | Twait of Ast.expr
+  | Tpop_frame
+
+type exec = {
+  mutable stack : task list;  (** empty = finished *)
+  mutable frame : Env.frame;
+  ex_owner : string;  (** behavior name, for diagnostics *)
+}
+
+type context = {
+  cx_signals : Sigtable.t;
+  cx_trace : Trace.t;
+  cx_procs : Ast.proc_decl list;
+  mutable cx_delta : int;  (** current delta cycle, stamped onto events *)
+}
+
+val make_exec : owner:string -> frame:Env.frame -> Ast.stmt list -> exec
+
+type status =
+  | Progress  (** executed at least one step and can continue *)
+  | Blocked of Ast.expr  (** stopped at an unsatisfied wait *)
+  | Finished
+
+val step : context -> exec -> status
+(** One machine step. *)
+
+val run : context -> exec -> fuel:int -> status * int
+(** Run until the machine blocks, finishes, or exhausts [fuel] steps;
+    returns the final status and the steps consumed. *)

@@ -1,0 +1,60 @@
+(** The signal store: current values plus the delta-delayed update queue.
+    A signal assignment schedules the new value; {!commit} applies all
+    scheduled updates at once (one delta cycle) and reports whether
+    anything changed. *)
+
+open Spec
+
+type t = {
+  current : (string, Ast.value) Hashtbl.t;
+  scheduled : (string, Ast.value) Hashtbl.t;
+}
+
+let make (decls : Ast.sig_decl list) =
+  let t = { current = Hashtbl.create 16; scheduled = Hashtbl.create 16 } in
+  List.iter
+    (fun (d : Ast.sig_decl) ->
+      let init =
+        match d.Ast.s_init with
+        | Some v -> v
+        | None -> Ast.default_value d.Ast.s_ty
+      in
+      Hashtbl.replace t.current d.Ast.s_name init)
+    decls;
+  t
+
+let is_signal t name = Hashtbl.mem t.current name
+let read t name = Hashtbl.find_opt t.current name
+
+(** Schedule a delta-delayed update.  Returns false if the name is not a
+    signal. *)
+let schedule t name v =
+  if is_signal t name then begin
+    Hashtbl.replace t.scheduled name v;
+    true
+  end
+  else false
+
+let pending t = Hashtbl.length t.scheduled > 0
+
+(** Apply all scheduled updates; returns the signals whose value actually
+    changed (sorted by name, for determinism). *)
+let commit_changes t =
+  let changed = ref [] in
+  Hashtbl.iter
+    (fun name v ->
+      begin match Hashtbl.find_opt t.current name with
+      | Some old when old = v -> ()
+      | Some _ | None -> changed := (name, v) :: !changed
+      end;
+      Hashtbl.replace t.current name v)
+    t.scheduled;
+  Hashtbl.reset t.scheduled;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !changed
+
+(** Apply all scheduled updates; true iff any signal value changed. *)
+let commit t = commit_changes t <> []
+
+let snapshot t =
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) t.current []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,29 @@
+(** The signal store: current values plus the delta-delayed update queue
+    (VHDL-style signal semantics). *)
+
+open Spec
+
+type t
+
+val make : Ast.sig_decl list -> t
+(** Signals start at their declared initial value (or the type default). *)
+
+val is_signal : t -> string -> bool
+
+val read : t -> string -> Ast.value option
+
+val schedule : t -> string -> Ast.value -> bool
+(** Schedule a delta-delayed update; false if the name is not a signal.
+    The last schedule of a delta wins. *)
+
+val pending : t -> bool
+
+val commit_changes : t -> (string * Ast.value) list
+(** Apply all scheduled updates; returns the signals whose value actually
+    changed, sorted by name. *)
+
+val commit : t -> bool
+(** Apply all scheduled updates; true iff any signal value changed. *)
+
+val snapshot : t -> (string * Ast.value) list
+(** Current value of every signal, sorted by name. *)

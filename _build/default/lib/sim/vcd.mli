@@ -1,0 +1,7 @@
+(** VCD (Value Change Dump) waveform export, readable by GTKWave and other
+    waveform viewers; one VCD timestep per delta cycle. *)
+
+val of_result : Spec.Ast.program -> Engine.result -> string
+(** Render the signal trace of a [trace_signals = true] run.  Booleans are
+    1-bit wires, integers are sized registers; initial values dump at
+    time 0. *)

@@ -1,0 +1,1 @@
+lib/spec/analysis.ml: Ast Behavior Expr Hashtbl List Stmt String

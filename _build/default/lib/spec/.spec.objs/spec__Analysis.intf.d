@@ -1,0 +1,1 @@
+lib/spec/analysis.mli: Ast

@@ -1,0 +1,1 @@
+lib/spec/behavior.ml: Ast List Stmt String

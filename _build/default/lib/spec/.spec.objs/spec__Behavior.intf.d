@@ -1,0 +1,1 @@
+lib/spec/behavior.mli: Ast

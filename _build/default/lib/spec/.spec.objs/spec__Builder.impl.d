@@ -1,0 +1,1 @@
+lib/spec/builder.ml: Ast Option

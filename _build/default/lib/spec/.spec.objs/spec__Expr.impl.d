@@ -1,0 +1,1 @@
+lib/spec/expr.ml: Ast Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/spec/expr.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/spec/lexer.ml: Buffer List Printf String

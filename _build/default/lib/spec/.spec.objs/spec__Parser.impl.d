@@ -1,0 +1,1 @@
+lib/spec/parser.ml: Array Ast Lexer List Printf

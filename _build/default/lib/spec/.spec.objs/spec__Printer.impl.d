@@ -1,0 +1,1 @@
+lib/spec/printer.ml: Ast Buffer Expr Format List Printf String

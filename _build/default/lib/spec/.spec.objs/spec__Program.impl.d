@@ -1,0 +1,1 @@
+lib/spec/program.ml: Ast Behavior Expr List Printf Set String

@@ -1,0 +1,1 @@
+lib/spec/stmt.ml: Ast Expr List

@@ -1,0 +1,1 @@
+lib/spec/stmt.mli: Ast

@@ -1,0 +1,1 @@
+lib/spec/typecheck.ml: Ast Expr List Option Printf String

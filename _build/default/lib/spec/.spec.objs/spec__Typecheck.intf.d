@@ -1,0 +1,1 @@
+lib/spec/typecheck.mli: Ast

@@ -1,0 +1,180 @@
+(** Abstract syntax of the SpecCharts-like specification language.
+
+    The language follows the structure described in the paper: a program is
+    a hierarchy of behaviors.  A behavior is either a {e leaf} (a list of
+    VHDL-style sequential statements), a {e sequential} composition of
+    sub-behaviors connected by transition-on-completion (TOC) arcs, or a
+    {e parallel} composition of concurrently executing sub-behaviors.
+    Programs also declare variables (storage, partitionable objects),
+    signals (wires, introduced by refinement for buses and handshakes) and
+    procedures (used to encapsulate bus protocols). *)
+
+(** Value types.  [TInt w] is a [w]-bit integer; the width only matters for
+    bus sizing and transfer-rate estimation, runtime arithmetic is plain
+    [int]. *)
+type ty =
+  | TBool
+  | TInt of int
+  | TArray of int * int
+      (** [TArray (width, size)]: an array of [size] integers of [width]
+          bits.  Arrays are storage, not wires: only variables (never
+          signals, parameters or expressions) may carry an array type. *)
+
+(** Runtime constants. *)
+type value =
+  | VBool of bool
+  | VInt of int
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop =
+  | Neg
+  | Not
+
+(** Expressions.  [Ref] reads a variable or a signal; which one it is, is
+    resolved by scoping (see {!Analysis}). *)
+type expr =
+  | Const of value
+  | Ref of string
+  | Index of string * expr
+      (** [x[e]] — read one element of an array variable. *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+(** A variable declaration.  Variables declared at program level are the
+    partitionable data objects of the paper; variables declared inside a
+    behavior are local scratch storage. *)
+type var_decl = {
+  v_name : string;
+  v_ty : ty;
+  v_init : value option;
+}
+
+(** A signal declaration.  Signals are global wires with delta-delay
+    assignment semantics; refinement introduces them for buses and for
+    [B_start]/[B_done] handshakes. *)
+type sig_decl = {
+  s_name : string;
+  s_ty : ty;
+  s_init : value option;
+}
+
+type param_mode =
+  | Mode_in
+  | Mode_out
+
+type param = {
+  prm_name : string;
+  prm_mode : param_mode;
+  prm_ty : ty;
+}
+
+(** Procedure call arguments: [Arg_expr] for [in] parameters, [Arg_var]
+    (a variable name, passed by reference) for [out] parameters. *)
+type arg =
+  | Arg_expr of expr
+  | Arg_var of string
+
+(** VHDL-style sequential statements. *)
+type stmt =
+  | Assign of string * expr
+      (** [x := e] — immediate variable assignment. *)
+  | Assign_idx of string * expr * expr
+      (** [x[i] := e] — immediate assignment to one array element. *)
+  | Signal_assign of string * expr
+      (** [s <= e] — signal assignment, takes effect at the next delta. *)
+  | If of (expr * stmt list) list * stmt list
+      (** [if c1 then .. elsif c2 then .. else .. end if]; the list holds
+          the [if]/[elsif] branches in order, the second component is the
+          [else] branch (possibly empty). *)
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list
+      (** [for i := lo to hi do .. end for]; [i] must be a declared
+          variable; the loop body runs for [lo..hi] inclusive. *)
+  | Wait_until of expr
+      (** Suspend the executing process until the condition holds. *)
+  | Call of string * arg list
+      (** Procedure call. *)
+  | Emit of string * expr
+      (** [emit "tag" e] — append [(tag, value of e)] to the observable
+          trace; used to compare original and refined specifications. *)
+  | Skip
+
+type proc_decl = {
+  prc_name : string;
+  prc_params : param list;
+  prc_vars : var_decl list;
+  prc_body : stmt list;
+}
+
+(** Transition-on-completion arc of a sequential composition: when the arm
+    completes, the first transition whose condition holds (or whose
+    condition is [None]) is taken.  If no transition fires, the enclosing
+    sequential behavior completes. *)
+type target =
+  | Goto of string
+  | Complete
+
+type transition = {
+  t_cond : expr option;
+  t_target : target;
+}
+
+type behavior = {
+  b_name : string;
+  b_vars : var_decl list;
+  b_body : body;
+}
+
+and body =
+  | Leaf of stmt list
+  | Seq of seq_arm list
+      (** Execution starts at the first arm.  An arm with an empty
+          transition list falls through to the next arm in the list (the
+          last arm completes the composition). *)
+  | Par of behavior list
+      (** All children start together; the composition completes when all
+          children have completed. *)
+
+and seq_arm = {
+  a_behavior : behavior;
+  a_transitions : transition list;
+}
+
+(** A whole specification.  [p_servers] names behaviors that are perpetual
+    servers (memories, arbiters, bus interfaces inserted by refinement);
+    the simulator does not require them to terminate. *)
+type program = {
+  p_name : string;
+  p_vars : var_decl list;
+  p_signals : sig_decl list;
+  p_procs : proc_decl list;
+  p_top : behavior;
+  p_servers : string list;
+}
+
+(** [ty_width t] is the bit width of [t] (1 for booleans), used by the
+    transfer-rate estimator and the bus builders. *)
+let ty_width = function
+  | TBool -> 1
+  | TInt w -> w
+  | TArray (w, _) -> w
+
+(** [default_value t] is the value a declaration of type [t] starts with
+    when no initializer is given. *)
+let default_value = function
+  | TBool -> VBool false
+  | TInt _ -> VInt 0
+  | TArray _ -> VInt 0
+      (** arrays initialize element-wise; declarations may give a fill
+          value, which defaults to 0 *)
+
+let equal_ty (a : ty) (b : ty) = a = b
+let equal_value (a : value) (b : value) = a = b
+let equal_expr (a : expr) (b : expr) = a = b
+let equal_stmt (a : stmt) (b : stmt) = a = b
+let equal_behavior (a : behavior) (b : behavior) = a = b
+let equal_program (a : program) (b : program) = a = b

@@ -1,0 +1,181 @@
+open Ast
+
+let int n = Const (VInt n)
+let bool b = Const (VBool b)
+let tru = bool true
+let fls = bool false
+let ref_ x = Ref x
+
+let binop op a b = Binop (op, a, b)
+let ( + ) a b = binop Add a b
+let ( - ) a b = binop Sub a b
+let ( * ) a b = binop Mul a b
+let ( / ) a b = binop Div a b
+let ( mod ) a b = binop Mod a b
+let ( = ) a b = binop Eq a b
+let ( <> ) a b = binop Neq a b
+let ( < ) a b = binop Lt a b
+let ( <= ) a b = binop Le a b
+let ( > ) a b = binop Gt a b
+let ( >= ) a b = binop Ge a b
+let ( && ) a b = binop And a b
+let ( || ) a b = binop Or a b
+let neg e = Unop (Neg, e)
+let not_ e = Unop (Not, e)
+
+exception Eval_error of string
+
+let eval_error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let as_bool = function
+  | VBool b -> b
+  | VInt _ -> eval_error "expected a boolean value"
+
+let as_int = function
+  | VInt n -> n
+  | VBool _ -> eval_error "expected an integer value"
+
+let apply_binop op va vb =
+  let arith f =
+    VInt (f (as_int va) (as_int vb))
+  and cmp f =
+    VBool (f (as_int va) (as_int vb))
+  in
+  match op with
+  | Add -> arith Stdlib.( + )
+  | Sub -> arith Stdlib.( - )
+  | Mul -> arith Stdlib.( * )
+  | Div ->
+    if Stdlib.( = ) (as_int vb) 0 then eval_error "division by zero"
+    else arith Stdlib.( / )
+  | Mod ->
+    if Stdlib.( = ) (as_int vb) 0 then eval_error "modulo by zero"
+    else arith Stdlib.( mod )
+  | Eq -> VBool (Stdlib.( = ) va vb)
+  | Neq -> VBool (Stdlib.( <> ) va vb)
+  | Lt -> cmp Stdlib.( < )
+  | Le -> cmp Stdlib.( <= )
+  | Gt -> cmp Stdlib.( > )
+  | Ge -> cmp Stdlib.( >= )
+  | And -> VBool (Stdlib.( && ) (as_bool va) (as_bool vb))
+  | Or -> VBool (Stdlib.( || ) (as_bool va) (as_bool vb))
+
+let apply_unop op v =
+  match op with
+  | Neg -> VInt (Stdlib.( - ) 0 (as_int v))
+  | Not -> VBool (Stdlib.not (as_bool v))
+
+let rec eval ?(lookup_idx = fun x _ -> eval_error "cannot index %s here" x)
+    ~lookup e =
+  let eval = eval ~lookup_idx in
+  match e with
+  | Const v -> v
+  | Ref x ->
+    begin match lookup x with
+    | Some v -> v
+    | None -> eval_error "unbound reference %s" x
+    end
+  | Index (x, i) ->
+    begin match lookup_idx x (as_int (eval ~lookup i)) with
+    | Some v -> v
+    | None -> eval_error "array access %s failed" x
+    end
+  | Binop (And, a, b) ->
+    (* Short-circuit, so protocol guards such as [started && data = k]
+       never evaluate the right operand on an idle bus. *)
+    if as_bool (eval ~lookup a) then eval ~lookup b else VBool false
+  | Binop (Or, a, b) ->
+    if as_bool (eval ~lookup a) then VBool true else eval ~lookup b
+  | Binop (op, a, b) -> apply_binop op (eval ~lookup a) (eval ~lookup b)
+  | Unop (op, a) -> apply_unop op (eval ~lookup a)
+
+let eval_const e =
+  match eval ~lookup:(fun _ -> None) e with
+  | v -> Some v
+  | exception Eval_error _ -> None
+
+let refs e =
+  let rec go acc = function
+    | Const _ -> acc
+    | Ref x -> if List.mem x acc then acc else x :: acc
+    | Index (x, i) ->
+      let acc = if List.mem x acc then acc else x :: acc in
+      go acc i
+    | Binop (_, a, b) -> go (go acc a) b
+    | Unop (_, a) -> go acc a
+  in
+  List.rev (go [] e)
+
+let rec rename f = function
+  | Const v -> Const v
+  | Ref x -> Ref (f x)
+  | Index (x, i) -> Index (f x, rename f i)
+  | Binop (op, a, b) -> Binop (op, rename f a, rename f b)
+  | Unop (op, a) -> Unop (op, rename f a)
+
+let rec subst x r = function
+  | Const v -> Const v
+  | Ref y -> if String.equal x y then r else Ref y
+  | Index (y, i) -> Index (y, subst x r i)
+  | Binop (op, a, b) -> Binop (op, subst x r a, subst x r b)
+  | Unop (op, a) -> Unop (op, subst x r a)
+
+let rec size = function
+  | Const _ | Ref _ -> 1
+  | Index (_, i) -> Stdlib.( + ) 1 (size i)
+  | Binop (_, a, b) -> Stdlib.( + ) (Stdlib.( + ) 1 (size a)) (size b)
+  | Unop (_, a) -> Stdlib.( + ) 1 (size a)
+
+(* Precedence levels, loosest binding first: or(1) and(2) cmp(3) add(4)
+   mul(5) unary(6) atom(7). *)
+let prec_of_binop = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Neq | Lt | Le | Gt | Ge -> 3
+  | Add | Sub -> 4
+  | Mul | Div | Mod -> 5
+
+let binop_symbol = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "=" | Neq -> "/=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "and" | Or -> "or"
+
+let pp_value ppf = function
+  | VBool true -> Format.pp_print_string ppf "true"
+  | VBool false -> Format.pp_print_string ppf "false"
+  | VInt n -> Format.pp_print_int ppf n
+
+let pp ppf e =
+  let open Format in
+  let rec go ctx ppf e =
+    match e with
+    | Const v -> pp_value ppf v
+    | Ref x -> pp_print_string ppf x
+    | Index (x, i) -> fprintf ppf "%s[%a]" x (go 0) i
+    | Unop (op, a) ->
+      (* The operand prints at level 7 so a nested unary parenthesizes:
+         [neg (neg x)] must not print as [--x], which would lex as a
+         comment. *)
+      let s = match op with Neg -> "-" | Not -> "not " in
+      if Stdlib.( > ) ctx 6 then fprintf ppf "(%s%a)" s (go 7) a
+      else fprintf ppf "%s%a" s (go 7) a
+    | Binop (op, a, b) ->
+      let p = prec_of_binop op in
+      (* Arithmetic and logical operators are left associative (left child
+         at [p], right at [p+1]); comparisons are non-associative, so both
+         children parenthesize nested comparisons. *)
+      let lctx =
+        match op with
+        | Eq | Neq | Lt | Le | Gt | Ge -> Stdlib.( + ) p 1
+        | Add | Sub | Mul | Div | Mod | And | Or -> p
+      in
+      let body ppf () =
+        fprintf ppf "%a %s %a" (go lctx) a (binop_symbol op)
+          (go (Stdlib.( + ) p 1)) b
+      in
+      if Stdlib.( > ) ctx p then fprintf ppf "(%a)" body ()
+      else body ppf ()
+  in
+  go 0 ppf e
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the SpecCharts-like concrete syntax
+    produced by {!Printer}. *)
+
+open Ast
+
+exception Parse_error of string * int
+(** Message and line number. *)
+
+val program_of_string : string -> (program, string) result
+(** Parse a whole program.  The error string includes the line number. *)
+
+val program_of_string_exn : string -> program
+(** @raise Parse_error / Lexer.Lex_error on malformed input. *)
+
+val expr_of_string_exn : string -> expr
+(** Parse a standalone expression (used by tests and the round-trip
+    property). *)
+
+val stmts_of_string_exn : string -> stmt list
+(** Parse a standalone statement list. *)

@@ -1,0 +1,24 @@
+(** Concrete-syntax pretty-printer.
+
+    The output is the textual SpecCharts-like syntax accepted by
+    {!Parser}: printing then parsing yields the original AST (a property
+    checked by the test suite).  Every statement and every declaration is
+    printed on its own line, so {!line_count} is the specification-size
+    metric of the paper's Figure 10. *)
+
+open Ast
+
+val string_of_ty : ty -> string
+
+val program_to_string : program -> string
+
+val behavior_to_string : ?indent:int -> behavior -> string
+
+val stmts_to_string : ?indent:int -> stmt list -> string
+
+val line_count : program -> int
+(** Number of non-empty lines in [program_to_string]. *)
+
+val pp_program : Format.formatter -> program -> unit
+
+val pp_behavior : Format.formatter -> behavior -> unit

@@ -1,0 +1,148 @@
+open Ast
+
+let rec fold_exprs f acc stmts = List.fold_left (fold_expr_stmt f) acc stmts
+
+and fold_expr_stmt f acc = function
+  | Assign (_, e) -> f acc e
+  | Assign_idx (_, i, e) -> f (f acc i) e
+  | Signal_assign (_, e) -> f acc e
+  | If (branches, els) ->
+    let acc =
+      List.fold_left
+        (fun acc (c, body) -> fold_exprs f (f acc c) body)
+        acc branches
+    in
+    fold_exprs f acc els
+  | While (c, body) -> fold_exprs f (f acc c) body
+  | For (_, lo, hi, body) -> fold_exprs f (f (f acc lo) hi) body
+  | Wait_until c -> f acc c
+  | Call (_, args) ->
+    List.fold_left
+      (fun acc -> function Arg_expr e -> f acc e | Arg_var _ -> acc)
+      acc args
+  | Emit (_, e) -> f acc e
+  | Skip -> acc
+
+let rec map_exprs f stmts = List.map (map_expr_stmt f) stmts
+
+and map_expr_stmt f = function
+  | Assign (x, e) -> Assign (x, f e)
+  | Assign_idx (x, i, e) -> Assign_idx (x, f i, f e)
+  | Signal_assign (s, e) -> Signal_assign (s, f e)
+  | If (branches, els) ->
+    let branches = List.map (fun (c, body) -> (f c, map_exprs f body)) branches in
+    If (branches, map_exprs f els)
+  | While (c, body) -> While (f c, map_exprs f body)
+  | For (i, lo, hi, body) -> For (i, f lo, f hi, map_exprs f body)
+  | Wait_until c -> Wait_until (f c)
+  | Call (p, args) ->
+    let args =
+      List.map (function Arg_expr e -> Arg_expr (f e) | Arg_var x -> Arg_var x) args
+    in
+    Call (p, args)
+  | Emit (tag, e) -> Emit (tag, f e)
+  | Skip -> Skip
+
+let rec map_stmts f stmts = List.concat_map (map_stmt f) stmts
+
+and map_stmt f s =
+  let s =
+    match s with
+    | If (branches, els) ->
+      If
+        ( List.map (fun (c, body) -> (c, map_stmts f body)) branches,
+          map_stmts f els )
+    | While (c, body) -> While (c, map_stmts f body)
+    | For (i, lo, hi, body) -> For (i, lo, hi, map_stmts f body)
+    | Assign _ | Assign_idx _ | Signal_assign _ | Wait_until _ | Call _
+    | Emit _ | Skip -> s
+  in
+  f s
+
+let dedup names =
+  let rec go seen = function
+    | [] -> []
+    | x :: rest ->
+      if List.mem x seen then go seen rest else x :: go (x :: seen) rest
+  in
+  go [] names
+
+let reads stmts =
+  dedup (List.rev (fold_exprs (fun acc e -> List.rev_append (Expr.refs e) acc) [] stmts))
+
+let rec writes stmts = dedup (List.concat_map write_stmt stmts)
+
+and write_stmt = function
+  | Assign (x, _) -> [ x ]
+  | Assign_idx (x, _, _) -> [ x ]
+  | Signal_assign _ -> []
+  | If (branches, els) ->
+    List.concat_map (fun (_, body) -> writes body) branches @ writes els
+  | While (_, body) -> writes body
+  | For (i, _, _, body) -> i :: writes body
+  | Wait_until _ -> []
+  | Call (_, args) ->
+    List.filter_map (function Arg_var x -> Some x | Arg_expr _ -> None) args
+  | Emit _ -> []
+  | Skip -> []
+
+let rec signal_writes stmts = dedup (List.concat_map signal_write_stmt stmts)
+
+and signal_write_stmt = function
+  | Signal_assign (s, _) -> [ s ]
+  | If (branches, els) ->
+    List.concat_map (fun (_, body) -> signal_writes body) branches
+    @ signal_writes els
+  | While (_, body) -> signal_writes body
+  | For (_, _, _, body) -> signal_writes body
+  | Assign _ | Assign_idx _ | Wait_until _ | Call _ | Emit _ | Skip -> []
+
+let rec calls stmts = dedup (List.concat_map call_stmt stmts)
+
+and call_stmt = function
+  | Call (p, _) -> [ p ]
+  | If (branches, els) ->
+    List.concat_map (fun (_, body) -> calls body) branches @ calls els
+  | While (_, body) -> calls body
+  | For (_, _, _, body) -> calls body
+  | Assign _ | Assign_idx _ | Signal_assign _ | Wait_until _ | Emit _ | Skip ->
+    []
+
+let rec rename_refs f stmts = List.map (rename_stmt f) stmts
+
+and rename_stmt f = function
+  | Assign (x, e) -> Assign (f x, Expr.rename f e)
+  | Assign_idx (x, i, e) -> Assign_idx (f x, Expr.rename f i, Expr.rename f e)
+  | Signal_assign (s, e) -> Signal_assign (f s, Expr.rename f e)
+  | If (branches, els) ->
+    If
+      ( List.map (fun (c, body) -> (Expr.rename f c, rename_refs f body)) branches,
+        rename_refs f els )
+  | While (c, body) -> While (Expr.rename f c, rename_refs f body)
+  | For (i, lo, hi, body) ->
+    For (f i, Expr.rename f lo, Expr.rename f hi, rename_refs f body)
+  | Wait_until c -> Wait_until (Expr.rename f c)
+  | Call (p, args) ->
+    let rename_arg = function
+      | Arg_expr e -> Arg_expr (Expr.rename f e)
+      | Arg_var x -> Arg_var (f x)
+    in
+    Call (p, List.map rename_arg args)
+  | Emit (tag, e) -> Emit (tag, Expr.rename f e)
+  | Skip -> Skip
+
+let rec count stmts = List.fold_left (fun acc s -> acc + count_stmt s) 0 stmts
+
+and count_stmt = function
+  | If (branches, els) ->
+    1
+    + List.fold_left (fun acc (_, body) -> acc + count body) 0 branches
+    + count els
+  | While (_, body) -> 1 + count body
+  | For (_, _, _, body) -> 1 + count body
+  | Assign _ | Assign_idx _ | Signal_assign _ | Wait_until _ | Call _ | Emit _
+  | Skip -> 1
+
+let uses_name x stmts =
+  List.mem x (reads stmts) || List.mem x (writes stmts)
+  || List.mem x (signal_writes stmts)

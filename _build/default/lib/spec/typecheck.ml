@@ -1,0 +1,298 @@
+(** Static type checking of specifications.
+
+    The language has two type families: booleans and sized integers.
+    Widths are implementation hints for bus sizing, so any integer width
+    is compatible with any other; booleans and integers never mix.  The
+    checker validates expressions, statements, TOC conditions and
+    procedure calls under proper scoping, and returns every violation
+    found.  Refined outputs of {!Core.Refiner} are expected to typecheck
+    — the test suite asserts it. *)
+
+open Ast
+
+type ty_class = Cbool | Cint | Carray
+
+let class_of_ty = function
+  | TBool -> Cbool
+  | TInt _ -> Cint
+  | TArray _ -> Carray
+
+let class_name = function Cbool -> "bool" | Cint -> "int" | Carray -> "array"
+
+let class_of_value = function VBool _ -> Cbool | VInt _ -> Cint
+
+(* Scoped environment: name -> (type class, kind).  Shadowing = closest
+   binding wins.  Signals and variables live in one namespace for
+   reading; assignment statements check the kind of the innermost
+   binding. *)
+type kind = Kvar | Ksignal
+
+type env = {
+  bindings : (string * (ty_class * kind)) list;  (** innermost first *)
+  procs : proc_decl list;
+}
+
+let lookup env x = Option.map fst (List.assoc_opt x env.bindings)
+let lookup_kind env x = Option.map snd (List.assoc_opt x env.bindings)
+
+let bind_vars env vars =
+  {
+    env with
+    bindings =
+      List.map (fun v -> (v.v_name, (class_of_ty v.v_ty, Kvar))) vars
+      @ env.bindings;
+  }
+
+type error = string
+
+let errf fmt = Printf.ksprintf (fun s -> s) fmt
+
+(* Infer the class of an expression, accumulating errors; [None] when the
+   expression is too broken to classify. *)
+let rec infer env errs e =
+  match e with
+  | Const v -> (Some (class_of_value v), errs)
+  | Ref x ->
+    begin match lookup env x with
+    | Some Carray ->
+      (None, errf "array %s used without an index" x :: errs)
+    | Some c -> (Some c, errs)
+    | None -> (None, errf "unbound reference %s" x :: errs)
+    end
+  | Index (x, i) ->
+    let errs = expect env errs Cint i "array index" in
+    begin match lookup env x with
+    | Some Carray -> (Some Cint, errs)
+    | Some c ->
+      (None, errf "%s indexed but has type %s" x (class_name c) :: errs)
+    | None -> (None, errf "unbound reference %s" x :: errs)
+    end
+  | Unop (Neg, a) ->
+    let errs = expect env errs Cint a "operand of unary minus" in
+    (Some Cint, errs)
+  | Unop (Not, a) ->
+    let errs = expect env errs Cbool a "operand of not" in
+    (Some Cbool, errs)
+  | Binop ((Add | Sub | Mul | Div | Mod), a, b) ->
+    let errs = expect env errs Cint a "arithmetic operand" in
+    let errs = expect env errs Cint b "arithmetic operand" in
+    (Some Cint, errs)
+  | Binop ((Lt | Le | Gt | Ge), a, b) ->
+    let errs = expect env errs Cint a "comparison operand" in
+    let errs = expect env errs Cint b "comparison operand" in
+    (Some Cbool, errs)
+  | Binop ((Eq | Neq), a, b) ->
+    let ca, errs = infer env errs a in
+    let cb, errs = infer env errs b in
+    let errs =
+      match (ca, cb) with
+      | Some ca, Some cb when ca <> cb ->
+        errf "equality between %s and %s in %s" (class_name ca) (class_name cb)
+          (Expr.to_string e)
+        :: errs
+      | _ -> errs
+    in
+    (Some Cbool, errs)
+  | Binop ((And | Or), a, b) ->
+    let errs = expect env errs Cbool a "logical operand" in
+    let errs = expect env errs Cbool b "logical operand" in
+    (Some Cbool, errs)
+
+and expect env errs want e what =
+  let got, errs = infer env errs e in
+  match got with
+  | Some got when got <> want ->
+    errf "%s %s has type %s, expected %s" what (Expr.to_string e)
+      (class_name got) (class_name want)
+    :: errs
+  | Some _ | None -> errs
+
+let check_assignable env errs ~what x e =
+  match lookup env x with
+  | None -> errf "%s to unbound name %s" what x :: errs
+  | Some want ->
+    let got, errs = infer env errs e in
+    begin match got with
+    | Some got when got <> want ->
+      errf "%s: %s is %s but the value is %s" what x (class_name want)
+        (class_name got)
+      :: errs
+    | Some _ | None -> errs
+    end
+
+let rec check_stmts env errs stmts = List.fold_left (check_stmt env) errs stmts
+
+and check_stmt env errs = function
+  | Skip -> errs
+  | Assign (x, e) ->
+    let errs =
+      match lookup_kind env x with
+      | Some Ksignal -> errf "variable assignment to signal %s (use <=)" x :: errs
+      | Some Kvar | None -> errs
+    in
+    let errs =
+      match lookup env x with
+      | Some Carray -> errf "array %s assigned without an index" x :: errs
+      | Some _ | None -> errs
+    in
+    if lookup env x = Some Carray then errs
+    else check_assignable env errs ~what:"assignment" x e
+  | Assign_idx (x, i, e) ->
+    let errs =
+      match lookup env x with
+      | Some Carray -> errs
+      | Some c -> errf "%s indexed but has type %s" x (class_name c) :: errs
+      | None -> errf "assignment to unbound name %s" x :: errs
+    in
+    let errs = expect env errs Cint i "array index" in
+    expect env errs Cint e "array element value"
+  | Signal_assign (s, e) ->
+    let errs =
+      match lookup_kind env s with
+      | Some Ksignal -> errs
+      | Some Kvar -> errf "signal assignment to variable %s (use :=)" s :: errs
+      | None -> errs  (* unbound: reported by check_assignable *)
+    in
+    check_assignable env errs ~what:"signal assignment" s e
+  | If (branches, els) ->
+    let errs =
+      List.fold_left
+        (fun errs (c, body) ->
+          let errs = expect env errs Cbool c "if condition" in
+          check_stmts env errs body)
+        errs branches
+    in
+    check_stmts env errs els
+  | While (c, body) ->
+    let errs = expect env errs Cbool c "while condition" in
+    check_stmts env errs body
+  | For (i, lo, hi, body) ->
+    let errs =
+      match lookup env i with
+      | Some Cint -> errs
+      | Some (Cbool | Carray) ->
+        errf "for index %s is not an integer" i :: errs
+      | None -> errf "for index %s is unbound" i :: errs
+    in
+    let errs = expect env errs Cint lo "for lower bound" in
+    let errs = expect env errs Cint hi "for upper bound" in
+    check_stmts env errs body
+  | Wait_until c -> expect env errs Cbool c "wait condition"
+  | Call (name, args) ->
+    begin match
+      List.find_opt (fun pr -> String.equal pr.prc_name name) env.procs
+    with
+    | None -> errf "call to unknown procedure %s" name :: errs
+    | Some pr ->
+      if List.length pr.prc_params <> List.length args then
+        errf "call to %s with %d arguments, expected %d" name
+          (List.length args)
+          (List.length pr.prc_params)
+        :: errs
+      else
+        List.fold_left2
+          (fun errs prm arg ->
+            let want = class_of_ty prm.prm_ty in
+            match (prm.prm_mode, arg) with
+            | Mode_in, Arg_expr e ->
+              expect env errs want e
+                (Printf.sprintf "argument %s of %s" prm.prm_name name)
+            | Mode_in, Arg_var x | Mode_out, Arg_var x ->
+              begin match lookup env x with
+              | Some got when got <> want ->
+                errf "argument %s of %s: %s is %s, expected %s" prm.prm_name
+                  name x (class_name got) (class_name want)
+                :: errs
+              | Some _ -> errs
+              | None -> errf "argument %s of %s is unbound" x name :: errs
+              end
+            | Mode_out, Arg_expr _ ->
+              errf "expression bound to out parameter %s of %s" prm.prm_name
+                name
+              :: errs)
+          errs pr.prc_params args
+    end
+  | Emit (_, e) ->
+    let _, errs = infer env errs e in
+    errs
+
+let rec check_behavior env errs b =
+  let env = bind_vars env b.b_vars in
+  match b.b_body with
+  | Leaf stmts -> check_stmts env errs stmts
+  | Par children -> List.fold_left (check_behavior env) errs children
+  | Seq arms ->
+    List.fold_left
+      (fun errs a ->
+        let errs =
+          List.fold_left
+            (fun errs t ->
+              match t.t_cond with
+              | Some c -> expect env errs Cbool c "transition condition"
+              | None -> errs)
+            errs a.a_transitions
+        in
+        check_behavior env errs a.a_behavior)
+      errs arms
+
+let check_proc env errs pr =
+  let env =
+    {
+      env with
+      bindings =
+        List.map
+          (fun prm -> (prm.prm_name, (class_of_ty prm.prm_ty, Kvar)))
+          pr.prc_params
+        @ env.bindings;
+    }
+  in
+  let env = bind_vars env pr.prc_vars in
+  List.fold_left (check_stmt env) errs pr.prc_body
+  |> List.map (fun e -> Printf.sprintf "procedure %s: %s" pr.prc_name e)
+
+(** Typecheck a whole program; returns all violations (empty = well
+    typed).  Run {!Program.validate} first for name-resolution errors —
+    this checker reports unbound names too, but with less context. *)
+let check_decl_sites (p : program) errs =
+  (* Arrays are storage only: never signals, never parameters. *)
+  let errs =
+    List.fold_left
+      (fun errs (sd : sig_decl) ->
+        match sd.s_ty with
+        | TArray _ -> errf "signal %s has an array type" sd.s_name :: errs
+        | TBool | TInt _ -> errs)
+      errs p.p_signals
+  in
+  List.fold_left
+    (fun errs pr ->
+      List.fold_left
+        (fun errs prm ->
+          match prm.prm_ty with
+          | TArray _ ->
+            errf "parameter %s of %s has an array type" prm.prm_name
+              pr.prc_name
+            :: errs
+          | TBool | TInt _ -> errs)
+        errs pr.prc_params)
+    errs p.p_procs
+
+let check (p : program) : (unit, error list) result =
+  let base =
+    {
+      bindings =
+        List.map (fun v -> (v.v_name, (class_of_ty v.v_ty, Kvar))) p.p_vars
+        @ List.map
+            (fun s -> (s.s_name, (class_of_ty s.s_ty, Ksignal)))
+            p.p_signals;
+      procs = p.p_procs;
+    }
+  in
+  let errs = check_decl_sites p [] in
+  let errs = errs @ List.concat_map (fun pr -> check_proc base [] pr) p.p_procs in
+  let errs = check_behavior base errs p.p_top in
+  match errs with [] -> Ok () | _ -> Error (List.rev errs)
+
+let check_exn p =
+  match check p with
+  | Ok () -> p
+  | Error errs -> invalid_arg (String.concat "; " errs)

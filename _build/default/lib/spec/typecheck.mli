@@ -1,0 +1,19 @@
+(** Static type checking of specifications.
+
+    Two type families: booleans and sized integers.  Widths are
+    implementation hints for bus sizing, so any integer width is
+    compatible with any other; booleans and integers never mix.  The
+    checker validates expressions, statements, TOC conditions and
+    procedure calls under proper scoping, and returns every violation
+    found.  Refined outputs of the refiner are expected to typecheck —
+    {!Core.Check.run} asserts it. *)
+
+type error = string
+
+val check : Ast.program -> (unit, error list) result
+(** All violations found (empty = well typed).  Run {!Program.validate}
+    first for name-resolution errors with better context. *)
+
+val check_exn : Ast.program -> Ast.program
+(** Identity when well typed.
+    @raise Invalid_argument with the concatenated messages otherwise. *)

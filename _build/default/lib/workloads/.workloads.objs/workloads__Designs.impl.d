@@ -1,0 +1,1 @@
+lib/workloads/designs.ml: Arch List Medical Partition Partitioning

@@ -1,0 +1,1 @@
+lib/workloads/fir.ml: Agraph Behavior Builder List Parser Partitioning Program Spec

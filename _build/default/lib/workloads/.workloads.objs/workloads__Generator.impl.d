@@ -1,0 +1,1 @@
+lib/workloads/generator.ml: Array Behavior Builder Expr Fun List Partition Partitioning Printf Program Rng Spec Stmt String

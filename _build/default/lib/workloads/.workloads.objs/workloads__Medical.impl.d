@@ -1,0 +1,1 @@
+lib/workloads/medical.ml: Agraph Behavior Builder List Parser Program Spec

@@ -1,0 +1,1 @@
+lib/workloads/medical.mli: Agraph Spec

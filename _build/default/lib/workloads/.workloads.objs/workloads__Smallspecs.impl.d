@@ -1,0 +1,1 @@
+lib/workloads/smallspecs.ml: Behavior Builder List Parser Partitioning Program Spec

@@ -1,0 +1,1 @@
+lib/workloads/smallspecs.mli: Partitioning Spec

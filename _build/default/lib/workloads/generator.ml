@@ -1,0 +1,159 @@
+(** Seeded random specification generator, used by the property-based
+    tests and the scaling benchmarks.  Generated programs always
+    terminate: sequential TOC arcs only jump forward, loops are constant
+    [for] loops, and division/modulo only use non-zero constants.  When
+    parallel composition is requested, each parallel branch works on a
+    disjoint variable group, so the observable behaviour stays
+    deterministic and co-simulation against the refined design is a sound
+    equivalence check. *)
+
+open Spec
+open Spec.Ast
+open Partitioning
+
+type config = {
+  gen_seed : int;
+  gen_vars : int;  (** number of program variables (>= 1) *)
+  gen_leaves : int;  (** number of leaf behaviors (>= 1) *)
+  gen_stmts : int;  (** statements per leaf *)
+  gen_par_branches : int;  (** 0 or 1 = purely sequential *)
+}
+
+let default_config =
+  { gen_seed = 1; gen_vars = 6; gen_leaves = 8; gen_stmts = 5; gen_par_branches = 0 }
+
+let var_name i = Printf.sprintf "g%d" i
+let leaf_name i = Printf.sprintf "L%d" i
+
+(* Random expression over the given variables; integer-valued. *)
+let rec gen_expr rng vars depth =
+  if depth <= 0 || Rng.int rng 3 = 0 then
+    if vars <> [] && Rng.bool rng then Expr.ref_ (Rng.choose rng vars)
+    else Expr.int (Rng.int rng 50)
+  else
+    let a = gen_expr rng vars (depth - 1) in
+    let b = gen_expr rng vars (depth - 1) in
+    let k_mul = 1 + Rng.int rng 5 in
+    let k_mod = 2 + Rng.int rng 20 in
+    match Rng.int rng 5 with
+    | 0 -> Expr.(a + b)
+    | 1 -> Expr.(a - b)
+    | 2 -> Expr.(a * int k_mul)
+    | 3 -> Expr.(a mod int k_mod)
+    | _ -> Expr.(a + b)
+
+let gen_cond rng vars =
+  let a = gen_expr rng vars 1 in
+  let k = Expr.int (Rng.int rng 40) in
+  match Rng.int rng 4 with
+  | 0 -> Expr.(a < k)
+  | 1 -> Expr.(a > k)
+  | 2 -> Expr.(a <= k)
+  | _ -> Expr.(a >= k)
+
+let rec gen_stmt rng vars idx_var depth =
+  match Rng.int rng (if depth > 0 then 5 else 3) with
+  | 0 | 1 ->
+    let target = Rng.choose rng vars in
+    Assign (target, gen_expr rng vars 2)
+  | 2 ->
+    (* Tags embed the index variable name, which is unique per leaf, so
+       per-tag trace projection is a meaningful equivalence. *)
+    Emit (Printf.sprintf "%s_t%d" idx_var (Rng.int rng 4), gen_expr rng vars 1)
+  | 3 ->
+    If
+      ( [ (gen_cond rng vars, gen_stmts rng vars idx_var (depth - 1) 2) ],
+        gen_stmts rng vars idx_var (depth - 1) 1 )
+  | _ ->
+    For
+      ( idx_var,
+        Expr.int 0,
+        Expr.int (1 + Rng.int rng 3),
+        gen_stmts rng vars idx_var (depth - 1) 2 )
+
+and gen_stmts rng vars idx_var depth n =
+  List.init n (fun _ -> gen_stmt rng vars idx_var depth)
+
+let gen_leaf rng vars i ~stmts =
+  let idx_var = Printf.sprintf "i%d" i in
+  let body =
+    gen_stmts rng vars idx_var 2 stmts
+    @ [ Emit (leaf_name i, gen_expr rng vars 1) ]
+  in
+  Behavior.leaf ~vars:[ Builder.int_var ~width:16 ~init:0 idx_var ]
+    (leaf_name i) body
+
+(* A sequential composition of the given leaves with forward-only TOC
+   arcs: each arm either falls through, jumps to a strictly later arm
+   under a condition, or completes. *)
+let gen_seq rng name leaves =
+  let n = List.length leaves in
+  let arms =
+    List.mapi
+      (fun i leaf ->
+        let vars = Stmt.reads (match leaf.b_body with Leaf s -> s | _ -> []) in
+        let program_vars = List.filter (fun v -> v.[0] = 'g') vars in
+        if i + 1 >= n || Rng.int rng 3 = 0 || program_vars = [] then
+          Behavior.arm leaf
+        else
+          let j = i + 1 + Rng.int rng (n - i - 1) in
+          let target = (List.nth leaves j).b_name in
+          Behavior.arm leaf
+            ~transitions:
+              [
+                Builder.goto ~cond:(gen_cond rng program_vars) target;
+                Builder.goto (List.nth leaves (i + 1)).b_name;
+              ])
+      leaves
+  in
+  Behavior.seq name arms
+
+let split_into rng k xs =
+  let groups = Array.make k [] in
+  List.iteri (fun i x -> groups.(i mod k) <- x :: groups.(i mod k)) xs;
+  ignore rng;
+  Array.to_list (Array.map List.rev groups)
+
+let program (cfg : config) =
+  let rng = Rng.create cfg.gen_seed in
+  let nvars = max 1 cfg.gen_vars in
+  let nleaves = max 1 cfg.gen_leaves in
+  let var_names = List.init nvars var_name in
+  let decls =
+    List.map
+      (fun v -> Builder.int_var ~width:16 ~init:(Rng.int rng 10) v)
+      var_names
+  in
+  let top =
+    if cfg.gen_par_branches <= 1 then begin
+      let leaves =
+        List.init nleaves (fun i ->
+            gen_leaf rng var_names i ~stmts:cfg.gen_stmts)
+      in
+      gen_seq rng "TOP" leaves
+    end
+    else begin
+      (* Disjoint variable groups per parallel branch keep the program
+         race-free. *)
+      let k = min cfg.gen_par_branches (min nvars nleaves) in
+      let var_groups = split_into rng k var_names in
+      let leaf_ids = split_into rng k (List.init nleaves Fun.id) in
+      let branches =
+        List.mapi
+          (fun b (vars, ids) ->
+            let leaves =
+              List.map (fun i -> gen_leaf rng vars i ~stmts:cfg.gen_stmts) ids
+            in
+            gen_seq rng (Printf.sprintf "BR%d" b) leaves)
+          (List.combine var_groups leaf_ids)
+      in
+      Behavior.par "TOP" branches
+    end
+  in
+  Program.validate_exn
+    (Program.make ~vars:decls (Printf.sprintf "gen_%d" cfg.gen_seed) top)
+
+(** A random (seeded) complete partition of a program's access graph. *)
+let random_partition ~seed g ~n_parts =
+  let rng = Rng.create seed in
+  Partition.of_graph g ~n_parts (fun _ -> Rng.int rng n_parts)

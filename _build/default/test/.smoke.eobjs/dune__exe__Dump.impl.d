@@ -1,0 +1,1 @@
+test/dump.ml: Spec Workloads

@@ -1,0 +1,1 @@
+test/smoke.ml: Agraph Core Designs Elevator List Medical Printf Sim Smallspecs Spec String Workloads

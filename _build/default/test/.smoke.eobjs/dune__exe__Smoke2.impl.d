@@ -1,0 +1,1 @@
+test/smoke2.ml: Agraph Core Export Format List Printf Sim Spec String Workloads

@@ -1,0 +1,10 @@
+let () =
+  let dump name p = 
+    let oc = open_out ("examples/specs/" ^ name ^ ".sc") in
+    output_string oc (Spec.Printer.program_to_string p); close_out oc in
+  dump "fig1" Workloads.Smallspecs.fig1;
+  dump "fig2" Workloads.Smallspecs.fig2;
+  dump "pingpong" Workloads.Smallspecs.ping_pong;
+  dump "medical" Workloads.Medical.spec;
+  dump "elevator" Workloads.Elevator.spec;
+  dump "fir" Workloads.Fir.spec

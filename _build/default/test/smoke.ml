@@ -1,0 +1,31 @@
+(* Quick end-to-end smoke: every workload x model refines, checks and
+   co-simulates.  Run with [dune exec test/smoke.exe]. *)
+
+let check_one name p part =
+  let g = Agraph.Access_graph.of_program p in
+  List.iter
+    (fun model ->
+      let r = Core.Refiner.refine p g part model in
+      let chk =
+        match Core.Check.run ~original:p r with
+        | Ok () -> "ok"
+        | Error m -> "FAILED: " ^ String.concat "; " m
+      in
+      let v = Sim.Cosim.check ~original:p ~refined:r.Core.Refiner.rf_program () in
+      Printf.printf "%-10s %-7s check=%s cosim=%s lines=%d/%d\n%!" name
+        (Core.Model.name model) chk
+        (if v.Sim.Cosim.v_equivalent then "eq" else "DIVERGED")
+        (Spec.Printer.line_count r.Core.Refiner.rf_program)
+        (Spec.Printer.line_count p))
+    Core.Model.all
+
+let () =
+  let open Workloads in
+  check_one "fig1" Smallspecs.fig1 Smallspecs.fig1_partition;
+  check_one "fig2" Smallspecs.fig2 Smallspecs.fig2_partition;
+  check_one "pingpong" Smallspecs.ping_pong Smallspecs.ping_pong_partition;
+  check_one "elevator" Elevator.spec Elevator.partition;
+  List.iter
+    (fun (d : Designs.design) ->
+      check_one d.Designs.d_name Medical.spec d.Designs.d_partition)
+    Designs.all

@@ -1,0 +1,29 @@
+let () =
+  let p = Workloads.Fir.spec in
+  (match Spec.Typecheck.check p with Ok () -> print_endline "typed ok"
+   | Error e -> print_endline ("TYPES: " ^ String.concat "; " e));
+  let r = Sim.Engine.run p in
+  Printf.printf "outcome=%s\n" (Sim.Engine.outcome_to_string r.Sim.Engine.r_outcome);
+  List.iter (fun ev -> Format.printf "%s=%a " ev.Sim.Trace.ev_tag Spec.Expr.pp_value ev.Sim.Trace.ev_value) r.Sim.Engine.r_trace;
+  print_newline ();
+  let g = Workloads.Fir.graph in
+  Printf.printf "channels=%d\n" (Agraph.Access_graph.channel_count g);
+  (* parser roundtrip *)
+  let p' = Spec.Parser.program_of_string_exn (Spec.Printer.program_to_string p) in
+  Printf.printf "roundtrip=%b\n" (Spec.Ast.equal_program p p');
+  List.iter (fun m ->
+    List.iter (fun proto ->
+      let options = { Core.Refiner.default_options with protocol = proto } in
+      let r2 = Core.Refiner.refine ~options p g Workloads.Fir.partition m in
+      (match Core.Check.run ~original:p r2 with
+       | Ok () -> () | Error e -> Printf.printf "CHECK %s: %s\n" (Core.Model.name m) (String.concat ";" e));
+      let v = Sim.Cosim.check ~original:p ~refined:r2.Core.Refiner.rf_program () in
+      Printf.printf "%s/%s: %s (%d lines)\n" (Core.Model.name m) (Core.Protocol.style_name proto)
+        (if v.Sim.Cosim.v_equivalent then "eq" else "DIVERGED: " ^ String.concat ";" v.Sim.Cosim.v_problems)
+        (Spec.Printer.line_count r2.Core.Refiner.rf_program))
+      [Core.Protocol.Four_phase; Core.Protocol.Two_phase]) Core.Model.all;
+  (* C backend differential quickly *)
+  (match Export.C_backend.emit_program p with
+   | Ok _ -> print_endline "C gen ok" | Error m -> print_endline ("C: " ^ m));
+  (match Export.Vhdl.emit_program p with
+   | Ok _ -> print_endline "VHDL gen ok" | Error m -> print_endline ("VHDL: " ^ m))

@@ -1,0 +1,175 @@
+(** Integration tests driving the [mrefine] command-line binary end to
+    end: every subcommand, on the shipped textual specifications. *)
+
+open Helpers
+
+let mrefine = "../bin/mrefine.exe"
+let spec name = "../examples/specs/" ^ name
+
+let run args =
+  let cmd = Filename.quote_command mrefine args ^ " 2>&1" in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 512 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED n -> n | _ -> 255 in
+  (code, Buffer.contents buf)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let expect_ok args frags =
+  let code, out = run args in
+  if code <> 0 then Alcotest.failf "exit %d:\n%s" code out;
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool)
+        (Printf.sprintf "output mentions %S" frag)
+        true (contains ~sub:frag out))
+    frags
+
+let expect_fail args frags =
+  let code, out = run args in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0);
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions %S" frag)
+        true (contains ~sub:frag out))
+    frags
+
+let fig1_assign = "A=0,B=1,C=0,x=1"
+
+let test_parse () =
+  expect_ok [ "parse"; spec "medical.sc" ] [ "medical"; "lines" ];
+  expect_ok [ "parse"; spec "fig1.sc" ] [ "fig1" ]
+
+let test_graph () =
+  expect_ok [ "graph"; spec "fig1.sc" ]
+    [ "objects: A, B, C"; "variables: x"; "data channels: 5" ];
+  expect_ok [ "graph"; spec "fig1.sc"; "--dot" ] [ "digraph"; "shape=box" ]
+
+let test_partition_algos () =
+  List.iter
+    (fun algo ->
+      expect_ok
+        [ "partition"; spec "medical.sc"; "--algo"; algo ]
+        [ "local variables:"; "global variables:"; "cross-partition" ])
+    [ "greedy"; "kl"; "annealing"; "clustering" ]
+
+let test_partition_manual () =
+  expect_ok
+    [ "partition"; spec "fig1.sc"; "--assign"; fig1_assign ]
+    [ "P0: behaviors {A, C}"; "P1: behaviors {B}"; "global variables: x" ]
+
+let test_refine () =
+  expect_ok
+    [ "refine"; spec "fig1.sc"; "--assign"; fig1_assign; "--model"; "2" ]
+    [ "program fig1_model2"; "B_NEW"; "MST_send"; "servers" ];
+  expect_ok
+    [ "refine"; spec "fig1.sc"; "--assign"; fig1_assign; "--model"; "4"; "-q" ]
+    [ "BIF_out" ]
+
+let test_refine_roundtrips_through_cli () =
+  (* The refined output is itself a valid input for the tool. *)
+  let tmp = Filename.temp_file "coref_cli" ".sc" in
+  expect_ok
+    [ "refine"; spec "fig1.sc"; "--assign"; fig1_assign; "--model"; "3";
+      "-q"; "-o"; tmp ]
+    [ "wrote" ];
+  expect_ok [ "parse"; tmp ] [ "fig1_model3" ];
+  expect_ok [ "typecheck"; tmp ] [ "well typed" ];
+  expect_ok [ "simulate"; tmp ] [ "outcome: completed"; "emit B = 8" ];
+  Sys.remove tmp
+
+let test_simulate () =
+  expect_ok
+    [ "simulate"; spec "fig1.sc" ]
+    [ "outcome: completed"; "emit A = 3"; "emit B = 8"; "final x = 8" ]
+
+let test_cosim_all_models () =
+  List.iter
+    (fun model ->
+      expect_ok
+        [ "cosim"; spec "fig1.sc"; "--assign"; fig1_assign; "--model"; model ]
+        [ "equivalent" ])
+    [ "1"; "2"; "3"; "4" ]
+
+let test_typecheck () =
+  expect_ok [ "typecheck"; spec "medical.sc" ] [ "well typed" ]
+
+let test_export_c () =
+  expect_ok
+    [ "export"; spec "pingpong.sc"; "-b"; "c" ]
+    [ "#include <stdio.h>"; "int main(void)"; "coref_emit" ]
+
+let test_export_vhdl () =
+  expect_ok
+    [ "export"; spec "medical.sc"; "-b"; "vhdl" ]
+    [ "entity medical is"; "architecture behavioral" ];
+  expect_ok
+    [ "export"; spec "fig1.sc"; "-b"; "vhdl"; "--refine"; "--assign";
+      fig1_assign; "--model"; "2" ]
+    [ "signal bus_"; ": process" ]
+
+let test_quality_real () =
+  expect_ok
+    [ "quality"; spec "fig1.sc"; "--assign"; fig1_assign; "--model"; "2" ]
+    [ "Intel8086"; "gates"; "pins"; "Gmem" ]
+
+let test_fir_and_elevator_specs () =
+  expect_ok [ "typecheck"; spec "fir.sc" ] [ "well typed" ];
+  expect_ok [ "simulate"; spec "fir.sc" ] [ "outcome: completed"; "emit energy" ];
+  expect_ok
+    [ "cosim"; spec "fir.sc"; "--algo"; "kl"; "--model"; "3" ]
+    [ "equivalent" ];
+  expect_ok
+    [ "cosim"; spec "elevator.sc"; "--algo"; "greedy"; "--model"; "2";
+      "--protocol"; "two-phase" ]
+    [ "equivalent" ];
+  expect_ok [ "export"; spec "fir.sc"; "-b"; "c" ] [ "long long v_coeff[4]" ]
+
+let test_demo () =
+  expect_ok [ "demo" ]
+    [ "medical system: 147 lines, 52 channels"; "cosim ok" ]
+
+let test_errors () =
+  expect_fail [ "parse"; "/nonexistent.sc" ] [];
+  expect_fail
+    [ "refine"; spec "fig1.sc"; "--assign"; "A=0" ]
+    [ "unassigned" ];
+  expect_fail
+    [ "refine"; spec "fig1.sc"; "--assign"; "A=0,B=9,C=0,x=1" ]
+    [];
+  expect_fail
+    [ "cosim"; spec "fig1.sc"; "--assign"; "nope=1" ]
+    [ "unknown object" ]
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "subcommands",
+        [
+          tc "parse" test_parse;
+          tc "graph" test_graph;
+          tc "partition algos" test_partition_algos;
+          tc "partition manual" test_partition_manual;
+          tc "refine" test_refine;
+          tc "refined output round-trips" test_refine_roundtrips_through_cli;
+          tc "simulate" test_simulate;
+          tc "cosim all models" test_cosim_all_models;
+          tc "typecheck" test_typecheck;
+          tc "export c" test_export_c;
+          tc "export vhdl" test_export_vhdl;
+          tc "quality" test_quality_real;
+          tc "fir/elevator specs" test_fir_and_elevator_specs;
+          tc "demo" test_demo;
+          tc "errors" test_errors;
+        ] );
+    ]

@@ -1,0 +1,287 @@
+(** End-to-end functional-equivalence tests: every workload refined under
+    every implementation model must co-simulate equivalent to its
+    original — the correctness requirement of the refinement task. *)
+
+open Helpers
+
+let models = Core.Model.all
+
+let check_all name p part =
+  List.iter
+    (fun model ->
+      ignore (refine_and_verify p part model);
+      ignore name)
+    models
+
+let test_fig1 () =
+  check_all "fig1" Workloads.Smallspecs.fig1 Workloads.Smallspecs.fig1_partition
+
+let test_fig2 () =
+  check_all "fig2" Workloads.Smallspecs.fig2 Workloads.Smallspecs.fig2_partition
+
+let test_ping_pong () =
+  check_all "pingpong" Workloads.Smallspecs.ping_pong
+    Workloads.Smallspecs.ping_pong_partition
+
+let test_medical_design1 () =
+  check_all "design1" Workloads.Medical.spec
+    Workloads.Designs.design1.Workloads.Designs.d_partition
+
+let test_medical_design2 () =
+  check_all "design2" Workloads.Medical.spec
+    Workloads.Designs.design2.Workloads.Designs.d_partition
+
+let test_medical_design3 () =
+  check_all "design3" Workloads.Medical.spec
+    Workloads.Designs.design3.Workloads.Designs.d_partition
+
+let test_forced_nonleaf_scheme () =
+  (* The paper's Figure 4c alternative must be just as correct. *)
+  List.iter
+    (fun model ->
+      ignore
+        (refine_and_verify
+           ~options:{ Core.Refiner.default_options with force_nonleaf = true }
+           Workloads.Smallspecs.fig1 Workloads.Smallspecs.fig1_partition model))
+    models
+
+let test_fir_all_models_and_protocols () =
+  (* Arrays map to memory address ranges; verify the indexed protocol
+     path under every model and both handshake styles. *)
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun model ->
+          ignore
+            (refine_and_verify
+               ~options:{ Core.Refiner.default_options with protocol }
+               Workloads.Fir.spec Workloads.Fir.partition model))
+        models)
+    [ Core.Protocol.Four_phase; Core.Protocol.Two_phase ]
+
+let test_elevator_all_models () =
+  check_all "elevator" Workloads.Elevator.spec Workloads.Elevator.partition
+
+let test_elevator_two_phase () =
+  List.iter
+    (fun model ->
+      ignore
+        (refine_and_verify
+           ~options:
+             { Core.Refiner.default_options with
+               protocol = Core.Protocol.Two_phase }
+           Workloads.Elevator.spec Workloads.Elevator.partition model))
+    models
+
+let test_two_phase_protocol () =
+  (* The transition-signalled protocol must be just as correct... *)
+  List.iter
+    (fun model ->
+      List.iter
+        (fun (p, part) ->
+          ignore
+            (refine_and_verify
+               ~options:
+                 { Core.Refiner.default_options with
+                   protocol = Core.Protocol.Two_phase }
+               p part model))
+        [
+          (Workloads.Smallspecs.fig1, Workloads.Smallspecs.fig1_partition);
+          (Workloads.Smallspecs.fig2, Workloads.Smallspecs.fig2_partition);
+          ( Workloads.Medical.spec,
+            Workloads.Designs.design1.Workloads.Designs.d_partition );
+        ])
+    models
+
+let test_two_phase_is_faster () =
+  (* ... and cheaper: it needs fewer delta cycles than four-phase. *)
+  let deltas protocol =
+    let options = { Core.Refiner.default_options with protocol } in
+    let r =
+      refine ~options Workloads.Medical.spec
+        Workloads.Designs.design1.Workloads.Designs.d_partition
+        Core.Model.Model2
+    in
+    (run_ok r.Core.Refiner.rf_program).Sim.Engine.r_deltas
+  in
+  Alcotest.(check bool) "two-phase faster" true
+    (deltas Core.Protocol.Two_phase < deltas Core.Protocol.Four_phase)
+
+let test_three_partitions () =
+  (* Partition fig2 across three components. *)
+  let g = Agraph.Access_graph.of_program Workloads.Smallspecs.fig2 in
+  let part =
+    Partitioning.Partition.of_graph g ~n_parts:3 (fun o ->
+        match o with
+        | Partitioning.Partition.Obj_behavior "B1" -> 0
+        | Partitioning.Partition.Obj_behavior "B2" -> 1
+        | Partitioning.Partition.Obj_behavior _ -> 2
+        | Partitioning.Partition.Obj_variable v ->
+          (match v with
+          | "v1" | "v2" | "v3" -> 0
+          | "v4" -> 1
+          | _ -> 2))
+  in
+  List.iter
+    (fun model ->
+      ignore (refine_and_verify Workloads.Smallspecs.fig2 part model))
+    models
+
+let test_refined_traces_match_original_values () =
+  (* Beyond "equivalent": check the concrete observable values of the
+     medical system survive refinement. *)
+  let original = run_ok Workloads.Medical.spec in
+  let r =
+    refine Workloads.Medical.spec
+      Workloads.Designs.design1.Workloads.Designs.d_partition
+      Core.Model.Model3
+  in
+  let refined = run_ok r.Core.Refiner.rf_program in
+  Alcotest.(check (list value_testable))
+    "log_volume values"
+    (trace_values "log_volume" original)
+    (trace_values "log_volume" refined);
+  Alcotest.(check (list value_testable))
+    "final_mode values"
+    (trace_values "final_mode" original)
+    (trace_values "final_mode" refined);
+  (* The medical pipeline must actually compute something non-trivial. *)
+  Alcotest.(check bool) "volume non-zero" true
+    (match trace_values "log_volume" original with
+    | [ Spec.Ast.VInt v ] -> v > 0
+    | _ -> false)
+
+let test_refined_deadlock_free_under_all_designs () =
+  List.iter
+    (fun (d : Workloads.Designs.design) ->
+      List.iter
+        (fun model ->
+          let r =
+            refine Workloads.Medical.spec d.Workloads.Designs.d_partition model
+          in
+          let res = run_ok r.Core.Refiner.rf_program in
+          Alcotest.(check bool) "makes progress" true
+            (res.Sim.Engine.r_deltas > 0))
+        models)
+    Workloads.Designs.all
+
+(* Property: random specs + random complete partitions + every model are
+   equivalent.  This is the headline guarantee of the reproduction. *)
+let prop_generated_equivalence =
+  QCheck.Test.make ~count:20 ~name:"generated spec refinement equivalence"
+    QCheck.(make
+              ~print:(fun (seed, parts) ->
+                Printf.sprintf "seed=%d parts=%d" seed parts)
+              Gen.(pair (int_range 1 10_000) (int_range 2 3)))
+    (fun (seed, n_parts) ->
+      let p =
+        Workloads.Generator.program
+          {
+            Workloads.Generator.default_config with
+            gen_seed = seed;
+            gen_vars = 4;
+            gen_leaves = 5;
+            gen_stmts = 3;
+          }
+      in
+      let g = Agraph.Access_graph.of_program p in
+      let part = Workloads.Generator.random_partition ~seed:(seed + 1) g ~n_parts in
+      List.for_all
+        (fun model ->
+          let r = Core.Refiner.refine p g part model in
+          let v =
+            Sim.Cosim.check ~original:p ~refined:r.Core.Refiner.rf_program ()
+          in
+          v.Sim.Cosim.v_equivalent)
+        models)
+
+let prop_parallel_equivalence =
+  QCheck.Test.make ~count:10 ~name:"parallel-branch specs equivalent per tag"
+    QCheck.(make ~print:string_of_int Gen.(int_range 1 10_000))
+    (fun seed ->
+      let p =
+        Workloads.Generator.program
+          {
+            Workloads.Generator.gen_seed = seed;
+            gen_par_branches = 2;
+            gen_vars = 4;
+            gen_leaves = 6;
+            gen_stmts = 3;
+          }
+      in
+      let g = Agraph.Access_graph.of_program p in
+      let part = Workloads.Generator.random_partition ~seed:(seed * 3) g ~n_parts:2 in
+      List.for_all
+        (fun model ->
+          let r = Core.Refiner.refine p g part model in
+          let v =
+            Sim.Cosim.check ~trace_mode:Sim.Cosim.Per_tag ~original:p
+              ~refined:r.Core.Refiner.rf_program ()
+          in
+          v.Sim.Cosim.v_equivalent)
+        models)
+
+let test_cosim_reports_divergence () =
+  (* A deliberately wrong "refinement" must be flagged. *)
+  let original = Workloads.Smallspecs.fig1 in
+  let broken =
+    {
+      original with
+      Spec.Ast.p_top =
+        Spec.Behavior.map_leaf_stmts
+          (Spec.Stmt.map_exprs (Spec.Expr.subst "x" (Spec.Expr.int 0)))
+          original.Spec.Ast.p_top;
+    }
+  in
+  let v = Sim.Cosim.check ~original ~refined:broken () in
+  Alcotest.(check bool) "flagged" false v.Sim.Cosim.v_equivalent;
+  Alcotest.(check bool) "has problems" true (v.Sim.Cosim.v_problems <> [])
+
+let test_cosim_reports_deadlock () =
+  let original = Workloads.Smallspecs.fig1 in
+  let stuck =
+    Spec.Program.make
+      ~vars:original.Spec.Ast.p_vars
+      ~signals:[ Spec.Builder.bool_signal ~init:false "never" ]
+      "stuck"
+      (Spec.Behavior.leaf "L"
+         [ Spec.Builder.wait_until Spec.Expr.(ref_ "never" = tru) ])
+  in
+  let v = Sim.Cosim.check ~original ~refined:stuck () in
+  Alcotest.(check bool) "flagged" false v.Sim.Cosim.v_equivalent
+
+let () =
+  Alcotest.run "cosim"
+    [
+      ( "workloads x models",
+        [
+          tc "fig1" test_fig1;
+          tc "fig2" test_fig2;
+          tc "ping-pong" test_ping_pong;
+          tc "medical design1" test_medical_design1;
+          tc "medical design2" test_medical_design2;
+          tc "medical design3" test_medical_design3;
+          tc "elevator" test_elevator_all_models;
+          tc "fir (arrays)" test_fir_all_models_and_protocols;
+          tc "elevator two-phase" test_elevator_two_phase;
+        ] );
+      ( "variants",
+        [
+          tc "forced non-leaf scheme" test_forced_nonleaf_scheme;
+          tc "two-phase protocol" test_two_phase_protocol;
+          tc "two-phase faster" test_two_phase_is_faster;
+          tc "three partitions" test_three_partitions;
+          tc "observable values" test_refined_traces_match_original_values;
+          tc "deadlock-free designs" test_refined_deadlock_free_under_all_designs;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_generated_equivalence;
+          QCheck_alcotest.to_alcotest prop_parallel_equivalence;
+        ] );
+      ( "negative",
+        [
+          tc "divergence reported" test_cosim_reports_divergence;
+          tc "deadlock reported" test_cosim_reports_deadlock;
+        ] );
+    ]

@@ -1,0 +1,170 @@
+(** Tests for the estimators: the statement cost model, behavior
+    lifetimes, and channel / bus transfer rates. *)
+
+open Spec
+open Helpers
+
+let proc = Arch.Catalog.i8086
+let asic = Arch.Catalog.asic_10k
+let s = Parser.stmts_of_string_exn
+
+let test_assign_cost () =
+  let one = Estimate.Cost_model.stmt_cycles proc (s "x := 1;") in
+  let two = Estimate.Cost_model.stmt_cycles proc (s "x := 1; y := 2;") in
+  Alcotest.(check bool) "positive" true (one > 0.0);
+  Alcotest.(check (float 1e-9)) "additive" (2.0 *. one) two
+
+let test_expr_complexity_costs_more () =
+  let simple = Estimate.Cost_model.stmt_cycles proc (s "x := 1;") in
+  let complex = Estimate.Cost_model.stmt_cycles proc (s "x := a * b + c - d;") in
+  Alcotest.(check bool) "complex > simple" true (complex > simple)
+
+let test_for_loop_scales () =
+  let short = Estimate.Cost_model.stmt_cycles proc (s "for i := 0 to 1 do x := 1; end for;") in
+  let long = Estimate.Cost_model.stmt_cycles proc (s "for i := 0 to 9 do x := 1; end for;") in
+  Alcotest.(check bool) "10 trips > 2 trips" true (long > 4.0 *. short)
+
+let test_while_uses_config () =
+  let body = s "while c do x := 1; end while;" in
+  let few =
+    Estimate.Cost_model.stmt_cycles
+      ~config:{ Estimate.Cost_model.while_iterations = 2 } proc body
+  in
+  let many =
+    Estimate.Cost_model.stmt_cycles
+      ~config:{ Estimate.Cost_model.while_iterations = 20 } proc body
+  in
+  Alcotest.(check (float 1e-9)) "linear in iterations" (10.0 *. few) many
+
+let test_if_takes_worst_branch () =
+  let balanced = Estimate.Cost_model.stmt_cycles proc
+      (s "if c then x := 1; else x := 1; end if;") in
+  let skewed = Estimate.Cost_model.stmt_cycles proc
+      (s "if c then x := 1; y := 2; z := 3; else x := 1; end if;") in
+  Alcotest.(check bool) "worst branch" true (skewed > balanced)
+
+let test_memory_cannot_execute () =
+  Alcotest.check_raises "memory"
+    (Invalid_argument "Cost_model.stmt_cycles: memory components execute no code")
+    (fun () ->
+      ignore (Estimate.Cost_model.stmt_cycles Arch.Catalog.sram_1k (s "x := 1;")))
+
+let test_asic_vs_proc () =
+  let stmts = s "x := a + b; y := x * 2;" in
+  let pc = Estimate.Cost_model.stmt_cycles proc stmts in
+  let ac = Estimate.Cost_model.stmt_cycles asic stmts in
+  Alcotest.(check bool) "both positive" true (pc > 0.0 && ac > 0.0);
+  (* The ASIC executes operations in fewer cycles than the 8086. *)
+  Alcotest.(check bool) "asic cheaper in cycles" true (ac < pc)
+
+(* --- lifetimes ------------------------------------------------------------ *)
+
+let test_lifetime_positive_and_floored () =
+  let empty =
+    Program.make "p" (Behavior.leaf "l" [])
+  in
+  let t = Estimate.Lifetime.behavior_seconds empty proc "l" in
+  Alcotest.(check bool) "floored at one cycle" true (t > 0.0)
+
+let test_lifetime_seq_sums_par_maxes () =
+  let leaf name n =
+    Behavior.leaf name (List.init n (fun _ -> Ast.Assign ("x", Expr.int 1)))
+  in
+  let seq =
+    Program.make ~vars:[ Builder.int_var "x" ] "p"
+      (Behavior.seq "t" [ Behavior.arm (leaf "a" 4); Behavior.arm (leaf "b" 6) ])
+  in
+  let par =
+    Program.make ~vars:[ Builder.int_var "x" ] "q"
+      (Behavior.par "t" [ leaf "a" 4; leaf "b" 6 ])
+  in
+  let t_seq = Estimate.Lifetime.behavior_seconds seq proc "t" in
+  let t_par = Estimate.Lifetime.behavior_seconds par proc "t" in
+  let t_a = Estimate.Lifetime.behavior_seconds seq proc "a" in
+  let t_b = Estimate.Lifetime.behavior_seconds seq proc "b" in
+  Alcotest.(check (float 1e-12)) "seq sums" (t_a +. t_b) t_seq;
+  Alcotest.(check (float 1e-12)) "par maxes" t_b t_par
+
+let test_lifetime_unknown_behavior () =
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Lifetime: unknown behavior nope") (fun () ->
+      ignore
+        (Estimate.Lifetime.behavior_seconds Workloads.Smallspecs.fig1 proc "nope"))
+
+let test_faster_clock_shorter_lifetime () =
+  let slow = Estimate.Lifetime.behavior_seconds Workloads.Medical.spec Arch.Catalog.i8086 "MEDICAL" in
+  let fast = Estimate.Lifetime.behavior_seconds Workloads.Medical.spec Arch.Catalog.sparc "MEDICAL" in
+  Alcotest.(check bool) "sparc faster" true (fast < slow)
+
+(* --- rates ------------------------------------------------------------------ *)
+
+let medical_env d =
+  Estimate.Rates.make_env Workloads.Medical.spec Workloads.Designs.allocation
+    d.Workloads.Designs.d_partition
+
+let test_channel_rate_positive () =
+  let env = medical_env Workloads.Designs.design1 in
+  List.iter
+    (fun (e, r) ->
+      if r <= 0.0 then
+        Alcotest.failf "channel %s/%s has rate %f"
+          e.Agraph.Access_graph.de_behavior e.Agraph.Access_graph.de_variable r)
+    (Estimate.Rates.all_channel_rates env Workloads.Medical.graph)
+
+let test_bus_rate_is_sum () =
+  let env = medical_env Workloads.Designs.design1 in
+  let edges = Workloads.Medical.graph.Agraph.Access_graph.g_data in
+  let total = Estimate.Rates.bus_rate_mbps env edges in
+  let sum =
+    List.fold_left
+      (fun acc e -> acc +. Estimate.Rates.channel_rate_mbps env e)
+      0.0 edges
+  in
+  Alcotest.(check (float 1e-6)) "sum of channels" sum total
+
+let test_rate_scales_with_width () =
+  let env = medical_env Workloads.Designs.design1 in
+  let e =
+    List.hd Workloads.Medical.graph.Agraph.Access_graph.g_data
+  in
+  let wide = { e with Agraph.Access_graph.de_bits = e.Agraph.Access_graph.de_bits * 2 } in
+  Alcotest.(check (float 1e-6)) "2x bits -> 2x rate"
+    (2.0 *. Estimate.Rates.channel_rate_mbps env e)
+    (Estimate.Rates.channel_rate_mbps env wide)
+
+let test_rate_scales_with_count () =
+  let env = medical_env Workloads.Designs.design1 in
+  let e = List.hd Workloads.Medical.graph.Agraph.Access_graph.g_data in
+  let busy = { e with Agraph.Access_graph.de_count = e.Agraph.Access_graph.de_count * 3 } in
+  Alcotest.(check (float 1e-6)) "3x count -> 3x rate"
+    (3.0 *. Estimate.Rates.channel_rate_mbps env e)
+    (Estimate.Rates.channel_rate_mbps env busy)
+
+let () =
+  Alcotest.run "estimate"
+    [
+      ( "cost model",
+        [
+          tc "assign additive" test_assign_cost;
+          tc "expr complexity" test_expr_complexity_costs_more;
+          tc "for scaling" test_for_loop_scales;
+          tc "while config" test_while_uses_config;
+          tc "if worst branch" test_if_takes_worst_branch;
+          tc "memory rejects" test_memory_cannot_execute;
+          tc "asic vs processor" test_asic_vs_proc;
+        ] );
+      ( "lifetime",
+        [
+          tc "positive, floored" test_lifetime_positive_and_floored;
+          tc "seq sums, par maxes" test_lifetime_seq_sums_par_maxes;
+          tc "unknown behavior" test_lifetime_unknown_behavior;
+          tc "clock scaling" test_faster_clock_shorter_lifetime;
+        ] );
+      ( "rates",
+        [
+          tc "channels positive" test_channel_rate_positive;
+          tc "bus = sum of channels" test_bus_rate_is_sum;
+          tc "width scaling" test_rate_scales_with_width;
+          tc "count scaling" test_rate_scales_with_count;
+        ] );
+    ]

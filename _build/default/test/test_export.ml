@@ -1,0 +1,296 @@
+(** Tests for the code-generation backends.
+
+    The C backend is tested {e differentially}: the generated program is
+    compiled with the system C compiler, executed, and its [EMIT]/[FINAL]
+    output compared line by line against the reference simulator.  The
+    VHDL backend (no VHDL simulator in this environment) is tested
+    structurally. *)
+
+open Helpers
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let count_occurrences ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i acc =
+    if i + n > m then acc
+    else if String.sub s i n = sub then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  if n = 0 then 0 else go 0 0
+
+(* --- C backend: differential testing ------------------------------------- *)
+
+let run_command cmd =
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  (status, Buffer.contents buf)
+
+let compile_and_run c_source =
+  let dir = Filename.temp_file "coref" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let src = Filename.concat dir "gen.c" in
+  let exe = Filename.concat dir "gen.exe" in
+  let oc = open_out src in
+  output_string oc c_source;
+  close_out oc;
+  let status, diagnostics =
+    run_command (Printf.sprintf "cc -std=c99 -Wall -o %s %s 2>&1" exe src)
+  in
+  begin match status with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.failf "cc failed:\n%s" diagnostics
+  end;
+  let status, output = run_command exe in
+  begin match status with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "generated program crashed"
+  end;
+  output
+
+let num_pp ppf = function
+  | Spec.Ast.VInt n -> Format.pp_print_int ppf n
+  | Spec.Ast.VBool true -> Format.pp_print_int ppf 1
+  | Spec.Ast.VBool false -> Format.pp_print_int ppf 0
+
+(* The expected EMIT/FINAL transcript from the reference simulator. *)
+let simulator_transcript p =
+  let r = run_ok p in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Format.asprintf "EMIT %s %a\n" e.Sim.Trace.ev_tag num_pp
+           e.Sim.Trace.ev_value))
+    r.Sim.Engine.r_trace;
+  let final_names =
+    List.concat_map
+      (fun (v : Spec.Ast.var_decl) ->
+        match v.Spec.Ast.v_ty with
+        | Spec.Ast.TArray (_, size) ->
+          List.init size (fun i -> Printf.sprintf "%s[%d]" v.Spec.Ast.v_name i)
+        | Spec.Ast.TBool | Spec.Ast.TInt _ -> [ v.Spec.Ast.v_name ])
+      p.Spec.Ast.p_vars
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name r.Sim.Engine.r_final with
+      | Some value ->
+        Buffer.add_string buf
+          (Format.asprintf "FINAL %s %a\n" name num_pp value)
+      | None -> ())
+    final_names;
+  Buffer.contents buf
+
+let differential p =
+  match Export.C_backend.emit_program p with
+  | Error msg -> Alcotest.failf "C generation failed: %s" msg
+  | Ok source ->
+    let got = compile_and_run source in
+    let expected = simulator_transcript p in
+    Alcotest.(check string) "C output matches simulator" expected got
+
+let test_c_fig1 () = differential Workloads.Smallspecs.fig1
+let test_c_fig2 () = differential Workloads.Smallspecs.fig2
+let test_c_ping_pong () = differential Workloads.Smallspecs.ping_pong
+let test_c_medical () = differential Workloads.Medical.spec
+
+let test_c_fir_arrays () = differential Workloads.Fir.spec
+
+let test_c_generated () =
+  (* A batch of seeded random sequential specifications. *)
+  List.iter
+    (fun seed ->
+      differential
+        (Workloads.Generator.program
+           { Workloads.Generator.default_config with gen_seed = seed }))
+    [ 101; 202; 303; 404; 505 ]
+
+let test_c_rejects_signals () =
+  let p =
+    Spec.Program.make
+      ~signals:[ Spec.Builder.bool_signal "s" ]
+      "p"
+      (Spec.Behavior.leaf "l" [])
+  in
+  match Export.C_backend.emit_program p with
+  | Error msg -> Alcotest.(check bool) "mentions signals" true
+                   (contains ~sub:"signal" msg)
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+let test_c_rejects_parallel () =
+  let p =
+    Spec.Program.make "p"
+      (Spec.Behavior.seq "top"
+         [
+           Spec.Behavior.arm
+             (Spec.Behavior.par "inner" [ Spec.Behavior.leaf "l" [] ]);
+         ])
+  in
+  match Export.C_backend.emit_program p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+(* --- process splitting ------------------------------------------------------ *)
+
+let test_split_refined_medical () =
+  let r =
+    refine Workloads.Medical.spec
+      Workloads.Designs.design1.Workloads.Designs.d_partition Core.Model.Model2
+  in
+  match Export.Process_split.split r.Core.Refiner.rf_program with
+  | Error msg -> Alcotest.failf "split failed: %s" msg
+  | Ok procs ->
+    (* main + B_NEWs + 3 memories + arbiters, all as separate processes *)
+    Alcotest.(check bool) "many processes" true (List.length procs > 5);
+    let servers =
+      List.filter (fun pi -> pi.Export.Process_split.pi_server) procs
+    in
+    Alcotest.(check bool) "servers marked" true (List.length servers > 0);
+    (* exactly one non-server process: the main control tree *)
+    Alcotest.(check int) "one main" 1
+      (List.length procs - List.length servers)
+
+let test_split_shared_vars () =
+  (* Multi-port memory storage must be classified as shared. *)
+  let r =
+    refine Workloads.Smallspecs.fig2 Workloads.Smallspecs.fig2_partition
+      Core.Model.Model3
+  in
+  match Export.Process_split.split r.Core.Refiner.rf_program with
+  | Error msg -> Alcotest.failf "split failed: %s" msg
+  | Ok procs ->
+    let gmem_ports =
+      List.filter
+        (fun pi ->
+          contains ~sub:"GMEM_1" pi.Export.Process_split.pi_name
+          || contains ~sub:"GMEM_1_port" pi.Export.Process_split.pi_name)
+        procs
+    in
+    Alcotest.(check int) "two ports split" 2 (List.length gmem_ports);
+    List.iter
+      (fun pi ->
+        Alcotest.(check bool) "storage shared" true
+          (List.exists
+             (fun (v : Spec.Ast.var_decl) -> v.Spec.Ast.v_name = "v5")
+             pi.Export.Process_split.pi_shared_vars))
+      gmem_ports
+
+let test_split_rejects_par_under_seq () =
+  let p =
+    Spec.Program.make "p"
+      (Spec.Behavior.seq "top"
+         [
+           Spec.Behavior.arm
+             (Spec.Behavior.par "inner" [ Spec.Behavior.leaf "l" [] ]);
+         ])
+  in
+  match Export.Process_split.split p with
+  | Error msg -> Alcotest.(check bool) "informative" true
+                   (contains ~sub:"inner" msg)
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+(* --- VHDL backend: structural ------------------------------------------------ *)
+
+let vhdl_of p =
+  match Export.Vhdl.emit_program p with
+  | Ok code -> code
+  | Error msg -> Alcotest.failf "VHDL generation failed: %s" msg
+
+let test_vhdl_original_structure () =
+  let code = vhdl_of Workloads.Medical.spec in
+  Alcotest.(check bool) "entity" true (contains ~sub:"entity medical is" code);
+  Alcotest.(check bool) "architecture" true
+    (contains ~sub:"architecture behavioral of medical is" code);
+  (* One sequential top behavior: exactly one process. *)
+  Alcotest.(check int) "one process" 1 (count_occurrences ~sub:": process" code);
+  Alcotest.(check bool) "state machine" true (contains ~sub:"case st_" code);
+  (* Program variables become shared storage. *)
+  Alcotest.(check bool) "storage" true
+    (contains ~sub:"shared variable volume : integer" code)
+
+let test_vhdl_refined_structure () =
+  let r =
+    refine Workloads.Smallspecs.fig2 Workloads.Smallspecs.fig2_partition
+      Core.Model.Model2
+  in
+  let prog = r.Core.Refiner.rf_program in
+  let code = vhdl_of prog in
+  let expected_processes =
+    match Export.Process_split.split prog with
+    | Ok procs -> List.length procs
+    | Error _ -> 0
+  in
+  Alcotest.(check int) "process per concurrent unit" expected_processes
+    (count_occurrences ~sub:": process" code);
+  (* Bus wires become architecture signals. *)
+  Alcotest.(check bool) "bus start signal" true
+    (contains ~sub:"signal bus_global_start : boolean" code);
+  (* The handshake procedures appear in the callers' declarative parts. *)
+  Alcotest.(check bool) "master procedures" true
+    (contains ~sub:"procedure MST_receive_bus_global" code);
+  (* Handshake waits survive. *)
+  Alcotest.(check bool) "waits" true (contains ~sub:"wait until" code)
+
+let test_vhdl_all_models () =
+  List.iter
+    (fun model ->
+      let r =
+        refine Workloads.Medical.spec
+          Workloads.Designs.design3.Workloads.Designs.d_partition model
+      in
+      let code = vhdl_of r.Core.Refiner.rf_program in
+      Alcotest.(check bool)
+        (Core.Model.name model ^ " nonempty")
+        true
+        (String.length code > 2000))
+    Core.Model.all
+
+let test_vhdl_keyword_renaming () =
+  let p =
+    Spec.Program.make
+      ~vars:[ Spec.Builder.int_var "loop" ]
+      "p"
+      (Spec.Behavior.leaf "l" [ Spec.Ast.Assign ("loop", Spec.Expr.int 1) ])
+  in
+  let code = vhdl_of p in
+  Alcotest.(check bool) "renamed" true (contains ~sub:"loop_v" code)
+
+let () =
+  Alcotest.run "export"
+    [
+      ( "c backend (differential vs simulator)",
+        [
+          tc "fig1" test_c_fig1;
+          tc "fig2" test_c_fig2;
+          tc "ping-pong" test_c_ping_pong;
+          tc "medical" test_c_medical;
+          tc "fir (arrays)" test_c_fir_arrays;
+          tc "generated specs" test_c_generated;
+          tc "rejects signals" test_c_rejects_signals;
+          tc "rejects parallel" test_c_rejects_parallel;
+        ] );
+      ( "process splitting",
+        [
+          tc "refined medical" test_split_refined_medical;
+          tc "shared storage" test_split_shared_vars;
+          tc "par under seq rejected" test_split_rejects_par_under_seq;
+        ] );
+      ( "vhdl backend (structural)",
+        [
+          tc "original structure" test_vhdl_original_structure;
+          tc "refined structure" test_vhdl_refined_structure;
+          tc "all models" test_vhdl_all_models;
+          tc "keyword renaming" test_vhdl_keyword_renaming;
+        ] );
+    ]

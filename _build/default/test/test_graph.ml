@@ -1,0 +1,222 @@
+(** Tests for the access-graph derivation (paper, Figure 1a / Figure 2). *)
+
+open Agraph
+open Helpers
+
+let fig1 = Workloads.Smallspecs.fig1
+let fig2 = Workloads.Smallspecs.fig2
+let g1 = Access_graph.of_program fig1
+let g2 = Access_graph.of_program fig2
+
+let edge_exists g behavior variable dir =
+  List.exists
+    (fun (e : Access_graph.data_edge) ->
+      String.equal e.Access_graph.de_behavior behavior
+      && String.equal e.Access_graph.de_variable variable
+      && e.Access_graph.de_dir = dir)
+    g.Access_graph.g_data
+
+let test_default_objects () =
+  Alcotest.(check (list string))
+    "fig1 leaves" [ "A"; "B"; "C" ]
+    (Access_graph.default_objects fig1);
+  Alcotest.(check (list string))
+    "fig2 leaves" [ "B1"; "B2"; "B3"; "B4" ]
+    (Access_graph.default_objects fig2)
+
+let test_fig1_edges () =
+  (* A writes x and reads it (emit + TOC conditions), B reads and writes,
+     C reads. *)
+  Alcotest.(check bool) "A writes x" true (edge_exists g1 "A" "x" Access_graph.Dwrite);
+  Alcotest.(check bool) "A reads x" true (edge_exists g1 "A" "x" Access_graph.Dread);
+  Alcotest.(check bool) "B reads x" true (edge_exists g1 "B" "x" Access_graph.Dread);
+  Alcotest.(check bool) "B writes x" true (edge_exists g1 "B" "x" Access_graph.Dwrite);
+  Alcotest.(check bool) "C reads x" true (edge_exists g1 "C" "x" Access_graph.Dread);
+  Alcotest.(check bool) "C no write" false (edge_exists g1 "C" "x" Access_graph.Dwrite)
+
+let test_fig1_control () =
+  let arcs =
+    List.map
+      (fun (e : Access_graph.control_edge) ->
+        (e.Access_graph.ce_src, e.Access_graph.ce_dst))
+      g1.Access_graph.g_control
+  in
+  Alcotest.(check (list (pair string string)))
+    "A->B and A->C" [ ("A", "B"); ("A", "C") ] arcs
+
+let test_fig1_conditions () =
+  let conds =
+    List.filter_map
+      (fun (e : Access_graph.control_edge) -> e.Access_graph.ce_cond)
+      g1.Access_graph.g_control
+  in
+  Alcotest.(check int) "both conditional" 2 (List.length conds)
+
+let test_fallthrough_control () =
+  let g = Access_graph.of_program fig2 in
+  (* B1..B4 fall through: 3 unconditional arcs. *)
+  let arcs =
+    List.map
+      (fun (e : Access_graph.control_edge) ->
+        (e.Access_graph.ce_src, e.Access_graph.ce_dst))
+      g.Access_graph.g_control
+  in
+  Alcotest.(check (list (pair string string)))
+    "chain" [ ("B1", "B2"); ("B2", "B3"); ("B3", "B4") ] arcs
+
+let test_fig2_locality_profile () =
+  Alcotest.(check (list string))
+    "vars" [ "v1"; "v2"; "v3"; "v4"; "v5"; "v6"; "v7" ]
+    g2.Access_graph.g_variables;
+  Alcotest.(check (list string)) "v6 users" [ "B3"; "B4" ]
+    (Access_graph.behaviors_accessing g2 "v6");
+  Alcotest.(check (list string)) "v4 users" [ "B1"; "B2"; "B4" ]
+    (Access_graph.behaviors_accessing g2 "v4")
+
+let test_channel_count_medical () =
+  Alcotest.(check int) "52 channels" 52
+    (Access_graph.channel_count Workloads.Medical.graph)
+
+let test_edge_bits () =
+  let e =
+    {
+      Access_graph.de_behavior = "b";
+      de_variable = "v";
+      de_dir = Access_graph.Dread;
+      de_count = 3;
+      de_bits = 16;
+    }
+  in
+  Alcotest.(check int) "bits" 48 (Access_graph.edge_bits e)
+
+let test_composite_objects () =
+  (* Treating a composite as one object aggregates its subtree accesses. *)
+  let g =
+    Access_graph.of_program
+      ~objects:[ "MEASURE_CYCLE"; "COMPUTE" ]
+      Workloads.Medical.spec
+  in
+  Alcotest.(check (list string)) "objects" [ "MEASURE_CYCLE"; "COMPUTE" ]
+    g.Access_graph.g_objects;
+  Alcotest.(check bool) "cycle writes sample" true
+    (edge_exists g "MEASURE_CYCLE" "sample" Access_graph.Dwrite);
+  Alcotest.(check bool) "compute reads sum" true
+    (edge_exists g "COMPUTE" "sum" Access_graph.Dread)
+
+let test_nested_objects_rejected () =
+  Alcotest.check_raises "nested"
+    (Invalid_argument "object ACQUIRE is nested inside object MEASURE_CYCLE")
+    (fun () ->
+      ignore
+        (Access_graph.of_program
+           ~objects:[ "MEASURE_CYCLE"; "ACQUIRE" ]
+           Workloads.Medical.spec))
+
+let test_unknown_object_rejected () =
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "unknown object behavior NOPE") (fun () ->
+      ignore (Access_graph.of_program ~objects:[ "NOPE" ] fig1))
+
+let test_while_iterations_scale_counts () =
+  let count g name =
+    List.fold_left
+      (fun acc (e : Access_graph.data_edge) ->
+        if String.equal e.Access_graph.de_behavior name then
+          acc + e.Access_graph.de_count
+        else acc)
+      0 g.Access_graph.g_data
+  in
+  let p = Workloads.Smallspecs.ping_pong in
+  let low = Access_graph.of_program ~while_iterations:1 p in
+  let high = Access_graph.of_program ~while_iterations:64 p in
+  (* ping_pong has no loops inside leaves, so identical. *)
+  Alcotest.(check int) "no loops: same" (count low "PING") (count high "PING");
+  let med_low =
+    Access_graph.of_program ~while_iterations:1 Workloads.Medical.spec
+  in
+  let med_high =
+    Access_graph.of_program ~while_iterations:64 Workloads.Medical.spec
+  in
+  Alcotest.(check int) "channel structure stable"
+    (Access_graph.channel_count med_low)
+    (Access_graph.channel_count med_high)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_dot_output () =
+  let dot = Access_graph.to_dot g1 in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  List.iter
+    (fun frag -> Alcotest.(check bool) frag true (contains ~sub:frag dot))
+    [ "\"A\""; "\"x\""; "shape=box"; "shape=ellipse" ]
+
+let prop_graph_wellformed =
+  QCheck.Test.make ~count:50 ~name:"graph edges reference known nodes"
+    QCheck.(make Gen.(int_range 1 5000))
+    (fun seed ->
+      let p =
+        Workloads.Generator.program
+          { Workloads.Generator.default_config with gen_seed = seed }
+      in
+      let g = Access_graph.of_program p in
+      List.for_all
+        (fun (e : Access_graph.data_edge) ->
+          List.mem e.Access_graph.de_behavior g.Access_graph.g_objects
+          && List.mem e.Access_graph.de_variable g.Access_graph.g_variables
+          && e.Access_graph.de_count > 0
+          && e.Access_graph.de_bits > 0)
+        g.Access_graph.g_data)
+
+let prop_no_duplicate_channels =
+  QCheck.Test.make ~count:50 ~name:"channels are unique per (b,v,dir)"
+    QCheck.(make Gen.(int_range 1 5000))
+    (fun seed ->
+      let p =
+        Workloads.Generator.program
+          { Workloads.Generator.default_config with gen_seed = seed }
+      in
+      let g = Access_graph.of_program p in
+      let keys =
+        List.map
+          (fun (e : Access_graph.data_edge) ->
+            (e.Access_graph.de_behavior, e.Access_graph.de_variable,
+             e.Access_graph.de_dir))
+          g.Access_graph.g_data
+      in
+      List.length keys = List.length (List.sort_uniq compare keys))
+
+let () =
+  Alcotest.run "agraph"
+    [
+      ( "derivation",
+        [
+          tc "default objects" test_default_objects;
+          tc "fig1 data edges" test_fig1_edges;
+          tc "fig1 control arcs" test_fig1_control;
+          tc "fig1 conditions" test_fig1_conditions;
+          tc "fall-through arcs" test_fallthrough_control;
+          tc "fig2 locality" test_fig2_locality_profile;
+          tc "medical 52 channels" test_channel_count_medical;
+          tc "edge bits" test_edge_bits;
+        ] );
+      ( "objects",
+        [
+          tc "composite objects" test_composite_objects;
+          tc "nested rejected" test_nested_objects_rejected;
+          tc "unknown rejected" test_unknown_object_rejected;
+        ] );
+      ( "profiles",
+        [
+          tc "while-iteration scaling" test_while_iterations_scale_counts;
+          tc "dot output" test_dot_output;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_graph_wellformed;
+          QCheck_alcotest.to_alcotest prop_no_duplicate_channels;
+        ] );
+    ]

@@ -1,0 +1,358 @@
+(** Tests for partitions, local/global classification, the cost function
+    and the four automatic partitioners. *)
+
+open Partitioning
+open Helpers
+
+let fig2 = Workloads.Smallspecs.fig2
+let g2 = Agraph.Access_graph.of_program fig2
+let medical_g = Workloads.Medical.graph
+
+(* --- partition type ------------------------------------------------------ *)
+
+let test_make_and_query () =
+  let part = Workloads.Smallspecs.fig2_partition in
+  Alcotest.(check int) "parts" 2 (Partition.n_parts part);
+  Alcotest.(check (option int)) "B1" (Some 0) (Partition.part_of_behavior part "B1");
+  Alcotest.(check (option int)) "B3" (Some 1) (Partition.part_of_behavior part "B3");
+  Alcotest.(check (option int)) "v6" (Some 1) (Partition.part_of_variable part "v6");
+  Alcotest.(check (option int)) "missing" None (Partition.part_of_behavior part "zz")
+
+let test_members () =
+  let part = Workloads.Smallspecs.fig2_partition in
+  Alcotest.(check (list string)) "behaviors P0" [ "B1"; "B2" ]
+    (Partition.behaviors_in part 0);
+  Alcotest.(check (list string)) "vars P1" [ "v5"; "v6"; "v7" ]
+    (Partition.variables_in part 1)
+
+let test_make_errors () =
+  let b = Partition.Obj_behavior "A" in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Partition.make: A assigned to partition 3 of 2")
+    (fun () -> ignore (Partition.make ~n_parts:2 [ (b, 3) ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Partition.make: duplicate object A") (fun () ->
+      ignore (Partition.make ~n_parts:2 [ (b, 0); (b, 1) ]));
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Partition.make: n_parts < 1") (fun () ->
+      ignore (Partition.make ~n_parts:0 []))
+
+let test_assign () =
+  let part = Partition.make ~n_parts:2 [ (Partition.Obj_behavior "A", 0) ] in
+  let part = Partition.assign part (Partition.Obj_behavior "A") 1 in
+  Alcotest.(check (option int)) "moved" (Some 1)
+    (Partition.part_of_behavior part "A")
+
+let test_complete_for () =
+  let empty = Partition.make ~n_parts:2 [] in
+  (match Partition.complete_for g2 empty with
+  | Ok () -> Alcotest.fail "expected missing objects"
+  | Error msgs -> Alcotest.(check int) "4+7 missing" 11 (List.length msgs));
+  match Partition.complete_for g2 Workloads.Smallspecs.fig2_partition with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "unexpected: %s" (String.concat ";" m)
+
+(* --- classification ------------------------------------------------------ *)
+
+let test_classify_fig2 () =
+  let r = Classify.report g2 Workloads.Smallspecs.fig2_partition in
+  Alcotest.(check (list string)) "locals" [ "v1"; "v2"; "v3"; "v6" ] r.Classify.locals;
+  Alcotest.(check (list string)) "globals" [ "v4"; "v5"; "v7" ] r.Classify.globals;
+  Alcotest.(check (list string)) "unaccessed" [] r.Classify.unaccessed
+
+let test_classify_designs () =
+  let counts d =
+    let r =
+      Classify.report medical_g d.Workloads.Designs.d_partition
+    in
+    (List.length r.Classify.locals, List.length r.Classify.globals)
+  in
+  Alcotest.(check (pair int int)) "Design1 balanced" (7, 7)
+    (counts Workloads.Designs.design1);
+  Alcotest.(check (pair int int)) "Design2 mostly local" (10, 4)
+    (counts Workloads.Designs.design2);
+  Alcotest.(check (pair int int)) "Design3 mostly global" (4, 10)
+    (counts Workloads.Designs.design3)
+
+let test_classify_single_partition () =
+  (* With everything on one component, every variable is local. *)
+  let part = Partition.of_graph g2 ~n_parts:1 (fun _ -> 0) in
+  let r = Classify.report g2 part in
+  Alcotest.(check int) "all local" 7 (List.length r.Classify.locals);
+  Alcotest.(check int) "none global" 0 (List.length r.Classify.globals)
+
+let test_classify_variable_away_from_users () =
+  (* A variable homed away from its only users is global. *)
+  let part =
+    Partition.of_graph g2 ~n_parts:2 (fun o ->
+        match o with
+        | Partition.Obj_variable "v6" -> 0 (* users B3 B4 live on 1 *)
+        | Partition.Obj_behavior b -> if List.mem b [ "B3"; "B4" ] then 1 else 0
+        | Partition.Obj_variable _ -> 0)
+  in
+  Alcotest.(check bool) "v6 global" true
+    (Classify.classify g2 part "v6" = Classify.Global)
+
+let test_ratio () =
+  let r =
+    { Classify.locals = [ "a"; "b"; "c" ]; globals = [ "d" ]; unaccessed = [] }
+  in
+  Alcotest.(check (float 1e-9)) "3/1" 3.0 (Classify.ratio r)
+
+(* --- cost ---------------------------------------------------------------- *)
+
+let test_comm_bits_zero_when_together () =
+  let part = Partition.of_graph g2 ~n_parts:2 (fun _ -> 0) in
+  Alcotest.(check int) "no traffic" 0 (Cost.comm_bits g2 part)
+
+let test_comm_bits_counts_cross_edges () =
+  let part = Workloads.Smallspecs.fig2_partition in
+  let expected =
+    List.fold_left
+      (fun acc (e : Agraph.Access_graph.data_edge) ->
+        let bp =
+          Option.get (Partition.part_of_behavior part e.Agraph.Access_graph.de_behavior)
+        in
+        let vp =
+          Option.get (Partition.part_of_variable part e.Agraph.Access_graph.de_variable)
+        in
+        if bp <> vp then acc + Agraph.Access_graph.edge_bits e else acc)
+      0 g2.Agraph.Access_graph.g_data
+  in
+  Alcotest.(check int) "matches definition" expected (Cost.comm_bits g2 part);
+  Alcotest.(check bool) "positive" true (expected > 0)
+
+let test_cost_total_monotone_in_comm () =
+  (* The all-on-one-side partition has zero comm but high imbalance; the
+     weights trade them off. *)
+  let together = Partition.of_graph g2 ~n_parts:2 (fun _ -> 0) in
+  let split = Workloads.Smallspecs.fig2_partition in
+  let w = { Cost.w_comm = 1.0; w_balance = 0.0 } in
+  Alcotest.(check bool) "comm-only prefers together" true
+    (Cost.total ~weights:w g2 together < Cost.total ~weights:w g2 split);
+  let w = { Cost.w_comm = 0.0; w_balance = 1.0 } in
+  Alcotest.(check bool) "balance-only prefers split" true
+    (Cost.total ~weights:w g2 split < Cost.total ~weights:w g2 together)
+
+(* --- rng ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let seq r = List.init 20 (fun _ -> Rng.int r 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b);
+  let c = Rng.create 8 in
+  Alcotest.(check bool) "different seed differs" true (seq (Rng.create 7) <> seq c)
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let n = Rng.int r 7 in
+    if n < 0 || n >= 7 then Alcotest.failf "out of bounds: %d" n
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 11 in
+  let xs = List.init 30 Fun.id in
+  let ys = Rng.shuffle r xs in
+  Alcotest.(check (list int)) "same multiset" xs (List.sort compare ys)
+
+(* --- partitioners --------------------------------------------------------- *)
+
+let complete_and_valid g part =
+  match Partition.complete_for g part with
+  | Ok () -> true
+  | Error _ -> false
+
+let test_greedy_complete () =
+  List.iter
+    (fun n ->
+      let part = Greedy.run medical_g ~n_parts:n in
+      Alcotest.(check bool)
+        (Printf.sprintf "complete p=%d" n)
+        true
+        (complete_and_valid medical_g part))
+    [ 1; 2; 3; 4 ]
+
+let test_kl_improves_or_keeps () =
+  let start = Greedy.run medical_g ~n_parts:2 in
+  let improved = Kl.run medical_g start in
+  Alcotest.(check bool) "no worse" true
+    (Cost.total medical_g improved <= Cost.total medical_g start);
+  Alcotest.(check bool) "complete" true (complete_and_valid medical_g improved)
+
+let test_annealing_deterministic () =
+  let a = Annealing.run ~config:{ Annealing.default_config with steps = 300 } medical_g ~n_parts:2 in
+  let b = Annealing.run ~config:{ Annealing.default_config with steps = 300 } medical_g ~n_parts:2 in
+  Alcotest.(check (list (pair string int)))
+    "same result for same seed"
+    (List.map (fun (o, i) -> (Partition.obj_name o, i)) (Partition.objects a))
+    (List.map (fun (o, i) -> (Partition.obj_name o, i)) (Partition.objects b))
+
+let test_annealing_complete () =
+  let part =
+    Annealing.run ~config:{ Annealing.default_config with steps = 300 }
+      medical_g ~n_parts:3
+  in
+  Alcotest.(check bool) "complete" true (complete_and_valid medical_g part)
+
+let test_clustering_complete () =
+  List.iter
+    (fun n ->
+      let part = Clustering.run medical_g ~n_parts:n in
+      Alcotest.(check bool)
+        (Printf.sprintf "complete p=%d" n)
+        true
+        (complete_and_valid medical_g part))
+    [ 2; 3; 5 ]
+
+let test_clustering_groups_affine_objects () =
+  (* In fig2, v6 is used only by B3 and B4: clustering must put v6 with at
+     least one of them. *)
+  let part = Clustering.run g2 ~n_parts:2 in
+  let v6 = Option.get (Partition.part_of_variable part "v6") in
+  let b3 = Option.get (Partition.part_of_behavior part "B3") in
+  let b4 = Option.get (Partition.part_of_behavior part "B4") in
+  Alcotest.(check bool) "affinity respected" true (v6 = b3 || v6 = b4)
+
+let test_partitioners_beat_random_on_comm () =
+  (* Greedy+KL should not lose to a random assignment on communication. *)
+  let random = Workloads.Generator.random_partition ~seed:99 medical_g ~n_parts:2 in
+  let smart = Kl.run_from_scratch medical_g ~n_parts:2 in
+  Alcotest.(check bool) "smart <= random comm" true
+    (Cost.comm_bits medical_g smart <= Cost.comm_bits medical_g random)
+
+let test_design_search_biases () =
+  let globals bias =
+    let part = Design_search.run ~seed:5 ~steps:3000 medical_g ~n_parts:2 ~bias in
+    let r = Classify.report medical_g part in
+    List.length r.Classify.globals
+  in
+  let gl = globals Design_search.Mostly_local in
+  let gb = globals Design_search.Balanced in
+  let gg = globals Design_search.Mostly_global in
+  Alcotest.(check bool)
+    (Printf.sprintf "ordering %d <= %d <= %d" gl gb gg)
+    true
+    (gl <= gb && gb <= gg);
+  Alcotest.(check bool) "spread" true (gl < gg)
+
+let test_constrained_respects_limits () =
+  (* Behaviors cost 10, variables 1; partition 0 can hold only three
+     behaviors' worth.  A feasible split exists, so the result must be
+     feasible. *)
+  let cost _i = function
+    | Partition.Obj_behavior _ -> 10
+    | Partition.Obj_variable _ -> 1
+  in
+  let problem =
+    { Constrained.pr_limits = [| 44; 1000 |]; pr_object_cost = cost }
+  in
+  let part = Constrained.run ~seed:7 medical_g ~problem ~n_parts:2 in
+  Alcotest.(check bool) "complete" true (complete_and_valid medical_g part);
+  Alcotest.(check bool) "feasible" true (Constrained.is_feasible problem part);
+  Alcotest.(check bool) "P0 actually bounded" true
+    (List.length (Partition.behaviors_in part 0) <= 4)
+
+let test_constrained_minimizes_overrun_when_infeasible () =
+  (* Total demand exceeds total capacity: the result cannot be feasible,
+     but the overrun must not exceed the unavoidable excess by much. *)
+  let cost _ _ = 10 in
+  let problem =
+    { Constrained.pr_limits = [| 50; 50 |]; pr_object_cost = cost }
+  in
+  let part = Constrained.run ~seed:7 medical_g ~problem ~n_parts:2 in
+  let demand = 10 * (16 + 14) in
+  let unavoidable = demand - 100 in
+  Alcotest.(check bool) "over-run bounded" true
+    (Constrained.overrun problem part <= unavoidable + 20)
+
+let test_constrained_prefers_low_comm_among_feasible () =
+  (* With generous limits the constraint is void, so the result should be
+     at least as good as a random partition on communication. *)
+  let cost _ _ = 1 in
+  let problem =
+    { Constrained.pr_limits = [| 1000; 1000 |]; pr_object_cost = cost }
+  in
+  let part = Constrained.run ~seed:3 ~steps:6000 medical_g ~problem ~n_parts:2 in
+  let random = Workloads.Generator.random_partition ~seed:17 medical_g ~n_parts:2 in
+  Alcotest.(check bool) "beats random comm" true
+    (Cost.comm_bits medical_g part <= Cost.comm_bits medical_g random)
+
+let test_constrained_rejects_bad_limits () =
+  let problem = { Constrained.pr_limits = [| 1 |]; pr_object_cost = (fun _ _ -> 1) } in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Constrained.run: one limit per partition required")
+    (fun () -> ignore (Constrained.run medical_g ~problem ~n_parts:2))
+
+let prop_partitioners_complete =
+  QCheck.Test.make ~count:30 ~name:"all partitioners yield complete partitions"
+    QCheck.(make Gen.(pair (int_range 1 2000) (int_range 2 4)))
+    (fun (seed, n_parts) ->
+      let p =
+        Workloads.Generator.program
+          { Workloads.Generator.default_config with gen_seed = seed }
+      in
+      let g = Agraph.Access_graph.of_program p in
+      List.for_all
+        (fun part -> complete_and_valid g part)
+        [
+          Greedy.run g ~n_parts;
+          Kl.run_from_scratch g ~n_parts;
+          Annealing.run
+            ~config:{ Annealing.default_config with steps = 200; seed }
+            g ~n_parts;
+          Clustering.run g ~n_parts;
+        ])
+
+let () =
+  Alcotest.run "partitioning"
+    [
+      ( "partition",
+        [
+          tc "make/query" test_make_and_query;
+          tc "members" test_members;
+          tc "make errors" test_make_errors;
+          tc "assign" test_assign;
+          tc "complete_for" test_complete_for;
+        ] );
+      ( "classify",
+        [
+          tc "fig2" test_classify_fig2;
+          tc "designs 7/7 10/4 4/10" test_classify_designs;
+          tc "single partition" test_classify_single_partition;
+          tc "var away from users" test_classify_variable_away_from_users;
+          tc "ratio" test_ratio;
+        ] );
+      ( "cost",
+        [
+          tc "zero when together" test_comm_bits_zero_when_together;
+          tc "counts cross edges" test_comm_bits_counts_cross_edges;
+          tc "weight tradeoff" test_cost_total_monotone_in_comm;
+        ] );
+      ( "rng",
+        [
+          tc "determinism" test_rng_determinism;
+          tc "bounds" test_rng_bounds;
+          tc "shuffle permutes" test_rng_shuffle_permutes;
+        ] );
+      ( "algorithms",
+        [
+          tc "greedy complete" test_greedy_complete;
+          tc "kl improves" test_kl_improves_or_keeps;
+          tc "annealing deterministic" test_annealing_deterministic;
+          tc "annealing complete" test_annealing_complete;
+          tc "clustering complete" test_clustering_complete;
+          tc "clustering affinity" test_clustering_groups_affine_objects;
+          tc "smart beats random" test_partitioners_beat_random_on_comm;
+          tc "design search biases" test_design_search_biases;
+          tc "constrained: feasible" test_constrained_respects_limits;
+          tc "constrained: infeasible" test_constrained_minimizes_overrun_when_infeasible;
+          tc "constrained: low comm" test_constrained_prefers_low_comm_among_feasible;
+          tc "constrained: bad limits" test_constrained_rejects_bad_limits;
+          QCheck_alcotest.to_alcotest prop_partitioners_complete;
+        ] );
+    ]

@@ -1,0 +1,121 @@
+(** Tests for the quality-metric estimator (performance, code size, gate
+    count, pins, memory shape). *)
+
+open Helpers
+
+let quality design model =
+  let r =
+    refine Workloads.Medical.spec design.Workloads.Designs.d_partition model
+  in
+  (r, Core.Quality.of_refinement ~alloc:Workloads.Designs.allocation r)
+
+let test_component_kinds () =
+  let _, q = quality Workloads.Designs.design1 Core.Model.Model2 in
+  Alcotest.(check int) "two components" 2
+    (List.length q.Core.Quality.q_components);
+  let proc = List.nth q.Core.Quality.q_components 0 in
+  let asic = List.nth q.Core.Quality.q_components 1 in
+  Alcotest.(check bool) "processor has code size" true
+    (proc.Core.Quality.cq_software_bytes <> None);
+  Alcotest.(check bool) "processor has no gates" true
+    (proc.Core.Quality.cq_gates = None);
+  Alcotest.(check bool) "asic has gates" true
+    (asic.Core.Quality.cq_gates <> None);
+  Alcotest.(check bool) "asic checked against capacity" true
+    (asic.Core.Quality.cq_gates_ok <> None)
+
+let test_positive_metrics () =
+  List.iter
+    (fun model ->
+      let _, q = quality Workloads.Designs.design1 model in
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "time > 0" true
+            (c.Core.Quality.cq_exec_seconds > 0.0);
+          Alcotest.(check bool) "pins > 0" true (c.Core.Quality.cq_pins > 0))
+        q.Core.Quality.q_components)
+    Core.Model.all
+
+let test_memory_inventory () =
+  let _, q1 = quality Workloads.Designs.design1 Core.Model.Model1 in
+  let _, q2 = quality Workloads.Designs.design1 Core.Model.Model2 in
+  let _, q3 = quality Workloads.Designs.design1 Core.Model.Model3 in
+  let _, q4 = quality Workloads.Designs.design1 Core.Model.Model4 in
+  let n q = List.length q.Core.Quality.q_memories in
+  Alcotest.(check int) "m1: one memory" 1 (n q1);
+  Alcotest.(check int) "m2: 2 local + 1 global" 3 (n q2);
+  Alcotest.(check int) "m3: 2 local + 2 global" 4 (n q3);
+  Alcotest.(check int) "m4: 2 local" 2 (n q4);
+  (* Every variable is stored exactly once. *)
+  List.iter
+    (fun q ->
+      let words =
+        List.fold_left
+          (fun acc m -> acc + m.Core.Quality.mq_words)
+          0 q.Core.Quality.q_memories
+      in
+      Alcotest.(check int) "14 words total" 14 words)
+    [ q1; q2; q3; q4 ]
+
+let test_memory_ports () =
+  let _, q3 = quality Workloads.Designs.design1 Core.Model.Model3 in
+  List.iter
+    (fun m ->
+      if String.length m.Core.Quality.mq_name >= 4
+         && String.sub m.Core.Quality.mq_name 0 4 = "Gmem"
+      then
+        Alcotest.(check bool)
+          (m.Core.Quality.mq_name ^ " multiport")
+          true
+          (m.Core.Quality.mq_ports >= 1 && m.Core.Quality.mq_ports <= 2)
+      else
+        Alcotest.(check int) (m.Core.Quality.mq_name ^ " single") 1
+          m.Core.Quality.mq_ports)
+    q3.Core.Quality.q_memories
+
+let test_pins_track_bus_structure () =
+  (* Model3 gives partition 0 more buses than Model1 does; its pin demand
+     must not be lower. *)
+  let _, q1 = quality Workloads.Designs.design1 Core.Model.Model1 in
+  let _, q3 = quality Workloads.Designs.design1 Core.Model.Model3 in
+  let pins q i = (List.nth q.Core.Quality.q_components i).Core.Quality.cq_pins in
+  Alcotest.(check bool) "m3 >= m1 pins on P0" true (pins q3 0 >= pins q1 0)
+
+let test_exec_time_dominated_by_main_component () =
+  let r, q = quality Workloads.Designs.design1 Core.Model.Model2 in
+  let main = List.nth q.Core.Quality.q_components r.Core.Refiner.rf_top_home in
+  Alcotest.(check bool) "main partition busy" true
+    (main.Core.Quality.cq_exec_seconds > 0.0)
+
+let test_asic_capacity_consistency () =
+  List.iter
+    (fun (d : Workloads.Designs.design) ->
+      let _, q = quality d Core.Model.Model2 in
+      List.iter
+        (fun c ->
+          match
+            (c.Core.Quality.cq_gates, c.Core.Quality.cq_gates_ok,
+             c.Core.Quality.cq_component.Arch.Component.c_kind)
+          with
+          | Some g, Some ok, Arch.Component.Asic a ->
+            Alcotest.(check bool) "flag consistent" ok
+              (g <= a.Arch.Component.asic_gates)
+          | None, None, _ -> ()
+          | _ -> Alcotest.fail "inconsistent quality record")
+        q.Core.Quality.q_components)
+    Workloads.Designs.all
+
+let () =
+  Alcotest.run "quality"
+    [
+      ( "components",
+        [
+          tc "kinds" test_component_kinds;
+          tc "positive metrics" test_positive_metrics;
+          tc "pins track buses" test_pins_track_bus_structure;
+          tc "main component busy" test_exec_time_dominated_by_main_component;
+          tc "capacity consistency" test_asic_capacity_consistency;
+        ] );
+      ( "memories",
+        [ tc "inventory" test_memory_inventory; tc "ports" test_memory_ports ] );
+    ]

@@ -1,0 +1,595 @@
+(** Tests for the discrete-event simulator: interpreter semantics, signal
+    delta cycles, process trees, TOC arcs, servers, deadlock detection and
+    trace equivalence. *)
+
+open Spec
+open Spec.Ast
+open Helpers
+
+let s = Parser.stmts_of_string_exn
+let e = Parser.expr_of_string_exn
+
+let leaf_prog ?vars ?signals ?procs ?servers stmts =
+  Program.make ?vars ?signals ?procs ?servers "t" (Behavior.leaf "L" stmts)
+
+let int_vars names = List.map (fun n -> Builder.int_var ~init:0 n) names
+
+(* --- straight-line statements ---------------------------------------------- *)
+
+let test_assign_and_final () =
+  let r = run_ok (leaf_prog ~vars:(int_vars [ "x" ]) (s "x := 2 + 3;")) in
+  check_value "x" (vint 5) (final r "x")
+
+let test_if_branches () =
+  let prog v =
+    leaf_prog
+      ~vars:[ Builder.int_var ~init:v "x"; Builder.int_var "r" ]
+      (s "if x > 0 then r := 1; elsif x < 0 then r := 2; else r := 3; end if;")
+  in
+  check_value "then" (vint 1) (final (run_ok (prog 5)) "r");
+  check_value "elsif" (vint 2) (final (run_ok (prog (-5))) "r");
+  check_value "else" (vint 3) (final (run_ok (prog 0)) "r")
+
+let test_while_loop () =
+  let r =
+    run_ok
+      (leaf_prog ~vars:(int_vars [ "i"; "acc" ])
+         (s "while i < 5 do acc := acc + i; i := i + 1; end while;"))
+  in
+  check_value "acc" (vint 10) (final r "acc")
+
+let test_for_loop () =
+  let r =
+    run_ok
+      (leaf_prog ~vars:(int_vars [ "i"; "acc" ])
+         (s "for i := 1 to 4 do acc := acc + i; end for;"))
+  in
+  check_value "acc" (vint 10) (final r "acc");
+  check_value "i ends at hi" (vint 4) (final r "i")
+
+let test_for_empty_range () =
+  let r =
+    run_ok
+      (leaf_prog ~vars:(int_vars [ "i"; "acc" ])
+         (s "acc := 7; for i := 3 to 2 do acc := 0; end for;"))
+  in
+  check_value "body skipped" (vint 7) (final r "acc")
+
+let test_for_bounds_evaluated_once () =
+  (* Changing the bound variable inside the body must not extend the
+     loop. *)
+  let r =
+    run_ok
+      (leaf_prog ~vars:(int_vars [ "i"; "n"; "acc" ])
+         (s "n := 3; for i := 1 to n do n := 10; acc := acc + 1; end for;"))
+  in
+  check_value "three trips" (vint 3) (final r "acc")
+
+let test_emit_trace () =
+  let r =
+    run_ok
+      (leaf_prog ~vars:(int_vars [ "x" ])
+         (s "x := 1; emit \"a\" x; x := 2; emit \"a\" x; emit \"b\" x * 10;"))
+  in
+  Alcotest.(check (list value_testable)) "a" [ vint 1; vint 2 ] (trace_values "a" r);
+  Alcotest.(check (list value_testable)) "b" [ vint 20 ] (trace_values "b" r)
+
+(* --- signals and delta cycles ------------------------------------------------ *)
+
+let test_signal_delta_delay () =
+  (* A signal assignment is not visible until the next delta: reading it
+     immediately after still yields the old value. *)
+  let prog =
+    leaf_prog
+      ~vars:(int_vars [ "seen" ])
+      ~signals:[ Builder.int_signal ~init:5 "sg" ]
+      (s "sg <= 9; seen := sg;")
+  in
+  let r = run_ok prog in
+  check_value "old value read" (vint 5) (final r "seen")
+
+let test_wait_until_wakes_on_commit () =
+  let ping =
+    Behavior.leaf "P1" (s "go <= true; wait until ack = true; done_v := 1;")
+  in
+  let pong = Behavior.leaf "P2" (s "wait until go = true; ack <= true;") in
+  let prog =
+    Program.make
+      ~vars:(int_vars [ "done_v" ])
+      ~signals:[ Builder.bool_signal ~init:false "go"; Builder.bool_signal ~init:false "ack" ]
+      "t"
+      (Behavior.par "TOP" [ ping; pong ])
+  in
+  let r = run_ok prog in
+  check_value "handshake completed" (vint 1) (final r "done_v");
+  Alcotest.(check bool) "took deltas" true (r.Sim.Engine.r_deltas >= 2)
+
+let test_wait_until_true_proceeds () =
+  let r = run_ok (leaf_prog ~vars:(int_vars [ "x" ]) (s "wait until 1 < 2; x := 1;")) in
+  check_value "no block" (vint 1) (final r "x")
+
+let test_last_writer_wins_within_delta () =
+  let a = Behavior.leaf "A" (s "sg <= 1;") in
+  let b = Behavior.leaf "B" (s "sg <= 2;") in
+  let watcher =
+    Behavior.leaf "W" (s "wait until sg > 0; seen := sg;")
+  in
+  let prog =
+    Program.make
+      ~vars:(int_vars [ "seen" ])
+      ~signals:[ Builder.int_signal ~init:0 "sg" ]
+      "t"
+      (Behavior.par "TOP" [ a; b; watcher ])
+  in
+  let r = run_ok prog in
+  (* Process order is deterministic: B's write is scheduled last. *)
+  check_value "deterministic resolution" (vint 2) (final r "seen")
+
+(* --- procedures --------------------------------------------------------------- *)
+
+let test_proc_in_out () =
+  let double =
+    Builder.proc "double"
+      ~params:[ Builder.param_in "a" (TInt 16); Builder.param_out "r" (TInt 16) ]
+      (s "r := a * 2;")
+  in
+  let r =
+    run_ok
+      (leaf_prog ~procs:[ double ]
+         ~vars:(int_vars [ "x" ])
+         (s "call double(21, out x);"))
+  in
+  check_value "out param aliases" (vint 42) (final r "x")
+
+let test_proc_locals_and_nesting () =
+  let inner =
+    Builder.proc "inner"
+      ~params:[ Builder.param_out "r" (TInt 16) ]
+      ~vars:[ Builder.int_var ~init:5 "loc" ]
+      (s "r := loc + 1;")
+  in
+  let outer =
+    Builder.proc "outer"
+      ~params:[ Builder.param_out "r" (TInt 16) ]
+      ~vars:[ Builder.int_var "mid" ]
+      (s "call inner(out mid); r := mid * 10;")
+  in
+  let r =
+    run_ok
+      (leaf_prog ~procs:[ inner; outer ]
+         ~vars:(int_vars [ "x" ])
+         (s "call outer(out x);"))
+  in
+  check_value "nested" (vint 60) (final r "x")
+
+let test_proc_wait_inside () =
+  (* A procedure can suspend (that is how the bus protocols work). *)
+  let wait_go =
+    Builder.proc "wait_go" (s "wait until go = true;")
+  in
+  let main = Behavior.leaf "M" (s "call wait_go(); x := 1;") in
+  let kick = Behavior.leaf "K" (s "go <= true;") in
+  let prog =
+    Program.make ~procs:[ wait_go ]
+      ~vars:(int_vars [ "x" ])
+      ~signals:[ Builder.bool_signal ~init:false "go" ]
+      "t"
+      (Behavior.par "TOP" [ main; kick ])
+  in
+  check_value "resumed inside proc" (vint 1) (final (run_ok prog) "x")
+
+(* --- behavior trees ------------------------------------------------------------ *)
+
+let test_seq_fallthrough () =
+  let prog =
+    Program.make ~vars:(int_vars [ "x" ]) "t"
+      (Behavior.seq "T"
+         [
+           Behavior.arm (Behavior.leaf "A" (s "x := x + 1;"));
+           Behavior.arm (Behavior.leaf "B" (s "x := x * 10;"));
+         ])
+  in
+  check_value "A then B" (vint 10) (final (run_ok prog) "x")
+
+let test_seq_toc_branch () =
+  let prog v =
+    Program.make
+      ~vars:[ Builder.int_var ~init:v "x"; Builder.int_var "r" ]
+      "t"
+      (Behavior.seq "T"
+         [
+           Behavior.arm (Behavior.leaf "A" [])
+             ~transitions:
+               [ Builder.goto ~cond:(e "x > 0") "POS";
+                 Builder.goto "NEG" ];
+           Behavior.arm (Behavior.leaf "POS" (s "r := 1;"))
+             ~transitions:[ Builder.complete () ];
+           Behavior.arm (Behavior.leaf "NEG" (s "r := 2;"));
+         ])
+  in
+  check_value "positive" (vint 1) (final (run_ok (prog 5)) "r");
+  check_value "negative" (vint 2) (final (run_ok (prog (-5))) "r")
+
+let test_seq_no_arc_fires_completes () =
+  let prog =
+    Program.make ~vars:(int_vars [ "r" ]) "t"
+      (Behavior.seq "T"
+         [
+           Behavior.arm (Behavior.leaf "A" [])
+             ~transitions:[ Builder.goto ~cond:(e "1 > 2") "B" ];
+           Behavior.arm (Behavior.leaf "B" (s "r := 1;"));
+         ])
+  in
+  check_value "B skipped" (vint 0) (final (run_ok prog) "r")
+
+let test_seq_loop_via_goto () =
+  check_value "ping-pong loops" (vint 30)
+    (final (run_ok Workloads.Smallspecs.ping_pong) "n")
+
+let test_rearmed_behavior_reinitializes_locals () =
+  (* Re-entering an arm must reset its locals to their initializers. *)
+  let body =
+    Behavior.leaf ~vars:[ Builder.int_var ~init:0 "loc" ] "BODY"
+      (s "loc := loc + 1; emit \"loc\" loc; n := n + 1;")
+  in
+  let prog =
+    Program.make ~vars:(int_vars [ "n" ]) "t"
+      (Behavior.seq "T"
+         [
+           Behavior.arm body
+             ~transitions:
+               [ Builder.goto ~cond:(e "n < 3") "BODY"; Builder.complete () ];
+         ])
+  in
+  let r = run_ok prog in
+  Alcotest.(check (list value_testable)) "always 1" [ vint 1; vint 1; vint 1 ]
+    (trace_values "loc" r)
+
+let test_par_waits_for_all () =
+  let prog =
+    Program.make ~vars:(int_vars [ "a"; "b"; "r" ]) "t"
+      (Behavior.seq "T"
+         [
+           Behavior.arm
+             (Behavior.par "P"
+                [
+                  Behavior.leaf "X" (s "a := 1;");
+                  Behavior.leaf "Y" (s "for q := 0 to 9 do b := b + 1; end for;");
+                ]);
+           Behavior.arm (Behavior.leaf "AFTER" (s "r := a + b;"));
+         ])
+  in
+  let prog =
+    { prog with
+      p_top =
+        { prog.p_top with b_vars = [ Builder.int_var "q" ] } }
+  in
+  check_value "both done first" (vint 11) (final (run_ok prog) "r")
+
+let test_empty_compositions_complete () =
+  let prog =
+    Program.make "t"
+      (Behavior.seq "T"
+         [ Behavior.arm (Behavior.par "P" []); Behavior.arm (Behavior.seq "S" []) ])
+  in
+  ignore (run_ok prog)
+
+(* --- servers, deadlock, limits --------------------------------------------------- *)
+
+let test_server_allows_completion () =
+  let server =
+    Behavior.leaf "SRV" (s "while true do wait until ping = true; pong <= true; wait until ping = false; pong <= false; end while;")
+  in
+  let client =
+    Behavior.leaf "CLI"
+      (s "ping <= true; wait until pong = true; ping <= false; x := 1;")
+  in
+  let prog =
+    Program.make ~servers:[ "SRV" ]
+      ~vars:(int_vars [ "x" ])
+      ~signals:
+        [ Builder.bool_signal ~init:false "ping";
+          Builder.bool_signal ~init:false "pong" ]
+      "t"
+      (Behavior.par "TOP" [ client; server ])
+  in
+  let r = run_ok prog in
+  check_value "client finished" (vint 1) (final r "x")
+
+let test_unregistered_server_is_deadlock () =
+  let server = Behavior.leaf "SRV" (s "while true do wait until ping = true; end while;") in
+  let prog =
+    Program.make
+      ~signals:[ Builder.bool_signal ~init:false "ping" ]
+      "t"
+      (Behavior.par "TOP" [ Behavior.leaf "CLI" [] ; server ])
+  in
+  match (Sim.Engine.run prog).Sim.Engine.r_outcome with
+  | Sim.Engine.Deadlock who ->
+    Alcotest.(check bool) "names the waiter" true
+      (List.exists (fun d -> String.length d > 0) who)
+  | o -> Alcotest.failf "expected deadlock, got %s" (Sim.Engine.outcome_to_string o)
+
+let test_deadlock_two_waiters () =
+  let a = Behavior.leaf "A" (s "wait until sb = true; sa <= true;") in
+  let b = Behavior.leaf "B" (s "wait until sa = true; sb <= true;") in
+  let prog =
+    Program.make
+      ~signals:
+        [ Builder.bool_signal ~init:false "sa"; Builder.bool_signal ~init:false "sb" ]
+      "t"
+      (Behavior.par "TOP" [ a; b ])
+  in
+  match (Sim.Engine.run prog).Sim.Engine.r_outcome with
+  | Sim.Engine.Deadlock who -> Alcotest.(check int) "both blocked" 2 (List.length who)
+  | o -> Alcotest.failf "expected deadlock, got %s" (Sim.Engine.outcome_to_string o)
+
+let test_step_limit () =
+  let prog = leaf_prog ~vars:(int_vars [ "x" ]) (s "while 1 < 2 do x := x + 1; end while;") in
+  let config = { Sim.Engine.default_config with max_steps = 1000 } in
+  match (Sim.Engine.run ~config prog).Sim.Engine.r_outcome with
+  | Sim.Engine.Step_limit -> ()
+  | o -> Alcotest.failf "expected step limit, got %s" (Sim.Engine.outcome_to_string o)
+
+let test_runtime_error_unbound () =
+  let prog =
+    Program.make "t" (Behavior.leaf "L" [ Assign ("ghost", Expr.int 1) ])
+  in
+  (* Bypass validation deliberately: the engine must fail loudly. *)
+  match Sim.Engine.run prog with
+  | exception Sim.Interp.Run_error _ -> ()
+  | _ -> Alcotest.fail "expected Run_error"
+
+(* --- traces ----------------------------------------------------------------------- *)
+
+let test_trace_equivalence () =
+  let mk tags = List.mapi (fun i t -> { Sim.Trace.ev_tag = t; ev_value = vint i; ev_delta = i }) tags in
+  Alcotest.(check bool) "equal" true
+    (Sim.Trace.equivalent (mk [ "a"; "b" ]) (mk [ "a"; "b" ]));
+  Alcotest.(check bool) "differs" false
+    (Sim.Trace.equivalent (mk [ "a"; "b" ]) (mk [ "b"; "a" ]))
+
+let test_trace_projection () =
+  let ev tag v = { Sim.Trace.ev_tag = tag; ev_value = vint v; ev_delta = 0 } in
+  let t1 = [ ev "a" 1; ev "b" 10; ev "a" 2 ] in
+  let t2 = [ ev "b" 10; ev "a" 1; ev "a" 2 ] in
+  let t3 = [ ev "a" 2; ev "b" 10; ev "a" 1 ] in
+  Alcotest.(check bool) "interleaving ignored" true
+    (Sim.Trace.projection_equivalent t1 t2);
+  Alcotest.(check bool) "per-tag order kept" false
+    (Sim.Trace.projection_equivalent t1 t3)
+
+let test_first_divergence () =
+  let ev tag v = { Sim.Trace.ev_tag = tag; ev_value = vint v; ev_delta = 0 } in
+  Alcotest.(check (option int)) "at 1" (Some 1)
+    (Sim.Trace.first_divergence [ ev "a" 1; ev "b" 2 ] [ ev "a" 1; ev "b" 3 ]);
+  Alcotest.(check (option int)) "length" (Some 1)
+    (Sim.Trace.first_divergence [ ev "a" 1; ev "b" 2 ] [ ev "a" 1 ]);
+  Alcotest.(check (option int)) "same" None
+    (Sim.Trace.first_divergence [ ev "a" 1 ] [ ev "a" 1 ])
+
+(* --- arrays ---------------------------------------------------------------------------- *)
+
+let test_array_read_write () =
+  let prog =
+    Program.make
+      ~vars:
+        [ Builder.var "a" (Ast.TArray (16, 4)) ~init:(Ast.VInt 9);
+          Builder.int_var "x" ]
+      "t"
+      (Behavior.leaf ~vars:[ Builder.int_var "i" ] "L"
+         (s "x := a[0]; for i := 0 to 3 do a[i] := i * i; end for; emit \"sum\" a[0] + a[1] + a[2] + a[3];"))
+  in
+  let r = run_ok prog in
+  check_value "fill init read" (vint 9) (final r "x");
+  Alcotest.(check (list value_testable)) "0+1+4+9" [ vint 14 ]
+    (trace_values "sum" r);
+  check_value "element final" (vint 4) (final r "a[2]")
+
+let test_array_out_of_bounds () =
+  let prog =
+    Program.make
+      ~vars:[ Builder.var "a" (Ast.TArray (16, 2)) ]
+      "t"
+      (Behavior.leaf "L" [ Ast.Assign_idx ("a", Expr.int 5, Expr.int 1) ])
+  in
+  match Sim.Engine.run prog with
+  | exception Sim.Interp.Run_error msg ->
+    Alcotest.(check bool) "mentions bounds" true
+      (let sub = "out of bounds" in
+       let n = String.length sub and m = String.length msg in
+       let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+       go 0)
+  | _ -> Alcotest.fail "expected bounds error"
+
+let test_array_reinit_on_rearm () =
+  (* Behavior-local arrays reinitialize when the arm re-enters. *)
+  let body =
+    Behavior.leaf
+      ~vars:[ Builder.var "buf" (Ast.TArray (16, 2)) ~init:(Ast.VInt 0) ]
+      "BODY"
+      (s "buf[0] := buf[0] + 5; emit \"b0\" buf[0]; n := n + 1;")
+  in
+  let prog =
+    Program.make ~vars:(int_vars [ "n" ]) "t"
+      (Behavior.seq "T"
+         [
+           Behavior.arm body
+             ~transitions:
+               [ Builder.goto ~cond:(e "n < 2") "BODY"; Builder.complete () ];
+         ])
+  in
+  let r = run_ok prog in
+  Alcotest.(check (list value_testable)) "fresh each time" [ vint 5; vint 5 ]
+    (trace_values "b0" r)
+
+(* --- waveforms ----------------------------------------------------------------------- *)
+
+let contains ~sub str =
+  let n = String.length sub and m = String.length str in
+  let rec go i = i + n <= m && (String.sub str i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_signal_trace_recorded () =
+  let prog =
+    Program.make
+      ~signals:[ Builder.bool_signal ~init:false "go"; Builder.int_signal ~init:0 "d" ]
+      "t"
+      (Behavior.leaf "L" (s "go <= true; d <= 7; wait until go = true; d <= 9;"))
+  in
+  let config = { Sim.Engine.default_config with trace_signals = true } in
+  let r = Sim.Engine.run ~config prog in
+  (* Two commits: {go:=true, d:=7} then {d:=9}. *)
+  Alcotest.(check int) "two deltas with changes" 2
+    (List.length r.Sim.Engine.r_signal_trace);
+  let _, first = List.hd r.Sim.Engine.r_signal_trace in
+  Alcotest.(check int) "both changed first" 2 (List.length first)
+
+let test_signal_trace_off_by_default () =
+  let prog =
+    Program.make
+      ~signals:[ Builder.bool_signal ~init:false "go" ]
+      "t"
+      (Behavior.leaf "L" (s "go <= true;"))
+  in
+  let r = Sim.Engine.run prog in
+  Alcotest.(check int) "empty" 0 (List.length r.Sim.Engine.r_signal_trace)
+
+let test_vcd_output () =
+  let prog =
+    Program.make
+      ~signals:
+        [ Builder.bool_signal ~init:false "go"; Builder.int_signal ~width:8 ~init:3 "d" ]
+      "wave"
+      (Behavior.leaf "L" (s "go <= true; d <= 7; wait until go = true; go <= false;"))
+  in
+  let config = { Sim.Engine.default_config with trace_signals = true } in
+  let r = Sim.Engine.run ~config prog in
+  let vcd = Sim.Vcd.of_result prog r in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) frag true (contains ~sub:frag vcd))
+    [
+      "$scope module wave $end";
+      "$var wire 1 ! go $end";
+      "$var reg 8 \" d $end";
+      "$enddefinitions $end";
+      "#0";
+      "b00000011 \"";  (* initial d = 3 *)
+      "b00000111 \"";  (* d = 7 *)
+      "1!";
+      "0!";
+    ]
+
+let test_vcd_ids_unique () =
+  let signals = List.init 200 (fun i -> Builder.bool_signal (Printf.sprintf "s%d" i)) in
+  let prog = Program.make ~signals "many" (Behavior.leaf "L" []) in
+  let config = { Sim.Engine.default_config with trace_signals = true } in
+  let r = Sim.Engine.run ~config prog in
+  let vcd = Sim.Vcd.of_result prog r in
+  (* extract the id column of each $var line *)
+  let ids =
+    String.split_on_char '\n' vcd
+    |> List.filter_map (fun l ->
+           match String.split_on_char ' ' l with
+           | [ "$var"; _; _; id; _; "$end" ] -> Some id
+           | _ -> None)
+  in
+  Alcotest.(check int) "200 vars" 200 (List.length ids);
+  Alcotest.(check int) "unique ids" 200
+    (List.length (List.sort_uniq compare ids))
+
+(* --- determinism -------------------------------------------------------------------- *)
+
+let prop_simulation_deterministic =
+  QCheck.Test.make ~count:25 ~name:"simulation is deterministic"
+    QCheck.(make Gen.(int_range 1 5000))
+    (fun seed ->
+      let p =
+        Workloads.Generator.program
+          { Workloads.Generator.default_config with gen_seed = seed }
+      in
+      let r1 = Sim.Engine.run p and r2 = Sim.Engine.run p in
+      r1.Sim.Engine.r_trace = r2.Sim.Engine.r_trace
+      && r1.Sim.Engine.r_final = r2.Sim.Engine.r_final
+      && r1.Sim.Engine.r_deltas = r2.Sim.Engine.r_deltas)
+
+let prop_generated_specs_complete =
+  QCheck.Test.make ~count:40 ~name:"generated specs terminate"
+    QCheck.(make Gen.(int_range 1 5000))
+    (fun seed ->
+      let p =
+        Workloads.Generator.program
+          { Workloads.Generator.default_config with gen_seed = seed }
+      in
+      (Sim.Engine.run p).Sim.Engine.r_outcome = Sim.Engine.Completed)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "statements",
+        [
+          tc "assign" test_assign_and_final;
+          tc "if branches" test_if_branches;
+          tc "while" test_while_loop;
+          tc "for" test_for_loop;
+          tc "for empty range" test_for_empty_range;
+          tc "for bounds once" test_for_bounds_evaluated_once;
+          tc "emit" test_emit_trace;
+        ] );
+      ( "signals",
+        [
+          tc "delta delay" test_signal_delta_delay;
+          tc "wait wakes on commit" test_wait_until_wakes_on_commit;
+          tc "wait on true" test_wait_until_true_proceeds;
+          tc "last writer wins" test_last_writer_wins_within_delta;
+        ] );
+      ( "procedures",
+        [
+          tc "in/out" test_proc_in_out;
+          tc "locals + nesting" test_proc_locals_and_nesting;
+          tc "wait inside" test_proc_wait_inside;
+        ] );
+      ( "behavior trees",
+        [
+          tc "seq fallthrough" test_seq_fallthrough;
+          tc "TOC branch" test_seq_toc_branch;
+          tc "no arc completes" test_seq_no_arc_fires_completes;
+          tc "goto loop" test_seq_loop_via_goto;
+          tc "re-arm reinitializes" test_rearmed_behavior_reinitializes_locals;
+          tc "par barrier" test_par_waits_for_all;
+          tc "empty compositions" test_empty_compositions_complete;
+        ] );
+      ( "servers & limits",
+        [
+          tc "server allows completion" test_server_allows_completion;
+          tc "unregistered server deadlocks" test_unregistered_server_is_deadlock;
+          tc "deadlock detection" test_deadlock_two_waiters;
+          tc "step limit" test_step_limit;
+          tc "unbound is loud" test_runtime_error_unbound;
+        ] );
+      ( "arrays",
+        [
+          tc "read/write" test_array_read_write;
+          tc "bounds checked" test_array_out_of_bounds;
+          tc "reinit on re-arm" test_array_reinit_on_rearm;
+        ] );
+      ( "waveforms",
+        [
+          tc "signal trace recorded" test_signal_trace_recorded;
+          tc "off by default" test_signal_trace_off_by_default;
+          tc "vcd output" test_vcd_output;
+          tc "vcd ids unique" test_vcd_ids_unique;
+        ] );
+      ( "traces",
+        [
+          tc "equivalence" test_trace_equivalence;
+          tc "projection" test_trace_projection;
+          tc "first divergence" test_first_divergence;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_simulation_deterministic;
+          QCheck_alcotest.to_alcotest prop_generated_specs_complete;
+        ] );
+    ]
