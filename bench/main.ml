@@ -9,6 +9,9 @@
     - The derived claims: specification growth ratio, per-design model
       ranking by maximum bus rate, bus-count bounds per model.
     - Ablation: profiled vs uniform channel rates.
+    - Design-space exploration throughput: candidates evaluated per
+      second at 1 vs N domains, and the memoization hit rate of a
+      repeated sweep.
     - Bechamel micro-benchmarks of the refiner, the access-graph
       derivation, the partitioners and the simulator. *)
 
@@ -309,6 +312,72 @@ let ablation_protocol () =
     Designs.all
 
 (* ------------------------------------------------------------------ *)
+(* Design-space exploration: parallel throughput and cache hit rate    *)
+(* ------------------------------------------------------------------ *)
+
+let explore_bench () =
+  print_endline "";
+  print_endline
+    "== Explore: candidates/second at 1 vs N domains, cache hit rate ==";
+  let config =
+    {
+      Explore.Sweep.default_config with
+      Explore.Sweep.seeds = [ 1; 2; 3 ];
+      steps = 1500;
+    }
+  in
+  let n_candidates =
+    List.length
+      (Explore.Candidate.enumerate ~n_parts:config.Explore.Sweep.n_parts
+         ~steps:config.Explore.Sweep.steps ~seeds:config.Explore.Sweep.seeds
+         ~models:config.Explore.Sweep.models ())
+  in
+  let sweep_at ?cache jobs =
+    let t0 = Unix.gettimeofday () in
+    let sw =
+      Explore.Sweep.run ?cache { config with Explore.Sweep.jobs } spec
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    (sw, dt)
+  in
+  let report label (sw, dt) =
+    Printf.printf
+      "%-24s %5.2fs  %6.1f candidates/s  cache %d hits / %d misses\n" label dt
+      (float_of_int (List.length sw.Explore.Sweep.sw_results) /. dt)
+      sw.Explore.Sweep.sw_hits sw.Explore.Sweep.sw_misses
+  in
+  Printf.printf "candidate space: %d candidates (3 seeds x 3 biases x 4 models)\n"
+    n_candidates;
+  let cold1 = sweep_at 1 in
+  report "cold, --jobs 1" cold1;
+  let cold4 = sweep_at 4 in
+  report "cold, --jobs 4" cold4;
+  let sw1, dt1 = cold1 and sw4, dt4 = cold4 in
+  Printf.printf "speedup (1 -> 4 domains): %.2fx on %d cores\n" (dt1 /. dt4)
+    (Explore.Pool.default_jobs ());
+  (* Repeated sweep through one shared cache: the annealing re-runs but
+     every refine->check->quality tail must hit. *)
+  let cache = Explore.Cache.create () in
+  let _warm = Explore.Sweep.run ~cache config spec in
+  Explore.Cache.reset_stats cache;
+  let repeat, _ = sweep_at ~cache 1 in
+  Printf.printf "repeated sweep hit rate: %.0f%% (%d hits / %d misses)\n"
+    (100.0
+    *. float_of_int repeat.Explore.Sweep.sw_hits
+    /. float_of_int
+         (max 1 (repeat.Explore.Sweep.sw_hits + repeat.Explore.Sweep.sw_misses)))
+    repeat.Explore.Sweep.sw_hits repeat.Explore.Sweep.sw_misses;
+  (* Determinism spot-check: the frontiers at 1 and 4 domains agree. *)
+  let labels sw =
+    List.map
+      (fun (r : Explore.Evaluate.result) ->
+        Explore.Candidate.label r.Explore.Evaluate.r_candidate)
+      sw.Explore.Sweep.sw_frontier
+  in
+  Printf.printf "frontiers identical across domain counts: %b\n"
+    (labels sw1 = labels sw4)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -446,6 +515,7 @@ let () =
   bus_count_sweep ();
   ablation_rates ();
   ablation_protocol ();
+  explore_bench ();
   workload_appendix "elevator controller" Elevator.spec Elevator.graph
     Elevator.partition;
   workload_appendix "4-tap FIR filter (arrays)" Fir.spec Fir.graph

@@ -35,16 +35,19 @@ let spec_arg =
     & pos 0 (some file) None
     & info [] ~docv:"SPEC" ~doc:"Specification file (textual SpecCharts-like syntax).")
 
-let model_arg =
+let model_conv =
   let parse s =
     match Core.Model.of_string s with
     | Some m -> Ok m
     | None -> Error (`Msg (Printf.sprintf "unknown model %S (use 1-4)" s))
   in
   let print ppf m = Format.pp_print_string ppf (Core.Model.name m) in
+  Arg.conv (parse, print)
+
+let model_arg =
   Arg.(
     value
-    & opt (conv (parse, print)) Core.Model.Model2
+    & opt model_conv Core.Model.Model2
     & info [ "m"; "model" ] ~docv:"MODEL"
         ~doc:"Implementation model: model1..model4 (or 1..4).")
 
@@ -434,6 +437,125 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Run the built-in medical workload across all models.")
     Term.(const run $ const ())
 
+let explore_cmd =
+  let bias_conv =
+    let parse s =
+      match Explore.Candidate.bias_of_string s with
+      | Some b -> Ok b
+      | None ->
+        Error (`Msg (Printf.sprintf
+                       "unknown bias %S (use balanced, local or global)" s))
+    in
+    let print ppf b =
+      Format.pp_print_string ppf (Explore.Candidate.bias_name b)
+    in
+    Arg.conv (parse, print)
+  in
+  let models_arg =
+    Arg.(
+      value
+      & opt (list model_conv) Core.Model.all
+      & info [ "models" ] ~docv:"MODELS"
+          ~doc:"Comma-separated implementation models to sweep (default: all four).")
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 3 ]
+      & info [ "seeds" ] ~docv:"SEEDS"
+          ~doc:"Comma-separated partition-search seeds.")
+  in
+  let biases_arg =
+    Arg.(
+      value
+      & opt (list bias_conv) Explore.Candidate.all_biases
+      & info [ "biases" ] ~docv:"BIASES"
+          ~doc:"Comma-separated local/global balance targets: balanced, \
+                local, global (default: all three).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains evaluating candidates in parallel.  The \
+                result is identical for every N.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let top_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Show only the first K candidate rows (0 = all).  The \
+                Pareto frontier is always printed in full.")
+  in
+  let steps_arg =
+    Arg.(
+      value
+      & opt int 4000
+      & info [ "steps" ] ~docv:"STEPS"
+          ~doc:"Annealing steps per partition search.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string ".mrefine-cache"
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Persistent evaluation cache directory; repeated sweeps \
+                reuse refinements across runs.")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Do not read or write the on-disk cache.")
+  in
+  let run spec_path models seeds biases n_parts steps jobs json top cache_dir
+      no_cache output =
+    let p = or_die (load_spec spec_path) in
+    if jobs < 1 then or_die (Error "--jobs must be >= 1");
+    if models = [] || seeds = [] || biases = [] then
+      or_die (Error "--models, --seeds and --biases must be non-empty");
+    let cache =
+      if no_cache then Explore.Cache.create ()
+      else
+        try Explore.Cache.create ~dir:cache_dir ()
+        with Sys_error msg ->
+          or_die
+            (Error (Printf.sprintf "cannot create cache directory %s: %s"
+                      cache_dir msg))
+    in
+    let config =
+      {
+        Explore.Sweep.seeds;
+        biases;
+        models;
+        n_parts;
+        steps;
+        jobs;
+      }
+    in
+    let sw = Explore.Sweep.run ~cache config p in
+    let report =
+      if json then Explore.Sweep.to_json ~top sw
+      else Explore.Sweep.to_text ~top sw
+    in
+    write_out output report
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Sweep the design space (partition seeds x biases x models), \
+          evaluate every candidate in parallel with memoization, and \
+          report the Pareto frontier over max bus rate, specification \
+          growth and pins+gates.")
+    Term.(
+      const run $ spec_arg $ models_arg $ seeds_arg $ biases_arg $ parts_arg
+      $ steps_arg $ jobs_arg $ json_arg $ top_arg $ cache_dir_arg
+      $ no_cache_arg $ output_arg)
+
 let () =
   let info =
     Cmd.info "mrefine" ~version:"1.0.0"
@@ -443,4 +565,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ parse_cmd; graph_cmd; partition_cmd; refine_cmd; simulate_cmd;
-            cosim_cmd; typecheck_cmd; export_cmd; quality_cmd; demo_cmd ]))
+            cosim_cmd; typecheck_cmd; export_cmd; quality_cmd; demo_cmd;
+            explore_cmd ]))

@@ -6,6 +6,13 @@
     interfaces.  Also writes the access graph as Graphviz to
     [fig2_access_graph.dot].
 
+    The second half turns the same question over to the design-space
+    exploration engine ([lib/explore]): instead of one hand-picked
+    partition, it sweeps partition seeds x local/global biases x the four
+    models, evaluates every candidate through a memoized parallel
+    pipeline, and reports the Pareto frontier over max bus rate,
+    specification growth and pins+gates.
+
     Run with: [dune exec examples/explore_models.exe] *)
 
 open Workloads
@@ -65,4 +72,18 @@ let () =
       in
       Printf.printf "  cosimulation: %s\n"
         (if verdict.Sim.Cosim.v_equivalent then "equivalent" else "FAILED"))
-    Core.Model.all
+    Core.Model.all;
+
+  (* --- automatic design-space exploration over the same example ------- *)
+  print_endline "";
+  print_endline "=== design-space exploration (lib/explore) ===";
+  let config =
+    {
+      Explore.Sweep.default_config with
+      Explore.Sweep.seeds = [ 1; 2 ];
+      steps = 1000;
+      jobs = Explore.Pool.default_jobs ();
+    }
+  in
+  let sweep = Explore.Sweep.run config spec in
+  print_string (Explore.Sweep.to_text ~top:8 sweep)

@@ -1,0 +1,124 @@
+(** Mutex-protected memo table with optional one-file-per-key disk
+    persistence.  See the interface for the concurrency contract. *)
+
+(* Bump when the marshalled layout of cached values changes: stale disk
+   entries from an older build then read as misses instead of garbage. *)
+let format_version = "coref-explore-cache-1\n"
+
+type stats = { hits : int; misses : int }
+
+type t = {
+  table : (string, string) Hashtbl.t;  (* key -> marshalled value *)
+  lock : Mutex.t;
+  dir : string option;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755
+    with Sys_error _ when Sys.file_exists path -> ()
+  end
+
+let create ?dir () =
+  Option.iter mkdir_p dir;
+  {
+    table = Hashtbl.create 64;
+    lock = Mutex.create ();
+    dir;
+    hits = 0;
+    misses = 0;
+  }
+
+let digest_key components =
+  Digest.to_hex (Digest.string (String.concat "\x00" components))
+
+let file_of t key =
+  Option.map (fun dir -> Filename.concat dir (key ^ ".memo")) t.dir
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Write-to-temp + rename so concurrent processes never observe a
+   half-written entry. *)
+let write_file path data =
+  let tmp =
+    Printf.sprintf "%s.%d.tmp" path (Hashtbl.hash (path, data, Sys.time ()))
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc data);
+  Sys.rename tmp path
+
+let disk_find t key =
+  match file_of t key with
+  | None -> None
+  | Some path ->
+    (try
+       let data = read_file path in
+       let vn = String.length format_version in
+       if
+         String.length data > vn
+         && String.sub data 0 vn = format_version
+       then Some (String.sub data vn (String.length data - vn))
+       else None
+     with Sys_error _ | End_of_file -> None)
+
+let disk_add t key blob =
+  match file_of t key with
+  | None -> ()
+  | Some path ->
+    (try write_file path (format_version ^ blob) with Sys_error _ -> ())
+
+let lookup t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some blob ->
+        t.hits <- t.hits + 1;
+        Some blob
+      | None ->
+        (match disk_find t key with
+        | Some blob ->
+          Hashtbl.replace t.table key blob;
+          t.hits <- t.hits + 1;
+          Some blob
+        | None ->
+          t.misses <- t.misses + 1;
+          None))
+
+let find_or_add t key compute =
+  match lookup t key with
+  | Some blob -> (Marshal.from_string blob 0, true)
+  | None ->
+    let v = compute () in
+    let blob = Marshal.to_string v [] in
+    with_lock t (fun () ->
+        Hashtbl.replace t.table key blob;
+        disk_add t key blob);
+    (v, false)
+
+let mem t key =
+  with_lock t (fun () ->
+      Hashtbl.mem t.table key || disk_find t key <> None)
+
+let stats t = with_lock t (fun () -> { hits = t.hits; misses = t.misses })
+
+let hit_rate t =
+  let s = stats t in
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let reset_stats t =
+  with_lock t (fun () ->
+      t.hits <- 0;
+      t.misses <- 0)

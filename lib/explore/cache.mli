@@ -1,0 +1,44 @@
+(** Content-hashed memoization of candidate evaluations.  A cache maps a
+    key — the hex digest of (spec digest, canonical partition, model) as
+    built by {!Evaluate} — to a marshalled value, in a mutex-protected
+    in-memory table optionally backed by a directory on disk (one file
+    per key, written atomically), so repeated sweeps and annealing
+    restarts never re-refine identical candidates, across processes.
+
+    The value type is the caller's: each cache instance must store one
+    type only (the marshalling round-trip is untyped).  Values must be
+    marshallable (no closures); {!Evaluate.metrics} is.
+
+    Thread-safety: all operations may be called concurrently from
+    multiple domains.  Two domains racing on the same missing key may
+    both compute it; both observe the same (deterministic) value, so
+    results never depend on the interleaving. *)
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** A fresh, empty cache.  With [dir], entries are also persisted under
+    that directory (created if missing) and looked up there on an
+    in-memory miss; unreadable or corrupt files are treated as misses. *)
+
+val digest_key : string list -> string
+(** Stable hex key of the given components (order-sensitive). *)
+
+val find_or_add : t -> string -> (unit -> 'a) -> 'a * bool
+(** [find_or_add t key compute] returns the cached value for [key]
+    ([..., true]) or runs [compute], stores the result, and returns it
+    ([..., false]).  Each call counts as one lookup in {!stats}. *)
+
+val mem : t -> string -> bool
+(** Whether [key] is resident in memory or on disk (not counted as a
+    lookup). *)
+
+type stats = { hits : int; misses : int }
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; 0 when no lookups happened. *)
+
+val reset_stats : t -> unit
+(** Zero the hit/miss counters, keeping the entries. *)

@@ -1,0 +1,135 @@
+(** Candidate evaluation: partition search, refinement, structural check
+    and quality measurement, with the refinement tail memoized.  See the
+    interface for the cache-key and determinism contracts. *)
+
+open Partitioning
+
+type metrics = {
+  e_locals : int;
+  e_globals : int;
+  e_comm_bits : int;
+  e_max_bus_rate : float;
+  e_bus_count : int;
+  e_memories : int;
+  e_lines : int;
+  e_growth : float;
+  e_pins : int;
+  e_gates : int;
+  e_software_bytes : int;
+  e_exec_seconds : float;
+  e_check_ok : bool;
+}
+
+type result = {
+  r_candidate : Candidate.t;
+  r_outcome : (metrics, string) Stdlib.result;
+  r_cached : bool;
+}
+
+type ctx = {
+  cx_spec : Spec.Ast.program;
+  cx_graph : Agraph.Access_graph.t;
+  cx_digest : string;
+  cx_alloc : Arch.Allocation.t option;
+}
+
+let spec_digest p =
+  Digest.to_hex (Digest.string (Spec.Printer.program_to_string p))
+
+let make_ctx ?alloc spec =
+  {
+    cx_spec = spec;
+    cx_graph = Agraph.Access_graph.of_program spec;
+    cx_digest = spec_digest spec;
+    cx_alloc = alloc;
+  }
+
+let default_alloc ~n_parts =
+  Arch.Allocation.make
+    (List.init n_parts (fun i ->
+         if i = 0 then Arch.Catalog.i8086 else Arch.Catalog.asic_10k))
+
+let alloc_for ctx (c : Candidate.t) =
+  match ctx.cx_alloc with
+  | Some a -> a
+  | None -> default_alloc ~n_parts:c.Candidate.c_n_parts
+
+let partition_of ctx (c : Candidate.t) =
+  Design_search.run ~seed:c.Candidate.c_seed ~steps:c.Candidate.c_steps
+    ctx.cx_graph ~n_parts:c.Candidate.c_n_parts ~bias:c.Candidate.c_bias
+
+(* Canonical partition text: [Partition.objects] is sorted by object, so
+   two equal partitions print identically however they were built. *)
+let partition_repr part =
+  String.concat ";"
+    (Printf.sprintf "n=%d" (Partition.n_parts part)
+    :: List.map
+         (fun (o, i) -> Printf.sprintf "%s=%d" (Partition.obj_name o) i)
+         (Partition.objects part))
+
+let cache_key ~spec_digest ~partition ~model =
+  Cache.digest_key
+    [ spec_digest; partition_repr partition; Core.Model.name model ]
+
+let max_bus_rate env plan =
+  List.fold_left
+    (fun acc (b : Core.Bus_plan.bus) ->
+      Float.max acc (Estimate.Rates.bus_rate_mbps env b.Core.Bus_plan.bus_edges))
+    0.0 plan.Core.Bus_plan.bp_buses
+
+let quality_totals (q : Core.Quality.t) =
+  List.fold_left
+    (fun (pins, gates, sw, secs) (cq : Core.Quality.component_quality) ->
+      ( pins + cq.Core.Quality.cq_pins,
+        gates + Option.value ~default:0 cq.Core.Quality.cq_gates,
+        sw + Option.value ~default:0 cq.Core.Quality.cq_software_bytes,
+        secs +. cq.Core.Quality.cq_exec_seconds ))
+    (0, 0, 0, 0.0) q.Core.Quality.q_components
+
+(* The memoized tail: everything downstream of the partition.  Pure in
+   (spec, partition, model) — exactly what the cache key covers. *)
+let refine_and_measure ctx alloc part (model : Core.Model.t) =
+  match Core.Refiner.refine ctx.cx_spec ctx.cx_graph part model with
+  | exception Core.Refiner.Refine_error msg -> Error msg
+  | r ->
+    let check_ok =
+      match Core.Check.run ~original:ctx.cx_spec r with
+      | Ok () -> true
+      | Error _ -> false
+    in
+    let refined = r.Core.Refiner.rf_program in
+    let env = Estimate.Rates.make_env ctx.cx_spec alloc part in
+    let plan = r.Core.Refiner.rf_plan in
+    let q = Core.Quality.of_refinement ~alloc r in
+    let pins, gates, sw, secs = quality_totals q in
+    let cls = Classify.report ctx.cx_graph part in
+    Ok
+      {
+        e_locals = List.length cls.Classify.locals;
+        e_globals = List.length cls.Classify.globals;
+        e_comm_bits = Cost.comm_bits ctx.cx_graph part;
+        e_max_bus_rate = max_bus_rate env plan;
+        e_bus_count = List.length r.Core.Refiner.rf_buses;
+        e_memories = List.length r.Core.Refiner.rf_memories;
+        e_lines = Spec.Printer.line_count refined;
+        e_growth = Core.Metrics.growth ~original:ctx.cx_spec ~refined;
+        e_pins = pins;
+        e_gates = gates;
+        e_software_bytes = sw;
+        e_exec_seconds = secs;
+        e_check_ok = check_ok;
+      }
+
+let run ?cache ctx (c : Candidate.t) =
+  let alloc = alloc_for ctx c in
+  let part = partition_of ctx c in
+  let model = c.Candidate.c_model in
+  let compute () = refine_and_measure ctx alloc part model in
+  let outcome, cached =
+    match cache with
+    | None -> (compute (), false)
+    | Some cache ->
+      let key = cache_key ~spec_digest:ctx.cx_digest ~partition:part ~model in
+      Cache.find_or_add cache key compute
+  in
+  { r_candidate = c; r_outcome = outcome; r_cached = cached }

@@ -1,0 +1,69 @@
+(** End-to-end evaluation of one design-space candidate: search the
+    partition ({!Partitioning.Design_search}), refine it to the
+    candidate's implementation model ({!Core.Refiner}), run the
+    structural checks ({!Core.Check}), and measure quality — maximum
+    required bus transfer rate ({!Estimate.Rates}), specification growth
+    ({!Core.Metrics}) and pin/gate demand ({!Core.Quality}).
+
+    The expensive tail (refine → check → quality) is memoized through
+    {!Cache} under a content-hashed key of (spec digest, canonical
+    partition, model), so two candidates whose annealing runs land on
+    the same partition — or a repeated sweep in a later process, with a
+    persistent cache — share one refinement.  Everything here is
+    deterministic: same candidate, same result, cached or not. *)
+
+type metrics = {
+  e_locals : int;  (** local variables of the searched partition *)
+  e_globals : int;  (** global variables of the searched partition *)
+  e_comm_bits : int;  (** cross-partition traffic, bits *)
+  e_max_bus_rate : float;  (** highest required bus rate, Mbit/s *)
+  e_bus_count : int;  (** buses instantiated by the refinement *)
+  e_memories : int;  (** memory behaviors generated *)
+  e_lines : int;  (** lines of the refined specification *)
+  e_growth : float;  (** refined-over-original line ratio *)
+  e_pins : int;  (** summed component pin demand *)
+  e_gates : int;  (** summed ASIC gate demand *)
+  e_software_bytes : int;  (** summed processor code size *)
+  e_exec_seconds : float;  (** summed estimated execution time *)
+  e_check_ok : bool;  (** {!Core.Check} found no violation *)
+}
+
+type result = {
+  r_candidate : Candidate.t;
+  r_outcome : (metrics, string) Stdlib.result;
+      (** [Error msg] when refinement itself failed *)
+  r_cached : bool;  (** the refine→quality tail came from the cache *)
+}
+
+type ctx
+(** Shared per-sweep context: the specification, its access graph, its
+    printed-form digest and the allocation. *)
+
+val make_ctx :
+  ?alloc:Arch.Allocation.t -> Spec.Ast.program -> ctx
+(** Derive the access graph and spec digest once for a whole sweep.
+    Without [alloc], each candidate uses {!default_alloc} for its own
+    part count. *)
+
+val default_alloc : n_parts:int -> Arch.Allocation.t
+(** The paper's shape: component 0 an Intel8086-class processor, every
+    other component a 10k-gate ASIC. *)
+
+val spec_digest : Spec.Ast.program -> string
+(** Content digest of the printed specification. *)
+
+val partition_of : ctx -> Candidate.t -> Partitioning.Partition.t
+(** The candidate's partition: a fixed-seed {!Partitioning.Design_search}
+    annealing run (deterministic). *)
+
+val cache_key :
+  spec_digest:string ->
+  partition:Partitioning.Partition.t ->
+  model:Core.Model.t ->
+  string
+(** The memoization key: hex digest over the spec digest, the canonical
+    (sorted) object→partition assignment, and the model name. *)
+
+val run : ?cache:Cache.t -> ctx -> Candidate.t -> result
+(** Evaluate one candidate, consulting [cache] for the refinement tail.
+    Never raises: refiner errors surface as [Error _] outcomes. *)

@@ -1,0 +1,59 @@
+(** Pareto dominance, frontier extraction and non-dominated sorting; the
+    O(n^2) scans are fine at design-sweep sizes (tens to thousands). *)
+
+let dominates a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Pareto.dominates: objective vectors of different lengths";
+  let no_worse = ref true and better = ref false in
+  Array.iteri
+    (fun i x ->
+      if x > b.(i) then no_worse := false
+      else if x < b.(i) then better := true)
+    a;
+  !no_worse && !better
+
+let frontier ~objectives items =
+  let objs = List.map objectives items in
+  List.filteri
+    (fun i _ ->
+      let oi = List.nth objs i in
+      not (List.exists (fun oj -> dominates oj oi) objs))
+    items
+
+let compare_lex a b =
+  let n = Array.length a and m = Array.length b in
+  let rec go i =
+    if i >= n || i >= m then Stdlib.compare n m
+    else
+      match Float.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+let sort ~objectives items =
+  List.stable_sort
+    (fun x y -> compare_lex (objectives x) (objectives y))
+    items
+
+let rank ~objectives items =
+  let arr = Array.of_list (List.map (fun x -> (x, objectives x)) items) in
+  let n = Array.length arr in
+  let depth = Array.make n (-1) in
+  let remaining = ref n and layer = ref 0 in
+  while !remaining > 0 do
+    (* Frontier of the items not yet assigned a layer. *)
+    let this_layer =
+      List.filter
+        (fun i ->
+          depth.(i) < 0
+          && not
+               (List.exists
+                  (fun j ->
+                    depth.(j) < 0 && dominates (snd arr.(j)) (snd arr.(i)))
+                  (List.init n Fun.id)))
+        (List.init n Fun.id)
+    in
+    List.iter (fun i -> depth.(i) <- !layer) this_layer;
+    remaining := !remaining - List.length this_layer;
+    incr layer
+  done;
+  List.mapi (fun i (x, _) -> (x, depth.(i))) (Array.to_list arr)

@@ -1,0 +1,23 @@
+(** Pareto-frontier computation over minimized float objectives.  All
+    functions are pure and stable: output order is derived only from the
+    input order and objective values, never from evaluation order, which
+    keeps sweep reports identical across worker counts. *)
+
+val dominates : float array -> float array -> bool
+(** [dominates a b]: [a] is no worse than [b] in every objective and
+    strictly better in at least one (minimization).
+    @raise Invalid_argument on different lengths. *)
+
+val frontier : objectives:('a -> float array) -> 'a list -> 'a list
+(** The non-dominated subset, in input order.  Items with identical
+    objective vectors do not dominate each other, so all of them stay on
+    the frontier. *)
+
+val sort : objectives:('a -> float array) -> 'a list -> 'a list
+(** Stable sort by lexicographic comparison of the objective vectors
+    (ascending); ties keep input order. *)
+
+val rank : objectives:('a -> float array) -> 'a list -> ('a * int) list
+(** Non-dominated sorting: every item with its frontier depth — 0 for
+    the Pareto frontier, 1 for the frontier once layer 0 is removed, and
+    so on.  Input order is preserved. *)

@@ -1,0 +1,45 @@
+(** Domain-based worker pool.  Determinism strategy: items live in an
+    array; workers claim indices from one [Atomic.t] counter and write
+    [results.(i)], so the output depends only on [f] and the input order,
+    never on domain scheduling.  Per-item exceptions are captured and the
+    one with the smallest index is re-raised after the join, which makes
+    even the failure mode independent of the worker count. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let map ~jobs ~f items =
+  if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if n = 0 then []
+  else if jobs = 1 || n = 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             Some
+               (match f arr.(i) with
+               | v -> Ok v
+               | exception e -> Error e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false (* every index was claimed *))
+  end
+
+let iter ~jobs ~f items = ignore (map ~jobs ~f:(fun x -> f x) items)

@@ -1,0 +1,20 @@
+(** A fixed-size worker pool over OCaml 5 domains for embarrassingly
+    parallel evaluation.  The pool guarantees a {e deterministic} result:
+    [map ~jobs ~f items] returns exactly [List.map f items] — results in
+    input order — no matter how many domains execute it or how the
+    scheduler interleaves them.  Work is handed out through a shared
+    atomic counter, so long and short jobs balance automatically. *)
+
+val default_jobs : unit -> int
+(** The runtime's recommended domain count for this machine (at least 1). *)
+
+val map : jobs:int -> f:('a -> 'b) -> 'a list -> 'b list
+(** Apply [f] to every item on [min jobs (length items)] domains (the
+    calling domain counts as one; [jobs <= 1] runs everything inline).
+    Results are returned in input order.  If [f] raises, the exception
+    with the {e smallest input index} is re-raised after all domains have
+    drained — also independent of the worker count.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val iter : jobs:int -> f:('a -> unit) -> 'a list -> unit
+(** [map] for side effects only.  [f] must be safe to run concurrently. *)

@@ -1,0 +1,159 @@
+(** Sweep orchestration and reporting.  The deterministic-reduction rule:
+    results are kept in candidate enumeration order (the {!Pool}
+    preserves input order), the frontier is computed from that list and
+    then sorted by objective vector with the candidate order as the tie
+    break — no step depends on domain scheduling. *)
+
+type config = {
+  seeds : int list;
+  biases : Partitioning.Design_search.bias list;
+  models : Core.Model.t list;
+  n_parts : int;
+  steps : int;
+  jobs : int;
+}
+
+let default_config =
+  {
+    seeds = [ 1; 2; 3 ];
+    biases = Candidate.all_biases;
+    models = Core.Model.all;
+    n_parts = 2;
+    steps = 4000;
+    jobs = 1;
+  }
+
+type t = {
+  sw_results : Evaluate.result list;
+  sw_frontier : Evaluate.result list;
+  sw_hits : int;
+  sw_misses : int;
+  sw_jobs : int;
+}
+
+let objectives (m : Evaluate.metrics) =
+  [|
+    m.Evaluate.e_max_bus_rate;
+    m.Evaluate.e_growth;
+    float_of_int (m.Evaluate.e_pins + m.Evaluate.e_gates);
+  |]
+
+let result_objectives (r : Evaluate.result) =
+  match r.Evaluate.r_outcome with
+  | Ok m -> objectives m
+  | Error _ -> [| infinity; infinity; infinity |]
+
+let run ?cache ?alloc config spec =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let before = Cache.stats cache in
+  let ctx = Evaluate.make_ctx ?alloc spec in
+  let candidates =
+    Candidate.enumerate ~n_parts:config.n_parts ~steps:config.steps
+      ~biases:config.biases ~seeds:config.seeds ~models:config.models ()
+  in
+  let results =
+    Pool.map ~jobs:config.jobs ~f:(Evaluate.run ~cache ctx) candidates
+  in
+  let ok r = Result.is_ok r.Evaluate.r_outcome in
+  let frontier =
+    Pareto.frontier ~objectives:result_objectives (List.filter ok results)
+    |> Pareto.sort ~objectives:result_objectives
+  in
+  let after = Cache.stats cache in
+  {
+    sw_results = results;
+    sw_frontier = frontier;
+    sw_hits = after.Cache.hits - before.Cache.hits;
+    sw_misses = after.Cache.misses - before.Cache.misses;
+    sw_jobs = config.jobs;
+  }
+
+let hit_rate t =
+  let total = t.sw_hits + t.sw_misses in
+  if total = 0 then 0.0 else float_of_int t.sw_hits /. float_of_int total
+
+let take n xs =
+  if n <= 0 then xs
+  else List.filteri (fun i _ -> i < n) xs
+
+(* --- text report -------------------------------------------------------- *)
+
+let row_of (r : Evaluate.result) =
+  let label = Candidate.label r.Evaluate.r_candidate in
+  match r.Evaluate.r_outcome with
+  | Error msg -> Printf.sprintf "%-24s FAILED: %s" label msg
+  | Ok m ->
+    Printf.sprintf
+      "%-24s %2dL/%-2dG %8.1f Mbps %6.1fx %4d pins %6d gates %s%s" label
+      m.Evaluate.e_locals m.Evaluate.e_globals m.Evaluate.e_max_bus_rate
+      m.Evaluate.e_growth m.Evaluate.e_pins m.Evaluate.e_gates
+      (if m.Evaluate.e_check_ok then "ok" else "CHECK-FAILED")
+      (if r.Evaluate.r_cached then " (cached)" else "")
+
+let to_text ?(top = 0) t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "design-space sweep: %d candidates, %d jobs, cache %d hits / %d misses (%.0f%% hit rate)"
+    (List.length t.sw_results) t.sw_jobs t.sw_hits t.sw_misses
+    (100.0 *. hit_rate t);
+  line "%-24s %-7s %-13s %-7s %s" "candidate" "loc/glo" "max bus rate"
+    "growth" "pins/gates";
+  List.iter (fun r -> line "%s" (row_of r)) (take top t.sw_results);
+  if top > 0 && List.length t.sw_results > top then
+    line "... (%d more candidates)" (List.length t.sw_results - top);
+  line "";
+  line "Pareto frontier (minimizing max bus rate, growth, pins+gates): %d designs"
+    (List.length t.sw_frontier);
+  List.iter (fun r -> line "  %s" (row_of r)) t.sw_frontier;
+  Buffer.contents buf
+
+(* --- JSON report --------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_result (r : Evaluate.result) =
+  let c = r.Evaluate.r_candidate in
+  let base =
+    Printf.sprintf
+      "\"candidate\":\"%s\",\"seed\":%d,\"bias\":\"%s\",\"model\":\"%s\",\"cached\":%b"
+      (json_escape (Candidate.label c))
+      c.Candidate.c_seed
+      (Candidate.bias_name c.Candidate.c_bias)
+      (Core.Model.name c.Candidate.c_model)
+      r.Evaluate.r_cached
+  in
+  match r.Evaluate.r_outcome with
+  | Error msg ->
+    Printf.sprintf "{%s,\"error\":\"%s\"}" base (json_escape msg)
+  | Ok m ->
+    Printf.sprintf
+      "{%s,\"locals\":%d,\"globals\":%d,\"comm_bits\":%d,\
+       \"max_bus_rate_mbps\":%.4f,\"buses\":%d,\"memories\":%d,\
+       \"lines\":%d,\"growth\":%.4f,\"pins\":%d,\"gates\":%d,\
+       \"software_bytes\":%d,\"exec_seconds\":%.6f,\"check_ok\":%b}"
+      base m.Evaluate.e_locals m.Evaluate.e_globals m.Evaluate.e_comm_bits
+      m.Evaluate.e_max_bus_rate m.Evaluate.e_bus_count m.Evaluate.e_memories
+      m.Evaluate.e_lines m.Evaluate.e_growth m.Evaluate.e_pins
+      m.Evaluate.e_gates m.Evaluate.e_software_bytes
+      m.Evaluate.e_exec_seconds m.Evaluate.e_check_ok
+
+let to_json ?(top = 0) t =
+  Printf.sprintf
+    "{\"candidates\":%d,\"jobs\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\
+     \"hit_rate\":%.4f},\"results\":[%s],\"pareto\":[%s]}"
+    (List.length t.sw_results) t.sw_jobs t.sw_hits t.sw_misses (hit_rate t)
+    (String.concat "," (List.map json_of_result (take top t.sw_results)))
+    (String.concat "," (List.map json_of_result t.sw_frontier))

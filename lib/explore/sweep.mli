@@ -1,0 +1,51 @@
+(** A whole design-space sweep: enumerate candidates, evaluate them on a
+    {!Pool} of domains through a shared {!Cache}, and report the Pareto
+    frontier over (max bus rate, spec growth, pins + gates) — all three
+    minimized.
+
+    Determinism guarantee: for a fixed configuration and specification,
+    the result — candidate order, every metric, the frontier and both
+    report formats — is identical at any [jobs] count.  Only [sw_hits] /
+    [sw_misses] may differ run-to-run (a warm persistent cache turns
+    misses into hits); the values themselves never change. *)
+
+type config = {
+  seeds : int list;  (** partition-search seeds *)
+  biases : Partitioning.Design_search.bias list;
+  models : Core.Model.t list;
+  n_parts : int;
+  steps : int;  (** annealing steps per partition search *)
+  jobs : int;  (** worker domains; 1 = sequential *)
+}
+
+val default_config : config
+(** Seeds [1;2;3], all biases, all four models, 2 parts, 4000 steps,
+    1 job. *)
+
+type t = {
+  sw_results : Evaluate.result list;  (** enumeration order *)
+  sw_frontier : Evaluate.result list;
+      (** Pareto-optimal successful candidates, sorted by objectives *)
+  sw_hits : int;
+  sw_misses : int;
+  sw_jobs : int;
+}
+
+val objectives : Evaluate.metrics -> float array
+(** The minimized objective vector:
+    [[| max bus rate; growth; pins + gates |]]. *)
+
+val run :
+  ?cache:Cache.t -> ?alloc:Arch.Allocation.t -> config ->
+  Spec.Ast.program -> t
+(** Run the sweep.  Without [cache] an in-memory cache private to this
+    sweep is used (identical-partition candidates still share work);
+    pass a persistent cache to reuse results across sweeps and
+    processes. *)
+
+val to_text : ?top:int -> t -> string
+(** Human-readable report: a per-candidate table and the frontier.
+    [top] truncates the candidate table (0 or absent = all rows). *)
+
+val to_json : ?top:int -> t -> string
+(** The same report as a self-contained JSON document. *)

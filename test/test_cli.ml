@@ -135,6 +135,19 @@ let test_fir_and_elevator_specs () =
     [ "equivalent" ];
   expect_ok [ "export"; spec "fir.sc"; "-b"; "c" ] [ "long long v_coeff[4]" ]
 
+let test_explore () =
+  expect_ok
+    [ "explore"; spec "fig2.sc"; "--seeds"; "1"; "--steps"; "400";
+      "--no-cache"; "--jobs"; "2" ]
+    [ "design-space sweep: 12 candidates"; "Pareto frontier" ];
+  expect_ok
+    [ "explore"; spec "fig2.sc"; "--seeds"; "1"; "--steps"; "400";
+      "--no-cache"; "--models"; "2,4"; "--biases"; "local"; "--json" ]
+    [ "\"candidates\":2"; "\"pareto\":[{"; "\"model\":\"Model2\"" ];
+  expect_fail
+    [ "explore"; spec "fig2.sc"; "--models"; "9" ]
+    [ "unknown model" ]
+
 let test_demo () =
   expect_ok [ "demo" ]
     [ "medical system: 147 lines, 52 channels"; "cosim ok" ]
@@ -169,6 +182,7 @@ let () =
           tc "export vhdl" test_export_vhdl;
           tc "quality" test_quality_real;
           tc "fir/elevator specs" test_fir_and_elevator_specs;
+          tc "explore" test_explore;
           tc "demo" test_demo;
           tc "errors" test_errors;
         ] );

@@ -1,0 +1,408 @@
+(** Tests for the design-space exploration engine: the domain pool, the
+    memoization cache and the Pareto operators directly, plus whole
+    sweeps — determinism across worker counts, cache hit rates on
+    repeated and persistent sweeps, and the frontier's soundness. *)
+
+open Explore
+open Helpers
+
+(* --- pool ---------------------------------------------------------------- *)
+
+let test_pool_matches_list_map () =
+  let items = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  let expected = List.map f items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Pool.map ~jobs ~f items))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_more_jobs_than_items () =
+  Alcotest.(check (list int)) "3 items, 16 jobs" [ 2; 4; 6 ]
+    (Pool.map ~jobs:16 ~f:(fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_pool_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 ~f:succ []);
+  Alcotest.(check (list int)) "singleton" [ 8 ] (Pool.map ~jobs:4 ~f:succ [ 7 ])
+
+let test_pool_rejects_bad_jobs () =
+  Alcotest.check_raises "jobs=0" (Invalid_argument "Pool.map: jobs < 1")
+    (fun () -> ignore (Pool.map ~jobs:0 ~f:succ [ 1 ]))
+
+let test_pool_exception_is_deterministic () =
+  (* Items 30 and 60 fail; the smallest-index failure must win at every
+     worker count. *)
+  let f x = if x = 30 || x = 60 then failwith (string_of_int x) else x in
+  List.iter
+    (fun jobs ->
+      match Pool.map ~jobs ~f (List.init 100 Fun.id) with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+        Alcotest.(check string)
+          (Printf.sprintf "first failure wins at jobs=%d" jobs)
+          "30" msg)
+    [ 1; 3; 7 ]
+
+let test_pool_iter_runs_everything () =
+  let hits = Array.make 50 0 in
+  Pool.iter ~jobs:4 ~f:(fun i -> hits.(i) <- hits.(i) + 1)
+    (List.init 50 Fun.id);
+  Alcotest.(check (list int)) "each item once" (List.init 50 (fun _ -> 1))
+    (Array.to_list hits)
+
+(* --- cache --------------------------------------------------------------- *)
+
+let test_cache_computes_once () =
+  let c = Cache.create () in
+  let calls = ref 0 in
+  let compute () = incr calls; 41 + 1 in
+  let v1, cached1 = Cache.find_or_add c "k" compute in
+  let v2, cached2 = Cache.find_or_add c "k" compute in
+  Alcotest.(check int) "value" 42 v1;
+  Alcotest.(check int) "same value" 42 v2;
+  Alcotest.(check bool) "first is a miss" false cached1;
+  Alcotest.(check bool) "second is a hit" true cached2;
+  Alcotest.(check int) "computed once" 1 !calls;
+  let s = Cache.stats c in
+  Alcotest.(check (pair int int)) "stats" (1, 1) (s.Cache.hits, s.Cache.misses);
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Cache.hit_rate c)
+
+let test_cache_distinct_keys () =
+  let c = Cache.create () in
+  let v1, _ = Cache.find_or_add c "a" (fun () -> 1) in
+  let v2, _ = Cache.find_or_add c "b" (fun () -> 2) in
+  Alcotest.(check (pair int int)) "no collision" (1, 2) (v1, v2);
+  Alcotest.(check bool) "mem a" true (Cache.mem c "a");
+  Alcotest.(check bool) "not mem c" false (Cache.mem c "zzz")
+
+let fresh_temp_dir () =
+  let path = Filename.temp_file "coref_cache" ".d" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let test_cache_persists_across_instances () =
+  let dir = fresh_temp_dir () in
+  let calls = ref 0 in
+  let compute () = incr calls; [ "deep"; "value" ] in
+  let c1 = Cache.create ~dir () in
+  let _ = Cache.find_or_add c1 (Cache.digest_key [ "x" ]) compute in
+  (* A second process (modelled by a fresh instance) must hit on disk. *)
+  let c2 = Cache.create ~dir () in
+  let v, cached = Cache.find_or_add c2 (Cache.digest_key [ "x" ]) compute in
+  Alcotest.(check (list string)) "round-trip" [ "deep"; "value" ] v;
+  Alcotest.(check bool) "disk hit" true cached;
+  Alcotest.(check int) "computed once across instances" 1 !calls
+
+let test_cache_tolerates_corrupt_files () =
+  let dir = fresh_temp_dir () in
+  let key = Cache.digest_key [ "corrupt" ] in
+  let oc = open_out_bin (Filename.concat dir (key ^ ".memo")) in
+  output_string oc "not a cache entry";
+  close_out oc;
+  let c = Cache.create ~dir () in
+  let v, cached = Cache.find_or_add c key (fun () -> 7) in
+  Alcotest.(check int) "recomputed" 7 v;
+  Alcotest.(check bool) "treated as miss" false cached
+
+let test_cache_concurrent_hammer () =
+  (* Many domains racing on few keys: every returned value must be right
+     and the totals must balance. *)
+  let c = Cache.create () in
+  let keys = List.init 8 string_of_int in
+  let work = List.concat (List.init 25 (fun _ -> keys)) in
+  let results =
+    Pool.map ~jobs:4
+      ~f:(fun k -> fst (Cache.find_or_add c k (fun () -> int_of_string k)))
+      work
+  in
+  List.iter2
+    (fun k v -> Alcotest.(check int) ("key " ^ k) (int_of_string k) v)
+    work results;
+  let s = Cache.stats c in
+  Alcotest.(check int) "every lookup counted" (List.length work)
+    (s.Cache.hits + s.Cache.misses)
+
+let test_cache_reset_stats () =
+  let c = Cache.create () in
+  let _ = Cache.find_or_add c "k" (fun () -> 0) in
+  Cache.reset_stats c;
+  let s = Cache.stats c in
+  Alcotest.(check (pair int int)) "zeroed" (0, 0) (s.Cache.hits, s.Cache.misses);
+  Alcotest.(check bool) "entry kept" true (snd (Cache.find_or_add c "k" (fun () -> 1)))
+
+(* --- pareto -------------------------------------------------------------- *)
+
+let test_dominates () =
+  Alcotest.(check bool) "strictly better" true
+    (Pareto.dominates [| 1.0; 2.0 |] [| 2.0; 2.0 |]);
+  Alcotest.(check bool) "equal does not dominate" false
+    (Pareto.dominates [| 1.0; 2.0 |] [| 1.0; 2.0 |]);
+  Alcotest.(check bool) "trade-off does not dominate" false
+    (Pareto.dominates [| 1.0; 3.0 |] [| 2.0; 2.0 |]);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Pareto.dominates: objective vectors of different lengths")
+    (fun () -> ignore (Pareto.dominates [| 1.0 |] [| 1.0; 2.0 |]))
+
+let test_frontier () =
+  let items =
+    [ ("a", [| 1.0; 4.0 |]); ("b", [| 2.0; 2.0 |]); ("c", [| 4.0; 1.0 |]);
+      ("d", [| 3.0; 3.0 |]); (* dominated by b *)
+      ("e", [| 2.0; 2.0 |]) (* duplicate of b: stays *) ]
+  in
+  let names = List.map fst (Pareto.frontier ~objectives:snd items) in
+  Alcotest.(check (list string)) "non-dominated, input order"
+    [ "a"; "b"; "c"; "e" ] names
+
+let test_frontier_stability () =
+  let items = [ ("x", [| 1.0 |]); ("y", [| 1.0 |]); ("z", [| 1.0 |]) ] in
+  Alcotest.(check (list string)) "ties keep input order" [ "x"; "y"; "z" ]
+    (List.map fst (Pareto.frontier ~objectives:snd items))
+
+let test_sort_lexicographic () =
+  let items =
+    [ ("b", [| 1.0; 3.0 |]); ("c", [| 2.0; 0.0 |]); ("a", [| 1.0; 2.0 |]) ]
+  in
+  Alcotest.(check (list string)) "ascending lexicographic" [ "a"; "b"; "c" ]
+    (List.map fst (Pareto.sort ~objectives:snd items))
+
+let test_rank_layers () =
+  let items =
+    [ ("front", [| 1.0; 1.0 |]); ("mid", [| 2.0; 2.0 |]);
+      ("back", [| 3.0; 3.0 |]); ("front2", [| 0.5; 4.0 |]) ]
+  in
+  let ranks =
+    List.map (fun ((name, _), depth) -> (name, depth))
+      (Pareto.rank ~objectives:snd items)
+  in
+  Alcotest.(check (list (pair string int)))
+    "non-dominated sorting depths"
+    [ ("front", 0); ("mid", 1); ("back", 2); ("front2", 0) ]
+    ranks
+
+(* --- candidates ---------------------------------------------------------- *)
+
+let test_enumerate_order_and_count () =
+  let cs =
+    Candidate.enumerate ~seeds:[ 1; 2 ]
+      ~models:[ Core.Model.Model1; Core.Model.Model2 ] ()
+  in
+  Alcotest.(check int) "2 seeds x 3 biases x 2 models" 12 (List.length cs);
+  Alcotest.(check (list string)) "fixed enumeration order"
+    [ "seed1/balanced/Model1"; "seed1/balanced/Model2";
+      "seed1/local/Model1"; "seed1/local/Model2";
+      "seed1/global/Model1"; "seed1/global/Model2";
+      "seed2/balanced/Model1"; "seed2/balanced/Model2";
+      "seed2/local/Model1"; "seed2/local/Model2";
+      "seed2/global/Model1"; "seed2/global/Model2" ]
+    (List.map Candidate.label cs);
+  Alcotest.(check bool) "enumeration order agrees with compare" true
+    (List.sort Candidate.compare cs = cs)
+
+let test_bias_names_round_trip () =
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) (Candidate.bias_name b) true
+        (Candidate.bias_of_string (Candidate.bias_name b) = Some b))
+    Candidate.all_biases;
+  Alcotest.(check bool) "unknown rejected" true
+    (Candidate.bias_of_string "sideways" = None)
+
+(* --- evaluation + sweeps ------------------------------------------------- *)
+
+let fig2 = Workloads.Smallspecs.fig2
+
+let small_config jobs =
+  {
+    Sweep.default_config with
+    Sweep.seeds = [ 1; 2 ];
+    steps = 600;
+    jobs;
+  }
+
+let result_fingerprint (r : Evaluate.result) =
+  let label = Candidate.label r.Evaluate.r_candidate in
+  match r.Evaluate.r_outcome with
+  | Error msg -> label ^ ":error:" ^ msg
+  | Ok m ->
+    Printf.sprintf "%s:%d/%d:%.6f:%.6f:%d:%d" label m.Evaluate.e_locals
+      m.Evaluate.e_globals m.Evaluate.e_max_bus_rate m.Evaluate.e_growth
+      m.Evaluate.e_pins m.Evaluate.e_gates
+
+let test_sweep_independent_of_jobs () =
+  let fp jobs =
+    let sw = Sweep.run (small_config jobs) fig2 in
+    ( List.map result_fingerprint sw.Sweep.sw_results,
+      List.map result_fingerprint sw.Sweep.sw_frontier )
+  in
+  let seq = fp 1 in
+  List.iter
+    (fun jobs ->
+      let par = fp jobs in
+      Alcotest.(check (list string))
+        (Printf.sprintf "results at jobs=%d" jobs)
+        (fst seq) (fst par);
+      Alcotest.(check (list string))
+        (Printf.sprintf "frontier at jobs=%d" jobs)
+        (snd seq) (snd par))
+    [ 2; 4 ]
+
+let test_sweep_metrics_sane () =
+  let sw = Sweep.run (small_config 1) fig2 in
+  Alcotest.(check int) "24 candidates" 24 (List.length sw.Sweep.sw_results);
+  Alcotest.(check bool) "frontier non-empty" true (sw.Sweep.sw_frontier <> []);
+  List.iter
+    (fun (r : Evaluate.result) ->
+      match r.Evaluate.r_outcome with
+      | Error msg -> Alcotest.failf "candidate failed: %s" msg
+      | Ok m ->
+        Alcotest.(check bool) "check ok" true m.Evaluate.e_check_ok;
+        Alcotest.(check bool) "growth > 1" true (m.Evaluate.e_growth > 1.0);
+        Alcotest.(check bool) "rate >= 0" true (m.Evaluate.e_max_bus_rate >= 0.0);
+        Alcotest.(check bool) "pins > 0" true (m.Evaluate.e_pins > 0))
+    sw.Sweep.sw_results
+
+let test_sweep_frontier_is_sound () =
+  (* No kept design may be dominated by any evaluated design, and every
+     dropped design must be dominated by some kept one or failed. *)
+  let sw = Sweep.run (small_config 1) fig2 in
+  let obj (r : Evaluate.result) =
+    match r.Evaluate.r_outcome with
+    | Ok m -> Sweep.objectives m
+    | Error _ -> [| infinity; infinity; infinity |]
+  in
+  List.iter
+    (fun kept ->
+      List.iter
+        (fun other ->
+          Alcotest.(check bool) "kept design undominated" false
+            (Pareto.dominates (obj other) (obj kept)))
+        sw.Sweep.sw_results)
+    sw.Sweep.sw_frontier;
+  let on_frontier r =
+    List.exists
+      (fun k ->
+        Candidate.equal k.Evaluate.r_candidate r.Evaluate.r_candidate)
+      sw.Sweep.sw_frontier
+  in
+  List.iter
+    (fun r ->
+      if Result.is_ok r.Evaluate.r_outcome && not (on_frontier r) then
+        Alcotest.(check bool)
+          ("dropped design dominated: " ^ Candidate.label r.Evaluate.r_candidate)
+          true
+          (List.exists (fun k -> Pareto.dominates (obj k) (obj r))
+             sw.Sweep.sw_frontier))
+    sw.Sweep.sw_results
+
+let test_repeated_sweep_hits_cache () =
+  let cache = Cache.create () in
+  let _first = Sweep.run ~cache (small_config 1) fig2 in
+  let again = Sweep.run ~cache (small_config 2) fig2 in
+  Alcotest.(check int) "no misses on the repeat" 0 again.Sweep.sw_misses;
+  Alcotest.(check int) "every candidate hit" 24 again.Sweep.sw_hits;
+  List.iter
+    (fun (r : Evaluate.result) ->
+      Alcotest.(check bool)
+        ("cached: " ^ Candidate.label r.Evaluate.r_candidate)
+        true r.Evaluate.r_cached)
+    again.Sweep.sw_results
+
+let test_persistent_sweep_across_cache_instances () =
+  let dir = fresh_temp_dir () in
+  let first = Sweep.run ~cache:(Cache.create ~dir ()) (small_config 1) fig2 in
+  let again = Sweep.run ~cache:(Cache.create ~dir ()) (small_config 1) fig2 in
+  Alcotest.(check int) "cold run misses" 24 first.Sweep.sw_misses;
+  Alcotest.(check int) "warm process hits everything" 0 again.Sweep.sw_misses;
+  Alcotest.(check (list string)) "identical results from disk"
+    (List.map result_fingerprint first.Sweep.sw_results)
+    (List.map result_fingerprint again.Sweep.sw_results)
+
+let test_cache_key_is_content_hashed () =
+  let ctx = Evaluate.make_ctx fig2 in
+  let c seed model =
+    { Candidate.c_seed = seed; c_bias = Partitioning.Design_search.Balanced;
+      c_model = model; c_n_parts = 2; c_steps = 600 }
+  in
+  let digest = Evaluate.spec_digest fig2 in
+  let p1 = Evaluate.partition_of ctx (c 1 Core.Model.Model1) in
+  let key seed model =
+    Evaluate.cache_key ~spec_digest:digest
+      ~partition:(Evaluate.partition_of ctx (c seed model))
+      ~model
+  in
+  Alcotest.(check string) "same (spec, partition, model) -> same key"
+    (key 1 Core.Model.Model1) (key 1 Core.Model.Model1);
+  Alcotest.(check bool) "model changes the key" true
+    (key 1 Core.Model.Model1 <> key 1 Core.Model.Model2);
+  Alcotest.(check bool) "spec digest changes the key" true
+    (Evaluate.cache_key ~spec_digest:"other" ~partition:p1
+       ~model:Core.Model.Model1
+    <> key 1 Core.Model.Model1)
+
+let test_reports_mention_frontier () =
+  let sw = Sweep.run (small_config 1) fig2 in
+  let text = Sweep.to_text ~top:5 sw in
+  let json = Sweep.to_json sw in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  Alcotest.(check bool) "text mentions the frontier" true
+    (contains ~sub:"Pareto frontier" text);
+  Alcotest.(check bool) "text truncates" true
+    (contains ~sub:"more candidates" text);
+  Alcotest.(check bool) "json has pareto" true
+    (contains ~sub:"\"pareto\":[{" json);
+  Alcotest.(check bool) "json has hit rate" true
+    (contains ~sub:"\"hit_rate\":" json)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "pool",
+        [
+          tc "matches List.map" test_pool_matches_list_map;
+          tc "more jobs than items" test_pool_more_jobs_than_items;
+          tc "empty/singleton" test_pool_empty_and_singleton;
+          tc "rejects jobs<1" test_pool_rejects_bad_jobs;
+          tc "deterministic failure" test_pool_exception_is_deterministic;
+          tc "iter covers all" test_pool_iter_runs_everything;
+        ] );
+      ( "cache",
+        [
+          tc "computes once" test_cache_computes_once;
+          tc "distinct keys" test_cache_distinct_keys;
+          tc "persists across instances" test_cache_persists_across_instances;
+          tc "tolerates corrupt files" test_cache_tolerates_corrupt_files;
+          tc "concurrent hammer" test_cache_concurrent_hammer;
+          tc "reset stats" test_cache_reset_stats;
+        ] );
+      ( "pareto",
+        [
+          tc "dominates" test_dominates;
+          tc "frontier" test_frontier;
+          tc "frontier stability" test_frontier_stability;
+          tc "lexicographic sort" test_sort_lexicographic;
+          tc "rank layers" test_rank_layers;
+        ] );
+      ( "candidate",
+        [
+          tc "enumerate order/count" test_enumerate_order_and_count;
+          tc "bias names round-trip" test_bias_names_round_trip;
+        ] );
+      ( "sweep",
+        [
+          tc "independent of jobs" test_sweep_independent_of_jobs;
+          tc "metrics sane" test_sweep_metrics_sane;
+          tc "frontier sound" test_sweep_frontier_is_sound;
+          tc "repeated sweep hits cache" test_repeated_sweep_hits_cache;
+          tc "persistent across processes" test_persistent_sweep_across_cache_instances;
+          tc "content-hashed cache key" test_cache_key_is_content_hashed;
+          tc "reports" test_reports_mention_frontier;
+        ] );
+    ]

@@ -225,6 +225,45 @@ let test_partitioners_beat_random_on_comm () =
   Alcotest.(check bool) "smart <= random comm" true
     (Cost.comm_bits medical_g smart <= Cost.comm_bits medical_g random)
 
+let test_design_search_deterministic () =
+  let objects bias seed =
+    let part = Design_search.run ~seed ~steps:1500 medical_g ~n_parts:2 ~bias in
+    List.map (fun (o, i) -> (Partition.obj_name o, i)) (Partition.objects part)
+  in
+  List.iter
+    (fun bias ->
+      Alcotest.(check (list (pair string int)))
+        "same seed, same partition"
+        (objects bias 5) (objects bias 5))
+    [ Design_search.Balanced; Design_search.Mostly_local;
+      Design_search.Mostly_global ]
+
+let test_design_search_bias_moves_balance () =
+  (* The biases must actually shift the local/global split, not just
+     order it: Mostly_local yields a majority of locals, Mostly_global a
+     majority of globals. *)
+  let counts bias =
+    let part = Design_search.run ~seed:5 ~steps:3000 medical_g ~n_parts:2 ~bias in
+    let r = Classify.report medical_g part in
+    (List.length r.Classify.locals, List.length r.Classify.globals)
+  in
+  let ll, lg = counts Design_search.Mostly_local in
+  let gl, gg = counts Design_search.Mostly_global in
+  Alcotest.(check bool)
+    (Printf.sprintf "Mostly_local: %d local > %d global" ll lg)
+    true (ll > lg);
+  Alcotest.(check bool)
+    (Printf.sprintf "Mostly_global: %d global > %d local" gg gl)
+    true (gg > gl);
+  (* And the searched partitions stay complete and usable. *)
+  List.iter
+    (fun bias ->
+      Alcotest.(check bool) "complete" true
+        (complete_and_valid medical_g
+           (Design_search.run ~seed:9 ~steps:1500 medical_g ~n_parts:2 ~bias)))
+    [ Design_search.Balanced; Design_search.Mostly_local;
+      Design_search.Mostly_global ]
+
 let test_design_search_biases () =
   let globals bias =
     let part = Design_search.run ~seed:5 ~steps:3000 medical_g ~n_parts:2 ~bias in
@@ -349,6 +388,8 @@ let () =
           tc "clustering affinity" test_clustering_groups_affine_objects;
           tc "smart beats random" test_partitioners_beat_random_on_comm;
           tc "design search biases" test_design_search_biases;
+          tc "design search deterministic" test_design_search_deterministic;
+          tc "design search moves balance" test_design_search_bias_moves_balance;
           tc "constrained: feasible" test_constrained_respects_limits;
           tc "constrained: infeasible" test_constrained_minimizes_overrun_when_infeasible;
           tc "constrained: low comm" test_constrained_prefers_low_comm_among_feasible;
