@@ -556,6 +556,196 @@ let explore_cmd =
       $ steps_arg $ jobs_arg $ json_arg $ top_arg $ cache_dir_arg
       $ no_cache_arg $ output_arg)
 
+let lint_cmd =
+  let severity_conv =
+    let parse s =
+      match Spec.Diagnostic.severity_of_string s with
+      | Some sev -> Ok sev
+      | None ->
+        Error (`Msg (Printf.sprintf
+                       "unknown severity %S (use info, warning or error)" s))
+    in
+    let print ppf sev =
+      Format.pp_print_string ppf (Spec.Diagnostic.severity_name sev)
+    in
+    Arg.conv (parse, print)
+  in
+  let phase_conv =
+    Arg.enum
+      [ ("auto", None); ("pre", Some Lint.Registry.Pre);
+        ("post", Some Lint.Registry.Post) ]
+  in
+  let spec_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"SPEC"
+          ~doc:"Specification file to lint (omit with $(b,--workloads)).")
+  in
+  let severity_arg =
+    Arg.(
+      value
+      & opt severity_conv Spec.Diagnostic.Info
+      & info [ "severity" ] ~docv:"LEVEL"
+          ~doc:"Report only diagnostics of at least this severity: info \
+                (default), warning or error.")
+  in
+  let code_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "code" ] ~docv:"CODES"
+          ~doc:"Report only these comma-separated diagnostic codes, e.g. \
+                RACE001,PROTO002.")
+  in
+  let phase_arg =
+    Arg.(
+      value
+      & opt phase_conv None
+      & info [ "phase" ] ~docv:"PHASE"
+          ~doc:"Severity policy phase: pre (unpartitioned input), post \
+                (refined output) or auto (detect from the program shape; \
+                default).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let workloads_arg =
+    Arg.(
+      value & flag
+      & info [ "workloads" ]
+          ~doc:"Lint every built-in workload spec plus all refined medical \
+                (design x model) outputs instead of a SPEC file.")
+  in
+  let list_codes_arg =
+    Arg.(
+      value & flag
+      & info [ "list-codes" ] ~doc:"Print the diagnostic code table and exit.")
+  in
+  (* One lint target: a named program with an optional forced phase. *)
+  let lint_target (name, p, phase) =
+    let ds = Lint.Registry.run ?phase p in
+    (name, p, phase, ds)
+  in
+  let workload_targets () =
+    let builtin =
+      [
+        ("fig1", Workloads.Smallspecs.fig1);
+        ("fig2", Workloads.Smallspecs.fig2);
+        ("pingpong", Workloads.Smallspecs.ping_pong);
+        ("medical", Workloads.Medical.spec);
+        ("elevator", Workloads.Elevator.spec);
+        ("fir", Workloads.Fir.spec);
+      ]
+    in
+    let refined =
+      List.concat_map
+        (fun (d : Workloads.Designs.design) ->
+          List.map
+            (fun m ->
+              let r =
+                Core.Refiner.refine Workloads.Medical.spec
+                  Workloads.Medical.graph d.Workloads.Designs.d_partition m
+              in
+              ( Printf.sprintf "medical/%s/%s" d.Workloads.Designs.d_name
+                  (Core.Model.name m),
+                r.Core.Refiner.rf_program,
+                Some Lint.Registry.Post ))
+            Core.Model.all)
+        Workloads.Designs.all
+    in
+    List.map (fun (n, p) -> (n, p, None)) builtin @ refined
+  in
+  let run spec_path severity codes phase json workloads list_codes output =
+    if list_codes then begin
+      List.iter
+        (fun (code, descr) -> Printf.printf "%-9s %s\n" code descr)
+        Lint.Registry.code_table;
+      exit 0
+    end;
+    let targets =
+      if workloads then workload_targets ()
+      else
+        match spec_path with
+        | None -> or_die (Error "give a SPEC file or --workloads")
+        | Some path ->
+          let p = or_die (load_spec path) in
+          [ (path, p, phase) ]
+    in
+    let results = List.map lint_target targets in
+    let keep d =
+      Spec.Diagnostic.severity_rank d.Spec.Diagnostic.d_severity
+      <= Spec.Diagnostic.severity_rank severity
+      && (codes = [] || List.mem d.Spec.Diagnostic.d_code codes)
+    in
+    let results =
+      List.map (fun (n, p, ph, ds) -> (n, p, ph, List.filter keep ds)) results
+    in
+    let total sev =
+      List.fold_left
+        (fun acc (_, _, _, ds) -> acc + Spec.Diagnostic.count sev ds)
+        0 results
+    in
+    let report =
+      if json then
+        Printf.sprintf "{\"targets\":[%s],\"errors\":%d,\"warnings\":%d}"
+          (String.concat ","
+             (List.map
+                (fun (name, p, phase, ds) ->
+                  let phase =
+                    match phase with
+                    | Some ph -> ph
+                    | None -> Lint.Registry.infer_phase p
+                  in
+                  Printf.sprintf
+                    "{\"name\":\"%s\",\"phase\":\"%s\",\"errors\":%d,\
+                     \"warnings\":%d,\"diagnostics\":[%s]}"
+                    (Spec.Diagnostic.json_escape name)
+                    (match phase with
+                    | Lint.Registry.Pre -> "pre"
+                    | Lint.Registry.Post -> "post")
+                    (Spec.Diagnostic.count Spec.Diagnostic.Error ds)
+                    (Spec.Diagnostic.count Spec.Diagnostic.Warning ds)
+                    (String.concat ","
+                       (List.map Spec.Diagnostic.to_json ds)))
+                results))
+          (total Spec.Diagnostic.Error)
+          (total Spec.Diagnostic.Warning)
+      else begin
+        let buf = Buffer.create 1024 in
+        List.iter
+          (fun (name, _, _, ds) ->
+            Buffer.add_string buf
+              (Printf.sprintf "== %s: %d error(s), %d warning(s)\n" name
+                 (Spec.Diagnostic.count Spec.Diagnostic.Error ds)
+                 (Spec.Diagnostic.count Spec.Diagnostic.Warning ds));
+            List.iter
+              (fun d ->
+                Buffer.add_string buf ("  " ^ Spec.Diagnostic.to_string d);
+                Buffer.add_char buf '\n')
+              ds)
+          results;
+        Buffer.add_string buf
+          (Printf.sprintf "total: %d error(s), %d warning(s)\n"
+             (total Spec.Diagnostic.Error)
+             (total Spec.Diagnostic.Warning));
+        Buffer.contents buf
+      end
+    in
+    write_out output report;
+    if total Spec.Diagnostic.Error > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static-analysis passes (races, protocol conformance, \
+          liveness, bus contention, width narrowing) plus the type checker \
+          over a specification, and exit non-zero on any error-severity \
+          diagnostic.")
+    Term.(
+      const run $ spec_opt_arg $ severity_arg $ code_arg $ phase_arg
+      $ json_arg $ workloads_arg $ list_codes_arg $ output_arg)
+
 let () =
   let info =
     Cmd.info "mrefine" ~version:"1.0.0"
@@ -565,5 +755,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ parse_cmd; graph_cmd; partition_cmd; refine_cmd; simulate_cmd;
-            cosim_cmd; typecheck_cmd; export_cmd; quality_cmd; demo_cmd;
-            explore_cmd ]))
+            cosim_cmd; typecheck_cmd; lint_cmd; export_cmd; quality_cmd;
+            demo_cmd; explore_cmd ]))

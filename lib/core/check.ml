@@ -1,10 +1,20 @@
 (** Structural invariant checks on a refinement result, beyond
     {!Spec.Program.validate}: they catch refiner bugs early and are also
-    exercised directly by the failure-injection tests. *)
+    exercised directly by the failure-injection tests.
+
+    Findings are reported as {!Spec.Diagnostic.t} values with stable
+    codes ([REF001]–[REF004], [CONT001]/[CONT002], [NAME001], plus the
+    [TYPE00x] codes of {!Spec.Typecheck}); {!run} is the historical
+    string-list shim over {!diagnostics}. *)
 
 open Spec
 
 type violation = string
+
+let diag ~code ?(severity = Diagnostic.Error) ?path ?loc pass fmt =
+  Printf.ksprintf
+    (fun s -> Diagnostic.make ~code ~severity ~pass ?path ?loc s)
+    fmt
 
 (* Every partitioned variable of the original program must have
    disappeared from the refined program's variable section — all storage
@@ -13,7 +23,8 @@ let check_no_program_vars (r : Refiner.t) acc =
   match r.Refiner.rf_program.Ast.p_vars with
   | [] -> acc
   | vs ->
-    Printf.sprintf "refined program still declares top-level variables: %s"
+    diag ~code:"REF001" "check"
+      "refined program still declares top-level variables: %s"
       (String.concat ", " (List.map (fun v -> v.Ast.v_name) vs))
     :: acc
 
@@ -24,14 +35,15 @@ let check_arbiters (r : Refiner.t) acc =
   List.fold_left
     (fun acc (bi : Refiner.bus_inst) ->
       let n = List.length bi.Refiner.bi_requesters in
+      let label = bi.Refiner.bi_signals.Protocol.bs_label in
       match bi.Refiner.bi_arbiter with
       | None when n >= 2 ->
-        Printf.sprintf "bus %s has %d masters but no arbiter"
-          bi.Refiner.bi_signals.Protocol.bs_label n
+        diag ~code:"CONT001" ~loc:label "check"
+          "bus %s has %d masters but no arbiter" label n
         :: acc
       | Some _ when n < 2 ->
-        Printf.sprintf "bus %s has %d master(s) but an arbiter"
-          bi.Refiner.bi_signals.Protocol.bs_label n
+        diag ~code:"CONT002" ~loc:label "check"
+          "bus %s has %d master(s) but an arbiter" label n
         :: acc
       | _ -> acc)
     acc r.Refiner.rf_buses
@@ -42,7 +54,8 @@ let check_bus_bound (r : Refiner.t) acc =
   let bound = Model.max_buses r.Refiner.rf_model ~p in
   let n = List.length r.Refiner.rf_buses in
   if n > bound then
-    Printf.sprintf "%s instantiates %d buses, above the model bound %d"
+    diag ~code:"REF002" "check"
+      "%s instantiates %d buses, above the model bound %d"
       (Model.name r.Refiner.rf_model) n bound
     :: acc
   else acc
@@ -55,8 +68,13 @@ let check_servers (r : Refiner.t) acc =
       match Program.lookup_behavior prog name with
       | Some _ ->
         if Program.is_server prog name then acc
-        else Printf.sprintf "generated behavior %s is not a server" name :: acc
-      | None -> Printf.sprintf "server %s does not exist" name :: acc)
+        else
+          diag ~code:"REF003" ~loc:name "check"
+            "generated behavior %s is not a server" name
+          :: acc
+      | None ->
+        diag ~code:"REF003" ~loc:name "check" "server %s does not exist" name
+        :: acc)
     acc
     (r.Refiner.rf_memories @ r.Refiner.rf_arbiters @ r.Refiner.rf_moved)
 
@@ -92,7 +110,7 @@ let check_no_direct_access (original : Ast.program) (r : Refiner.t) acc =
           in
           List.fold_left
             (fun acc x ->
-              Printf.sprintf
+              diag ~code:"REF004" ~path:[ b.Ast.b_name ] ~loc:x "check"
                 "behavior %s still accesses partitioned variable %s directly"
                 b.Ast.b_name x
               :: acc)
@@ -100,7 +118,7 @@ let check_no_direct_access (original : Ast.program) (r : Refiner.t) acc =
         | Ast.Seq _ | Ast.Par _ -> acc)
     acc r.Refiner.rf_program.Ast.p_top
 
-let run ~original (r : Refiner.t) : (unit, violation list) result =
+let diagnostics ~original (r : Refiner.t) : Diagnostic.t list =
   let acc = [] in
   let acc = check_no_program_vars r acc in
   let acc = check_arbiters r acc in
@@ -110,11 +128,23 @@ let run ~original (r : Refiner.t) : (unit, violation list) result =
   let acc =
     match Program.validate r.Refiner.rf_program with
     | Ok () -> acc
-    | Error msgs -> msgs @ acc
+    | Error msgs ->
+      List.map (fun m -> diag ~code:"NAME001" "validate" "%s" m) msgs @ acc
   in
-  let acc =
-    match Typecheck.check r.Refiner.rf_program with
-    | Ok () -> acc
-    | Error msgs -> List.map (fun m -> "type error: " ^ m) msgs @ acc
-  in
-  match acc with [] -> Ok () | _ -> Error (List.rev acc)
+  let acc = Typecheck.diagnostics r.Refiner.rf_program @ acc in
+  Diagnostic.sort acc
+
+(* Sorted by (severity, code, location) via {!Diagnostic.compare}, so
+   failure output is stable across runs.  Any diagnostic — including a
+   warning-severity one — makes the refinement result unsound. *)
+let run ~original (r : Refiner.t) : (unit, violation list) result =
+  match diagnostics ~original r with
+  | [] -> Ok ()
+  | ds ->
+    Error
+      (List.map
+         (fun (d : Diagnostic.t) ->
+           if String.equal d.Diagnostic.d_pass "typecheck" then
+             "type error: " ^ d.Diagnostic.d_message
+           else d.Diagnostic.d_message)
+         ds)

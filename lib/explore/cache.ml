@@ -3,7 +3,7 @@
 
 (* Bump when the marshalled layout of cached values changes: stale disk
    entries from an older build then read as misses instead of garbage. *)
-let format_version = "coref-explore-cache-1\n"
+let format_version = "coref-explore-cache-2\n"
 
 type stats = { hits : int; misses : int }
 

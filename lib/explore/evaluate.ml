@@ -18,6 +18,8 @@ type metrics = {
   e_software_bytes : int;
   e_exec_seconds : float;
   e_check_ok : bool;
+  e_lint_errors : int;
+  e_lint_warnings : int;
 }
 
 type result = {
@@ -98,6 +100,11 @@ let refine_and_measure ctx alloc part (model : Core.Model.t) =
       | Error _ -> false
     in
     let refined = r.Core.Refiner.rf_program in
+    (* Structural lint of the refined output (the typecheck part is
+       already inside Check.run / e_check_ok). *)
+    let lint =
+      Lint.Registry.run ~phase:Lint.Registry.Post ~typecheck:false refined
+    in
     let env = Estimate.Rates.make_env ctx.cx_spec alloc part in
     let plan = r.Core.Refiner.rf_plan in
     let q = Core.Quality.of_refinement ~alloc r in
@@ -118,6 +125,8 @@ let refine_and_measure ctx alloc part (model : Core.Model.t) =
         e_software_bytes = sw;
         e_exec_seconds = secs;
         e_check_ok = check_ok;
+        e_lint_errors = Spec.Diagnostic.count Spec.Diagnostic.Error lint;
+        e_lint_warnings = Spec.Diagnostic.count Spec.Diagnostic.Warning lint;
       }
 
 let run ?cache ctx (c : Candidate.t) =

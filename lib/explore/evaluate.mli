@@ -26,6 +26,8 @@ type metrics = {
   e_software_bytes : int;  (** summed processor code size *)
   e_exec_seconds : float;  (** summed estimated execution time *)
   e_check_ok : bool;  (** {!Core.Check} found no violation *)
+  e_lint_errors : int;  (** error-severity lint diagnostics on the output *)
+  e_lint_warnings : int;  (** warning-severity lint diagnostics *)
 }
 
 type result = {

@@ -84,10 +84,11 @@ let row_of (r : Evaluate.result) =
   | Error msg -> Printf.sprintf "%-24s FAILED: %s" label msg
   | Ok m ->
     Printf.sprintf
-      "%-24s %2dL/%-2dG %8.1f Mbps %6.1fx %4d pins %6d gates %s%s" label
-      m.Evaluate.e_locals m.Evaluate.e_globals m.Evaluate.e_max_bus_rate
+      "%-24s %2dL/%-2dG %8.1f Mbps %6.1fx %4d pins %6d gates %s lint:%dE/%dW%s"
+      label m.Evaluate.e_locals m.Evaluate.e_globals m.Evaluate.e_max_bus_rate
       m.Evaluate.e_growth m.Evaluate.e_pins m.Evaluate.e_gates
       (if m.Evaluate.e_check_ok then "ok" else "CHECK-FAILED")
+      m.Evaluate.e_lint_errors m.Evaluate.e_lint_warnings
       (if r.Evaluate.r_cached then " (cached)" else "")
 
 let to_text ?(top = 0) t =
@@ -143,12 +144,14 @@ let json_of_result (r : Evaluate.result) =
       "{%s,\"locals\":%d,\"globals\":%d,\"comm_bits\":%d,\
        \"max_bus_rate_mbps\":%.4f,\"buses\":%d,\"memories\":%d,\
        \"lines\":%d,\"growth\":%.4f,\"pins\":%d,\"gates\":%d,\
-       \"software_bytes\":%d,\"exec_seconds\":%.6f,\"check_ok\":%b}"
+       \"software_bytes\":%d,\"exec_seconds\":%.6f,\"check_ok\":%b,\
+       \"lint_errors\":%d,\"lint_warnings\":%d}"
       base m.Evaluate.e_locals m.Evaluate.e_globals m.Evaluate.e_comm_bits
       m.Evaluate.e_max_bus_rate m.Evaluate.e_bus_count m.Evaluate.e_memories
       m.Evaluate.e_lines m.Evaluate.e_growth m.Evaluate.e_pins
       m.Evaluate.e_gates m.Evaluate.e_software_bytes
       m.Evaluate.e_exec_seconds m.Evaluate.e_check_ok
+      m.Evaluate.e_lint_errors m.Evaluate.e_lint_warnings
 
 let to_json ?(top = 0) t =
   Printf.sprintf

@@ -1,0 +1,8 @@
+(** Protocol-conformance pass: [PROTO001] (bus transaction address not
+    decoded by any slave — always an error), [PROTO002] (signal driven
+    but never observed, e.g. a [B_start] with no waiter) and [PROTO003]
+    (signal waited on but never driven, e.g. a missing [B_done] reply);
+    the pairing checks are warnings pre-refinement and errors
+    post-refinement. *)
+
+val pass : Pass.pass

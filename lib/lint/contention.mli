@@ -1,0 +1,7 @@
+(** Bus-contention pass: [CONT001] when a bus's master procedures are
+    called from two or more parallel regions and some caller does not
+    hold an arbitration grant (no request drive + grant wait around the
+    transaction).  The refinement-aware twin of this rule lives in
+    {!Core.Check}. *)
+
+val pass : Pass.pass

@@ -1,0 +1,142 @@
+(** Liveness / usage pass.
+
+    Flow-insensitive usage checks, all warnings: storage nobody touches
+    ([LIVE001]), wires nobody drives or reads ([LIVE002]), sequential
+    arms no chain of TOC arcs or fall-throughs can reach ([LIVE003]),
+    and variables that are read somewhere but never written anywhere
+    and carry no initializer ([LIVE004] — the read can only ever see
+    the type's default value). *)
+
+open Spec
+open Ast
+
+let codes =
+  [
+    ("LIVE001", "variable is never accessed");
+    ("LIVE002", "signal is never driven nor read");
+    ("LIVE003", "behavior is unreachable in its sequential composition");
+    ("LIVE004", "variable read but never written, with no initializer");
+  ]
+
+let warn = Diagnostic.Warning
+
+let run (ctx : Pass.t) =
+  let p = ctx.Pass.lc_program in
+  let reads = Hashtbl.create 32 and writes = Hashtbl.create 32 in
+  List.iter
+    (fun site ->
+      List.iter
+        (fun (key, _) -> Hashtbl.replace reads key ())
+        site.Pass.st_var_reads;
+      List.iter
+        (fun (key, _) -> Hashtbl.replace writes key ())
+        site.Pass.st_var_writes)
+    ctx.Pass.lc_sites;
+  let var_checks key name ~owner ~init acc =
+    let is_read = Hashtbl.mem reads key and is_written = Hashtbl.mem writes key in
+    let where =
+      match owner with
+      | None -> "program variable"
+      | Some b -> Printf.sprintf "variable (local to %s)" b
+    in
+    let path = match owner with None -> [] | Some b -> [ b ] in
+    if (not is_read) && not is_written then
+      Diagnostic.makef ~code:"LIVE001" ~severity:warn ~pass:"liveness" ~path
+        ~loc:name "%s %s is never accessed" where name
+      :: acc
+    else if is_read && (not is_written) && init = None then
+      Diagnostic.makef ~code:"LIVE004" ~severity:warn ~pass:"liveness" ~path
+        ~loc:name
+        "%s %s is read but never written and has no initializer" where name
+      :: acc
+    else acc
+  in
+  let acc =
+    List.fold_left
+      (fun acc (v : var_decl) ->
+        var_checks v.v_name v.v_name ~owner:None ~init:v.v_init acc)
+      [] p.p_vars
+  in
+  let acc =
+    List.fold_left
+      (fun acc (owner, (v : var_decl)) ->
+        var_checks
+          (owner ^ "." ^ v.v_name)
+          v.v_name ~owner:(Some owner) ~init:v.v_init acc)
+      acc
+      (Behavior.all_var_decls p.p_top)
+  in
+  (* Dead signals: neither driven nor read anywhere (procedure bodies
+     included).  Partial uses are the conformance pass's business. *)
+  let sig_used = Hashtbl.create 16 in
+  List.iter
+    (fun site ->
+      List.iter (fun s -> Hashtbl.replace sig_used s ()) site.Pass.st_sig_writes;
+      List.iter (fun s -> Hashtbl.replace sig_used s ()) site.Pass.st_sig_reads)
+    ctx.Pass.lc_sites;
+  List.iter
+    (fun pr ->
+      let written, read = Pass.proc_signal_uses p pr in
+      List.iter (fun s -> Hashtbl.replace sig_used s ()) (written @ read))
+    p.p_procs;
+  let acc =
+    List.fold_left
+      (fun acc (sd : sig_decl) ->
+        if Hashtbl.mem sig_used sd.s_name then acc
+        else
+          Diagnostic.makef ~code:"LIVE002" ~severity:warn ~pass:"liveness"
+            ~loc:sd.s_name "signal %s is never driven nor read" sd.s_name
+          :: acc)
+      acc p.p_signals
+  in
+  (* Unreachable sequential arms: fixpoint over fall-throughs (an arm
+     with no transitions) and Goto targets; conditions are not
+     evaluated, so every transition is considered takable. *)
+  Behavior.fold
+    (fun acc b ->
+      match b.b_body with
+      | Seq arms ->
+        let arms = Array.of_list arms in
+        let n = Array.length arms in
+        let index_of name =
+          let rec go i =
+            if i >= n then None
+            else if String.equal arms.(i).a_behavior.b_name name then Some i
+            else go (i + 1)
+          in
+          go 0
+        in
+        let reachable = Array.make n false in
+        let rec visit i =
+          if i < n && not reachable.(i) then begin
+            reachable.(i) <- true;
+            match arms.(i).a_transitions with
+            | [] -> visit (i + 1)
+            | ts ->
+              List.iter
+                (fun tr ->
+                  match tr.t_target with
+                  | Goto tgt ->
+                    (match index_of tgt with Some j -> visit j | None -> ())
+                  | Complete -> ())
+                ts
+          end
+        in
+        if n > 0 then visit 0;
+        let acc = ref acc in
+        Array.iteri
+          (fun i reached ->
+            if not reached then
+              acc :=
+                Diagnostic.makef ~code:"LIVE003" ~severity:warn
+                  ~pass:"liveness" ~path:[ b.b_name ]
+                  ~loc:arms.(i).a_behavior.b_name
+                  "behavior %s is unreachable in sequential composition %s"
+                  arms.(i).a_behavior.b_name b.b_name
+                :: !acc)
+          reachable;
+        !acc
+      | Leaf _ | Par _ -> acc)
+    acc p.p_top
+
+let pass = { Pass.p_name = "liveness"; p_codes = codes; p_run = run }

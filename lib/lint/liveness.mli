@@ -1,0 +1,6 @@
+(** Liveness / usage pass (all warnings): [LIVE001] never-accessed
+    variable, [LIVE002] never-used signal, [LIVE003] unreachable
+    sequential arm, [LIVE004] variable read but never written with no
+    initializer. *)
+
+val pass : Pass.pass

@@ -1,0 +1,157 @@
+(** Race detector.
+
+    A {e variable} race is a declaration accessed from two different
+    children of one parallel composition with at least one writer: the
+    interleaving of immediate assignments is unconstrained, so the
+    observable behavior depends on scheduling.  A {e signal} race needs
+    two concurrent {e drivers} — concurrent signal reads are
+    deterministic under delta-delay semantics, but the last driver in a
+    delta wins.
+
+    Accesses mediated by a protocol procedure do not count: [Call]
+    arguments are read at the call site, but reads and writes inside the
+    procedure body belong to the protocol (serialized by its handshake),
+    which is exactly the mediation refinement introduces.  Subtrees
+    registered as perpetual servers (memories, arbiters, bus interfaces)
+    are exempt for the same reason: they are protocol endpoints whose
+    accesses are serialized by the request/acknowledge wires.
+
+    Severity follows the phase: a race in an unpartitioned input is what
+    refinement will serialize (warning); the same race in refined output
+    is a broken refinement (error). *)
+
+open Spec
+open Ast
+
+let codes =
+  [
+    ("RACE001",
+     "variable accessed from two parallel branches with at least one \
+      writer and no mediating protocol");
+    ("RACE002", "signal driven from two parallel branches");
+  ]
+
+(* Accesses of the non-server sites under one child subtree, as
+   (decl key -> display name) maps for readers and writers. *)
+let child_accesses sites child =
+  let in_child s =
+    (not s.Pass.st_server) && List.mem child s.Pass.st_path
+  in
+  let sites = List.filter in_child sites in
+  let vars acc field =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left
+          (fun acc (key, name) ->
+            if List.mem_assoc key acc then acc
+            else (key, (name, s.Pass.st_behavior)) :: acc)
+          acc (field s))
+      acc sites
+  in
+  let reads = vars [] (fun s -> s.Pass.st_var_reads) in
+  let writes = vars [] (fun s -> s.Pass.st_var_writes) in
+  let sig_writes =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left
+          (fun acc x ->
+            if List.mem_assoc x acc then acc
+            else (x, s.Pass.st_behavior) :: acc)
+          acc s.Pass.st_sig_writes)
+      [] sites
+  in
+  (reads, writes, sig_writes)
+
+let run (ctx : Pass.t) =
+  let severity = Pass.severity_for_phase ctx.Pass.lc_phase in
+  Behavior.fold
+    (fun acc b ->
+      match b.b_body with
+      | Par children when List.length children >= 2 ->
+        let per_child =
+          List.map
+            (fun c ->
+              (c.b_name, child_accesses ctx.Pass.lc_sites c.b_name))
+            children
+        in
+        (* Variable races: a writer in one child, any accessor in
+           another. *)
+        let keys =
+          List.sort_uniq String.compare
+            (List.concat_map
+               (fun (_, (reads, writes, _)) ->
+                 List.map fst reads @ List.map fst writes)
+               per_child)
+        in
+        let acc =
+          List.fold_left
+            (fun acc key ->
+              let accessors =
+                List.filter
+                  (fun (_, (reads, writes, _)) ->
+                    List.mem_assoc key reads || List.mem_assoc key writes)
+                  per_child
+              in
+              let writers =
+                List.filter
+                  (fun (_, (_, writes, _)) -> List.mem_assoc key writes)
+                  per_child
+              in
+              match (writers, accessors) with
+              | (wc, (_, ww, _)) :: _, _ :: _ :: _ ->
+                let name, writer_leaf = List.assoc key ww in
+                let other =
+                  List.find_map
+                    (fun (c, (reads, writes, _)) ->
+                      if String.equal c wc then None
+                      else
+                        match
+                          (List.assoc_opt key reads, List.assoc_opt key writes)
+                        with
+                        | Some (_, leaf), _ | None, Some (_, leaf) ->
+                          Some (c, leaf)
+                        | None, None -> None)
+                    per_child
+                in
+                begin match other with
+                | None -> acc  (* all accesses in the writing child *)
+                | Some (oc, other_leaf) ->
+                  Diagnostic.makef ~code:"RACE001" ~severity ~pass:"race"
+                    ~path:[ b.b_name ] ~loc:name
+                    "variable %s is written in branch %s (%s) and accessed \
+                     in branch %s (%s) of parallel composition %s with no \
+                     mediating protocol"
+                    name wc writer_leaf oc other_leaf b.b_name
+                  :: acc
+                end
+              | _ -> acc)
+            acc keys
+        in
+        (* Signal races: two concurrent drivers. *)
+        let signals =
+          List.sort_uniq String.compare
+            (List.concat_map
+               (fun (_, (_, _, sw)) -> List.map fst sw)
+               per_child)
+        in
+        List.fold_left
+          (fun acc x ->
+            let drivers =
+              List.filter
+                (fun (_, (_, _, sw)) -> List.mem_assoc x sw)
+                per_child
+            in
+            match drivers with
+            | (c1, (_, _, sw1)) :: (c2, (_, _, sw2)) :: _ ->
+              Diagnostic.makef ~code:"RACE002" ~severity ~pass:"race"
+                ~path:[ b.b_name ] ~loc:x
+                "signal %s is driven from branches %s (%s) and %s (%s) of \
+                 parallel composition %s"
+                x c1 (List.assoc x sw1) c2 (List.assoc x sw2) b.b_name
+              :: acc
+            | _ -> acc)
+          acc signals
+      | _ -> acc)
+    [] ctx.Pass.lc_program.p_top
+
+let pass = { Pass.p_name = "race"; p_codes = codes; p_run = run }

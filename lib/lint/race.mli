@@ -1,0 +1,6 @@
+(** Race detector: [RACE001] (variable accessed from two parallel
+    branches with at least one writer and no mediating protocol) and
+    [RACE002] (signal driven from two parallel branches).  Severity is
+    phase-dependent: warning pre-refinement, error post-refinement. *)
+
+val pass : Pass.pass

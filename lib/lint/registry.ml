@@ -1,0 +1,58 @@
+(** The pass registry and lint drivers.
+
+    [run] lints one program: it builds the analysis context once,
+    executes the selected passes (all of them by default), optionally
+    folds in the type checker's diagnostics, and returns the findings
+    in stable {!Spec.Diagnostic.compare} order.  [run_refinement] lints
+    a refinement result: the refinement-aware invariants of
+    {!Core.Check} plus the structural passes on the refined program at
+    phase [Post]. *)
+
+open Spec
+
+type phase = Pass.phase = Pre | Post
+
+let all : Pass.pass list =
+  [ Race.pass; Conformance.pass; Liveness.pass; Contention.pass; Width.pass ]
+
+let find_pass name =
+  List.find_opt (fun p -> String.equal p.Pass.p_name name) all
+
+(* Codes emitted by the migrated checkers, so the code table is
+   complete without those modules depending on lint. *)
+let checker_codes =
+  [
+    ("TYPE001", "unbound name");
+    ("TYPE002", "type class mismatch");
+    ("TYPE003", "array misuse");
+    ("TYPE004", "variable/signal kind confusion");
+    ("TYPE005", "malformed procedure call");
+    ("NAME001", "name-resolution failure");
+    ("REF001", "refined program still declares top-level variables");
+    ("REF002", "bus count above the model bound");
+    ("REF003", "unregistered or missing server");
+    ("REF004", "direct access to a partitioned variable");
+    ("CONT002", "arbiter on a single-master bus");
+  ]
+
+let code_table =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (List.concat_map (fun p -> p.Pass.p_codes) all @ checker_codes)
+
+let infer_phase = Pass.infer_phase
+
+let run ?phase ?(typecheck = true) ?(passes = all) (p : Ast.program) :
+    Diagnostic.t list =
+  let phase =
+    match phase with Some ph -> ph | None -> Pass.infer_phase p
+  in
+  let ctx = Pass.make_ctx ~phase p in
+  let found = List.concat_map (fun ps -> ps.Pass.p_run ctx) passes in
+  let found = if typecheck then Typecheck.diagnostics p @ found else found in
+  Diagnostic.sort found
+
+let run_refinement ~original (r : Core.Refiner.t) : Diagnostic.t list =
+  Diagnostic.sort
+    (Core.Check.diagnostics ~original r
+    @ run ~phase:Post ~typecheck:false r.Core.Refiner.rf_program)

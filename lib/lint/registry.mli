@@ -1,0 +1,33 @@
+(** The pass registry and lint drivers. *)
+
+open Spec
+
+type phase = Pass.phase = Pre | Post
+
+val all : Pass.pass list
+(** Every registered pass: race, conformance, liveness, contention,
+    width. *)
+
+val find_pass : string -> Pass.pass option
+
+val code_table : (string * string) list
+(** Every diagnostic code the tool can emit, with a one-line
+    description, sorted by code — the passes' own codes plus those of
+    the migrated type checker and refinement checks. *)
+
+val infer_phase : Ast.program -> phase
+
+val run :
+  ?phase:phase ->
+  ?typecheck:bool ->
+  ?passes:Pass.pass list ->
+  Ast.program ->
+  Diagnostic.t list
+(** Lint one program.  The phase defaults to {!infer_phase}; the type
+    checker's diagnostics are folded in unless [~typecheck:false]; the
+    result is in stable {!Spec.Diagnostic.compare} order. *)
+
+val run_refinement :
+  original:Ast.program -> Core.Refiner.t -> Diagnostic.t list
+(** Lint a refinement result: {!Core.Check.diagnostics} plus {!run} on
+    the refined program at phase [Post]. *)

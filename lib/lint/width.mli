@@ -1,0 +1,7 @@
+(** Width-narrowing pass (all warnings): [WIDTH001] when an assignment
+    or signal assignment narrows its inferred source width, [WIDTH002]
+    when a procedure-call transfer does (an [in] argument wider than
+    its parameter, or an [out] parameter wider than the receiving
+    variable). *)
+
+val pass : Pass.pass

@@ -5,8 +5,9 @@
     is compatible with any other; booleans and integers never mix.  The
     checker validates expressions, statements, TOC conditions and
     procedure calls under proper scoping, and returns every violation
-    found.  Refined outputs of {!Core.Refiner} are expected to typecheck
-    — the test suite asserts it. *)
+    found as a {!Diagnostic.t} (codes [TYPE001]–[TYPE005]).  Refined
+    outputs of {!Core.Refiner} are expected to typecheck — the test
+    suite asserts it. *)
 
 open Ast
 
@@ -30,6 +31,7 @@ type kind = Kvar | Ksignal
 type env = {
   bindings : (string * (ty_class * kind)) list;  (** innermost first *)
   procs : proc_decl list;
+  path : string list;  (** behavior path, for diagnostic locations *)
 }
 
 let lookup env x = Option.map fst (List.assoc_opt x env.bindings)
@@ -45,7 +47,15 @@ let bind_vars env vars =
 
 type error = string
 
-let errf fmt = Printf.ksprintf (fun s -> s) fmt
+(* Diagnostic codes: TYPE001 unbound name, TYPE002 class mismatch,
+   TYPE003 array misuse, TYPE004 variable/signal kind confusion,
+   TYPE005 malformed procedure call. *)
+let errf env ~code ?loc fmt =
+  Printf.ksprintf
+    (fun s ->
+      Diagnostic.make ~code ~severity:Diagnostic.Error ~pass:"typecheck"
+        ~path:(List.rev env.path) ?loc s)
+    fmt
 
 (* Infer the class of an expression, accumulating errors; [None] when the
    expression is too broken to classify. *)
@@ -55,17 +65,20 @@ let rec infer env errs e =
   | Ref x ->
     begin match lookup env x with
     | Some Carray ->
-      (None, errf "array %s used without an index" x :: errs)
+      (None, errf env ~code:"TYPE003" ~loc:x "array %s used without an index" x :: errs)
     | Some c -> (Some c, errs)
-    | None -> (None, errf "unbound reference %s" x :: errs)
+    | None -> (None, errf env ~code:"TYPE001" ~loc:x "unbound reference %s" x :: errs)
     end
   | Index (x, i) ->
     let errs = expect env errs Cint i "array index" in
     begin match lookup env x with
     | Some Carray -> (Some Cint, errs)
     | Some c ->
-      (None, errf "%s indexed but has type %s" x (class_name c) :: errs)
-    | None -> (None, errf "unbound reference %s" x :: errs)
+      (None,
+       errf env ~code:"TYPE003" ~loc:x "%s indexed but has type %s" x
+         (class_name c)
+       :: errs)
+    | None -> (None, errf env ~code:"TYPE001" ~loc:x "unbound reference %s" x :: errs)
     end
   | Unop (Neg, a) ->
     let errs = expect env errs Cint a "operand of unary minus" in
@@ -87,7 +100,8 @@ let rec infer env errs e =
     let errs =
       match (ca, cb) with
       | Some ca, Some cb when ca <> cb ->
-        errf "equality between %s and %s in %s" (class_name ca) (class_name cb)
+        errf env ~code:"TYPE002" ~loc:(Expr.to_string e)
+          "equality between %s and %s in %s" (class_name ca) (class_name cb)
           (Expr.to_string e)
         :: errs
       | _ -> errs
@@ -102,20 +116,21 @@ and expect env errs want e what =
   let got, errs = infer env errs e in
   match got with
   | Some got when got <> want ->
-    errf "%s %s has type %s, expected %s" what (Expr.to_string e)
+    errf env ~code:"TYPE002" ~loc:(Expr.to_string e)
+      "%s %s has type %s, expected %s" what (Expr.to_string e)
       (class_name got) (class_name want)
     :: errs
   | Some _ | None -> errs
 
 let check_assignable env errs ~what x e =
   match lookup env x with
-  | None -> errf "%s to unbound name %s" what x :: errs
+  | None -> errf env ~code:"TYPE001" ~loc:x "%s to unbound name %s" what x :: errs
   | Some want ->
     let got, errs = infer env errs e in
     begin match got with
     | Some got when got <> want ->
-      errf "%s: %s is %s but the value is %s" what x (class_name want)
-        (class_name got)
+      errf env ~code:"TYPE002" ~loc:x "%s: %s is %s but the value is %s" what x
+        (class_name want) (class_name got)
       :: errs
     | Some _ | None -> errs
     end
@@ -127,12 +142,17 @@ and check_stmt env errs = function
   | Assign (x, e) ->
     let errs =
       match lookup_kind env x with
-      | Some Ksignal -> errf "variable assignment to signal %s (use <=)" x :: errs
+      | Some Ksignal ->
+        errf env ~code:"TYPE004" ~loc:x
+          "variable assignment to signal %s (use <=)" x
+        :: errs
       | Some Kvar | None -> errs
     in
     let errs =
       match lookup env x with
-      | Some Carray -> errf "array %s assigned without an index" x :: errs
+      | Some Carray ->
+        errf env ~code:"TYPE003" ~loc:x "array %s assigned without an index" x
+        :: errs
       | Some _ | None -> errs
     in
     if lookup env x = Some Carray then errs
@@ -141,8 +161,12 @@ and check_stmt env errs = function
     let errs =
       match lookup env x with
       | Some Carray -> errs
-      | Some c -> errf "%s indexed but has type %s" x (class_name c) :: errs
-      | None -> errf "assignment to unbound name %s" x :: errs
+      | Some c ->
+        errf env ~code:"TYPE003" ~loc:x "%s indexed but has type %s" x
+          (class_name c)
+        :: errs
+      | None ->
+        errf env ~code:"TYPE001" ~loc:x "assignment to unbound name %s" x :: errs
     in
     let errs = expect env errs Cint i "array index" in
     expect env errs Cint e "array element value"
@@ -150,7 +174,10 @@ and check_stmt env errs = function
     let errs =
       match lookup_kind env s with
       | Some Ksignal -> errs
-      | Some Kvar -> errf "signal assignment to variable %s (use :=)" s :: errs
+      | Some Kvar ->
+        errf env ~code:"TYPE004" ~loc:s
+          "signal assignment to variable %s (use :=)" s
+        :: errs
       | None -> errs  (* unbound: reported by check_assignable *)
     in
     check_assignable env errs ~what:"signal assignment" s e
@@ -171,8 +198,9 @@ and check_stmt env errs = function
       match lookup env i with
       | Some Cint -> errs
       | Some (Cbool | Carray) ->
-        errf "for index %s is not an integer" i :: errs
-      | None -> errf "for index %s is unbound" i :: errs
+        errf env ~code:"TYPE002" ~loc:i "for index %s is not an integer" i
+        :: errs
+      | None -> errf env ~code:"TYPE001" ~loc:i "for index %s is unbound" i :: errs
     in
     let errs = expect env errs Cint lo "for lower bound" in
     let errs = expect env errs Cint hi "for upper bound" in
@@ -182,11 +210,13 @@ and check_stmt env errs = function
     begin match
       List.find_opt (fun pr -> String.equal pr.prc_name name) env.procs
     with
-    | None -> errf "call to unknown procedure %s" name :: errs
+    | None ->
+      errf env ~code:"TYPE005" ~loc:name "call to unknown procedure %s" name
+      :: errs
     | Some pr ->
       if List.length pr.prc_params <> List.length args then
-        errf "call to %s with %d arguments, expected %d" name
-          (List.length args)
+        errf env ~code:"TYPE005" ~loc:name
+          "call to %s with %d arguments, expected %d" name (List.length args)
           (List.length pr.prc_params)
         :: errs
       else
@@ -200,15 +230,19 @@ and check_stmt env errs = function
             | Mode_in, Arg_var x | Mode_out, Arg_var x ->
               begin match lookup env x with
               | Some got when got <> want ->
-                errf "argument %s of %s: %s is %s, expected %s" prm.prm_name
-                  name x (class_name got) (class_name want)
+                errf env ~code:"TYPE002" ~loc:x
+                  "argument %s of %s: %s is %s, expected %s" prm.prm_name name
+                  x (class_name got) (class_name want)
                 :: errs
               | Some _ -> errs
-              | None -> errf "argument %s of %s is unbound" x name :: errs
+              | None ->
+                errf env ~code:"TYPE001" ~loc:x "argument %s of %s is unbound"
+                  x name
+                :: errs
               end
             | Mode_out, Arg_expr _ ->
-              errf "expression bound to out parameter %s of %s" prm.prm_name
-                name
+              errf env ~code:"TYPE005" ~loc:name
+                "expression bound to out parameter %s of %s" prm.prm_name name
               :: errs)
           errs pr.prc_params args
     end
@@ -217,7 +251,7 @@ and check_stmt env errs = function
     errs
 
 let rec check_behavior env errs b =
-  let env = bind_vars env b.b_vars in
+  let env = bind_vars { env with path = b.b_name :: env.path } b.b_vars in
   match b.b_body with
   | Leaf stmts -> check_stmts env errs stmts
   | Par children -> List.fold_left (check_behavior env) errs children
@@ -236,6 +270,7 @@ let rec check_behavior env errs b =
       errs arms
 
 let check_proc env errs pr =
+  let env = { env with path = [ "procedure " ^ pr.prc_name ] } in
   let env =
     {
       env with
@@ -248,18 +283,24 @@ let check_proc env errs pr =
   in
   let env = bind_vars env pr.prc_vars in
   List.fold_left (check_stmt env) errs pr.prc_body
-  |> List.map (fun e -> Printf.sprintf "procedure %s: %s" pr.prc_name e)
+  |> List.map (fun (d : Diagnostic.t) ->
+         {
+           d with
+           Diagnostic.d_message =
+             Printf.sprintf "procedure %s: %s" pr.prc_name
+               d.Diagnostic.d_message;
+         })
 
-(** Typecheck a whole program; returns all violations (empty = well
-    typed).  Run {!Program.validate} first for name-resolution errors —
-    this checker reports unbound names too, but with less context. *)
-let check_decl_sites (p : program) errs =
+let check_decl_sites env (p : program) errs =
   (* Arrays are storage only: never signals, never parameters. *)
   let errs =
     List.fold_left
       (fun errs (sd : sig_decl) ->
         match sd.s_ty with
-        | TArray _ -> errf "signal %s has an array type" sd.s_name :: errs
+        | TArray _ ->
+          errf env ~code:"TYPE003" ~loc:sd.s_name
+            "signal %s has an array type" sd.s_name
+          :: errs
         | TBool | TInt _ -> errs)
       errs p.p_signals
   in
@@ -269,14 +310,18 @@ let check_decl_sites (p : program) errs =
         (fun errs prm ->
           match prm.prm_ty with
           | TArray _ ->
-            errf "parameter %s of %s has an array type" prm.prm_name
-              pr.prc_name
+            errf env ~code:"TYPE003" ~loc:prm.prm_name
+              "parameter %s of %s has an array type" prm.prm_name pr.prc_name
             :: errs
           | TBool | TInt _ -> errs)
         errs pr.prc_params)
     errs p.p_procs
 
-let check (p : program) : (unit, error list) result =
+(** Typecheck a whole program; returns all violations as sorted
+    diagnostics (empty = well typed).  Run {!Program.validate} first for
+    name-resolution errors — this checker reports unbound names too, but
+    with less context. *)
+let diagnostics (p : program) : Diagnostic.t list =
   let base =
     {
       bindings =
@@ -285,12 +330,20 @@ let check (p : program) : (unit, error list) result =
             (fun s -> (s.s_name, (class_of_ty s.s_ty, Ksignal)))
             p.p_signals;
       procs = p.p_procs;
+      path = [];
     }
   in
-  let errs = check_decl_sites p [] in
-  let errs = errs @ List.concat_map (fun pr -> check_proc base [] pr) p.p_procs in
+  let errs = check_decl_sites base p [] in
+  let errs =
+    errs @ List.concat_map (fun pr -> check_proc base [] pr) p.p_procs
+  in
   let errs = check_behavior base errs p.p_top in
-  match errs with [] -> Ok () | _ -> Error (List.rev errs)
+  Diagnostic.sort errs
+
+let check (p : program) : (unit, error list) result =
+  match diagnostics p with
+  | [] -> Ok ()
+  | ds -> Error (List.map (fun d -> d.Diagnostic.d_message) ds)
 
 let check_exn p =
   match check p with

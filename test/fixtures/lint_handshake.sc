@@ -1,0 +1,21 @@
+program lint_handshake is
+  signal go_start : bool := false;
+  signal go_done : bool := false;
+  servers WORKER;
+  behavior TOP : par is
+  begin
+    behavior CTRL : leaf is
+    begin
+      go_start <= true;
+      wait until go_done = true;
+      go_start <= false;
+      wait until go_done = false;
+    end behavior
+    ;
+    behavior WORKER : leaf is
+    begin
+      skip;
+    end behavior
+    ;
+  end behavior
+end program

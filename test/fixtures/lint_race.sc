@@ -1,0 +1,18 @@
+program lint_race is
+  var shared : int<8> := 0;
+  var other : int<8> := 0;
+  behavior TOP : par is
+  begin
+    behavior WRITER : leaf is
+    begin
+      shared := shared + 1;
+      other := 2;
+    end behavior
+    ;
+    behavior READER : leaf is
+    begin
+      emit "seen" shared;
+    end behavior
+    ;
+  end behavior
+end program

@@ -148,6 +148,47 @@ let test_explore () =
     [ "explore"; spec "fig2.sc"; "--models"; "9" ]
     [ "unknown model" ]
 
+let fixture name = "fixtures/" ^ name
+
+let test_lint () =
+  (* Shipped specs are clean; the command exits 0. *)
+  expect_ok [ "lint"; spec "medical.sc" ] [ "0 error(s)" ];
+  (* A seeded race is a warning pre-refinement (exit 0) and an error
+     with --phase post (exit 1). *)
+  expect_ok
+    [ "lint"; fixture "lint_race.sc" ]
+    [ "warning[RACE001]"; "shared" ];
+  expect_fail
+    [ "lint"; fixture "lint_race.sc"; "--phase"; "post" ]
+    [ "error[RACE001]" ];
+  (* The other two seeded defects, each with its stable code. *)
+  expect_fail
+    [ "lint"; fixture "lint_handshake.sc" ]
+    [ "error[PROTO002]"; "go_start"; "error[PROTO003]"; "go_done" ];
+  expect_fail
+    [ "lint"; fixture "lint_arbiter.sc"; "--phase"; "post" ]
+    [ "error[CONT001]"; "b1_addr"; "arbitration" ]
+
+let test_lint_filters_and_json () =
+  (* Severity filtering: the pre-phase race warning disappears at
+     --severity error, so the run is clean. *)
+  expect_ok
+    [ "lint"; fixture "lint_race.sc"; "--severity"; "error" ]
+    [ "0 error(s)" ];
+  (* Code filtering keeps only the requested diagnostics. *)
+  let _, out =
+    run [ "lint"; fixture "lint_handshake.sc"; "--code"; "PROTO003" ]
+  in
+  Alcotest.(check bool) "kept code present" true
+    (contains ~sub:"PROTO003" out);
+  Alcotest.(check bool) "other code filtered" false
+    (contains ~sub:"PROTO002" out);
+  expect_fail
+    [ "lint"; fixture "lint_race.sc"; "--phase"; "post"; "--json" ]
+    [ {|"code":"RACE001"|}; {|"severity":"error"|}; {|"errors":1|} ];
+  expect_ok [ "lint"; "--list-codes" ]
+    [ "RACE001"; "PROTO002"; "CONT001"; "WIDTH001"; "TYPE001" ]
+
 let test_demo () =
   expect_ok [ "demo" ]
     [ "medical system: 147 lines, 52 channels"; "cosim ok" ]
@@ -183,6 +224,8 @@ let () =
           tc "quality" test_quality_real;
           tc "fir/elevator specs" test_fir_and_elevator_specs;
           tc "explore" test_explore;
+          tc "lint" test_lint;
+          tc "lint filters and json" test_lint_filters_and_json;
           tc "demo" test_demo;
           tc "errors" test_errors;
         ] );

@@ -262,7 +262,10 @@ let test_sweep_metrics_sane () =
         Alcotest.(check bool) "check ok" true m.Evaluate.e_check_ok;
         Alcotest.(check bool) "growth > 1" true (m.Evaluate.e_growth > 1.0);
         Alcotest.(check bool) "rate >= 0" true (m.Evaluate.e_max_bus_rate >= 0.0);
-        Alcotest.(check bool) "pins > 0" true (m.Evaluate.e_pins > 0))
+        Alcotest.(check bool) "pins > 0" true (m.Evaluate.e_pins > 0);
+        Alcotest.(check int) "lint-clean output" 0 m.Evaluate.e_lint_errors;
+        Alcotest.(check bool) "lint warnings counted" true
+          (m.Evaluate.e_lint_warnings >= 0))
     sw.Sweep.sw_results
 
 let test_sweep_frontier_is_sound () =

@@ -1,0 +1,462 @@
+(** Tests for the static-analysis subsystem ([lib/lint]): the
+    diagnostics framework, the five lint passes over the hand-seeded
+    fixture specs, the migrated checker shims, and the acceptance
+    property that every refined medical design lints clean at error
+    severity. *)
+
+open Spec
+open Ast
+open Helpers
+
+let fixture name =
+  let path = Filename.concat "fixtures" name in
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Parser.program_of_string_exn s
+
+let parse = Parser.program_of_string_exn
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let codes ds = List.map (fun d -> d.Diagnostic.d_code) ds
+
+let with_code c ds =
+  List.filter (fun d -> String.equal d.Diagnostic.d_code c) ds
+
+let has_code c ds = with_code c ds <> []
+
+(* --- diagnostics framework --------------------------------------------- *)
+
+let test_diagnostic_order () =
+  let d ~code ~sev ?(path = []) msg =
+    Diagnostic.make ~code ~severity:sev ~pass:"test" ~path msg
+  in
+  let ds =
+    [
+      d ~code:"ZED001" ~sev:Diagnostic.Warning "w";
+      d ~code:"ABC002" ~sev:Diagnostic.Error "b";
+      d ~code:"ABC001" ~sev:Diagnostic.Info "i";
+      d ~code:"ABC001" ~sev:Diagnostic.Error ~path:[ "B" ] "a2";
+      d ~code:"ABC001" ~sev:Diagnostic.Error ~path:[ "A" ] "a1";
+      d ~code:"ABC001" ~sev:Diagnostic.Error ~path:[ "A" ] "a1";
+    ]
+  in
+  let sorted = Diagnostic.sort ds in
+  Alcotest.(check (list string))
+    "severity first, then code, then location"
+    [ "ABC001"; "ABC001"; "ABC002"; "ZED001"; "ABC001" ]
+    (codes sorted);
+  Alcotest.(check int) "duplicates collapsed" 5 (List.length sorted);
+  Alcotest.(check string) "path breaks ties" "A"
+    (Diagnostic.path_string (List.hd sorted))
+
+let test_diagnostic_render () =
+  let d =
+    Diagnostic.make ~code:"RACE001" ~severity:Diagnostic.Error ~pass:"race"
+      ~path:[ "TOP"; "B1" ] ~loc:"x" "variable x is racy"
+  in
+  let s = Diagnostic.to_string d in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) ("text has " ^ frag) true (contains s frag))
+    [ "error"; "RACE001"; "TOP/B1"; "variable x is racy"; "at x" ];
+  let j = Diagnostic.to_json d in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) ("json has " ^ frag) true (contains j frag))
+    [
+      {|"code":"RACE001"|};
+      {|"severity":"error"|};
+      {|"pass":"race"|};
+      {|"loc":"x"|};
+    ];
+  Alcotest.(check bool) "json escaping" true
+    (contains
+       (Diagnostic.to_json
+          (Diagnostic.make ~code:"X001" ~severity:Diagnostic.Info ~pass:"t"
+             "a \"quoted\" thing"))
+       {|a \"quoted\" thing|})
+
+(* --- fixture specs: one seeded defect each ----------------------------- *)
+
+let test_fixture_race () =
+  let p = fixture "lint_race.sc" in
+  Alcotest.(check bool) "input spec detected as pre-refinement" true
+    (Lint.Registry.infer_phase p = Lint.Registry.Pre);
+  let pre = Lint.Registry.run p in
+  (match with_code "RACE001" pre with
+  | [ d ] ->
+    Alcotest.(check string) "on the shared variable" "shared"
+      d.Diagnostic.d_loc;
+    Alcotest.(check bool) "warning pre-refinement" true
+      (d.Diagnostic.d_severity = Diagnostic.Warning)
+  | ds -> Alcotest.failf "expected exactly one RACE001, got %d" (List.length ds));
+  Alcotest.(check bool) "no errors pre-refinement" false
+    (Diagnostic.has_errors pre);
+  let post = Lint.Registry.run ~phase:Lint.Registry.Post p in
+  (match with_code "RACE001" post with
+  | [ d ] ->
+    Alcotest.(check bool) "error post-refinement" true
+      (d.Diagnostic.d_severity = Diagnostic.Error)
+  | ds -> Alcotest.failf "expected exactly one RACE001, got %d" (List.length ds));
+  (* [other] is written in a single branch and accessed nowhere else, so
+     it must not be reported as a race. *)
+  List.iter
+    (fun d -> Alcotest.(check bool) "no race on other" false
+        (String.equal d.Diagnostic.d_loc "other"))
+    (with_code "RACE001" post)
+
+let test_fixture_handshake () =
+  let p = fixture "lint_handshake.sc" in
+  Alcotest.(check bool) "refined shape detected as post-refinement" true
+    (Lint.Registry.infer_phase p = Lint.Registry.Post);
+  let ds = Lint.Registry.run p in
+  (match with_code "PROTO002" ds with
+  | [ d ] ->
+    Alcotest.(check string) "start wire has no waiter" "go_start"
+      d.Diagnostic.d_loc
+  | l -> Alcotest.failf "expected one PROTO002, got %d" (List.length l));
+  (match with_code "PROTO003" ds with
+  | [ d ] ->
+    Alcotest.(check string) "done wire has no driver" "go_done"
+      d.Diagnostic.d_loc
+  | l -> Alcotest.failf "expected one PROTO003, got %d" (List.length l));
+  Alcotest.(check bool) "unpaired handshakes are errors post-refinement" true
+    (List.for_all
+       (fun d -> d.Diagnostic.d_severity = Diagnostic.Error)
+       (with_code "PROTO002" ds @ with_code "PROTO003" ds))
+
+let test_fixture_arbiter () =
+  let p = fixture "lint_arbiter.sc" in
+  let ds = Lint.Registry.run ~phase:Lint.Registry.Post p in
+  (match with_code "CONT001" ds with
+  | [ d ] ->
+    Alcotest.(check string) "on the address wire" "b1_addr" d.Diagnostic.d_loc;
+    List.iter
+      (fun frag ->
+        Alcotest.(check bool) (frag ^ " named in the message") true
+          (contains d.Diagnostic.d_message frag))
+      [ "M1"; "M2" ]
+  | l -> Alcotest.failf "expected one CONT001, got %d" (List.length l));
+  (* MEM decodes addresses 0 and 1, so the transactions themselves are
+     conformant. *)
+  Alcotest.(check bool) "served addresses raise no PROTO001" false
+    (has_code "PROTO001" ds)
+
+(* A master call whose constant address no slave decodes is PROTO001. *)
+let test_unserved_address () =
+  let p = fixture "lint_arbiter.sc" in
+  let retarget = function
+    | Call (f, Arg_expr _ :: rest) when String.equal f "MST_send_b1" ->
+      Call (f, Arg_expr (Const (VInt 9)) :: rest)
+    | s -> s
+  in
+  let top = Behavior.map_leaf_stmts (List.map retarget) p.p_top in
+  let ds = Lint.Registry.run ~phase:Lint.Registry.Post { p with p_top = top } in
+  let d1 = with_code "PROTO001" ds in
+  Alcotest.(check bool) "unserved address flagged" true (d1 <> []);
+  Alcotest.(check bool) "the stray address is named" true
+    (List.exists (fun d -> contains d.Diagnostic.d_message "addresses 9") d1);
+  Alcotest.(check bool) "PROTO001 is an error in any phase" true
+    (List.for_all (fun d -> d.Diagnostic.d_severity = Diagnostic.Error) d1)
+
+(* Masters that acquire a grant wire before the transaction are not
+   contention: the arbiter rule must go quiet. *)
+let test_grant_suppresses_contention () =
+  let p = fixture "lint_arbiter.sc" in
+  let acquire =
+    [
+      Signal_assign ("req", Const (VBool true));
+      Wait_until (Binop (Eq, Ref "gnt", Const (VBool true)));
+    ]
+  in
+  let top =
+    Behavior.map_leaf_stmts
+      (fun stmts ->
+        let calls_bus =
+          List.exists
+            (function Call ("MST_send_b1", _) -> true | _ -> false)
+            stmts
+        in
+        if calls_bus then acquire @ stmts else stmts)
+      p.p_top
+  in
+  let sd name = { s_name = name; s_ty = TBool; s_init = Some (VBool false) } in
+  let p' =
+    { p with p_top = top; p_signals = p.p_signals @ [ sd "req"; sd "gnt" ] }
+  in
+  let ds = Lint.Registry.run ~phase:Lint.Registry.Post p' in
+  Alcotest.(check bool) "grant holders are not flagged" false
+    (has_code "CONT001" ds)
+
+(* --- liveness and width passes over inline programs -------------------- *)
+
+let live_src =
+  "program live is\n\
+  \  var dead : int<8> := 0;\n\
+  \  var uninit : int<8>;\n\
+  \  signal unused : bool := false;\n\
+  \  behavior TOP : seq is\n\
+  \  begin\n\
+  \    behavior A : leaf is\n\
+  \    begin\n\
+  \      emit \"u\" uninit;\n\
+  \    end behavior\n\
+  \    -> complete;\n\
+  \    behavior B : leaf is\n\
+  \    begin\n\
+  \      skip;\n\
+  \    end behavior\n\
+  \    ;\n\
+  \  end behavior\n\
+   end program"
+
+let test_liveness_codes () =
+  let ds = Lint.Registry.run ~phase:Lint.Registry.Pre (parse live_src) in
+  let loc_of c =
+    match with_code c ds with
+    | [ d ] -> d.Diagnostic.d_loc
+    | l -> Alcotest.failf "expected one %s, got %d" c (List.length l)
+  in
+  Alcotest.(check string) "LIVE001 on the untouched variable" "dead"
+    (loc_of "LIVE001");
+  Alcotest.(check string) "LIVE004 on the uninitialized read" "uninit"
+    (loc_of "LIVE004");
+  Alcotest.(check string) "LIVE002 on the unused signal" "unused"
+    (loc_of "LIVE002");
+  (match with_code "LIVE003" ds with
+  | [ d ] ->
+    Alcotest.(check string) "LIVE003 on the unreachable arm" "B"
+      d.Diagnostic.d_loc;
+    Alcotest.(check string) "inside its sequential parent" "TOP"
+      (Diagnostic.path_string d)
+  | l -> Alcotest.failf "expected one LIVE003, got %d" (List.length l));
+  Alcotest.(check bool) "usage findings are warnings" false
+    (Diagnostic.has_errors ds)
+
+let width_src =
+  "program widths is\n\
+  \  var wide : int<16> := 0;\n\
+  \  var narrow : int<8> := 0;\n\
+  \  procedure take (a : in int<4>) is\n\
+  \  begin\n\
+  \    skip;\n\
+  \  end procedure;\n\
+  \  behavior MAIN : leaf is\n\
+  \  begin\n\
+  \    narrow := wide;\n\
+  \    call take(wide);\n\
+  \  end behavior\n\
+   end program"
+
+let test_width_codes () =
+  let ds = Lint.Registry.run ~phase:Lint.Registry.Pre (parse width_src) in
+  Alcotest.(check bool) "assignment narrowing flagged" true
+    (List.exists
+       (fun d -> contains d.Diagnostic.d_message "narrow")
+       (with_code "WIDTH001" ds));
+  Alcotest.(check bool) "call-transfer narrowing flagged" true
+    (has_code "WIDTH002" ds);
+  Alcotest.(check bool) "width findings are warnings in any phase" false
+    (Diagnostic.has_errors (Lint.Registry.run ~phase:Lint.Registry.Post (parse width_src)))
+
+(* --- registry ---------------------------------------------------------- *)
+
+let test_code_table () =
+  let table = Lint.Registry.code_table in
+  let cs = List.map fst table in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " documented") true (List.mem c cs))
+    [
+      "RACE001"; "RACE002"; "PROTO001"; "PROTO002"; "PROTO003"; "LIVE001";
+      "LIVE002"; "LIVE003"; "LIVE004"; "CONT001"; "CONT002"; "WIDTH001";
+      "WIDTH002"; "TYPE001"; "REF001"; "NAME001";
+    ];
+  Alcotest.(check (list string)) "table sorted and duplicate-free"
+    (List.sort_uniq String.compare cs) cs
+
+let test_run_sorted () =
+  List.iter
+    (fun name ->
+      let ds = Lint.Registry.run ~phase:Lint.Registry.Post (fixture name) in
+      let rec ordered = function
+        | a :: (b :: _ as rest) ->
+          Diagnostic.compare a b <= 0 && ordered rest
+        | _ -> true
+      in
+      Alcotest.(check bool) (name ^ " output in stable order") true
+        (ordered ds))
+    [ "lint_race.sc"; "lint_handshake.sc"; "lint_arbiter.sc" ]
+
+(* --- migrated checkers keep their shims -------------------------------- *)
+
+let test_typecheck_shim () =
+  let p =
+    parse
+      "program bad is\n\
+      \  behavior M : leaf is\n\
+      \  begin\n\
+      \    y := 1;\n\
+      \  end behavior\n\
+       end program"
+  in
+  let ds = Typecheck.diagnostics p in
+  Alcotest.(check bool) "unbound name is TYPE001" true (has_code "TYPE001" ds);
+  List.iter
+    (fun d ->
+      Alcotest.(check string) "typecheck pass tag" "typecheck"
+        d.Diagnostic.d_pass;
+      Alcotest.(check bool) "type findings are errors" true
+        (d.Diagnostic.d_severity = Diagnostic.Error))
+    ds;
+  match Typecheck.check p with
+  | Ok () -> Alcotest.fail "expected a type error"
+  | Error msgs ->
+    Alcotest.(check (list string)) "string shim mirrors the diagnostics"
+      (List.map (fun d -> d.Diagnostic.d_message) ds)
+      msgs
+
+let medical_refinement model =
+  let d = List.hd Workloads.Designs.all in
+  Core.Refiner.refine Workloads.Medical.spec Workloads.Medical.graph
+    d.Workloads.Designs.d_partition model
+
+let test_check_shim () =
+  let r = medical_refinement Core.Model.Model2 in
+  (match Core.Check.run ~original:Workloads.Medical.spec r with
+  | Ok () -> ()
+  | Error msgs ->
+    Alcotest.failf "clean refinement rejected: %s" (String.concat "; " msgs));
+  Alcotest.(check int) "no diagnostics on a clean refinement" 0
+    (List.length (Core.Check.diagnostics ~original:Workloads.Medical.spec r));
+  (* Re-introducing the original program variables must trip the
+     leftover-state rule through both APIs, in stable order. *)
+  let bad =
+    {
+      r with
+      Core.Refiner.rf_program =
+        {
+          r.Core.Refiner.rf_program with
+          p_vars = Workloads.Medical.spec.p_vars;
+        };
+    }
+  in
+  let ds = Core.Check.diagnostics ~original:Workloads.Medical.spec bad in
+  Alcotest.(check bool) "REF001 raised" true (has_code "REF001" ds);
+  Alcotest.(check (list string)) "diagnostics arrive sorted"
+    (List.map Diagnostic.to_string (Diagnostic.sort ds))
+    (List.map Diagnostic.to_string ds);
+  match Core.Check.run ~original:Workloads.Medical.spec bad with
+  | Ok () -> Alcotest.fail "leftover variables must fail the check"
+  | Error msgs ->
+    Alcotest.(check bool) "shim names the leftover state" true
+      (List.exists (fun m -> contains m "variable") msgs)
+
+(* --- acceptance: refined medical outputs lint clean at severity=error -- *)
+
+let test_refined_medical_error_clean () =
+  List.iter
+    (fun (d : Workloads.Designs.design) ->
+      List.iter
+        (fun m ->
+          let r =
+            Core.Refiner.refine Workloads.Medical.spec Workloads.Medical.graph
+              d.Workloads.Designs.d_partition m
+          in
+          let ds =
+            Lint.Registry.run_refinement ~original:Workloads.Medical.spec r
+          in
+          match Diagnostic.errors ds with
+          | [] -> ()
+          | errs ->
+            Alcotest.failf "%s/%s: %s" d.Workloads.Designs.d_name
+              (Core.Model.name m)
+              (String.concat "; " (List.map Diagnostic.to_string errs)))
+        Core.Model.all)
+    Workloads.Designs.all
+
+(* --- properties: the race detector on generated workloads -------------- *)
+
+let gen_cfg seed =
+  {
+    Workloads.Generator.default_config with
+    Workloads.Generator.gen_seed = seed;
+    gen_vars = 6;
+    gen_leaves = 6;
+    gen_par_branches = 3;
+  }
+
+(* The generator gives each parallel branch a disjoint variable group,
+   so its output must be race-free. *)
+let prop_generated_par_race_free =
+  QCheck.Test.make ~name:"generated par specs are race-free by construction"
+    ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let p = Workloads.Generator.program (gen_cfg seed) in
+      let ds = Lint.Registry.run ~phase:Lint.Registry.Pre ~typecheck:false p in
+      (not (has_code "RACE001" ds)) && not (has_code "RACE002" ds))
+
+(* Seeding a write of one program variable into every leaf makes that
+   variable cross parallel branches: RACE001 must fire on it. *)
+let prop_injected_race_detected =
+  QCheck.Test.make ~name:"a seeded cross-branch write raises RACE001"
+    ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let p = Workloads.Generator.program (gen_cfg seed) in
+      let victim = (List.hd p.p_vars).v_name in
+      let top =
+        Behavior.map_leaf_stmts
+          (fun stmts -> Assign (victim, Const (VInt 1)) :: stmts)
+          p.p_top
+      in
+      let ds =
+        Lint.Registry.run ~phase:Lint.Registry.Pre ~typecheck:false
+          { p with p_top = top }
+      in
+      List.exists
+        (fun d ->
+          String.equal d.Diagnostic.d_code "RACE001"
+          && String.equal d.Diagnostic.d_loc victim)
+        ds)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "diagnostic",
+        [
+          tc "sort order" test_diagnostic_order;
+          tc "rendering" test_diagnostic_render;
+        ] );
+      ( "fixtures",
+        [
+          tc "seeded race" test_fixture_race;
+          tc "unpaired handshake" test_fixture_handshake;
+          tc "missing arbiter" test_fixture_arbiter;
+          tc "unserved address" test_unserved_address;
+          tc "grant suppresses contention" test_grant_suppresses_contention;
+        ] );
+      ( "passes",
+        [
+          tc "liveness codes" test_liveness_codes;
+          tc "width codes" test_width_codes;
+        ] );
+      ( "registry",
+        [ tc "code table" test_code_table; tc "stable order" test_run_sorted ] );
+      ( "shims",
+        [
+          tc "typecheck" test_typecheck_shim;
+          tc "refinement check" test_check_shim;
+        ] );
+      ( "acceptance",
+        [ tc "refined medical error-clean" test_refined_medical_error_clean ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_generated_par_race_free; prop_injected_race_detected ] );
+    ]
