@@ -378,6 +378,41 @@ let explore_bench () =
     (labels sw1 = labels sw4)
 
 (* ------------------------------------------------------------------ *)
+(* Fault campaigns: survival under injection, hardened vs unhardened    *)
+(* ------------------------------------------------------------------ *)
+
+let faults_bench () =
+  print_endline "";
+  print_endline
+    "== Faults: campaign robustness and cost of hardening (2 seeds/class) ==";
+  let config =
+    { Faults.Campaign.default_config with Faults.Campaign.cf_seeds = 2 }
+  in
+  let part = (List.hd Designs.all).Designs.d_partition in
+  List.iter
+    (fun m ->
+      let campaign harden =
+        let options = { Core.Refiner.default_options with harden } in
+        let r = Core.Refiner.refine ~options spec graph part m in
+        let deltas =
+          (Sim.Engine.run r.Core.Refiner.rf_program).Sim.Engine.r_deltas
+        in
+        let t0 = Unix.gettimeofday () in
+        let report = Faults.Campaign.run ~config r in
+        (report, deltas, Unix.gettimeofday () -. t0)
+      in
+      let plain, d_plain, t_plain = campaign false in
+      let hard, d_hard, t_hard = campaign true in
+      Printf.printf
+        "%-7s robustness %.3f -> %.3f  fault-free deltas %d -> %d (%.2fx)  \
+         campaign %.2fs -> %.2fs\n"
+        (Core.Model.name m) plain.Faults.Campaign.rp_robustness
+        hard.Faults.Campaign.rp_robustness d_plain d_hard
+        (float_of_int d_hard /. float_of_int (max 1 d_plain))
+        t_plain t_hard)
+    Core.Model.all
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -516,6 +551,7 @@ let () =
   ablation_rates ();
   ablation_protocol ();
   explore_bench ();
+  faults_bench ();
   workload_appendix "elevator controller" Elevator.spec Elevator.graph
     Elevator.partition;
   workload_appendix "4-tap FIR filter (arrays)" Fir.spec Fir.graph

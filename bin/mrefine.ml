@@ -98,6 +98,16 @@ let output_arg =
     & opt (some string) None
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write output to FILE.")
 
+let harden_arg =
+  Arg.(
+    value & flag
+    & info [ "harden" ]
+        ~doc:
+          "Generate the hardened protocol variant: watchdog timeouts with \
+           bounded exponential-backoff retries on every handshake, \
+           idempotent slave re-decode and triplicated memory storage with \
+           majority voting.")
+
 (* --- partition construction -------------------------------------------- *)
 
 let partition_of_assign g n_parts assign =
@@ -210,11 +220,11 @@ let partition_cmd =
     Term.(const run $ spec_arg $ parts_arg $ algo_arg $ seed_arg $ assign_arg)
 
 let refine_cmd =
-  let run spec_path model n_parts algo seed assign output quiet protocol =
+  let run spec_path model n_parts algo seed assign output quiet protocol harden =
     let p = or_die (load_spec spec_path) in
     let g = Agraph.Access_graph.of_program p in
     let part = or_die (make_partition g ~n_parts ~algo ~seed ~assign) in
-    let options = { Core.Refiner.default_options with protocol } in
+    let options = { Core.Refiner.default_options with protocol; harden } in
     let r =
       try Core.Refiner.refine ~options p g part model
       with Core.Refiner.Refine_error msg -> or_die (Error msg)
@@ -255,7 +265,7 @@ let refine_cmd =
     (Cmd.info "refine" ~doc:"Refine a partitioned specification to a model.")
     Term.(
       const run $ spec_arg $ model_arg $ parts_arg $ algo_arg $ seed_arg
-      $ assign_arg $ output_arg $ quiet $ protocol_arg)
+      $ assign_arg $ output_arg $ quiet $ protocol_arg $ harden_arg)
 
 let simulate_cmd =
   let run spec_path vcd_path =
@@ -295,16 +305,24 @@ let simulate_cmd =
     Term.(const run $ spec_arg $ vcd)
 
 let cosim_cmd =
-  let run spec_path model n_parts algo seed assign protocol =
+  let run spec_path model n_parts algo seed assign protocol harden =
     let p = or_die (load_spec spec_path) in
     let g = Agraph.Access_graph.of_program p in
     let part = or_die (make_partition g ~n_parts ~algo ~seed ~assign) in
-    let options = { Core.Refiner.default_options with protocol } in
+    let options = { Core.Refiner.default_options with protocol; harden } in
     let r =
       try Core.Refiner.refine ~options p g part model
       with Core.Refiner.Refine_error msg -> or_die (Error msg)
     in
-    let v = Sim.Cosim.check ~original:p ~refined:r.Core.Refiner.rf_program () in
+    (* Hardened designs emit reserved watchdog/recovery markers with no
+       counterpart in the original trace. *)
+    let ignore_prefixes =
+      if harden then Core.Protocol.reserved_tag_prefixes else []
+    in
+    let v =
+      Sim.Cosim.check ~ignore_prefixes ~original:p
+        ~refined:r.Core.Refiner.rf_program ()
+    in
     if v.Sim.Cosim.v_equivalent then begin
       Printf.printf
         "equivalent: refined %s design matches the original specification\n"
@@ -324,7 +342,7 @@ let cosim_cmd =
        ~doc:"Refine, then co-simulate original vs refined and compare.")
     Term.(
       const run $ spec_arg $ model_arg $ parts_arg $ algo_arg $ seed_arg
-      $ assign_arg $ protocol_arg)
+      $ assign_arg $ protocol_arg $ harden_arg)
 
 let typecheck_cmd =
   let run spec_path =
@@ -556,6 +574,107 @@ let explore_cmd =
       $ steps_arg $ jobs_arg $ json_arg $ top_arg $ cache_dir_arg
       $ no_cache_arg $ output_arg)
 
+let faults_cmd =
+  let cls_conv =
+    let parse s =
+      match Faults.Fault.cls_of_name s with
+      | Some c -> Ok c
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown fault class %S (use %s)" s
+               (String.concat ", "
+                  (List.map Faults.Fault.cls_name Faults.Fault.all_classes))))
+    in
+    let print ppf c = Format.pp_print_string ppf (Faults.Fault.cls_name c) in
+    Arg.conv (parse, print)
+  in
+  let classes_arg =
+    Arg.(
+      value
+      & opt (list cls_conv) Faults.Fault.all_classes
+      & info [ "faults" ] ~docv:"CLASSES"
+          ~doc:
+            "Comma-separated fault classes to inject: bit-flip, \
+             multi-bit-flip, drop-handshake, delay-handshake, stuck-line, \
+             grant-starvation (default: all).")
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Seeded campaign rounds; each round draws one fault per class.")
+  in
+  let base_seed_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "base-seed" ] ~docv:"SEED"
+          ~doc:"Base seed of the campaign's deterministic fault draws.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let run spec_path model n_parts algo seed assign protocol harden classes
+      seeds base_seed json output =
+    let p = or_die (load_spec spec_path) in
+    if seeds < 1 then or_die (Error "--seeds must be >= 1");
+    if classes = [] then or_die (Error "--faults must be non-empty");
+    let g = Agraph.Access_graph.of_program p in
+    let part = or_die (make_partition g ~n_parts ~algo ~seed ~assign) in
+    let options = { Core.Refiner.default_options with protocol; harden } in
+    let r =
+      try Core.Refiner.refine ~options p g part model
+      with Core.Refiner.Refine_error msg -> or_die (Error msg)
+    in
+    (* A campaign against an unhardened design: surface the contextual
+       ROBUST001 warnings so the deadlocks below come as no surprise. *)
+    if not harden then begin
+      match Lint.Registry.find_pass "robust" with
+      | None -> ()
+      | Some pass ->
+        let ds =
+          Lint.Registry.run ~phase:Lint.Registry.Post ~typecheck:false
+            ~passes:[ pass ] r.Core.Refiner.rf_program
+        in
+        List.iter
+          (fun d -> prerr_endline ("mrefine: " ^ Spec.Diagnostic.to_string d))
+          ds
+    end;
+    let config =
+      {
+        Faults.Campaign.default_config with
+        Faults.Campaign.cf_seeds = seeds;
+        cf_base_seed = base_seed;
+        cf_classes = classes;
+      }
+    in
+    let report =
+      try Faults.Campaign.run ~config r
+      with Faults.Campaign.Campaign_error msg ->
+        or_die (Error ("fault campaign: " ^ msg))
+    in
+    let text =
+      if json then Faults.Campaign.to_json report
+      else Faults.Campaign.to_text report
+    in
+    write_out output text
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Refine, then run a deterministic seeded fault-injection campaign \
+          against the co-simulated design: memory bit flips, dropped and \
+          delayed handshake events, stuck bus lines, arbiter grant \
+          starvation.  Classifies every run as survived, recovered, \
+          deadlock, silent-corruption or step-limit; with $(b,--harden) \
+          the design retries and repairs instead of hanging.")
+    Term.(
+      const run $ spec_arg $ model_arg $ parts_arg $ algo_arg $ seed_arg
+      $ assign_arg $ protocol_arg $ harden_arg $ classes_arg $ seeds_arg
+      $ base_seed_arg $ json_arg $ output_arg)
+
 let lint_cmd =
   let severity_conv =
     let parse s =
@@ -756,4 +875,4 @@ let () =
        (Cmd.group info
           [ parse_cmd; graph_cmd; partition_cmd; refine_cmd; simulate_cmd;
             cosim_cmd; typecheck_cmd; lint_cmd; export_cmd; quality_cmd;
-            demo_cmd; explore_cmd ]))
+            demo_cmd; explore_cmd; faults_cmd ]))

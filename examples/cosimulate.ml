@@ -37,7 +37,7 @@ let () =
         List.iter
           (fun (force_nonleaf, protocol) ->
             incr total;
-            let options = { Core.Refiner.force_nonleaf; protocol } in
+            let options = { Core.Refiner.default_options with force_nonleaf; protocol } in
             let refined = Core.Refiner.refine ~options spec graph part model in
             let trace_mode =
               if cfg.Generator.gen_par_branches >= 2 then Sim.Cosim.Per_tag

@@ -12,7 +12,12 @@
 
     The outbound interface forwards addresses generically (it copies the
     requester's address onto the inter bus), so a single pair of response
-    branches serves every remote variable. *)
+    branches serves every remote variable.
+
+    When hardened, every serving process uses the watchdog slave
+    handshake and the shared storage is TMR-protected exactly as in
+    {!Memory_gen} — the local server and the inbound interface share one
+    shadow set, since they serve the same storage. *)
 
 open Spec
 open Spec.Ast
@@ -39,11 +44,20 @@ let bracket req stmts =
   | Some r -> Arbiter.acquire r @ stmts @ Arbiter.release r
 
 (* Outbound interface: generic forwarding of the request bus onto the
-   inter bus.  The forwarded address is whatever the master drove. *)
-let outbound_leaf ?style ~naming ~partition ~(req : Protocol.bus_signals)
-    ~(inter : Protocol.bus_signals) ~inter_requester () =
+   inter bus.  The forwarded address is whatever the master drove.  The
+   inter-bus master protocol is provided by the generated MST procedures,
+   which are themselves hardened when the design is; only the slave side
+   on the request bus needs watchdog treatment here. *)
+let outbound_leaf ?style ?harden ~naming ~partition
+    ~(req : Protocol.bus_signals) ~(inter : Protocol.bus_signals)
+    ~inter_requester () =
   let name = Naming.fresh naming (Printf.sprintf "BIF_out_%d" partition) in
   let fwd = Naming.fresh naming (Printf.sprintf "bif_fwd_%d" partition) in
+  let drive_reply =
+    match harden with
+    | None -> [ Builder.(req.Protocol.bs_data <== Expr.ref_ fwd) ]
+    | Some h -> Protocol.slv_drive_data h req (Expr.ref_ fwd)
+  in
   let read_branch =
     ( Expr.(ref_ req.Protocol.bs_rd = tru),
       bracket inter_requester
@@ -52,8 +66,8 @@ let outbound_leaf ?style ~naming ~partition ~(req : Protocol.bus_signals)
             ( Protocol.mst_receive_name inter,
               [ Arg_expr (Ref req.Protocol.bs_addr); Arg_var fwd ] );
         ]
-      @ (Builder.(req.Protocol.bs_data <== Expr.ref_ fwd)
-        :: Protocol.slv_complete ?style req) )
+      @ drive_reply
+      @ Protocol.slv_complete ?style ?harden req )
   in
   let write_branch =
     ( Expr.(ref_ req.Protocol.bs_wr = tru),
@@ -67,47 +81,59 @@ let outbound_leaf ?style ~naming ~partition ~(req : Protocol.bus_signals)
                    Arg_expr (Ref fwd);
                  ] );
            ])
-      @ Protocol.slv_complete ?style req )
+      @ Protocol.slv_complete ?style ?harden req )
   in
+  let wdg = match harden with None -> [] | Some _ -> Protocol.wdg_vars in
   Behavior.leaf
-    ~vars:[ Builder.var fwd (TInt inter.Protocol.bs_data_width) ]
+    ~vars:(Builder.var fwd (TInt inter.Protocol.bs_data_width) :: wdg)
     name
-    (Protocol.slave_loop ?style req [ read_branch; write_branch ])
+    (Protocol.slave_loop ?style ?harden req [ read_branch; write_branch ])
 
 (* Inbound interface: a selective slave on the inter bus serving this
    partition's variables directly. *)
-let inbound_leaf ?style ~naming ~partition ~(inter : Protocol.bus_signals)
-    ~addr_of ~vars () =
+let inbound_leaf ?style ?harden ?shadows ~naming ~partition
+    ~(inter : Protocol.bus_signals) ~addr_of ~vars () =
   let name = Naming.fresh naming (Printf.sprintf "BIF_in_%d" partition) in
-  Behavior.leaf name
+  let wdg = match harden with None -> [] | Some _ -> Protocol.wdg_vars in
+  Behavior.leaf ~vars:wdg name
     (Protocol.slave_loop_selective ?style inter
-       (Memory_gen.branches_for ?style inter ~addr_of vars))
+       (Memory_gen.branches_for ?style ?harden ?shadows inter ~addr_of vars))
 
 (* Local-memory server on the local bus. *)
-let local_server_leaf ?style ~naming ~partition ~(local : Protocol.bus_signals)
-    ~addr_of ~vars () =
+let local_server_leaf ?style ?harden ?shadows ~naming ~partition
+    ~(local : Protocol.bus_signals) ~addr_of ~vars () =
   let name = Naming.fresh naming (Printf.sprintf "LM_serve_%d" partition) in
-  Behavior.leaf name
-    (Protocol.slave_loop ?style local
-       (Memory_gen.branches_for ?style local ~addr_of vars))
+  let wdg = match harden with None -> [] | Some _ -> Protocol.wdg_vars in
+  Behavior.leaf ~vars:wdg name
+    (Protocol.slave_loop ?style ?harden local
+       (Memory_gen.branches_for ?style ?harden ?shadows local ~addr_of vars))
 
 (** The whole memory subsystem of one partition. *)
-let memsys ?style ~naming cfg =
+let memsys ?style ?harden ~naming cfg =
   let name = Naming.fresh naming (Printf.sprintf "MEMSYS_%d" cfg.bif_partition) in
+  let shadows, storage =
+    match harden with
+    | None -> ([], cfg.bif_vars)
+    | Some _ ->
+      let shadows, decls = Memory_gen.make_shadows ~naming cfg.bif_vars in
+      (shadows, cfg.bif_vars @ decls)
+  in
   let children =
     List.filter_map Fun.id
       [
         Option.map
           (fun local ->
-            local_server_leaf ?style ~naming ~partition:cfg.bif_partition
-              ~local ~addr_of:cfg.bif_addr_of ~vars:cfg.bif_vars ())
+            local_server_leaf ?style ?harden ~shadows ~naming
+              ~partition:cfg.bif_partition ~local ~addr_of:cfg.bif_addr_of
+              ~vars:cfg.bif_vars ())
           cfg.bif_local_bus;
         Option.map
           (fun req ->
             match cfg.bif_inter_bus with
             | Some inter ->
-              outbound_leaf ?style ~naming ~partition:cfg.bif_partition ~req
-                ~inter ~inter_requester:cfg.bif_inter_requester ()
+              outbound_leaf ?style ?harden ~naming
+                ~partition:cfg.bif_partition ~req ~inter
+                ~inter_requester:cfg.bif_inter_requester ()
             | None ->
               invalid_arg
                 "Bus_interface.memsys: request bus without inter bus")
@@ -115,11 +141,12 @@ let memsys ?style ~naming cfg =
         (match cfg.bif_inter_bus with
         | Some inter when cfg.bif_serves_inbound && cfg.bif_vars <> [] ->
           Some
-            (inbound_leaf ?style ~naming ~partition:cfg.bif_partition ~inter
-               ~addr_of:cfg.bif_addr_of ~vars:cfg.bif_vars ())
+            (inbound_leaf ?style ?harden ~shadows ~naming
+               ~partition:cfg.bif_partition ~inter ~addr_of:cfg.bif_addr_of
+               ~vars:cfg.bif_vars ())
         | Some _ | None -> None);
       ]
   in
   match children with
-  | [] -> Behavior.leaf ~vars:cfg.bif_vars name []
-  | _ -> Behavior.par ~vars:cfg.bif_vars name children
+  | [] -> Behavior.leaf ~vars:storage name []
+  | _ -> Behavior.par ~vars:storage name children

@@ -26,6 +26,12 @@ type config = {
 }
 
 val memsys :
-  ?style:Protocol.style -> naming:Naming.t -> config -> Ast.behavior
-(** The whole memory subsystem of one partition.
+  ?style:Protocol.style ->
+  ?harden:Protocol.harden_cfg ->
+  naming:Naming.t ->
+  config ->
+  Ast.behavior
+(** The whole memory subsystem of one partition.  With [harden] every
+    serving process uses the watchdog slave handshake and the shared
+    storage is TMR-protected ({!Memory_gen.make_shadows}).
     @raise Invalid_argument on a request bus without an inter bus. *)

@@ -32,21 +32,79 @@ let rec home ~is_object ~home_of b =
     in
     first_child (Behavior.children b)
 
-(* The B_CTRL leaf: a four-phase handshake activating the remote B_NEW. *)
-let ctrl_leaf name ~start ~done_ =
-  Behavior.leaf name
+(* The control handshake spans whole behavior-body executions, which take
+   many more delta cycles than one bus transfer; the hardened watchdogs at
+   this level get proportionally more patience so that fault-free long
+   bodies do not trigger (harmless but noisy) spurious retries. *)
+let ctrl_patience (h : Protocol.harden_cfg) = h.Protocol.hd_patience * 8
+
+(* The B_CTRL leaf: a four-phase handshake activating the remote B_NEW.
+   Hardened, each phase is a bounded watchdog loop re-driving [start]
+   (catching a dropped rise/fall quickly through own-line readback). *)
+let ctrl_leaf ?harden name ~start ~done_ =
+  match harden with
+  | None ->
+    Behavior.leaf name
+      [
+        Builder.(start <== Expr.tru);
+        Builder.wait_until Expr.(ref_ done_ = tru);
+        Builder.(start <== Expr.fls);
+        Builder.wait_until Expr.(ref_ done_ = fls);
+      ]
+  | Some h ->
+    Behavior.leaf ~vars:Protocol.wdg_vars name
+      ((Builder.(start <== Expr.tru)
+        :: Protocol.watch h ~patience:(ctrl_patience h) ~label:start
+             ~cond:Expr.(ref_ done_ = tru)
+             ~bad:Expr.(ref_ start = fls)
+             ~redrive:[ Builder.(start <== Expr.tru) ]
+             ())
+      @ (Builder.(start <== Expr.fls)
+         :: Protocol.watch h ~label:start
+              ~cond:Expr.(ref_ done_ = fls)
+              ~bad:Expr.(ref_ start = tru)
+              ~redrive:[ Builder.(start <== Expr.fls) ]
+              ()))
+
+(* The wrapper-side completion handshake: signal [done], wait for the
+   controller to release [start], release [done].  Hardened, the [done]
+   rise is re-asserted (never re-executing the body) while [start] stays
+   high, and the fall is verified in a bounded loop. *)
+let completion ?harden ~start ~done_ () =
+  match harden with
+  | None ->
     [
-      Builder.(start <== Expr.tru);
-      Builder.wait_until Expr.(ref_ done_ = tru);
-      Builder.(start <== Expr.fls);
-      Builder.wait_until Expr.(ref_ done_ = fls);
+      Builder.(done_ <== Expr.tru);
+      Builder.wait_until Expr.(ref_ start = fls);
+      Builder.(done_ <== Expr.fls);
     ]
+  | Some h ->
+    (Builder.(done_ <== Expr.tru)
+     :: Protocol.watch h ~label:done_
+          ~cond:Expr.(ref_ start = fls)
+          ~bad:Expr.(ref_ done_ = fls)
+          ~redrive:[ Builder.(done_ <== Expr.tru) ]
+          ())
+    @ (Builder.(done_ <== Expr.fls)
+       :: Protocol.watch h ~label:done_
+            ~cond:Expr.(ref_ done_ = fls)
+            ~redrive:[ Builder.(done_ <== Expr.fls) ]
+            ())
+
+(* Watchdog locals, avoiding accidental capture when a wrapped behavior
+   already declares a same-named local. *)
+let add_wdg_vars vars =
+  vars
+  @ List.filter
+      (fun (v : var_decl) ->
+        not (List.exists (fun (w : var_decl) -> w.v_name = v.v_name) vars))
+      Protocol.wdg_vars
 
 (* The leaf wrapper scheme (Figure 4b): the original statements inside a
    perpetual serve loop bracketed by the handshake.  The locals are
    re-initialized on every activation, because a fresh instance of the
    original behavior would have started from its initial values. *)
-let leaf_scheme ~new_name ~start ~done_ inner =
+let leaf_scheme ?harden ~new_name ~start ~done_ inner =
   let stmts = match inner.b_body with Leaf s -> s | Seq _ | Par _ -> [] in
   let reinit =
     List.map
@@ -57,34 +115,34 @@ let leaf_scheme ~new_name ~start ~done_ inner =
         Assign (v.v_name, Const init))
       inner.b_vars
   in
-  Behavior.leaf ~vars:inner.b_vars new_name
+  let vars =
+    match harden with
+    | None -> inner.b_vars
+    | Some _ -> add_wdg_vars inner.b_vars
+  in
+  Behavior.leaf ~vars new_name
     [
       Builder.while_ Expr.tru
         (Builder.wait_until Expr.(ref_ start = tru)
          :: reinit
         @ stmts
-        @ [
-            Builder.(done_ <== Expr.tru);
-            Builder.wait_until Expr.(ref_ start = fls);
-            Builder.(done_ <== Expr.fls);
-          ]);
+        @ completion ?harden ~start ~done_ ());
     ]
 
 (* The non-leaf wrapper scheme (Figure 4c): a sequential composition of a
    wait leaf, the original behavior and a completion leaf looping back. *)
-let nonleaf_scheme ~naming ~new_name ~start ~done_ inner =
+let nonleaf_scheme ~naming ?harden ~new_name ~start ~done_ inner =
   let wait_name = Naming.fresh naming (inner.b_name ^ "_wait") in
   let fin_name = Naming.fresh naming (inner.b_name ^ "_fin") in
   let wait_leaf =
     Behavior.leaf wait_name [ Builder.wait_until Expr.(ref_ start = tru) ]
   in
+  let fin_vars =
+    match harden with None -> [] | Some _ -> Protocol.wdg_vars
+  in
   let fin_leaf =
-    Behavior.leaf fin_name
-      [
-        Builder.(done_ <== Expr.tru);
-        Builder.wait_until Expr.(ref_ start = fls);
-        Builder.(done_ <== Expr.fls);
-      ]
+    Behavior.leaf ~vars:fin_vars fin_name
+      (completion ?harden ~start ~done_ ())
   in
   Behavior.seq new_name
     [
@@ -102,7 +160,8 @@ let retarget renames t =
     | None -> t
     end
 
-let run ~naming ?(force_nonleaf = false) ~is_object ~home_of_object top =
+let run ~naming ?(force_nonleaf = false) ?harden ~is_object ~home_of_object
+    top =
   let signals = ref [] in
   let moved_acc = ref [] in
   let home = home ~is_object ~home_of:home_of_object in
@@ -124,8 +183,8 @@ let run ~naming ?(force_nonleaf = false) ~is_object ~home_of_object top =
       let new_name = Naming.moved naming b.b_name in
       let wrapper =
         if Behavior.is_leaf inner && not force_nonleaf then
-          leaf_scheme ~new_name ~start ~done_ inner
-        else nonleaf_scheme ~naming ~new_name ~start ~done_ inner
+          leaf_scheme ?harden ~new_name ~start ~done_ inner
+        else nonleaf_scheme ~naming ?harden ~new_name ~start ~done_ inner
       in
       moved_acc :=
         {
@@ -136,7 +195,7 @@ let run ~naming ?(force_nonleaf = false) ~is_object ~home_of_object top =
           mv_done = done_;
         }
         :: !moved_acc;
-      ctrl_leaf ctrl_name ~start ~done_
+      ctrl_leaf ?harden ctrl_name ~start ~done_
   (* Refine the children of a behavior that stays (or has just moved) to
      context [ctx].  Objects are atomic: their interior never splits. *)
   and descend ctx b =

@@ -34,6 +34,7 @@ val home :
 val run :
   naming:Naming.t ->
   ?force_nonleaf:bool ->
+  ?harden:Protocol.harden_cfg ->
   is_object:(string -> bool) ->
   home_of_object:(string -> int) ->
   Ast.behavior ->
@@ -43,4 +44,6 @@ val run :
     composite is the home of its first object descendant.  With
     [force_nonleaf] the non-leaf wrapper scheme (Figure 4c) is used even
     for leaves (the paper notes both are legal for leaves; the leaf scheme
-    of Figure 4b is the default because it is simpler). *)
+    of Figure 4b is the default because it is simpler).  With [harden]
+    every [B_start] / [B_done] handshake phase becomes a bounded watchdog
+    loop with idempotent level re-driving (see {!Protocol.watch}). *)

@@ -3,51 +3,139 @@
     read/write requests on its port buses with the slave side of the
     handshake protocol (the paper's [Memory] behavior of Figure 5c).  A
     multi-port memory (Model3) runs one serving process per port, all
-    sharing the same storage. *)
+    sharing the same storage.
+
+    Hardened memories additionally keep each scalar triplicated (TMR):
+    two shadow copies are refreshed on every write, and every read first
+    majority-votes the primary against the shadows — a flipped primary is
+    repaired in place (with an [FLT_MEMFIX_*] marker), a flipped shadow
+    is silently re-synchronized, so any {e single} storage bit flip
+    between accesses is survivable. *)
 
 open Spec
 open Spec.Ast
 
+(* TMR vote-and-repair statements prepended to a hardened scalar read:
+   if the primary disagrees with both shadows, the shadows (which agree
+   under a single-fault assumption) are authoritative. *)
+let vote_stmts bs ~addr ~store (r1, r2) =
+  [
+    Builder.if_
+      Expr.(ref_ store = ref_ r1 || ref_ store = ref_ r2)
+      []
+      [
+        Builder.(store <-- Expr.ref_ r1);
+        Builder.emit ("FLT_MEMFIX_" ^ bs.Protocol.bs_label) (Expr.int addr);
+      ];
+    Builder.(r1 <-- Expr.ref_ store);
+    Builder.(r2 <-- Expr.ref_ store);
+  ]
+
 (** Response branches serving every variable of [vars] (declaration
     order: read branch then write branch per variable).  A scalar is
     served at its single address; an array is served over its address
-    range, the element selected by [bus_addr - base]. *)
-let branches_for ?style bs ~addr_of vars =
+    range, the element selected by [bus_addr - base].  [shadows] maps a
+    scalar to its TMR shadow pair (hardened memories only; arrays are not
+    triplicated). *)
+let branches_for ?style ?harden ?(shadows = []) bs ~addr_of vars =
   List.concat_map
     (fun v ->
       let addr = addr_of v.v_name in
       match v.v_ty with
       | TBool | TInt _ ->
-        [
-          Protocol.slv_send_branch ?style bs ~addr ~var:v.v_name;
-          Protocol.slv_receive_branch ?style bs ~addr ~var:v.v_name;
-        ]
+        begin match (harden, List.assoc_opt v.v_name shadows) with
+        | Some h, Some pair ->
+          let read_guard =
+            Expr.(ref_ bs.Protocol.bs_rd = tru && ref_ bs.Protocol.bs_addr = int addr)
+          in
+          let write_guard =
+            Expr.(ref_ bs.Protocol.bs_wr = tru && ref_ bs.Protocol.bs_addr = int addr)
+          in
+          let r1, r2 = pair in
+          [
+            ( read_guard,
+              vote_stmts bs ~addr ~store:v.v_name pair
+              @ Protocol.slv_drive_data h bs (Expr.ref_ v.v_name)
+              @ Protocol.slv_complete ?style ~harden:h bs );
+            ( write_guard,
+              [
+                Builder.(v.v_name <-- Expr.ref_ bs.Protocol.bs_data);
+                Builder.(r1 <-- Expr.ref_ v.v_name);
+                Builder.(r2 <-- Expr.ref_ v.v_name);
+              ]
+              @ Protocol.slv_complete ?style ~harden:h bs );
+          ]
+        | _ ->
+          [
+            Protocol.slv_send_branch ?style ?harden bs ~addr ~var:v.v_name;
+            Protocol.slv_receive_branch ?style ?harden bs ~addr ~var:v.v_name;
+          ]
+        end
       | TArray (_, size) ->
         let a = Ref bs.Protocol.bs_addr in
         let last = addr + size - 1 in
         let in_range = Expr.(a >= int addr && a <= int last) in
         let element = Expr.(a - int addr) in
+        let drive_element =
+          match harden with
+          | None ->
+            [ Builder.(bs.Protocol.bs_data <== Index (v.v_name, element)) ]
+          | Some h -> Protocol.slv_drive_data h bs (Index (v.v_name, element))
+        in
         [
           ( Expr.(ref_ bs.Protocol.bs_rd = tru && in_range),
-            Builder.(bs.Protocol.bs_data <== Index (v.v_name, element))
-            :: Protocol.slv_complete ?style bs );
+            drive_element @ Protocol.slv_complete ?style ?harden bs );
           ( Expr.(ref_ bs.Protocol.bs_wr = tru && in_range),
             Assign_idx (v.v_name, element, Ref bs.Protocol.bs_data)
-            :: Protocol.slv_complete ?style bs );
+            :: Protocol.slv_complete ?style ?harden bs );
         ])
     vars
+
+(** Allocate TMR shadow declarations for the scalars of [vars]: for every
+    scalar [x], fresh [x_r1] / [x_r2] copies with the same type and
+    initial value.  Returns the shadow map and the declarations to append
+    to the memory's storage. *)
+let make_shadows ~naming vars =
+  let pairs =
+    List.filter_map
+      (fun v ->
+        match v.v_ty with
+        | TArray _ -> None
+        | TBool | TInt _ ->
+          let r1 = Naming.fresh naming (v.v_name ^ "_r1") in
+          let r2 = Naming.fresh naming (v.v_name ^ "_r2") in
+          Some (v, r1, r2))
+      vars
+  in
+  let shadows = List.map (fun (v, r1, r2) -> (v.v_name, (r1, r2))) pairs in
+  let decls =
+    List.concat_map
+      (fun (v, r1, r2) -> [ { v with v_name = r1 }; { v with v_name = r2 } ])
+      pairs
+  in
+  (shadows, decls)
 
 (** A memory behavior named [name] holding [vars] and serving the port
     buses [buses].  With no port the memory is pure storage (an empty
     leaf); with one port it is a single serving leaf; with several ports
     it is a parallel composition of per-port serving leaves sharing the
-    storage. *)
-let memory ?style ~naming ~name ~vars ~addr_of ~buses () =
+    storage.  Hardened memories get TMR shadows for their scalars and
+    watchdog locals for their serving loops. *)
+let memory ?style ?harden ~naming ~name ~vars ~addr_of ~buses () =
+  let shadows, storage =
+    match harden with
+    | None -> ([], vars)
+    | Some _ ->
+      let shadows, decls = make_shadows ~naming vars in
+      (shadows, vars @ decls)
+  in
+  let wdg = match harden with None -> [] | Some _ -> Protocol.wdg_vars in
+  let branches bs = branches_for ?style ?harden ~shadows bs ~addr_of vars in
   match buses with
-  | [] -> Behavior.leaf ~vars name []
+  | [] -> Behavior.leaf ~vars:storage name []
   | [ bs ] ->
-    Behavior.leaf ~vars name
-      (Protocol.slave_loop ?style bs (branches_for ?style bs ~addr_of vars))
+    Behavior.leaf ~vars:(storage @ wdg) name
+      (Protocol.slave_loop ?style ?harden bs (branches bs))
   | _ ->
     let ports =
       List.map
@@ -56,8 +144,8 @@ let memory ?style ~naming ~name ~vars ~addr_of ~buses () =
             Naming.fresh naming
               (Printf.sprintf "%s_port_%s" name bs.Protocol.bs_label)
           in
-          Behavior.leaf port_name
-            (Protocol.slave_loop ?style bs (branches_for ?style bs ~addr_of vars)))
+          Behavior.leaf ~vars:wdg port_name
+            (Protocol.slave_loop ?style ?harden bs (branches bs)))
         buses
     in
-    Behavior.par ~vars name ports
+    Behavior.par ~vars:storage name ports

@@ -69,14 +69,97 @@ let signal_decls bs =
 let mst_send_name bs = "MST_send_" ^ bs.bs_label
 let mst_receive_name bs = "MST_receive_" ^ bs.bs_label
 
+(* --- protocol hardening ------------------------------------------------ *)
+
+(** Configuration of the hardened (watchdog + bounded-retry) protocol
+    variant.  All hardened parties share one [hd_tick] signal: a waiting
+    process passes exactly one delta cycle per watchdog round by latching
+    the toggled tick in a local first ([wdg_t := not tick; tick <= wdg_t;
+    wait until cond or tick = wdg_t]) — concurrent togglers are safe
+    because every same-delta reader computes the same target parity. *)
+type harden_cfg = {
+  hd_tick : string;  (** the shared watchdog tick signal *)
+  hd_patience : int;
+      (** fruitless delta cycles before the first retry; doubles on every
+          retry (exponential backoff) *)
+  hd_retries : int;  (** retries before the process fail-stops *)
+}
+
+let retry_tag label = "WDG_RETRY_" ^ label
+let abort_tag label = "WDG_ABORT_" ^ label
+
+(** Reserved emit-tag prefixes of the hardened protocol machinery and the
+    generated memories ([WDG_RETRY]/[WDG_ABORT] watchdog markers,
+    [FLT_MEMFIX] TMR repairs, [MEM_UNMAPPED] decode fallbacks).
+    Equivalence judgements and fault classification filter these. *)
+let reserved_tag_prefixes = [ "WDG_"; "FLT_"; "MEM_UNMAPPED_" ]
+
+(** Watchdog bookkeeping locals; add to every procedure or behavior leaf
+    whose body contains a {!watch} loop.  The names are reserved for the
+    generated code ([wdg_] prefix). *)
+let wdg_vars =
+  [
+    Builder.bool_var "wdg_t";
+    Builder.int_var ~init:0 "wdg_w";
+    Builder.int_var ~init:0 "wdg_lim";
+    Builder.int_var ~init:0 "wdg_n";
+  ]
+
+(** [watch h ~patience ~label ~cond ~redrive ()] — a bounded watchdog
+    wait until [cond].  Every round passes one delta cycle via the shared
+    tick; after [patience] fruitless cycles — or immediately when [bad]
+    holds (the driver's own-line self check, catching dropped or stuck-at
+    updates) — the [redrive] statements re-issue the request idempotently
+    and the patience doubles.  After [hd_retries] retries the process
+    emits [WDG_ABORT_<label>] and fail-stops, turning a persistent fault
+    into an honest deadlock instead of silent corruption. *)
+let watch h ?(patience = 0) ?(bad = Expr.fls) ~label ~cond ~redrive () =
+  let patience = if patience > 0 then patience else h.hd_patience in
+  [
+    Builder.("wdg_w" <-- Expr.int 0);
+    Builder.("wdg_lim" <-- Expr.int patience);
+    Builder.("wdg_n" <-- Expr.int 0);
+    Builder.while_ (Expr.not_ cond)
+      [
+        Builder.("wdg_t" <-- Expr.not_ (Expr.ref_ h.hd_tick));
+        Builder.(h.hd_tick <== Expr.ref_ "wdg_t");
+        Builder.wait_until Expr.(cond || ref_ h.hd_tick = ref_ "wdg_t");
+        Builder.if_ (Expr.not_ cond)
+          [
+            Builder.if_
+              Expr.(ref_ "wdg_w" >= ref_ "wdg_lim" || bad)
+              [
+                Builder.if_
+                  Expr.(ref_ "wdg_n" >= int h.hd_retries)
+                  [
+                    Builder.emit (abort_tag label) (Expr.int 1);
+                    Builder.wait_until Expr.fls;
+                  ]
+                  (Builder.("wdg_n" <-- Expr.(ref_ "wdg_n" + int 1))
+                   :: Builder.("wdg_w" <-- Expr.int 0)
+                   :: Builder.("wdg_lim" <-- Expr.(ref_ "wdg_lim" * int 2))
+                   :: redrive
+                  @ [ Builder.emit (retry_tag label) (Expr.ref_ "wdg_n") ]);
+              ]
+              [ Builder.("wdg_w" <-- Expr.(ref_ "wdg_w" + int 1)) ];
+          ]
+          [];
+      ];
+  ]
+
 (** The master-side write protocol.  Four-phase: drive address, data and
     [wr], raise [start], wait for the slave's [done], then release the
     bus.  Two-phase: drive the request lines, flip [start], and wait for
-    [done] to catch up. *)
-let mst_send_proc ?(style = Four_phase) bs =
+    [done] to catch up.
+
+    With [harden] every blocking wait becomes a {!watch} loop and the
+    request lines are driven {e and read back} before [start] is raised,
+    so a dropped or stuck line is re-driven (or fail-stopped) before the
+    slave can act on stale values. *)
+let mst_send_proc ?(style = Four_phase) ?harden bs =
   let body =
-    match style with
-    | Four_phase ->
+    match (style, harden) with
+    | Four_phase, None ->
       [
         Builder.(bs.bs_addr <== Expr.ref_ "a");
         Builder.(bs.bs_data <== Expr.ref_ "d");
@@ -87,7 +170,7 @@ let mst_send_proc ?(style = Four_phase) bs =
         Builder.(bs.bs_wr <== Expr.fls);
         Builder.wait_until Expr.(ref_ bs.bs_done = fls);
       ]
-    | Two_phase ->
+    | Two_phase, None ->
       (* The target parity is latched in a local first: [start] only
          commits at the next delta, so waiting on [done = start] directly
          would satisfy itself with the stale value. *)
@@ -100,6 +183,69 @@ let mst_send_proc ?(style = Four_phase) bs =
         Builder.(bs.bs_start <== Expr.ref_ "t");
         Builder.wait_until Expr.(ref_ bs.bs_done = ref_ "t");
       ]
+    | Four_phase, Some h ->
+      let label = mst_send_name bs in
+      let drive =
+        [
+          Builder.(bs.bs_addr <== Expr.ref_ "a");
+          Builder.(bs.bs_data <== Expr.ref_ "d");
+          Builder.(bs.bs_wr <== Expr.tru);
+        ]
+      in
+      let lines_ok =
+        Expr.(
+          ref_ bs.bs_addr = ref_ "a"
+          && ref_ bs.bs_data = ref_ "d"
+          && ref_ bs.bs_wr = tru)
+      in
+      drive
+      @ watch h ~label ~cond:lines_ok ~redrive:drive ()
+      @ [ Builder.(bs.bs_start <== Expr.tru) ]
+      @ watch h ~label
+          ~cond:Expr.(ref_ bs.bs_done = tru)
+          ~bad:Expr.(ref_ bs.bs_start = fls)
+          ~redrive:[ Builder.(bs.bs_start <== Expr.tru) ]
+          ()
+      @ [
+          Builder.(bs.bs_start <== Expr.fls); Builder.(bs.bs_wr <== Expr.fls);
+        ]
+      @ watch h ~label
+          ~cond:Expr.(ref_ bs.bs_done = fls)
+          ~bad:Expr.(ref_ bs.bs_start = tru || ref_ bs.bs_wr = tru)
+          ~redrive:
+            [
+              Builder.(bs.bs_start <== Expr.fls);
+              Builder.(bs.bs_wr <== Expr.fls);
+            ]
+          ()
+    | Two_phase, Some h ->
+      let label = mst_send_name bs in
+      let drive =
+        [
+          Builder.(bs.bs_addr <== Expr.ref_ "a");
+          Builder.(bs.bs_data <== Expr.ref_ "d");
+          Builder.(bs.bs_wr <== Expr.tru);
+          Builder.(bs.bs_rd <== Expr.fls);
+        ]
+      in
+      let lines_ok =
+        Expr.(
+          ref_ bs.bs_addr = ref_ "a"
+          && ref_ bs.bs_data = ref_ "d"
+          && ref_ bs.bs_wr = tru
+          && ref_ bs.bs_rd = fls)
+      in
+      drive
+      @ watch h ~label ~cond:lines_ok ~redrive:drive ()
+      @ [
+          Builder.("t" <-- Expr.not_ (Expr.ref_ bs.bs_done));
+          Builder.(bs.bs_start <== Expr.ref_ "t");
+        ]
+      @ watch h ~label
+          ~cond:Expr.(ref_ bs.bs_done = ref_ "t")
+          ~bad:Expr.(ref_ bs.bs_start <> ref_ "t")
+          ~redrive:[ Builder.(bs.bs_start <== Expr.ref_ "t") ]
+          ()
   in
   Builder.proc (mst_send_name bs)
     ~params:
@@ -108,16 +254,22 @@ let mst_send_proc ?(style = Four_phase) bs =
         Builder.param_in "d" (TInt bs.bs_data_width);
       ]
     ~vars:
-      (match style with
-      | Four_phase -> []
-      | Two_phase -> [ Builder.bool_var "t" ])
+      ((match style with
+       | Four_phase -> []
+       | Two_phase -> [ Builder.bool_var "t" ])
+      @ match harden with None -> [] | Some _ -> wdg_vars)
     body
 
-(** The master-side read protocol. *)
-let mst_receive_proc ?(style = Four_phase) bs =
+(** The master-side read protocol.  The hardened variant reads back its
+    own request lines before raising [start] (see {!mst_send_proc}); the
+    returned data line itself is verified slave-side
+    ({!slv_send_branch}), which commits and checks [data] {e before}
+    signalling [done], so a hardened master never latches a value the
+    slave has not confirmed. *)
+let mst_receive_proc ?(style = Four_phase) ?harden bs =
   let body =
-    match style with
-    | Four_phase ->
+    match (style, harden) with
+    | Four_phase, None ->
       [
         Builder.(bs.bs_addr <== Expr.ref_ "a");
         Builder.(bs.bs_rd <== Expr.tru);
@@ -128,7 +280,7 @@ let mst_receive_proc ?(style = Four_phase) bs =
         Builder.(bs.bs_rd <== Expr.fls);
         Builder.wait_until Expr.(ref_ bs.bs_done = fls);
       ]
-    | Two_phase ->
+    | Two_phase, None ->
       [
         Builder.(bs.bs_addr <== Expr.ref_ "a");
         Builder.(bs.bs_rd <== Expr.tru);
@@ -138,6 +290,66 @@ let mst_receive_proc ?(style = Four_phase) bs =
         Builder.wait_until Expr.(ref_ bs.bs_done = ref_ "t");
         Builder.("d" <-- Expr.ref_ bs.bs_data);
       ]
+    | Four_phase, Some h ->
+      let label = mst_receive_name bs in
+      let drive =
+        [
+          Builder.(bs.bs_addr <== Expr.ref_ "a");
+          Builder.(bs.bs_rd <== Expr.tru);
+        ]
+      in
+      let lines_ok =
+        Expr.(ref_ bs.bs_addr = ref_ "a" && ref_ bs.bs_rd = tru)
+      in
+      drive
+      @ watch h ~label ~cond:lines_ok ~redrive:drive ()
+      @ [ Builder.(bs.bs_start <== Expr.tru) ]
+      @ watch h ~label
+          ~cond:Expr.(ref_ bs.bs_done = tru)
+          ~bad:Expr.(ref_ bs.bs_start = fls)
+          ~redrive:[ Builder.(bs.bs_start <== Expr.tru) ]
+          ()
+      @ [
+          Builder.("d" <-- Expr.ref_ bs.bs_data);
+          Builder.(bs.bs_start <== Expr.fls);
+          Builder.(bs.bs_rd <== Expr.fls);
+        ]
+      @ watch h ~label
+          ~cond:Expr.(ref_ bs.bs_done = fls)
+          ~bad:Expr.(ref_ bs.bs_start = tru || ref_ bs.bs_rd = tru)
+          ~redrive:
+            [
+              Builder.(bs.bs_start <== Expr.fls);
+              Builder.(bs.bs_rd <== Expr.fls);
+            ]
+          ()
+    | Two_phase, Some h ->
+      let label = mst_receive_name bs in
+      let drive =
+        [
+          Builder.(bs.bs_addr <== Expr.ref_ "a");
+          Builder.(bs.bs_rd <== Expr.tru);
+          Builder.(bs.bs_wr <== Expr.fls);
+        ]
+      in
+      let lines_ok =
+        Expr.(
+          ref_ bs.bs_addr = ref_ "a"
+          && ref_ bs.bs_rd = tru
+          && ref_ bs.bs_wr = fls)
+      in
+      drive
+      @ watch h ~label ~cond:lines_ok ~redrive:drive ()
+      @ [
+          Builder.("t" <-- Expr.not_ (Expr.ref_ bs.bs_done));
+          Builder.(bs.bs_start <== Expr.ref_ "t");
+        ]
+      @ watch h ~label
+          ~cond:Expr.(ref_ bs.bs_done = ref_ "t")
+          ~bad:Expr.(ref_ bs.bs_start <> ref_ "t")
+          ~redrive:[ Builder.(bs.bs_start <== Expr.ref_ "t") ]
+          ()
+      @ [ Builder.("d" <-- Expr.ref_ bs.bs_data) ]
   in
   Builder.proc (mst_receive_name bs)
     ~params:
@@ -146,9 +358,10 @@ let mst_receive_proc ?(style = Four_phase) bs =
         Builder.param_out "d" (TInt bs.bs_data_width);
       ]
     ~vars:
-      (match style with
-      | Four_phase -> []
-      | Two_phase -> [ Builder.bool_var "t" ])
+      ((match style with
+       | Four_phase -> []
+       | Two_phase -> [ Builder.bool_var "t" ])
+      @ match harden with None -> [] | Some _ -> wdg_vars)
     body
 
 (** Statements for the master: [call MST_receive_b(addr, out target)]. *)
@@ -160,16 +373,23 @@ let master_write bs ~addr ~value =
 
 (** The slave-side completion handshake.  Four-phase: raise [done], wait
     for the master to release [start], lower [done].  Two-phase: copy
-    [start] into [done]. *)
-let slv_complete ?(style = Four_phase) bs =
-  match style with
-  | Four_phase ->
+    [start] into [done].
+
+    Hardened: each phase is a {!watch} loop with own-line readback — a
+    dropped [done] rise is re-driven while [start] is still high (the
+    slave does {e not} re-execute the request body, the level is simply
+    re-asserted), and a dropped [done] fall is re-driven in a bounded
+    verify loop, so the bus is guaranteed idle (or the slave has
+    fail-stopped) before the next transaction. *)
+let slv_complete ?(style = Four_phase) ?harden bs =
+  match (style, harden) with
+  | Four_phase, None ->
     [
       Builder.(bs.bs_done <== Expr.tru);
       Builder.wait_until Expr.(ref_ bs.bs_start = fls);
       Builder.(bs.bs_done <== Expr.fls);
     ]
-  | Two_phase ->
+  | Two_phase, None ->
     (* Wait for the completion to commit, otherwise the serving loop would
        still see the request pending and re-serve it within the same
        delta. *)
@@ -177,6 +397,26 @@ let slv_complete ?(style = Four_phase) bs =
       Builder.(bs.bs_done <== Expr.ref_ bs.bs_start);
       Builder.wait_until Expr.(ref_ bs.bs_done = ref_ bs.bs_start);
     ]
+  | Four_phase, Some h ->
+    let label = "SLV_" ^ bs.bs_label in
+    [ Builder.(bs.bs_done <== Expr.tru) ]
+    @ watch h ~label
+        ~cond:Expr.(ref_ bs.bs_start = fls)
+        ~bad:Expr.(ref_ bs.bs_done = fls)
+        ~redrive:[ Builder.(bs.bs_done <== Expr.tru) ]
+        ()
+    @ [ Builder.(bs.bs_done <== Expr.fls) ]
+    @ watch h ~label
+        ~cond:Expr.(ref_ bs.bs_done = fls)
+        ~redrive:[ Builder.(bs.bs_done <== Expr.fls) ]
+        ()
+  | Two_phase, Some h ->
+    let label = "SLV_" ^ bs.bs_label in
+    [ Builder.(bs.bs_done <== Expr.ref_ bs.bs_start) ]
+    @ watch h ~label
+        ~cond:Expr.(ref_ bs.bs_done = ref_ bs.bs_start)
+        ~redrive:[ Builder.(bs.bs_done <== Expr.ref_ bs.bs_start) ]
+        ()
 
 (** The slave-side request condition: a transaction is pending. *)
 let slv_pending ?(style = Four_phase) bs =
@@ -191,26 +431,44 @@ let slv_idle ?(style = Four_phase) bs =
   | Four_phase -> Expr.(ref_ bs.bs_start = fls)
   | Two_phase -> Expr.(ref_ bs.bs_start = ref_ bs.bs_done)
 
+(** Hardened data drive: commit [bs_data] and read it back in a bounded
+    verify loop {e before} the completion handshake raises [done], so a
+    hardened master never latches an uncommitted or corrupted data line
+    (a stuck data bus exhausts the retries and fail-stops the slave
+    instead of completing with a wrong value). *)
+let slv_drive_data h bs value =
+  [ Builder.(bs.bs_data <== value) ]
+  @ watch h ~label:("SLV_" ^ bs.bs_label)
+      ~cond:Expr.(ref_ bs.bs_data = value)
+      ~redrive:[ Builder.(bs.bs_data <== value) ]
+      ()
+
 (** A slave response branch serving a read of the storage location [var]
     at [addr] (the paper's [SLV_send]). *)
-let slv_send_branch ?style bs ~addr ~var:store =
+let slv_send_branch ?style ?harden bs ~addr ~var:store =
+  let drive =
+    match harden with
+    | None -> [ Builder.(bs.bs_data <== Expr.ref_ store) ]
+    | Some h -> slv_drive_data h bs (Expr.ref_ store)
+  in
   ( Expr.(ref_ bs.bs_rd = tru && ref_ bs.bs_addr = int addr),
-    (Builder.(bs.bs_data <== Expr.ref_ store) :: slv_complete ?style bs) )
+    drive @ slv_complete ?style ?harden bs )
 
 (** A slave response branch serving a write (the paper's
     [SLV_receive]). *)
-let slv_receive_branch ?style bs ~addr ~var:store =
+let slv_receive_branch ?style ?harden bs ~addr ~var:store =
   ( Expr.(ref_ bs.bs_wr = tru && ref_ bs.bs_addr = int addr),
-    (Builder.(store <-- Expr.ref_ bs.bs_data) :: slv_complete ?style bs) )
+    (Builder.(store <-- Expr.ref_ bs.bs_data) :: slv_complete ?style ?harden bs)
+  )
 
 (** One full slave serving loop over the given response branches.  The
     final branch answers unmapped addresses with an [emit] marker and a
     completed handshake, so a master is never dead-locked but the
     co-simulation trace exposes the fault. *)
-let slave_loop ?style bs branches =
+let slave_loop ?style ?harden bs branches =
   let unmapped =
     Emit ("MEM_UNMAPPED_" ^ bs.bs_label, Ref bs.bs_addr)
-    :: slv_complete ?style bs
+    :: slv_complete ?style ?harden bs
   in
   [
     Builder.while_ Expr.tru

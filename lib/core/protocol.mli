@@ -41,11 +41,60 @@ val signal_decls : bus_signals -> Ast.sig_decl list
 val mst_send_name : bus_signals -> string
 val mst_receive_name : bus_signals -> string
 
-val mst_send_proc : ?style:style -> bus_signals -> Ast.proc_decl
-(** The master-side write protocol as a procedure
-    [MST_send_<bus>(a, d)]. *)
+(** Configuration of the hardened (watchdog + bounded-retry) protocol
+    variant.  Every blocking handshake wait becomes a self-paced watchdog
+    loop: after [hd_patience] fruitless delta cycles (doubling on every
+    retry — exponential backoff) the waiting party idempotently re-drives
+    its request/acknowledge lines, and after [hd_retries] retries it
+    emits a [WDG_ABORT_*] marker and fail-stops — a persistent fault
+    becomes an honest deadlock, never silent corruption.  All hardened
+    parties pace themselves on the shared [hd_tick] signal. *)
+type harden_cfg = {
+  hd_tick : string;  (** the shared watchdog tick signal *)
+  hd_patience : int;  (** delta cycles before the first retry *)
+  hd_retries : int;  (** retries before the process fail-stops *)
+}
 
-val mst_receive_proc : ?style:style -> bus_signals -> Ast.proc_decl
+val retry_tag : string -> string
+(** [retry_tag label] is the [WDG_RETRY_<label>] marker tag. *)
+
+val abort_tag : string -> string
+(** [abort_tag label] is the [WDG_ABORT_<label>] marker tag. *)
+
+val reserved_tag_prefixes : string list
+(** Emit-tag prefixes reserved for generated recovery machinery
+    ([WDG_], [FLT_], [MEM_UNMAPPED_]); equivalence judgements and fault
+    classification filter these out. *)
+
+val wdg_vars : Ast.var_decl list
+(** Watchdog bookkeeping locals ([wdg_t], [wdg_w], [wdg_lim], [wdg_n]);
+    declare in every procedure or behavior leaf whose body contains a
+    {!watch} loop. *)
+
+val watch :
+  harden_cfg ->
+  ?patience:int ->
+  ?bad:Ast.expr ->
+  label:string ->
+  cond:Ast.expr ->
+  redrive:Ast.stmt list ->
+  unit ->
+  Ast.stmt list
+(** A bounded watchdog wait until [cond]: one delta cycle passes per
+    round (tick toggling); after [patience] (default [hd_patience])
+    fruitless cycles or as soon as [bad] holds (own-line readback check),
+    the [redrive] statements re-issue the request and patience doubles;
+    after [hd_retries] retries the process emits [WDG_ABORT_<label>] and
+    fail-stops. *)
+
+val mst_send_proc :
+  ?style:style -> ?harden:harden_cfg -> bus_signals -> Ast.proc_decl
+(** The master-side write protocol as a procedure [MST_send_<bus>(a, d)].
+    Hardened: request lines are driven and read back before [start] is
+    raised; every wait is a bounded watchdog loop. *)
+
+val mst_receive_proc :
+  ?style:style -> ?harden:harden_cfg -> bus_signals -> Ast.proc_decl
 (** The master-side read protocol [MST_receive_<bus>(a, out d)]. *)
 
 val master_read : bus_signals -> addr:int -> target:string -> Ast.stmt
@@ -53,8 +102,16 @@ val master_read : bus_signals -> addr:int -> target:string -> Ast.stmt
 
 val master_write : bus_signals -> addr:int -> value:Ast.expr -> Ast.stmt
 
-val slv_complete : ?style:style -> bus_signals -> Ast.stmt list
-(** The slave-side completion handshake. *)
+val slv_complete :
+  ?style:style -> ?harden:harden_cfg -> bus_signals -> Ast.stmt list
+(** The slave-side completion handshake.  Hardened: the [done] rise is
+    re-driven (not re-executed) while [start] stays high, and the fall is
+    verified in a bounded loop. *)
+
+val slv_drive_data :
+  harden_cfg -> bus_signals -> Ast.expr -> Ast.stmt list
+(** Drive the data bus and verify the committed value before completing
+    the handshake (hardened slaves only). *)
 
 val slv_pending : ?style:style -> bus_signals -> Ast.expr
 (** A transaction is pending on the bus. *)
@@ -63,18 +120,19 @@ val slv_idle : ?style:style -> bus_signals -> Ast.expr
 (** The current transaction (served by another slave) is over. *)
 
 val slv_send_branch :
-  ?style:style -> bus_signals -> addr:int -> var:string ->
-  Ast.expr * Ast.stmt list
+  ?style:style -> ?harden:harden_cfg -> bus_signals -> addr:int ->
+  var:string -> Ast.expr * Ast.stmt list
 (** Response branch serving a read of the storage location (the paper's
     [SLV_send]). *)
 
 val slv_receive_branch :
-  ?style:style -> bus_signals -> addr:int -> var:string ->
-  Ast.expr * Ast.stmt list
+  ?style:style -> ?harden:harden_cfg -> bus_signals -> addr:int ->
+  var:string -> Ast.expr * Ast.stmt list
 (** Response branch serving a write (the paper's [SLV_receive]). *)
 
 val slave_loop :
-  ?style:style -> bus_signals -> (Ast.expr * Ast.stmt list) list ->
+  ?style:style -> ?harden:harden_cfg -> bus_signals ->
+  (Ast.expr * Ast.stmt list) list ->
   Ast.stmt list
 (** A perpetual single-slave serving loop; unmapped addresses answer with
     an [emit] marker plus a completed handshake, so masters never

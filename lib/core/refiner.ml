@@ -4,10 +4,19 @@ open Spec.Ast
 type options = {
   force_nonleaf : bool;
   protocol : Protocol.style;
+  harden : bool;
 }
 
 let default_options =
-  { force_nonleaf = false; protocol = Protocol.Four_phase }
+  { force_nonleaf = false; protocol = Protocol.Four_phase; harden = false }
+
+(* Watchdog parameters of the hardened protocol: one bus transfer
+   completes within a handful of delta cycles, so 32 fruitless cycles is
+   already a confident timeout; six retries of exponential backoff give a
+   total patience of 32 * 63 ~ 2000 cycles, far below the default delta
+   budget, so a persistent fault fail-stops long before [Step_limit]. *)
+let harden_patience = 32
+let harden_retries = 6
 
 type bus_inst = {
   bi_role : Bus_plan.bus_role;
@@ -28,6 +37,8 @@ type t = {
   rf_processes : (string * int) list;
       (** every concurrent process (main tree and B_NEW wrappers) with its
           partition *)
+  rf_harden : Protocol.harden_cfg option;
+      (** the watchdog configuration when the design was hardened *)
 }
 
 exception Refine_error of string
@@ -175,6 +186,16 @@ let refine ?(options = default_options) p g part model =
   let naming = Naming.of_program p in
   let program_vars = Program.var_names p in
   let n_parts = Partitioning.Partition.n_parts part in
+  let hcfg =
+    if options.harden then
+      Some
+        {
+          Protocol.hd_tick = Naming.fresh naming "wdg_tick";
+          hd_patience = harden_patience;
+          hd_retries = harden_retries;
+        }
+    else None
+  in
 
   (* 1. Control-related refinement: distribute the behavior tree. *)
   let is_object name = List.mem name g.Agraph.Access_graph.g_objects in
@@ -184,8 +205,8 @@ let refine ?(options = default_options) p g part model =
     | None -> refine_error "object behavior %s is not assigned" name
   in
   let ctrl =
-    Control_refine.run ~naming ~force_nonleaf:options.force_nonleaf ~is_object
-      ~home_of_object p.p_top
+    Control_refine.run ~naming ~force_nonleaf:options.force_nonleaf
+      ?harden:hcfg ~is_object ~home_of_object p.p_top
   in
   let processes =
     {
@@ -400,7 +421,8 @@ let refine ?(options = default_options) p g part model =
             in
             Some
               (add_memory
-                 (Memory_gen.memory ~style:options.protocol ~naming
+                 (Memory_gen.memory ~style:options.protocol ?harden:hcfg
+                    ~naming
                     ~name:(Naming.fresh naming "GMEM")
                     ~vars ~addr_of ~buses:port ()))
           | Bus_plan.Gmem_part gp ->
@@ -415,7 +437,8 @@ let refine ?(options = default_options) p g part model =
             in
             Some
               (add_memory
-                 (Memory_gen.memory ~style:options.protocol ~naming
+                 (Memory_gen.memory ~style:options.protocol ?harden:hcfg
+                    ~naming
                     ~name:(Naming.fresh naming (Printf.sprintf "GMEM_%d" gp))
                     ~vars ~addr_of ~buses:ports ()))
           | Bus_plan.Lmem h when model = Model.Model4 ->
@@ -431,7 +454,8 @@ let refine ?(options = default_options) p g part model =
             in
             Some
               (add_memory
-                 (Memory_gen.memory ~style:options.protocol ~naming
+                 (Memory_gen.memory ~style:options.protocol ?harden:hcfg
+                    ~naming
                     ~name:(Naming.fresh naming (Printf.sprintf "LMEM_%d" h))
                     ~vars ~addr_of ~buses:port ())))
       (Bus_plan.memories plan)
@@ -474,7 +498,8 @@ let refine ?(options = default_options) p g part model =
             in
             Some
               (add_memory
-                 (Bus_interface.memsys ~style:options.protocol ~naming cfg))
+                 (Bus_interface.memsys ~style:options.protocol ?harden:hcfg
+                    ~naming cfg))
           end)
         (List.init n_parts Fun.id)
   in
@@ -515,8 +540,12 @@ let refine ?(options = default_options) p g part model =
   let protocol_procs =
     List.concat_map
       (fun bi ->
-        [ Protocol.mst_send_proc ~style:options.protocol bi.bi_signals;
-          Protocol.mst_receive_proc ~style:options.protocol bi.bi_signals ])
+        [
+          Protocol.mst_send_proc ~style:options.protocol ?harden:hcfg
+            bi.bi_signals;
+          Protocol.mst_receive_proc ~style:options.protocol ?harden:hcfg
+            bi.bi_signals;
+        ])
       buses
   in
   let servers =
@@ -532,7 +561,10 @@ let refine ?(options = default_options) p g part model =
       p_vars = [];
       p_signals =
         p.p_signals @ ctrl.Control_refine.cr_signals @ bus_signal_decls
-        @ arb_signal_decls;
+        @ arb_signal_decls
+        @ (match hcfg with
+          | Some h -> [ Builder.bool_signal ~init:false h.Protocol.hd_tick ]
+          | None -> []);
       p_procs = p.p_procs @ protocol_procs;
       p_top = top;
       p_servers = servers;
@@ -556,4 +588,5 @@ let refine ?(options = default_options) p g part model =
         processes;
     rf_top_home = ctrl.Control_refine.cr_top_home;
     rf_processes = List.map (fun ps -> (ps.ps_name, ps.ps_partition)) processes;
+    rf_harden = hcfg;
   }

@@ -14,6 +14,12 @@ type options = {
       (** bus handshake style: the paper's four-phase handshake of
           Figure 5d, or the faster transition-signalled two-phase
           variant *)
+  harden : bool;
+      (** generate the hardened protocol variant: watchdog timeouts with
+          bounded retry and exponential backoff on every handshake,
+          idempotent line re-driving, own-line readback self checks and
+          TMR-protected memory scalars; persistent faults fail-stop
+          (emitting [WDG_ABORT_*]) instead of corrupting silently *)
 }
 
 val default_options : options
@@ -38,6 +44,8 @@ type t = {
   rf_processes : (string * int) list;
       (** every concurrent process (the main control tree and the [B_NEW]
           wrappers) with the partition it executes on *)
+  rf_harden : Protocol.harden_cfg option;
+      (** the watchdog configuration when the design was hardened *)
 }
 
 exception Refine_error of string

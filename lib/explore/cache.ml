@@ -3,7 +3,7 @@
 
 (* Bump when the marshalled layout of cached values changes: stale disk
    entries from an older build then read as misses instead of garbage. *)
-let format_version = "coref-explore-cache-2\n"
+let format_version = "coref-explore-cache-3\n"
 
 type stats = { hits : int; misses : int }
 
@@ -96,10 +96,39 @@ let lookup t key =
           t.misses <- t.misses + 1;
           None))
 
+(* A truncated or bit-rotted disk entry must read as a miss, not as a
+   [Failure] escaping to the caller: evict it from both tiers so the
+   recomputed value replaces the damaged file. *)
+let evict t key =
+  with_lock t (fun () ->
+      Hashtbl.remove t.table key;
+      match file_of t key with
+      | None -> ()
+      | Some path -> (try Sys.remove path with Sys_error _ -> ()))
+
+let unmarshal_opt blob =
+  match Marshal.from_string blob 0 with
+  | v -> Some v
+  | exception (Failure _ | Invalid_argument _) -> None
+
 let find_or_add t key compute =
-  match lookup t key with
-  | Some blob -> (Marshal.from_string blob 0, true)
+  let cached =
+    match lookup t key with
+    | Some blob ->
+      let v = unmarshal_opt blob in
+      if v = None then begin
+        (* Account the corrupt entry as the miss it really was. *)
+        with_lock t (fun () ->
+            t.hits <- t.hits - 1;
+            t.misses <- t.misses + 1)
+      end;
+      v
+    | None -> None
+  in
+  match cached with
+  | Some v -> (v, true)
   | None ->
+    evict t key;
     let v = compute () in
     let blob = Marshal.to_string v [] in
     with_lock t (fun () ->

@@ -20,6 +20,7 @@ type metrics = {
   e_check_ok : bool;
   e_lint_errors : int;
   e_lint_warnings : int;
+  e_robustness : float;
 }
 
 type result = {
@@ -88,6 +89,22 @@ let quality_totals (q : Core.Quality.t) =
         secs +. cq.Core.Quality.cq_exec_seconds ))
     (0, 0, 0, 0.0) q.Core.Quality.q_components
 
+(* A small fixed fault campaign per candidate: two seeds over the two
+   cheapest-to-classify classes.  Deterministic (seeded), so it belongs
+   in the memoized tail; designs that cannot complete a golden run score
+   0.0 rather than failing the evaluation. *)
+let probe_robustness (r : Core.Refiner.t) =
+  let config =
+    {
+      Faults.Campaign.default_config with
+      Faults.Campaign.cf_seeds = 2;
+      cf_classes = [ Faults.Fault.Drop_handshake; Faults.Fault.Bit_flip ];
+    }
+  in
+  match Faults.Campaign.run ~config r with
+  | report -> report.Faults.Campaign.rp_robustness
+  | exception _ -> 0.0
+
 (* The memoized tail: everything downstream of the partition.  Pure in
    (spec, partition, model) — exactly what the cache key covers. *)
 let refine_and_measure ctx alloc part (model : Core.Model.t) =
@@ -127,6 +144,7 @@ let refine_and_measure ctx alloc part (model : Core.Model.t) =
         e_check_ok = check_ok;
         e_lint_errors = Spec.Diagnostic.count Spec.Diagnostic.Error lint;
         e_lint_warnings = Spec.Diagnostic.count Spec.Diagnostic.Warning lint;
+        e_robustness = probe_robustness r;
       }
 
 let run ?cache ctx (c : Candidate.t) =

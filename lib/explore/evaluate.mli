@@ -28,6 +28,9 @@ type metrics = {
   e_check_ok : bool;  (** {!Core.Check} found no violation *)
   e_lint_errors : int;  (** error-severity lint diagnostics on the output *)
   e_lint_warnings : int;  (** warning-severity lint diagnostics *)
+  e_robustness : float;
+      (** survived-or-recovered fraction of a small fixed fault campaign
+          ({!Faults.Campaign}); 0.0 when the design cannot be campaigned *)
 }
 
 type result = {

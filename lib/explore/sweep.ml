@@ -31,17 +31,20 @@ type t = {
   sw_jobs : int;
 }
 
+(* Fourth axis: fragility (1 - robustness), so every objective is
+   minimized uniformly. *)
 let objectives (m : Evaluate.metrics) =
   [|
     m.Evaluate.e_max_bus_rate;
     m.Evaluate.e_growth;
     float_of_int (m.Evaluate.e_pins + m.Evaluate.e_gates);
+    1.0 -. m.Evaluate.e_robustness;
   |]
 
 let result_objectives (r : Evaluate.result) =
   match r.Evaluate.r_outcome with
   | Ok m -> objectives m
-  | Error _ -> [| infinity; infinity; infinity |]
+  | Error _ -> [| infinity; infinity; infinity; infinity |]
 
 let run ?cache ?alloc config spec =
   let cache = match cache with Some c -> c | None -> Cache.create () in
@@ -84,9 +87,11 @@ let row_of (r : Evaluate.result) =
   | Error msg -> Printf.sprintf "%-24s FAILED: %s" label msg
   | Ok m ->
     Printf.sprintf
-      "%-24s %2dL/%-2dG %8.1f Mbps %6.1fx %4d pins %6d gates %s lint:%dE/%dW%s"
+      "%-24s %2dL/%-2dG %8.1f Mbps %6.1fx %4d pins %6d gates rob:%.2f %s \
+       lint:%dE/%dW%s"
       label m.Evaluate.e_locals m.Evaluate.e_globals m.Evaluate.e_max_bus_rate
       m.Evaluate.e_growth m.Evaluate.e_pins m.Evaluate.e_gates
+      m.Evaluate.e_robustness
       (if m.Evaluate.e_check_ok then "ok" else "CHECK-FAILED")
       m.Evaluate.e_lint_errors m.Evaluate.e_lint_warnings
       (if r.Evaluate.r_cached then " (cached)" else "")
@@ -103,7 +108,7 @@ let to_text ?(top = 0) t =
   if top > 0 && List.length t.sw_results > top then
     line "... (%d more candidates)" (List.length t.sw_results - top);
   line "";
-  line "Pareto frontier (minimizing max bus rate, growth, pins+gates): %d designs"
+  line "Pareto frontier (minimizing max bus rate, growth, pins+gates, fragility): %d designs"
     (List.length t.sw_frontier);
   List.iter (fun r -> line "  %s" (row_of r)) t.sw_frontier;
   Buffer.contents buf
@@ -145,13 +150,14 @@ let json_of_result (r : Evaluate.result) =
        \"max_bus_rate_mbps\":%.4f,\"buses\":%d,\"memories\":%d,\
        \"lines\":%d,\"growth\":%.4f,\"pins\":%d,\"gates\":%d,\
        \"software_bytes\":%d,\"exec_seconds\":%.6f,\"check_ok\":%b,\
-       \"lint_errors\":%d,\"lint_warnings\":%d}"
+       \"lint_errors\":%d,\"lint_warnings\":%d,\"robustness\":%.4f}"
       base m.Evaluate.e_locals m.Evaluate.e_globals m.Evaluate.e_comm_bits
       m.Evaluate.e_max_bus_rate m.Evaluate.e_bus_count m.Evaluate.e_memories
       m.Evaluate.e_lines m.Evaluate.e_growth m.Evaluate.e_pins
       m.Evaluate.e_gates m.Evaluate.e_software_bytes
       m.Evaluate.e_exec_seconds m.Evaluate.e_check_ok
       m.Evaluate.e_lint_errors m.Evaluate.e_lint_warnings
+      m.Evaluate.e_robustness
 
 let to_json ?(top = 0) t =
   Printf.sprintf

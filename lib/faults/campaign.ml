@@ -1,0 +1,494 @@
+(** Deterministic, seeded fault-injection campaigns against a refined
+    design.  A campaign first performs one golden (fault-free) run to
+    learn the design's commit schedule and reference behavior, then for
+    every seed and every fault class injects one randomly drawn (but
+    seed-reproducible) fault and classifies the outcome against the
+    golden run:
+
+    - {!Survived} — same observable behavior, no recovery action needed;
+    - {!Detected_recovered} — same observable behavior, reached through
+      watchdog retries or TMR repairs (reserved-marker count grew);
+    - {!Deadlock} — the design hung (including deliberate [WDG_ABORT]
+      fail-stops of the hardened protocol);
+    - {!Silent_corruption} — the design completed but its filtered trace
+      or final memory state differs from the golden run: the worst case;
+    - {!Step_limit} — the budget ran out before an outcome was reached.
+
+    The classification filters the reserved recovery markers
+    ({!Core.Protocol.reserved_tag_prefixes}) out of both traces and
+    majority-votes TMR-shadowed storage before comparing, so a hardened
+    design is judged on its observable behavior, not its bookkeeping. *)
+
+open Spec
+
+type outcome =
+  | Survived
+  | Detected_recovered
+  | Deadlock
+  | Silent_corruption
+  | Step_limit
+
+let outcome_name = function
+  | Survived -> "survived"
+  | Detected_recovered -> "recovered"
+  | Deadlock -> "deadlock"
+  | Silent_corruption -> "silent-corruption"
+  | Step_limit -> "step-limit"
+
+let all_outcomes =
+  [ Survived; Detected_recovered; Deadlock; Silent_corruption; Step_limit ]
+
+type run = {
+  run_seed : int;
+  run_class : Fault.cls;
+  run_faults : Fault.spec list;
+  run_outcome : outcome;
+  run_deltas : int;
+}
+
+type report = {
+  rp_design : string;  (** refined program name *)
+  rp_hardened : bool;
+  rp_seeds : int;
+  rp_runs : run list;
+  rp_robustness : float;
+      (** fraction of runs classified survived or recovered *)
+}
+
+type config = {
+  cf_seeds : int;  (** number of seeded rounds, one fault per class each *)
+  cf_base_seed : int;
+  cf_classes : Fault.cls list;
+  cf_sim : Sim.Engine.config;  (** budget of the golden run *)
+}
+
+let default_config =
+  {
+    cf_seeds = 8;
+    cf_base_seed = 1;
+    cf_classes = Fault.all_classes;
+    cf_sim = Sim.Engine.default_config;
+  }
+
+(* --- target enumeration ------------------------------------------------ *)
+
+(** What a campaign can aim at, enumerated from the refined design. *)
+type targets = {
+  tg_handshakes : string list;
+      (** [B_start] / [B_done] control signals and bus [start] / [done]
+          lines with at least one golden commit *)
+  tg_lines : (string * int) list;
+      (** stuck-at candidates: bus control / address / data lines with
+          their width (0 = boolean) *)
+  tg_storage : (string * int) list;
+      (** memory storage scalars with their width *)
+  tg_acks : string list;  (** arbiter grant signals *)
+}
+
+let has_suffix suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.equal (String.sub s (l - ls) ls) suffix
+
+let has_prefix prefix s =
+  let lp = String.length prefix and l = String.length s in
+  l >= lp && String.equal (String.sub s 0 lp) prefix
+
+let rec find_behavior name (b : Ast.behavior) =
+  if String.equal b.Ast.b_name name then Some b
+  else List.find_map (find_behavior name) (Behavior.children b)
+
+(* Storage of a generated memory: the declarations of the memory
+   behavior's root node (a storage leaf or the shared [par] vars),
+   excluding TMR shadows.  Scalars only — array flips would need indexed
+   probe access. *)
+let storage_of (p : Ast.program) mem_name =
+  match find_behavior mem_name p.Ast.p_top with
+  | None -> []
+  | Some b ->
+    List.filter_map
+      (fun (v : Ast.var_decl) ->
+        if
+          has_suffix "_r1" v.Ast.v_name
+          || has_suffix "_r2" v.Ast.v_name
+          || has_prefix "wdg_" v.Ast.v_name
+        then None
+        else
+          match v.Ast.v_ty with
+          | Ast.TBool -> Some (v.Ast.v_name, 1)
+          | Ast.TInt w -> Some (v.Ast.v_name, w)
+          | Ast.TArray _ -> None)
+      b.Ast.b_vars
+
+let enumerate (r : Core.Refiner.t) occurrences =
+  let committed s = Hashtbl.mem occurrences s in
+  let bus_handshakes =
+    List.concat_map
+      (fun (bi : Core.Refiner.bus_inst) ->
+        let bs = bi.Core.Refiner.bi_signals in
+        [ bs.Core.Protocol.bs_start; bs.Core.Protocol.bs_done ])
+      r.Core.Refiner.rf_buses
+  in
+  let ctrl_handshakes =
+    List.filter_map
+      (fun (s : Ast.sig_decl) ->
+        if
+          (has_suffix "_start" s.Ast.s_name || has_suffix "_done" s.Ast.s_name)
+          && not (List.mem s.Ast.s_name bus_handshakes)
+        then Some s.Ast.s_name
+        else None)
+      r.Core.Refiner.rf_program.Ast.p_signals
+  in
+  let lines =
+    List.concat_map
+      (fun (bi : Core.Refiner.bus_inst) ->
+        let bs = bi.Core.Refiner.bi_signals in
+        [
+          (bs.Core.Protocol.bs_start, 0);
+          (bs.Core.Protocol.bs_done, 0);
+          (bs.Core.Protocol.bs_addr, bs.Core.Protocol.bs_addr_width);
+          (bs.Core.Protocol.bs_data, bs.Core.Protocol.bs_data_width);
+        ])
+      r.Core.Refiner.rf_buses
+  in
+  let storage =
+    List.concat_map
+      (storage_of r.Core.Refiner.rf_program)
+      r.Core.Refiner.rf_memories
+  in
+  let acks =
+    List.concat_map
+      (fun (bi : Core.Refiner.bus_inst) ->
+        match bi.Core.Refiner.bi_arbiter with
+        | None -> []
+        | Some arb ->
+          List.map
+            (fun (rq : Core.Arbiter.requester) -> rq.Core.Arbiter.rq_ack)
+            arb.Core.Arbiter.arb_requesters)
+      r.Core.Refiner.rf_buses
+  in
+  {
+    tg_handshakes =
+      List.filter committed (bus_handshakes @ ctrl_handshakes);
+    tg_lines = List.filter (fun (s, _) -> committed s) lines;
+    tg_storage = storage;
+    tg_acks = List.filter committed acks;
+  }
+
+(* --- fault drawing ----------------------------------------------------- *)
+
+let count occurrences s =
+  Option.value ~default:0 (Hashtbl.find_opt occurrences s)
+
+let draw_flip rng ~golden_deltas ~storage =
+  let name, width = Partitioning.Rng.choose rng storage in
+  Fault.Flip_bit
+    {
+      fl_var = name;
+      fl_bit = Partitioning.Rng.int rng (max 1 width);
+      fl_delta = 1 + Partitioning.Rng.int rng (max 1 golden_deltas);
+    }
+
+(** Draw the fault list of one run.  [None] when the design offers no
+    target of this class (e.g. no arbiter to starve). *)
+let draw rng ~targets ~occurrences ~golden_deltas cls =
+  match cls with
+  | Fault.Bit_flip ->
+    if targets.tg_storage = [] then None
+    else Some [ draw_flip rng ~golden_deltas ~storage:targets.tg_storage ]
+  | Fault.Multi_bit_flip ->
+    if targets.tg_storage = [] then None
+    else
+      let n = 2 + Partitioning.Rng.int rng 2 in
+      Some
+        (List.init n (fun _ ->
+             draw_flip rng ~golden_deltas ~storage:targets.tg_storage))
+  | Fault.Drop_handshake ->
+    if targets.tg_handshakes = [] then None
+    else
+      let s = Partitioning.Rng.choose rng targets.tg_handshakes in
+      Some
+        [
+          Fault.Drop_update
+            {
+              du_signal = s;
+              du_occurrence =
+                1 + Partitioning.Rng.int rng (max 1 (count occurrences s));
+            };
+        ]
+  | Fault.Delay_handshake ->
+    if targets.tg_handshakes = [] then None
+    else
+      let s = Partitioning.Rng.choose rng targets.tg_handshakes in
+      Some
+        [
+          Fault.Delay_update
+            {
+              dl_signal = s;
+              dl_occurrence =
+                1 + Partitioning.Rng.int rng (max 1 (count occurrences s));
+              dl_deltas = 2 + Partitioning.Rng.int rng 40;
+            };
+        ]
+  | Fault.Stuck_line ->
+    if targets.tg_lines = [] then None
+    else
+      let s, width = Partitioning.Rng.choose rng targets.tg_lines in
+      let value =
+        if width = 0 then Ast.VBool (Partitioning.Rng.bool rng)
+        else Ast.VInt (Partitioning.Rng.int rng (1 lsl min width 8))
+      in
+      Some
+        [
+          Fault.Stuck_at
+            {
+              st_signal = s;
+              st_value = value;
+              st_delta = Partitioning.Rng.int rng (max 1 golden_deltas);
+            };
+        ]
+  | Fault.Grant_starvation ->
+    if targets.tg_acks = [] then None
+    else
+      let s = Partitioning.Rng.choose rng targets.tg_acks in
+      Some
+        [
+          Fault.Delay_update
+            {
+              dl_signal = s;
+              dl_occurrence =
+                1 + Partitioning.Rng.int rng (max 1 (count occurrences s));
+              dl_deltas = 50 + Partitioning.Rng.int rng 200;
+            };
+        ]
+
+(* --- classification ---------------------------------------------------- *)
+
+let reserved tag =
+  List.exists
+    (fun p -> has_prefix p tag)
+    Core.Protocol.reserved_tag_prefixes
+
+let filter_trace events =
+  List.filter (fun e -> not (reserved e.Sim.Trace.ev_tag)) events
+
+let marker_count events =
+  List.length (List.filter (fun e -> reserved e.Sim.Trace.ev_tag) events)
+
+(* The effective final value of a storage scalar: TMR majority when the
+   shadows exist (the vote a hardened memory would apply on its next
+   read), the raw value otherwise. *)
+let voted finals name =
+  match List.assoc_opt name finals with
+  | None -> None
+  | Some primary ->
+    begin match
+      (List.assoc_opt (name ^ "_r1") finals, List.assoc_opt (name ^ "_r2") finals)
+    with
+    | Some a, Some b ->
+      Some (if primary = a || primary = b then primary else a)
+    | _ -> Some primary
+    end
+
+let classify ~storage ~(golden : Sim.Engine.result) (faulty : Sim.Engine.result)
+    =
+  match faulty.Sim.Engine.r_outcome with
+  | Sim.Engine.Deadlock _ -> Deadlock
+  | Sim.Engine.Step_limit -> Step_limit
+  | Sim.Engine.Completed ->
+    let trace_ok =
+      Sim.Trace.projection_equivalent
+        (filter_trace golden.Sim.Engine.r_trace)
+        (filter_trace faulty.Sim.Engine.r_trace)
+    in
+    let storage_ok =
+      List.for_all
+        (fun (name, _) ->
+          voted golden.Sim.Engine.r_final name
+          = voted faulty.Sim.Engine.r_final name)
+        storage
+    in
+    if not (trace_ok && storage_ok) then Silent_corruption
+    else if
+      marker_count faulty.Sim.Engine.r_trace
+      > marker_count golden.Sim.Engine.r_trace
+    then Detected_recovered
+    else Survived
+
+(* --- the campaign ------------------------------------------------------ *)
+
+exception Campaign_error of string
+
+let run ?(config = default_config) (r : Core.Refiner.t) =
+  let program = r.Core.Refiner.rf_program in
+  let counting_hooks, occurrences = Inject.counting () in
+  let golden = Sim.Engine.run ~config:config.cf_sim ~hooks:counting_hooks program in
+  begin match golden.Sim.Engine.r_outcome with
+  | Sim.Engine.Completed -> ()
+  | o ->
+    raise
+      (Campaign_error
+         (Printf.sprintf "golden run did not complete: %s"
+            (Sim.Engine.outcome_to_string o)))
+  end;
+  let golden_deltas = golden.Sim.Engine.r_deltas in
+  (* A faulty run may legitimately take longer than the golden run (the
+     hardened protocol retries with exponential backoff before giving
+     up), but far less than 10x: anything beyond is budget exhaustion. *)
+  let budget =
+    {
+      config.cf_sim with
+      Sim.Engine.max_deltas = (golden_deltas * 10) + 50_000;
+    }
+  in
+  let targets = enumerate r occurrences in
+  let storage = targets.tg_storage in
+  let runs =
+    List.concat_map
+      (fun seed ->
+        List.filter_map
+          (fun cls ->
+            let cls_code =
+              String.fold_left
+                (fun a c -> (a * 31) + Char.code c)
+                7 (Fault.cls_name cls)
+            in
+            let rng =
+              Partitioning.Rng.create
+                ((config.cf_base_seed * 1_000_003) + (seed * 10_007) + cls_code)
+            in
+            match draw rng ~targets ~occurrences ~golden_deltas cls with
+            | None -> None
+            | Some faults ->
+              let result =
+                Sim.Engine.run ~config:budget ~hooks:(Inject.hooks faults)
+                  program
+              in
+              Some
+                {
+                  run_seed = seed;
+                  run_class = cls;
+                  run_faults = faults;
+                  run_outcome = classify ~storage ~golden result;
+                  run_deltas = result.Sim.Engine.r_deltas;
+                })
+          config.cf_classes)
+      (List.init config.cf_seeds Fun.id)
+  in
+  let good =
+    List.length
+      (List.filter
+         (fun rn ->
+           match rn.run_outcome with
+           | Survived | Detected_recovered -> true
+           | Deadlock | Silent_corruption | Step_limit -> false)
+         runs)
+  in
+  {
+    rp_design = program.Ast.p_name;
+    rp_hardened = r.Core.Refiner.rf_harden <> None;
+    rp_seeds = config.cf_seeds;
+    rp_runs = runs;
+    rp_robustness =
+      (if runs = [] then 1.0
+       else float_of_int good /. float_of_int (List.length runs));
+  }
+
+(* --- reporting --------------------------------------------------------- *)
+
+let summary report =
+  let classes =
+    List.sort_uniq compare (List.map (fun rn -> rn.run_class) report.rp_runs)
+  in
+  List.map
+    (fun cls ->
+      let of_cls =
+        List.filter (fun rn -> rn.run_class = cls) report.rp_runs
+      in
+      ( cls,
+        List.map
+          (fun o ->
+            (o, List.length (List.filter (fun rn -> rn.run_outcome = o) of_cls)))
+          all_outcomes ))
+    classes
+
+let survival_fraction report cls =
+  let of_cls = List.filter (fun rn -> rn.run_class = cls) report.rp_runs in
+  if of_cls = [] then 1.0
+  else
+    float_of_int
+      (List.length
+         (List.filter
+            (fun rn ->
+              match rn.run_outcome with
+              | Survived | Detected_recovered -> true
+              | Deadlock | Silent_corruption | Step_limit -> false)
+            of_cls))
+    /. float_of_int (List.length of_cls)
+
+let to_text report =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "fault campaign: %s (%s), %d seeds, %d runs\n"
+       report.rp_design
+       (if report.rp_hardened then "hardened" else "unhardened")
+       report.rp_seeds
+       (List.length report.rp_runs));
+  Buffer.add_string buf
+    (Printf.sprintf "  %-18s %9s %9s %9s %9s %9s\n" "class" "survived"
+       "recovered" "deadlock" "corrupt" "limit");
+  List.iter
+    (fun (cls, counts) ->
+      let n o = List.assoc o counts in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-18s %9d %9d %9d %9d %9d\n" (Fault.cls_name cls)
+           (n Survived) (n Detected_recovered) (n Deadlock)
+           (n Silent_corruption) (n Step_limit)))
+    (summary report);
+  Buffer.add_string buf
+    (Printf.sprintf "  robustness %.3f\n" report.rp_robustness);
+  Buffer.contents buf
+
+let to_json report =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"design\": %S,\n  \"hardened\": %b,\n  \"seeds\": %d,\n"
+       report.rp_design report.rp_hardened report.rp_seeds);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"robustness\": %.4f,\n" report.rp_robustness);
+  Buffer.add_string buf "  \"classes\": [\n";
+  let class_lines =
+    List.map
+      (fun (cls, counts) ->
+        Printf.sprintf
+          "    {\"class\": %S, \"survived\": %d, \"recovered\": %d, \
+           \"deadlock\": %d, \"silent_corruption\": %d, \"step_limit\": %d}"
+          (Fault.cls_name cls)
+          (List.assoc Survived counts)
+          (List.assoc Detected_recovered counts)
+          (List.assoc Deadlock counts)
+          (List.assoc Silent_corruption counts)
+          (List.assoc Step_limit counts))
+      (summary report)
+  in
+  Buffer.add_string buf (String.concat ",\n" class_lines);
+  Buffer.add_string buf "\n  ],\n  \"runs\": [\n";
+  let run_lines =
+    List.map
+      (fun rn ->
+        Printf.sprintf
+          "    {\"seed\": %d, \"class\": %S, \"outcome\": %S, \"deltas\": %d, \
+           \"faults\": [%s]}"
+          rn.run_seed
+          (Fault.cls_name rn.run_class)
+          (outcome_name rn.run_outcome)
+          rn.run_deltas
+          (String.concat ", "
+             (List.map
+                (fun f -> Printf.sprintf "%S" (Fault.describe f))
+                rn.run_faults)))
+      report.rp_runs
+  in
+  Buffer.add_string buf (String.concat ",\n" run_lines);
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,87 @@
+(** Deterministic, seeded fault-injection campaigns against a refined
+    design.  One golden (fault-free) run learns the design's commit
+    schedule and reference behavior; then, per seed and fault class, one
+    randomly drawn (seed-reproducible) fault is injected and the outcome
+    classified against the golden run. *)
+
+type outcome =
+  | Survived  (** same observable behavior, no recovery action needed *)
+  | Detected_recovered
+      (** same observable behavior, reached through watchdog retries or
+          TMR repairs (the reserved-marker count grew) *)
+  | Deadlock
+      (** the design hung — including deliberate [WDG_ABORT] fail-stops
+          of the hardened protocol *)
+  | Silent_corruption
+      (** completed, but the filtered trace or the (TMR-voted) final
+          memory state differs from the golden run: the worst case *)
+  | Step_limit  (** the simulation budget ran out *)
+
+val outcome_name : outcome -> string
+val all_outcomes : outcome list
+
+type run = {
+  run_seed : int;
+  run_class : Fault.cls;
+  run_faults : Fault.spec list;
+  run_outcome : outcome;
+  run_deltas : int;
+}
+
+type report = {
+  rp_design : string;  (** refined program name *)
+  rp_hardened : bool;
+  rp_seeds : int;
+  rp_runs : run list;
+  rp_robustness : float;
+      (** fraction of runs classified survived or recovered *)
+}
+
+type config = {
+  cf_seeds : int;  (** seeded rounds, one fault per class each *)
+  cf_base_seed : int;
+  cf_classes : Fault.cls list;
+  cf_sim : Sim.Engine.config;  (** budget of the golden run *)
+}
+
+val default_config : config
+(** 8 seeds, base seed 1, every class, default engine budget. *)
+
+(** What a campaign can aim at, enumerated from the refined design. *)
+type targets = {
+  tg_handshakes : string list;
+  tg_lines : (string * int) list;
+  tg_storage : (string * int) list;
+  tg_acks : string list;
+}
+
+val enumerate : Core.Refiner.t -> (string, int) Hashtbl.t -> targets
+(** Enumerate injection targets, keeping only signals with at least one
+    committed update in the golden run (the occurrence table of
+    {!Inject.counting}). *)
+
+val classify :
+  storage:(string * int) list ->
+  golden:Sim.Engine.result ->
+  Sim.Engine.result ->
+  outcome
+(** Classify one faulty run against the golden run: reserved recovery
+    markers are filtered from both traces and TMR-shadowed storage is
+    majority-voted before comparison. *)
+
+exception Campaign_error of string
+
+val run : ?config:config -> Core.Refiner.t -> report
+(** Execute the campaign.  Fully deterministic: same refined design, same
+    configuration — same report.
+    @raise Campaign_error when the golden run does not complete. *)
+
+val summary : report -> (Fault.cls * (outcome * int) list) list
+(** Outcome counts per fault class, every outcome present. *)
+
+val survival_fraction : report -> Fault.cls -> float
+(** Fraction of the class's runs classified survived or recovered
+    (1.0 when the class has no runs). *)
+
+val to_text : report -> string
+val to_json : report -> string

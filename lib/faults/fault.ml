@@ -1,0 +1,66 @@
+(** Fault specifications: the individual hardware faults a campaign
+    injects into a simulated refined design, and the fault classes a
+    campaign draws them from. *)
+
+open Spec
+
+(** One concrete fault.  Signal faults act on the delta-cycle commit
+    stream (see {!Sim.Sigtable.action}); bit flips act on stored memory
+    state between delta cycles. *)
+type spec =
+  | Flip_bit of { fl_var : string; fl_bit : int; fl_delta : int }
+      (** flip bit [fl_bit] of memory storage [fl_var] right after delta
+          cycle [fl_delta] commits *)
+  | Drop_update of { du_signal : string; du_occurrence : int }
+      (** lose the [du_occurrence]-th committed update of a signal
+          (1-based) — a lost handshake edge *)
+  | Delay_update of { dl_signal : string; dl_occurrence : int; dl_deltas : int }
+      (** deliver the [dl_occurrence]-th update [dl_deltas] delta cycles
+          late (it is dropped from its own commit and re-delivered) *)
+  | Stuck_at of { st_signal : string; st_value : Ast.value; st_delta : int }
+      (** from delta [st_delta] on, every commit of the signal is forced
+          to [st_value] — a stuck bus line *)
+
+(** The campaign's fault classes. *)
+type cls =
+  | Bit_flip  (** single bit flip in a memory storage location *)
+  | Multi_bit_flip  (** several independent flips in one run *)
+  | Drop_handshake  (** a lost [start] / [done] handshake edge *)
+  | Delay_handshake  (** a late handshake edge *)
+  | Stuck_line  (** a stuck bus control / address / data line *)
+  | Grant_starvation  (** an arbiter grant held back *)
+
+let all_classes =
+  [
+    Bit_flip;
+    Multi_bit_flip;
+    Drop_handshake;
+    Delay_handshake;
+    Stuck_line;
+    Grant_starvation;
+  ]
+
+let cls_name = function
+  | Bit_flip -> "bit-flip"
+  | Multi_bit_flip -> "multi-bit-flip"
+  | Drop_handshake -> "drop-handshake"
+  | Delay_handshake -> "delay-handshake"
+  | Stuck_line -> "stuck-line"
+  | Grant_starvation -> "grant-starvation"
+
+let cls_of_name s =
+  List.find_opt (fun c -> String.equal (cls_name c) s) all_classes
+
+let describe = function
+  | Flip_bit f ->
+    Printf.sprintf "flip bit %d of %s after delta %d" f.fl_bit f.fl_var
+      f.fl_delta
+  | Drop_update f ->
+    Printf.sprintf "drop update #%d of %s" f.du_occurrence f.du_signal
+  | Delay_update f ->
+    Printf.sprintf "delay update #%d of %s by %d deltas" f.dl_occurrence
+      f.dl_signal f.dl_deltas
+  | Stuck_at f ->
+    Printf.sprintf "stick %s at %s from delta %d" f.st_signal
+      (Format.asprintf "%a" Expr.pp_value f.st_value)
+      f.st_delta

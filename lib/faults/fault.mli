@@ -1,0 +1,32 @@
+(** Fault specifications: the individual hardware faults a campaign
+    injects into a simulated refined design, and the classes a campaign
+    draws them from. *)
+
+open Spec
+
+type spec =
+  | Flip_bit of { fl_var : string; fl_bit : int; fl_delta : int }
+      (** flip bit [fl_bit] of memory storage [fl_var] right after delta
+          cycle [fl_delta] commits *)
+  | Drop_update of { du_signal : string; du_occurrence : int }
+      (** lose the [du_occurrence]-th committed update of a signal
+          (1-based) — a lost handshake edge *)
+  | Delay_update of { dl_signal : string; dl_occurrence : int; dl_deltas : int }
+      (** deliver the [dl_occurrence]-th update [dl_deltas] delta cycles
+          late (dropped from its own commit and re-delivered) *)
+  | Stuck_at of { st_signal : string; st_value : Ast.value; st_delta : int }
+      (** from delta [st_delta] on, every commit of the signal is forced
+          to [st_value] — a stuck bus line *)
+
+type cls =
+  | Bit_flip
+  | Multi_bit_flip
+  | Drop_handshake
+  | Delay_handshake
+  | Stuck_line
+  | Grant_starvation
+
+val all_classes : cls list
+val cls_name : cls -> string
+val cls_of_name : string -> cls option
+val describe : spec -> string

@@ -1,0 +1,85 @@
+(** Turning fault specifications into simulation hooks.  The intercept
+    counts every signal's committed updates (so occurrence-based faults
+    hit the same edge on every run — the schedule is deterministic) and
+    applies drop / delay / stuck-at decisions; the post-commit hook
+    delivers delayed updates and flips memory bits. *)
+
+open Spec
+
+(* Stuck-at models a failed line and overrides transient faults on the
+   same signal; drop and delay are checked in specification order. *)
+let decide faults ~delta ~name ~occurrence value k =
+  let stuck =
+    List.find_map
+      (function
+        | Fault.Stuck_at f when String.equal f.st_signal name && delta >= f.st_delta
+          ->
+          Some (Sim.Sigtable.Rewrite f.st_value)
+        | _ -> None)
+      faults
+  in
+  match stuck with
+  | Some action -> action
+  | None ->
+    let transient =
+      List.find_map
+        (function
+          | Fault.Drop_update f
+            when String.equal f.du_signal name && occurrence = f.du_occurrence
+            ->
+            Some Sim.Sigtable.Drop
+          | Fault.Delay_update f
+            when String.equal f.dl_signal name && occurrence = f.dl_occurrence
+            ->
+            k (delta + f.dl_deltas) value;
+            Some Sim.Sigtable.Drop
+          | _ -> None)
+        faults
+    in
+    Option.value transient ~default:Sim.Sigtable.Pass
+
+let hooks faults =
+  let occ : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let delayed = ref [] in
+  let intercept ~delta name value =
+    let n = (Option.value ~default:0 (Hashtbl.find_opt occ name)) + 1 in
+    Hashtbl.replace occ name n;
+    decide faults ~delta ~name ~occurrence:n value (fun due v ->
+        delayed := (due, name, v) :: !delayed)
+  in
+  let on_commit (probe : Sim.Engine.probe) =
+    let now = probe.Sim.Engine.pr_delta in
+    let due, keep = List.partition (fun (d, _, _) -> d <= now) !delayed in
+    delayed := keep;
+    List.iter
+      (fun (_, s, v) ->
+        ignore (Sim.Sigtable.poke probe.Sim.Engine.pr_signals s v))
+      due;
+    List.iter
+      (function
+        | Fault.Flip_bit f when f.fl_delta = now ->
+          begin match probe.Sim.Engine.pr_read_var f.fl_var with
+          | Some (Ast.VInt v) ->
+            ignore
+              (probe.Sim.Engine.pr_write_var f.fl_var
+                 (Ast.VInt (v lxor (1 lsl f.fl_bit))))
+          | Some (Ast.VBool b) ->
+            ignore (probe.Sim.Engine.pr_write_var f.fl_var (Ast.VBool (not b)))
+          | None -> ()
+          end
+        | _ -> ())
+      faults
+  in
+  {
+    Sim.Engine.h_intercept = Some intercept;
+    h_on_commit = Some on_commit;
+  }
+
+let counting () =
+  let occ : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let intercept ~delta:_ name _ =
+    Hashtbl.replace occ name
+      ((Option.value ~default:0 (Hashtbl.find_opt occ name)) + 1);
+    Sim.Sigtable.Pass
+  in
+  ({ Sim.Engine.h_intercept = Some intercept; h_on_commit = None }, occ)

@@ -1,0 +1,13 @@
+(** Turning fault specifications into simulation hooks. *)
+
+val hooks : Fault.spec list -> Sim.Engine.hooks
+(** Hooks injecting the given faults: the signal-update intercept applies
+    drop / delay / stuck-at decisions (occurrence-counted per signal),
+    the post-commit hook re-delivers delayed updates and flips memory
+    bits.  The hooks carry mutable state — build a fresh value for every
+    simulation run. *)
+
+val counting : unit -> Sim.Engine.hooks * (string, int) Hashtbl.t
+(** Pass-through hooks that count every signal's committed updates, for
+    the golden (fault-free) run: the table tells the campaign how many
+    occurrences each signal has to aim at. *)

@@ -15,8 +15,12 @@ type phase = Pass.phase = Pre | Post
 let all : Pass.pass list =
   [ Race.pass; Conformance.pass; Liveness.pass; Contention.pass; Width.pass ]
 
+(* Registered but not part of the default run list: only meaningful in a
+   fault-campaign context, where the campaign driver opts in. *)
+let contextual : Pass.pass list = [ Robust.pass ]
+
 let find_pass name =
-  List.find_opt (fun p -> String.equal p.Pass.p_name name) all
+  List.find_opt (fun p -> String.equal p.Pass.p_name name) (all @ contextual)
 
 (* Codes emitted by the migrated checkers, so the code table is
    complete without those modules depending on lint. *)
@@ -38,7 +42,8 @@ let checker_codes =
 let code_table =
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
-    (List.concat_map (fun p -> p.Pass.p_codes) all @ checker_codes)
+    (List.concat_map (fun p -> p.Pass.p_codes) (all @ contextual)
+    @ checker_codes)
 
 let infer_phase = Pass.infer_phase
 

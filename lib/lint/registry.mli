@@ -5,10 +5,15 @@ open Spec
 type phase = Pass.phase = Pre | Post
 
 val all : Pass.pass list
-(** Every registered pass: race, conformance, liveness, contention,
+(** Every default pass: race, conformance, liveness, contention,
     width. *)
 
+val contextual : Pass.pass list
+(** Passes registered (findable, in the code table) but not run by
+    default: currently the fault-campaign [robust] pass. *)
+
 val find_pass : string -> Pass.pass option
+(** Finds default and contextual passes alike. *)
 
 val code_table : (string * string) list
 (** Every diagnostic code the tool can emit, with a one-line

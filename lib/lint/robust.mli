@@ -1,0 +1,8 @@
+(** Robustness pass: [ROBUST001] when a refined design drives its buses
+    through unhardened master procedures (no watchdog / bounded-retry
+    machinery) — reported while a fault-injection campaign is configured,
+    where a single lost handshake edge deadlocks the design.  Registered
+    in the {!Registry} code table but not in the default run list; the
+    fault-campaign driver opts in explicitly. *)
+
+val pass : Pass.pass

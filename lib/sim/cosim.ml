@@ -61,9 +61,33 @@ type trace_mode =
           with parallel branches, whose cross-branch interleaving is
           scheduling-dependent *)
 
-let check ?config ?(trace_mode = Total) ~original ~refined () =
+let has_prefix prefixes tag =
+  List.exists
+    (fun p ->
+      String.length tag >= String.length p
+      && String.equal (String.sub tag 0 (String.length p)) p)
+    prefixes
+
+let check ?config ?(trace_mode = Total) ?(ignore_prefixes = []) ~original
+    ~refined () =
   let ro = Engine.run ?config original in
   let rr = Engine.run ?config refined in
+  (* Hardened refinements emit reserved watchdog/recovery markers
+     (WDG_/FLT_ prefixed) that have no counterpart in the original;
+     callers filter them out of the equivalence judgement by prefix. *)
+  let filter_trace r =
+    match ignore_prefixes with
+    | [] -> r
+    | _ ->
+      {
+        r with
+        Engine.r_trace =
+          List.filter
+            (fun e -> not (has_prefix ignore_prefixes e.Trace.ev_tag))
+            r.Engine.r_trace;
+      }
+  in
+  let ro = filter_trace ro and rr = filter_trace rr in
   let problems = ref [] in
   let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   begin match ro.Engine.r_outcome with

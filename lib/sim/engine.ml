@@ -39,6 +39,26 @@ type result = {
       (** with [trace_signals]: per delta cycle, the committed changes *)
 }
 
+(** Post-commit access to the live simulation state, handed to the
+    [h_on_commit] hook: the signal store plus read/write access to the
+    behavior-frame variables anywhere in the process tree (fault
+    injection flips bits in generated memory storage through this). *)
+type probe = {
+  pr_delta : int;  (** the delta cycle just committed *)
+  pr_signals : Sigtable.t;
+  pr_read_var : string -> value option;
+  pr_write_var : string -> value -> bool;
+}
+
+type hooks = {
+  h_intercept : (delta:int -> string -> value -> Sigtable.action) option;
+      (** sees every scheduled signal update at commit time;
+          [delta] is the cycle being committed *)
+  h_on_commit : (probe -> unit) option;  (** runs after every commit *)
+}
+
+let no_hooks = { h_intercept = None; h_on_commit = None }
+
 type nstate =
   | Nleaf of Interp.exec
   | Nseq of seq_run
@@ -187,19 +207,34 @@ let rec effectively_done servers node =
   | Nleaf _ | Nseq _ -> false
   | Npar children -> List.for_all (effectively_done servers) children
 
-let rec blocked_descriptions acc node =
+(* The signals a blocked wait is stuck on, with their current values —
+   fault-campaign deadlocks are diagnosed from these. *)
+let waited_signals cx c =
+  List.filter_map
+    (fun x ->
+      match Sigtable.read cx.Interp.cx_signals x with
+      | Some v ->
+        Some (Format.asprintf "%s=%a" x Expr.pp_value v)
+      | None -> None)
+    (Expr.refs c)
+
+let rec blocked_descriptions cx acc node =
   match node.nd_state with
   | Ndone -> acc
   | Nleaf exec ->
     begin match exec.Interp.stack with
     | Interp.Twait c :: _ ->
-      Printf.sprintf "%s waiting until %s" exec.Interp.ex_owner
+      let sigs = waited_signals cx c in
+      Printf.sprintf "%s waiting until %s%s" exec.Interp.ex_owner
         (Expr.to_string c)
+        (match sigs with
+        | [] -> ""
+        | _ -> Printf.sprintf " [%s]" (String.concat ", " sigs))
       :: acc
     | _ -> Printf.sprintf "%s runnable" exec.Interp.ex_owner :: acc
     end
-  | Nseq s -> blocked_descriptions acc s.s_child
-  | Npar children -> List.fold_left blocked_descriptions acc children
+  | Nseq s -> blocked_descriptions cx acc s.s_child
+  | Npar children -> List.fold_left (blocked_descriptions cx) acc children
 
 (* Final variable values: the root frame (program variables) first, then
    every live node's own declarations in preorder. *)
@@ -241,7 +276,7 @@ let final_values root_frame root =
   walk root;
   List.rev !acc
 
-let run ?(config = default_config) (p : program) =
+let run ?(config = default_config) ?(hooks = no_hooks) (p : program) =
   let cx =
     {
       Interp.cx_signals = Sigtable.make p.p_signals;
@@ -255,6 +290,53 @@ let run ?(config = default_config) (p : program) =
   let total_steps = ref 0 in
   let outcome = ref None in
   let signal_trace = ref [] in
+  begin match hooks.h_intercept with
+  | None -> ()
+  | Some f ->
+    Sigtable.set_intercept cx.Interp.cx_signals
+      (Some (fun name v -> f ~delta:cx.Interp.cx_delta name v))
+  end;
+  (* Frame-variable access for the on-commit probe: the root frame first,
+     then every live node's own cell, preorder (matching [final_values]'
+     first-occurrence-wins order). *)
+  let find_cell name =
+    match Hashtbl.find_opt root_frame.Env.f_vars name with
+    | Some cell -> Some cell
+    | None ->
+      let rec walk node =
+        let here =
+          if
+            List.exists
+              (fun (d : var_decl) -> String.equal d.v_name name)
+              node.nd_behavior.b_vars
+          then Hashtbl.find_opt node.nd_frame.Env.f_vars name
+          else None
+        in
+        match here with
+        | Some _ -> here
+        | None ->
+          begin match node.nd_state with
+          | Nseq s -> walk s.s_child
+          | Npar children -> List.find_map walk children
+          | Nleaf _ | Ndone -> None
+          end
+      in
+      walk root
+  in
+  let probe () =
+    {
+      pr_delta = cx.Interp.cx_delta;
+      pr_signals = cx.Interp.cx_signals;
+      pr_read_var = (fun name -> Option.map ( ! ) (find_cell name));
+      pr_write_var =
+        (fun name v ->
+          match find_cell name with
+          | Some cell ->
+            cell := v;
+            true
+          | None -> false);
+    }
+  in
   while !outcome = None do
     (* Run every runnable leaf for one slice. *)
     let ran = ref false in
@@ -275,11 +357,13 @@ let run ?(config = default_config) (p : program) =
         cx.Interp.cx_delta <- cx.Interp.cx_delta + 1;
         if config.trace_signals && changes <> [] then
           signal_trace := (cx.Interp.cx_delta, changes) :: !signal_trace;
+        Option.iter (fun f -> f (probe ())) hooks.h_on_commit;
         if cx.Interp.cx_delta > config.max_deltas then
           outcome := Some Step_limit
       end
       else if effectively_done p.p_servers root then outcome := Some Completed
-      else outcome := Some (Deadlock (List.rev (blocked_descriptions [] root)))
+      else
+        outcome := Some (Deadlock (List.rev (blocked_descriptions cx [] root)))
     end
   done;
   let outcome = Option.get !outcome in

@@ -23,7 +23,9 @@ val default_config : config
 type outcome =
   | Completed
       (** every process that is not a registered server finished *)
-  | Deadlock of string list  (** blocked process descriptions *)
+  | Deadlock of string list
+      (** blocked process descriptions, each including the waited-on
+          signals and their current values *)
   | Step_limit  (** the step or delta budget ran out *)
 
 type result = {
@@ -39,7 +41,29 @@ type result = {
       (** with [trace_signals]: per delta cycle, the committed changes *)
 }
 
-val run : ?config:config -> Ast.program -> result
+(** Post-commit access to the live simulation state, handed to the
+    [h_on_commit] hook: the signal store plus read/write access to the
+    behavior-frame variables anywhere in the process tree.  Fault
+    campaigns flip bits in generated memory storage through this. *)
+type probe = {
+  pr_delta : int;  (** the delta cycle just committed *)
+  pr_signals : Sigtable.t;
+  pr_read_var : string -> Ast.value option;
+  pr_write_var : string -> Ast.value -> bool;
+}
+
+(** Fault-injection hooks.  [h_intercept] is installed as the signal
+    store's update intercept (it sees every scheduled update at commit
+    time and may drop or rewrite it); [h_on_commit] runs after every
+    committed delta cycle. *)
+type hooks = {
+  h_intercept : (delta:int -> string -> Ast.value -> Sigtable.action) option;
+  h_on_commit : (probe -> unit) option;
+}
+
+val no_hooks : hooks
+
+val run : ?config:config -> ?hooks:hooks -> Ast.program -> result
 (** Simulate a validated program.
     @raise Interp.Run_error on dynamic errors (unbound names, type
     confusion) — run {!Spec.Program.validate} and {!Spec.Typecheck.check}

@@ -5,13 +5,27 @@
 
 open Spec
 
+(** What an update intercept decides about one scheduled update (fault
+    injection): let it through, lose it, or corrupt it in flight. *)
+type action =
+  | Pass
+  | Drop
+  | Rewrite of Ast.value
+
 type t = {
   current : (string, Ast.value) Hashtbl.t;
   scheduled : (string, Ast.value) Hashtbl.t;
+  mutable intercept : (string -> Ast.value -> action) option;
 }
 
 let make (decls : Ast.sig_decl list) =
-  let t = { current = Hashtbl.create 16; scheduled = Hashtbl.create 16 } in
+  let t =
+    {
+      current = Hashtbl.create 16;
+      scheduled = Hashtbl.create 16;
+      intercept = None;
+    }
+  in
   List.iter
     (fun (d : Ast.sig_decl) ->
       let init =
@@ -37,18 +51,43 @@ let schedule t name v =
 
 let pending t = Hashtbl.length t.scheduled > 0
 
+let set_intercept t f = t.intercept <- f
+
+(** Force a signal's current value immediately, outside the delta-cycle
+    discipline (fault injection: stuck lines, delayed re-delivery).
+    Returns false if the name is not a signal. *)
+let poke t name v =
+  if is_signal t name then begin
+    Hashtbl.replace t.current name v;
+    true
+  end
+  else false
+
 (** Apply all scheduled updates; returns the signals whose value actually
-    changed (sorted by name, for determinism). *)
+    changed (sorted by name, for determinism).  An installed intercept
+    sees every scheduled update — in sorted name order, so injection
+    campaigns are deterministic — and may drop or rewrite it. *)
 let commit_changes t =
   let changed = ref [] in
-  Hashtbl.iter
-    (fun name v ->
-      begin match Hashtbl.find_opt t.current name with
-      | Some old when old = v -> ()
-      | Some _ | None -> changed := (name, v) :: !changed
-      end;
-      Hashtbl.replace t.current name v)
-    t.scheduled;
+  let updates =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) t.scheduled []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, v) ->
+      let verdict =
+        match t.intercept with None -> Pass | Some f -> f name v
+      in
+      match verdict with
+      | Drop -> ()
+      | Pass | Rewrite _ ->
+        let v = match verdict with Rewrite v' -> v' | Pass | Drop -> v in
+        begin match Hashtbl.find_opt t.current name with
+        | Some old when old = v -> ()
+        | Some _ | None -> changed := (name, v) :: !changed
+        end;
+        Hashtbl.replace t.current name v)
+    updates;
   Hashtbl.reset t.scheduled;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !changed
 

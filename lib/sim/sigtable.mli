@@ -18,6 +18,23 @@ val schedule : t -> string -> Ast.value -> bool
 
 val pending : t -> bool
 
+(** What an update intercept decides about one scheduled update (fault
+    injection): let it through, lose it, or corrupt it in flight. *)
+type action =
+  | Pass
+  | Drop
+  | Rewrite of Ast.value
+
+val set_intercept : t -> (string -> Ast.value -> action) option -> unit
+(** Install (or clear) an update intercept.  During {!commit_changes} the
+    intercept sees every scheduled update in sorted name order and may
+    drop or rewrite it; normal operation has no intercept installed. *)
+
+val poke : t -> string -> Ast.value -> bool
+(** Force a signal's current value immediately, bypassing the delta-cycle
+    queue (fault injection: stuck lines, delayed re-delivery).  False if
+    the name is not a signal. *)
+
 val commit_changes : t -> (string * Ast.value) list
 (** Apply all scheduled updates; returns the signals whose value actually
     changed, sorted by name. *)

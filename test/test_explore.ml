@@ -108,6 +108,31 @@ let test_cache_tolerates_corrupt_files () =
   Alcotest.(check int) "recomputed" 7 v;
   Alcotest.(check bool) "treated as miss" false cached
 
+let test_cache_tolerates_corrupt_blob () =
+  (* A version-valid file whose marshalled payload is damaged (truncated
+     on disk, bit rot) must read as a miss, not raise — and the damaged
+     file must be replaced by the recomputed value. *)
+  let dir = fresh_temp_dir () in
+  let key = Cache.digest_key [ "corrupt-blob" ] in
+  let c0 = Cache.create ~dir () in
+  let v0, _ = Cache.find_or_add c0 key (fun () -> 41) in
+  Alcotest.(check int) "initial value" 41 v0;
+  let path = Filename.concat dir (key ^ ".memo") in
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (String.sub data 0 (String.length data - 4));
+  close_out oc;
+  let c1 = Cache.create ~dir () in
+  let v1, cached1 = Cache.find_or_add c1 key (fun () -> 7) in
+  Alcotest.(check int) "recomputed" 7 v1;
+  Alcotest.(check bool) "treated as miss" false cached1;
+  let c2 = Cache.create ~dir () in
+  let v2, cached2 = Cache.find_or_add c2 key (fun () -> 9) in
+  Alcotest.(check int) "repaired on disk" 7 v2;
+  Alcotest.(check bool) "hit after repair" true cached2
+
 let test_cache_concurrent_hammer () =
   (* Many domains racing on few keys: every returned value must be right
      and the totals must balance. *)
@@ -382,6 +407,7 @@ let () =
           tc "distinct keys" test_cache_distinct_keys;
           tc "persists across instances" test_cache_persists_across_instances;
           tc "tolerates corrupt files" test_cache_tolerates_corrupt_files;
+          tc "tolerates corrupt blobs" test_cache_tolerates_corrupt_blob;
           tc "concurrent hammer" test_cache_concurrent_hammer;
           tc "reset stats" test_cache_reset_stats;
         ] );

@@ -1,0 +1,304 @@
+(** Tests for the fault-injection subsystem: the engine's injection
+    hooks, the enriched deadlock report, campaign determinism, and the
+    hardened protocol's survival guarantees. *)
+
+open Spec
+open Helpers
+
+(* --- a tiny handshake pair for the hook unit tests --------------------- *)
+
+(* A raises [go], waits for [ack], emits OK; B acks [go].  C is an
+   activity generator: it keeps the delta clock advancing so delayed
+   updates have commits to ride on. *)
+let handshake_spec ~activity =
+  let a =
+    Behavior.leaf "A"
+      (Parser.stmts_of_string_exn
+         "go <= true; wait until ack; emit \"OK\" 1;")
+  in
+  let b =
+    Behavior.leaf "B"
+      (Parser.stmts_of_string_exn "wait until go; ack <= true;")
+  in
+  let c =
+    Behavior.leaf ~vars:[ Builder.bool_var ~init:false "t" ] "C"
+      (Parser.stmts_of_string_exn
+         "for i := 1 to 30 do t := not t; tick <= t; wait until tick = t; \
+          end for;")
+  in
+  let children = [ a; b ] @ if activity then [ c ] else [] in
+  Program.validate_exn
+    (Program.make
+       ~vars:[ Builder.int_var ~width:8 ~init:0 "i" ]
+       ~signals:
+         [
+           Builder.bool_signal ~init:false "go";
+           Builder.bool_signal ~init:false "ack";
+           Builder.bool_signal ~init:false "tick";
+         ]
+       "handshake"
+       (Behavior.par "TOP" children))
+
+let test_drop_update_deadlocks () =
+  let p = handshake_spec ~activity:false in
+  (* Fault-free: completes. *)
+  ignore (run_ok p);
+  let hooks =
+    Faults.Inject.hooks
+      [ Faults.Fault.Drop_update { du_signal = "go"; du_occurrence = 1 } ]
+  in
+  let r = Sim.Engine.run ~hooks p in
+  match r.Sim.Engine.r_outcome with
+  | Sim.Engine.Deadlock msgs ->
+    (* The enriched report names the signal each process waits on. *)
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "report names the dropped signal" true
+      (List.exists (fun m -> contains m "go") msgs)
+  | o ->
+    Alcotest.failf "expected deadlock, got %s"
+      (Sim.Engine.outcome_to_string o)
+
+let test_delay_update_delivers () =
+  let p = handshake_spec ~activity:true in
+  let hooks =
+    Faults.Inject.hooks
+      [
+        Faults.Fault.Delay_update
+          { dl_signal = "go"; dl_occurrence = 1; dl_deltas = 5 };
+      ]
+  in
+  let r = Sim.Engine.run ~hooks p in
+  begin match r.Sim.Engine.r_outcome with
+  | Sim.Engine.Completed -> ()
+  | o ->
+    Alcotest.failf "expected completion, got %s"
+      (Sim.Engine.outcome_to_string o)
+  end;
+  Alcotest.(check int) "OK still emitted" 1
+    (List.length (trace_values "OK" r))
+
+let test_stuck_at_forces_value () =
+  let p = handshake_spec ~activity:false in
+  (* [ack] stuck low from the start: A never sees the acknowledgment. *)
+  let hooks =
+    Faults.Inject.hooks
+      [
+        Faults.Fault.Stuck_at
+          { st_signal = "ack"; st_value = Ast.VBool false; st_delta = 0 };
+      ]
+  in
+  let r = Sim.Engine.run ~hooks p in
+  begin match r.Sim.Engine.r_outcome with
+  | Sim.Engine.Deadlock _ -> ()
+  | o ->
+    Alcotest.failf "expected deadlock, got %s"
+      (Sim.Engine.outcome_to_string o)
+  end;
+  Alcotest.(check int) "OK never emitted" 0
+    (List.length (trace_values "OK" r))
+
+let test_counting_hooks () =
+  let p = handshake_spec ~activity:false in
+  let hooks, occurrences = Faults.Inject.counting () in
+  ignore (Sim.Engine.run ~hooks p);
+  let count s = Option.value ~default:0 (Hashtbl.find_opt occurrences s) in
+  Alcotest.(check bool) "go committed once" true (count "go" >= 1);
+  Alcotest.(check bool) "ack committed once" true (count "ack" >= 1)
+
+(* --- campaigns against the medical workload ---------------------------- *)
+
+let medical_refined ~harden model =
+  let options = { Core.Refiner.default_options with harden } in
+  refine ~options Workloads.Medical.spec
+    (List.hd Workloads.Designs.all).Workloads.Designs.d_partition model
+
+let small_config =
+  {
+    Faults.Campaign.default_config with
+    Faults.Campaign.cf_seeds = 4;
+  }
+
+let test_campaign_deterministic () =
+  let r = medical_refined ~harden:false Core.Model.Model2 in
+  let strip report =
+    List.map
+      (fun rn ->
+        Printf.sprintf "%d/%s/%s/%d" rn.Faults.Campaign.run_seed
+          (Faults.Fault.cls_name rn.Faults.Campaign.run_class)
+          (Faults.Campaign.outcome_name rn.Faults.Campaign.run_outcome)
+          rn.Faults.Campaign.run_deltas)
+      report.Faults.Campaign.rp_runs
+  in
+  let a = Faults.Campaign.run ~config:small_config r in
+  let b = Faults.Campaign.run ~config:small_config r in
+  Alcotest.(check (list string)) "identical runs" (strip a) (strip b);
+  Alcotest.(check (float 0.0))
+    "identical robustness" a.Faults.Campaign.rp_robustness
+    b.Faults.Campaign.rp_robustness
+
+let test_hardening_improves_survival () =
+  List.iter
+    (fun model ->
+      let plain =
+        Faults.Campaign.run ~config:small_config
+          (medical_refined ~harden:false model)
+      in
+      let hard =
+        Faults.Campaign.run ~config:small_config
+          (medical_refined ~harden:true model)
+      in
+      Alcotest.(check bool)
+        "hardened report flagged" true hard.Faults.Campaign.rp_hardened;
+      (* Strictly higher survival for the classes the watchdog and TMR
+         target, and overall. *)
+      List.iter
+        (fun cls ->
+          let s_plain = Faults.Campaign.survival_fraction plain cls in
+          let s_hard = Faults.Campaign.survival_fraction hard cls in
+          if not (s_hard > s_plain) then
+            Alcotest.failf "%s %s: hardened %.3f <= unhardened %.3f"
+              (Core.Model.name model) (Faults.Fault.cls_name cls) s_hard
+              s_plain)
+        [ Faults.Fault.Drop_handshake; Faults.Fault.Bit_flip ];
+      Alcotest.(check bool)
+        "overall robustness strictly higher" true
+        (hard.Faults.Campaign.rp_robustness
+        > plain.Faults.Campaign.rp_robustness);
+      (* The hardened design never corrupts silently: it survives,
+         recovers, or fail-stops into an honest deadlock. *)
+      List.iter
+        (fun rn ->
+          match rn.Faults.Campaign.run_outcome with
+          | Faults.Campaign.Silent_corruption ->
+            Alcotest.failf "%s seed %d %s: silent corruption under --harden"
+              (Core.Model.name model) rn.Faults.Campaign.run_seed
+              (Faults.Fault.cls_name rn.Faults.Campaign.run_class)
+          | _ -> ())
+        hard.Faults.Campaign.rp_runs)
+    [ Core.Model.Model2; Core.Model.Model4 ]
+
+let test_hardened_cosim_equivalent () =
+  (* Hardening must not change fault-free observable behavior. *)
+  List.iter
+    (fun model ->
+      let r = medical_refined ~harden:true model in
+      let v =
+        Sim.Cosim.check
+          ~ignore_prefixes:Core.Protocol.reserved_tag_prefixes
+          ~original:Workloads.Medical.spec
+          ~refined:r.Core.Refiner.rf_program ()
+      in
+      if not v.Sim.Cosim.v_equivalent then
+        Alcotest.failf "%s hardened not equivalent: %s"
+          (Core.Model.name model)
+          (String.concat "; " v.Sim.Cosim.v_problems))
+    Core.Model.all
+
+let test_report_rendering () =
+  let r = medical_refined ~harden:true Core.Model.Model2 in
+  let config =
+    { small_config with Faults.Campaign.cf_seeds = 2 }
+  in
+  let report = Faults.Campaign.run ~config r in
+  let text = Faults.Campaign.to_text report in
+  Alcotest.(check bool) "text mentions design" true
+    (String.length text > 0);
+  let json = Faults.Campaign.to_json report in
+  (* Every run appears in the JSON. *)
+  Alcotest.(check bool) "json has runs" true
+    (String.length json > String.length text)
+
+(* --- qcheck: a dropped done-edge never silently corrupts ---------------- *)
+
+(* Refined fig1, hardened: any single dropped [*_done] handshake update
+   either recovers (watchdog redrive) or fail-stops into a deadlock —
+   never a silently corrupted completion. *)
+let prop_dropped_done_never_corrupts =
+  let r =
+    let options = { Core.Refiner.default_options with harden = true } in
+    let p = Workloads.Smallspecs.fig1 in
+    let g = Agraph.Access_graph.of_program p in
+    Core.Refiner.refine ~options p g Workloads.Smallspecs.fig1_partition
+      Core.Model.Model2
+  in
+  let program = r.Core.Refiner.rf_program in
+  let hooks, occurrences = Faults.Inject.counting () in
+  let golden = Sim.Engine.run ~hooks program in
+  (match golden.Sim.Engine.r_outcome with
+  | Sim.Engine.Completed -> ()
+  | o ->
+    failwith ("golden fig1 run: " ^ Sim.Engine.outcome_to_string o));
+  let targets = Faults.Campaign.enumerate r occurrences in
+  let has_suffix suffix s =
+    let ls = String.length suffix and l = String.length s in
+    l >= ls && String.sub s (l - ls) ls = suffix
+  in
+  let dones =
+    List.filter (has_suffix "_done") targets.Faults.Campaign.tg_handshakes
+  in
+  assert (dones <> []);
+  let budget =
+    {
+      Sim.Engine.default_config with
+      Sim.Engine.max_deltas = (golden.Sim.Engine.r_deltas * 10) + 50_000;
+    }
+  in
+  QCheck.Test.make ~count:25
+    ~name:"single dropped done-edge: recover or deadlock, never corrupt"
+    QCheck.(make ~print:string_of_int Gen.(int_range 0 10_000))
+    (fun pick ->
+      let signal = List.nth dones (pick mod List.length dones) in
+      let commits =
+        Option.value ~default:1 (Hashtbl.find_opt occurrences signal)
+      in
+      let occurrence = 1 + (pick / 7 mod commits) in
+      let faulty =
+        Sim.Engine.run ~config:budget
+          ~hooks:
+            (Faults.Inject.hooks
+               [
+                 Faults.Fault.Drop_update
+                   { du_signal = signal; du_occurrence = occurrence };
+               ])
+          program
+      in
+      match
+        Faults.Campaign.classify
+          ~storage:targets.Faults.Campaign.tg_storage ~golden faulty
+      with
+      | Faults.Campaign.Survived | Faults.Campaign.Detected_recovered
+      | Faults.Campaign.Deadlock ->
+        true
+      | Faults.Campaign.Silent_corruption ->
+        QCheck.Test.fail_reportf "drop %s #%d: silent corruption" signal
+          occurrence
+      | Faults.Campaign.Step_limit ->
+        QCheck.Test.fail_reportf "drop %s #%d: step limit" signal occurrence)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "inject",
+        [
+          tc "dropped update deadlocks, report names signal"
+            test_drop_update_deadlocks;
+          tc "delayed update delivers" test_delay_update_delivers;
+          tc "stuck-at forces value" test_stuck_at_forces_value;
+          tc "counting hooks" test_counting_hooks;
+        ] );
+      ( "campaign",
+        [
+          tc "deterministic" test_campaign_deterministic;
+          tc "hardening improves survival" test_hardening_improves_survival;
+          tc "hardened cosim equivalent" test_hardened_cosim_equivalent;
+          tc "report rendering" test_report_rendering;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_dropped_done_never_corrupts ] );
+    ]
