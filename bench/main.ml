@@ -456,6 +456,13 @@ let bechamel_tests () =
              Core.Model.Model2
          in
          Staged.stage (fun () -> Sim.Engine.run refined.Core.Refiner.rf_program));
+      Test.make ~name:"simulate/refined-m2-polling"
+        (let refined =
+           Core.Refiner.refine spec graph Designs.design1.Designs.d_partition
+             Core.Model.Model2
+         in
+         Staged.stage (fun () ->
+             Sim.Reference.run refined.Core.Refiner.rf_program));
       Test.make ~name:"print/refined-m4"
         (let refined =
            Core.Refiner.refine spec graph Designs.design3.Designs.d_partition
@@ -535,7 +542,159 @@ let workload_appendix name spec graph part =
         (String.concat ", " rates))
     Core.Model.all
 
+(* ------------------------------------------------------------------ *)
+(* --json: the simulation-kernel benchmark, machine-readable            *)
+(* ------------------------------------------------------------------ *)
+
+(* A compact perf snapshot (BENCH_sim.json) tracking the event-driven
+   kernel against the retained polling kernel: per-run simulation time,
+   fault-campaign wall clock, and explore-sweep throughput.  CI uploads
+   it on every run so the trajectory is visible across PRs. *)
+
+(* Per-run wall time in microseconds: warm up (which also primes the
+   engine's session cache, the steady state every real caller sees),
+   then amortize over enough runs to dwarf timer noise. *)
+let us_per_run f =
+  for _ = 1 to 3 do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let t0 = Unix.gettimeofday () in
+  let n = ref 0 in
+  while Unix.gettimeofday () -. t0 < 0.3 do
+    ignore (Sys.opaque_identity (f ()));
+    incr n
+  done;
+  (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int (max 1 !n)
+
+let seconds_of f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let bench_json out_path =
+  (* -- simulate: both kernels on the same programs ------------------- *)
+  let refined m =
+    (Core.Refiner.refine spec graph Designs.design1.Designs.d_partition m)
+      .Core.Refiner.rf_program
+  in
+  let sim_cases =
+    [
+      ("original", spec);
+      ("refined-m2", refined Core.Model.Model2);
+      ("refined-m4", refined Core.Model.Model4);
+    ]
+  in
+  let sim_rows =
+    List.map
+      (fun (name, p) ->
+        let engine = us_per_run (fun () -> Sim.Engine.run p) in
+        let polling = us_per_run (fun () -> Sim.Reference.run p) in
+        Printf.printf "simulate/%-12s engine %8.1f us  polling %8.1f us  (%.2fx)\n"
+          name engine polling (polling /. engine);
+        Printf.sprintf
+          "{\"name\":\"%s\",\"engine_us\":%.1f,\"polling_us\":%.1f,\
+           \"speedup\":%.2f}"
+          name engine polling (polling /. engine))
+      sim_cases
+  in
+  (* -- faults: the mrefine-faults campaign under both kernels -------- *)
+  let fault_config =
+    { Faults.Campaign.default_config with Faults.Campaign.cf_seeds = 4 }
+  in
+  let fault_design =
+    Core.Refiner.refine spec graph Designs.design1.Designs.d_partition
+      Core.Model.Model2
+  in
+  let engine_report, engine_s =
+    seconds_of (fun () -> Faults.Campaign.run ~config:fault_config fault_design)
+  in
+  let polling_report, polling_s =
+    seconds_of (fun () ->
+        Faults.Campaign.run ~config:fault_config
+          ~simulate:(fun ~config ~hooks p -> Sim.Reference.run ~config ~hooks p)
+          fault_design)
+  in
+  let classifications rp =
+    List.map
+      (fun rn ->
+        (rn.Faults.Campaign.run_seed, rn.Faults.Campaign.run_class,
+         rn.Faults.Campaign.run_outcome))
+      rp.Faults.Campaign.rp_runs
+  in
+  let match_ok = classifications engine_report = classifications polling_report in
+  Printf.printf
+    "faults/medical-m2    engine %6.2f s   polling %6.2f s   (%.2fx)  \
+     classifications %s\n"
+    engine_s polling_s (polling_s /. engine_s)
+    (if match_ok then "identical" else "DIVERGED");
+  let faults_row =
+    Printf.sprintf
+      "{\"workload\":\"medical\",\"model\":\"model2\",\"seeds\":%d,\
+       \"engine_s\":%.3f,\"polling_s\":%.3f,\"speedup\":%.2f,\
+       \"robustness\":%.3f,\"classifications_match\":%b}"
+      fault_config.Faults.Campaign.cf_seeds engine_s polling_s
+      (polling_s /. engine_s)
+      engine_report.Faults.Campaign.rp_robustness match_ok
+  in
+  (* -- explore: sweep throughput (simulation-bound via cosim/quality) -- *)
+  let explore_config =
+    {
+      Explore.Sweep.default_config with
+      Explore.Sweep.seeds = [ 1; 2 ];
+      steps = 800;
+      jobs = 1;
+    }
+  in
+  let cache = Explore.Cache.create () in
+  let cold, cold_s =
+    seconds_of (fun () -> Explore.Sweep.run ~cache explore_config spec)
+  in
+  Explore.Cache.reset_stats cache;
+  let warm, _ = seconds_of (fun () -> Explore.Sweep.run ~cache explore_config spec) in
+  let n_results = List.length cold.Explore.Sweep.sw_results in
+  let hit_rate =
+    float_of_int warm.Explore.Sweep.sw_hits
+    /. float_of_int
+         (max 1 (warm.Explore.Sweep.sw_hits + warm.Explore.Sweep.sw_misses))
+  in
+  Printf.printf
+    "explore/medical      cold %6.2f s  (%.1f candidates/s)  warm hit rate \
+     %.0f%%\n"
+    cold_s
+    (float_of_int n_results /. cold_s)
+    (100.0 *. hit_rate);
+  let explore_row =
+    Printf.sprintf
+      "{\"seeds\":[1,2],\"steps\":%d,\"candidates\":%d,\"cold_s\":%.3f,\
+       \"candidates_per_s\":%.1f,\"warm_hit_rate\":%.3f}"
+      explore_config.Explore.Sweep.steps n_results cold_s
+      (float_of_int n_results /. cold_s)
+      hit_rate
+  in
+  let json =
+    Printf.sprintf
+      "{\"schema\":\"coref-bench-sim-1\",\"simulate\":[%s],\"faults\":%s,\
+       \"explore\":%s}\n"
+      (String.concat "," sim_rows)
+      faults_row explore_row
+  in
+  let oc = open_out out_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" out_path;
+  if not match_ok then exit 1
+
 let () =
+  let argv = Array.to_list Sys.argv in
+  if List.mem "--json" argv then begin
+    let rec out = function
+      | "-o" :: path :: _ -> path
+      | _ :: rest -> out rest
+      | [] -> "BENCH_sim.json"
+    in
+    bench_json (out argv);
+    exit 0
+  end;
   Printf.printf
     "Model Refinement for Hardware-Software Codesign — benchmark harness\n";
   Printf.printf

@@ -3,7 +3,7 @@
 
 (* Bump when the marshalled layout of cached values changes: stale disk
    entries from an older build then read as misses instead of garbage. *)
-let format_version = "coref-explore-cache-3\n"
+let format_version = "coref-explore-cache-4\n"
 
 type stats = { hits : int; misses : int }
 
@@ -80,20 +80,20 @@ let disk_add t key blob =
   | Some path ->
     (try write_file path (format_version ^ blob) with Sys_error _ -> ())
 
-let lookup t key =
+let lookup t ~count key =
   with_lock t (fun () ->
       match Hashtbl.find_opt t.table key with
       | Some blob ->
-        t.hits <- t.hits + 1;
+        if count then t.hits <- t.hits + 1;
         Some blob
       | None ->
         (match disk_find t key with
         | Some blob ->
           Hashtbl.replace t.table key blob;
-          t.hits <- t.hits + 1;
+          if count then t.hits <- t.hits + 1;
           Some blob
         | None ->
-          t.misses <- t.misses + 1;
+          if count then t.misses <- t.misses + 1;
           None))
 
 (* A truncated or bit-rotted disk entry must read as a miss, not as a
@@ -111,12 +111,12 @@ let unmarshal_opt blob =
   | v -> Some v
   | exception (Failure _ | Invalid_argument _) -> None
 
-let find_or_add t key compute =
+let find_or_add ?(count_stats = true) t key compute =
   let cached =
-    match lookup t key with
+    match lookup t ~count:count_stats key with
     | Some blob ->
       let v = unmarshal_opt blob in
-      if v = None then begin
+      if v = None && count_stats then begin
         (* Account the corrupt entry as the miss it really was. *)
         with_lock t (fun () ->
             t.hits <- t.hits - 1;

@@ -5,9 +5,11 @@
     per key, written atomically), so repeated sweeps and annealing
     restarts never re-refine identical candidates, across processes.
 
-    The value type is the caller's: each cache instance must store one
-    type only (the marshalling round-trip is untyped).  Values must be
-    marshallable (no closures); {!Evaluate.metrics} is.
+    The value type is the caller's: each {e key domain} must store one
+    type only (the marshalling round-trip is untyped), so callers mixing
+    entry kinds in one cache must separate them by a key-component
+    prefix, as {!Evaluate} does for its refinement and lint entries.
+    Values must be marshallable (no closures); {!Evaluate.metrics} is.
 
     Thread-safety: all operations may be called concurrently from
     multiple domains.  Two domains racing on the same missing key may
@@ -24,10 +26,12 @@ val create : ?dir:string -> unit -> t
 val digest_key : string list -> string
 (** Stable hex key of the given components (order-sensitive). *)
 
-val find_or_add : t -> string -> (unit -> 'a) -> 'a * bool
+val find_or_add : ?count_stats:bool -> t -> string -> (unit -> 'a) -> 'a * bool
 (** [find_or_add t key compute] returns the cached value for [key]
     ([..., true]) or runs [compute], stores the result, and returns it
-    ([..., false]).  Each call counts as one lookup in {!stats}. *)
+    ([..., false]).  Each call counts as one lookup in {!stats} unless
+    [~count_stats:false] — secondary entries (e.g. memoized lint passes)
+    opt out so sweep hit/miss accounting keeps meaning evaluations. *)
 
 val mem : t -> string -> bool
 (** Whether [key] is resident in memory or on disk (not counted as a

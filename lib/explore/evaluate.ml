@@ -105,9 +105,31 @@ let probe_robustness (r : Core.Refiner.t) =
   | report -> report.Faults.Campaign.rp_robustness
   | exception _ -> 0.0
 
+(* Lint pass results memoized by the *output* text: different partitions
+   of the same spec routinely refine to structurally identical model
+   skeletons, and the outer (spec, partition, model) key cannot see that.
+   Keyed next to the refinement entries in the same cache, under a
+   distinct key domain. *)
+let lint_counts ?cache refined =
+  let printed = Spec.Printer.program_to_string refined in
+  let compute () =
+    let lint =
+      Lint.Registry.run ~phase:Lint.Registry.Post ~typecheck:false refined
+    in
+    ( Spec.Diagnostic.count Spec.Diagnostic.Error lint,
+      Spec.Diagnostic.count Spec.Diagnostic.Warning lint )
+  in
+  match cache with
+  | None -> compute ()
+  | Some cache ->
+    let key =
+      Cache.digest_key [ "lint"; Digest.to_hex (Digest.string printed) ]
+    in
+    fst (Cache.find_or_add ~count_stats:false cache key compute)
+
 (* The memoized tail: everything downstream of the partition.  Pure in
    (spec, partition, model) — exactly what the cache key covers. *)
-let refine_and_measure ctx alloc part (model : Core.Model.t) =
+let refine_and_measure ?cache ctx alloc part (model : Core.Model.t) =
   match Core.Refiner.refine ctx.cx_spec ctx.cx_graph part model with
   | exception Core.Refiner.Refine_error msg -> Error msg
   | r ->
@@ -118,10 +140,8 @@ let refine_and_measure ctx alloc part (model : Core.Model.t) =
     in
     let refined = r.Core.Refiner.rf_program in
     (* Structural lint of the refined output (the typecheck part is
-       already inside Check.run / e_check_ok). *)
-    let lint =
-      Lint.Registry.run ~phase:Lint.Registry.Post ~typecheck:false refined
-    in
+       already inside Check.run / e_check_ok), memoized by output text. *)
+    let lint_errors, lint_warnings = lint_counts ?cache refined in
     let env = Estimate.Rates.make_env ctx.cx_spec alloc part in
     let plan = r.Core.Refiner.rf_plan in
     let q = Core.Quality.of_refinement ~alloc r in
@@ -142,8 +162,8 @@ let refine_and_measure ctx alloc part (model : Core.Model.t) =
         e_software_bytes = sw;
         e_exec_seconds = secs;
         e_check_ok = check_ok;
-        e_lint_errors = Spec.Diagnostic.count Spec.Diagnostic.Error lint;
-        e_lint_warnings = Spec.Diagnostic.count Spec.Diagnostic.Warning lint;
+        e_lint_errors = lint_errors;
+        e_lint_warnings = lint_warnings;
         e_robustness = probe_robustness r;
       }
 
@@ -151,7 +171,7 @@ let run ?cache ctx (c : Candidate.t) =
   let alloc = alloc_for ctx c in
   let part = partition_of ctx c in
   let model = c.Candidate.c_model in
-  let compute () = refine_and_measure ctx alloc part model in
+  let compute () = refine_and_measure ?cache ctx alloc part model in
   let outcome, cached =
     match cache with
     | None -> (compute (), false)

@@ -9,8 +9,11 @@
     {!Cache} under a content-hashed key of (spec digest, canonical
     partition, model), so two candidates whose annealing runs land on
     the same partition — or a repeated sweep in a later process, with a
-    persistent cache — share one refinement.  Everything here is
-    deterministic: same candidate, same result, cached or not. *)
+    persistent cache — share one refinement.  Lint pass results are
+    additionally memoized by the digest of the {e refined} program, next
+    to the refinement entries, so candidates that refine to identical
+    model skeletons are linted once.  Everything here is deterministic:
+    same candidate, same result, cached or not. *)
 
 type metrics = {
   e_locals : int;  (** local variables of the searched partition *)

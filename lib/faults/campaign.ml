@@ -318,10 +318,17 @@ let classify ~storage ~(golden : Sim.Engine.result) (faulty : Sim.Engine.result)
 
 exception Campaign_error of string
 
-let run ?(config = default_config) (r : Core.Refiner.t) =
+(* The default simulator; the benchmark harness passes {!Sim.Reference.run}
+   instead to price the event-driven kernel against the polling one on an
+   identical campaign (both kernels share result and hook types through
+   {!Sim.Runtime}, so classifications are directly comparable). *)
+let engine_simulate ~config ~hooks p = Sim.Engine.run ~config ~hooks p
+
+let run ?(config = default_config) ?(simulate = engine_simulate)
+    (r : Core.Refiner.t) =
   let program = r.Core.Refiner.rf_program in
   let counting_hooks, occurrences = Inject.counting () in
-  let golden = Sim.Engine.run ~config:config.cf_sim ~hooks:counting_hooks program in
+  let golden = simulate ~config:config.cf_sim ~hooks:counting_hooks program in
   begin match golden.Sim.Engine.r_outcome with
   | Sim.Engine.Completed -> ()
   | o ->
@@ -360,8 +367,7 @@ let run ?(config = default_config) (r : Core.Refiner.t) =
             | None -> None
             | Some faults ->
               let result =
-                Sim.Engine.run ~config:budget ~hooks:(Inject.hooks faults)
-                  program
+                simulate ~config:budget ~hooks:(Inject.hooks faults) program
               in
               Some
                 {

@@ -71,9 +71,20 @@ val classify :
 
 exception Campaign_error of string
 
-val run : ?config:config -> Core.Refiner.t -> report
+val run :
+  ?config:config ->
+  ?simulate:
+    (config:Sim.Engine.config ->
+    hooks:Sim.Engine.hooks ->
+    Spec.Ast.program ->
+    Sim.Engine.result) ->
+  Core.Refiner.t ->
+  report
 (** Execute the campaign.  Fully deterministic: same refined design, same
-    configuration — same report.
+    configuration — same report.  [simulate] defaults to the event-driven
+    kernel ({!Sim.Engine.run}); the benchmark harness passes the polling
+    kernel ({!Sim.Reference.run}) to compare campaign wall-clock on the
+    two — both classify identically, which the differential tests enforce.
     @raise Campaign_error when the golden run does not complete. *)
 
 val summary : report -> (Fault.cls * (outcome * int) list) list

@@ -1,383 +1,476 @@
-(** The discrete-event simulation engine: instantiates the behavior tree
-    as a tree of processes, runs every runnable leaf until it blocks,
-    advances sequential compositions over their TOC arcs, and commits
-    delta cycles until the program completes, deadlocks, or exhausts its
-    budget. *)
+(** The event-driven simulation kernel.
+
+    The polling kernel (retained as {!Reference}) walked the whole process
+    tree every scheduling round and re-evaluated every blocked wait.  This
+    kernel only ever touches work that can actually proceed:
+
+    - a {e maintained runnable queue}: leaves enter it when instantiated,
+      when their wait condition's signals change, or when they still have
+      fuel-limited work left; a round runs exactly the queued leaves, in
+      preorder (so scheduling order — and therefore every observable
+      artifact — matches the polling kernel bit for bit);
+    - {e sensitivity sets}: a leaf blocking on [wait until c] is parked
+      under the interned ids of the signals [c] reads (from the memoized
+      {!Spec.Expr.refs}), and each signal keeps a wait-set of parked
+      leaves; a delta-cycle commit wakes only the leaves sensitive to a
+      signal that actually changed.  A condition that reads frame
+      {e variables} (which can change without any commit) keeps its leaf
+      in a small polled set instead, preserving the polling kernel's
+      wake-up semantics exactly;
+    - {e structural dirtiness}: the TOC-arc advancement walk runs only
+      when a leaf finished this round (plus once at startup) — between
+      finishes the tree is at its advancement fixpoint, so the walk would
+      be a no-op;
+    - fault-injection {!Sigtable.poke}s report through the store's notify
+      hook, so out-of-band value forcing re-arms waiters exactly like a
+      commit does.
+
+    Determinism argument: rounds are assembled as the sorted union of
+    (progressing leaves, woken leaves, polled leaves), so within a round
+    leaves run in preorder exactly as the polling kernel ran them; a leaf
+    missing from the round is one whose wait condition cannot have changed
+    since it blocked (no signal it reads changed, and it reads no
+    variables), so running it would consume zero steps and change
+    nothing.  Commits, intercept order, probe order and delta accounting
+    are shared {!Runtime} code. *)
 
 open Spec
-open Spec.Ast
+include Runtime
 
-type config = {
-  max_steps : int;  (** total interpreter steps across all processes *)
-  max_deltas : int;
-  slice : int;  (** interpreter steps per process per scheduling round *)
-  trace_signals : bool;
-      (** record every committed signal change (for waveform dumps) *)
+type sched_stats = {
+  st_rounds : int;  (** scheduling rounds executed *)
+  st_leaf_runs : int;  (** interpreter activations across all rounds *)
+  st_wakes : int;  (** parked leaves re-armed by a signal change *)
+  st_rebuilds : int;  (** leaf-table rebuilds after structural change *)
 }
 
-let default_config =
-  {
-    max_steps = 5_000_000;
-    max_deltas = 200_000;
-    slice = 10_000;
-    trace_signals = false;
-  }
+type lstate =
+  | Lrunnable  (** queued to run next round *)
+  | Lparked  (** blocked; wait-sets of its condition's signals hold it *)
+  | Lpolled  (** blocked on a condition that reads frame variables *)
+  | Lfinished
 
-type outcome =
-  | Completed
-  | Deadlock of string list  (** blocked process descriptions *)
-  | Step_limit
-
-type result = {
-  r_outcome : outcome;
-  r_trace : Trace.event list;
-  r_deltas : int;
-  r_steps : int;
-  r_final : (string * value) list;
-      (** variable values at the end, preorder, first occurrence first *)
-  r_signal_trace : (int * (string * value) list) list;
-      (** with [trace_signals]: per delta cycle, the committed changes *)
+type slot = {
+  mutable sl_idx : int;
+      (** preorder position; round order = ascending index.  Updated on
+          structural rebuilds, where surviving leaves can shift. *)
+  sl_exec : Interp.exec;
+  mutable sl_gen : int;
+      (** [ex_gen] at last rebuild: a recycled leaf (same exec, bumped
+          generation) is a fresh process — it restarts runnable — but its
+          wait-site classifications and wait-set registrations stay, since
+          recycling reuses the same physical frames and cells *)
+  mutable sl_state : lstate;
+  mutable sl_sites : (Spec.Ast.expr * Env.frame * lstate * int list) list;
+      (** classification per wait site already parked at (physical
+          condition and frame), with the signal ids the condition reads —
+          a leaf blocks at its few wait sites over and over, and wait-set
+          registrations persist, so a repeat park is a state flip.  The
+          ids let a recycled leaf (whose registrations may have been
+          purged while it was retired) re-register without
+          re-classifying. *)
 }
 
-(** Post-commit access to the live simulation state, handed to the
-    [h_on_commit] hook: the signal store plus read/write access to the
-    behavior-frame variables anywhere in the process tree (fault
-    injection flips bits in generated memory storage through this). *)
-type probe = {
-  pr_delta : int;  (** the delta cycle just committed *)
-  pr_signals : Sigtable.t;
-  pr_read_var : string -> value option;
-  pr_write_var : string -> value -> bool;
+(* A session: one program's fully elaborated simulation state — frames,
+   compiled bodies with their staged closures, scheduler slots and
+   wait-set registrations — kept between runs and rewound in place.  The
+   co-simulation checks, fault campaigns and explore sweeps run the same
+   physical program hundreds to thousands of times; rebuilding all of
+   that per run (and re-warming every cache from cold) dominated the
+   kernel's profile.  Rewinding reuses the arm-pool discipline
+   ({!Runtime.reset_node}) that already guarantees a rewound subtree is
+   observably a fresh instantiation.  Sessions are domain-local: the
+   explore pool runs simulations on several domains at once, and a
+   shared store would be a data race. *)
+type session = {
+  ss_cx : Interp.context;
+  ss_root_frame : Env.frame;
+  ss_root : node;
+  mutable ss_slots : slot array;
+  ss_wait_sets : slot list array;
+  mutable ss_busy : bool;
+      (** a run is live in this session (reentrancy guard); a session
+          abandoned mid-run by an exception is evicted, never reused *)
 }
 
-type hooks = {
-  h_intercept : (delta:int -> string -> value -> Sigtable.action) option;
-      (** sees every scheduled signal update at commit time;
-          [delta] is the cycle being committed *)
-  h_on_commit : (probe -> unit) option;  (** runs after every commit *)
-}
+let session_cap = 4
 
-let no_hooks = { h_intercept = None; h_on_commit = None }
+let session_store_key : (Ast.program * session) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-type nstate =
-  | Nleaf of Interp.exec
-  | Nseq of seq_run
-  | Npar of node list
-  | Ndone
-
-and seq_run = { mutable s_idx : int; mutable s_child : node }
-
-and node = {
-  nd_behavior : behavior;
-  nd_frame : Env.frame;
-  mutable nd_state : nstate;
-}
-
-let rec instantiate parent_frame b =
-  let frame = Env.make ~parent:parent_frame ~owner:b.b_name b.b_vars in
-  let state =
-    match b.b_body with
-    | Leaf stmts -> Nleaf (Interp.make_exec ~owner:b.b_name ~frame stmts)
-    | Seq [] -> Ndone
-    | Seq (first :: _) ->
-      Nseq { s_idx = 0; s_child = instantiate frame first.a_behavior }
-    | Par [] -> Ndone
-    | Par children -> Npar (List.map (instantiate frame) children)
-  in
-  { nd_behavior = b; nd_frame = frame; nd_state = state }
-
-let is_done node = match node.nd_state with Ndone -> true | _ -> false
-
-let rec collect_leaves acc node =
-  match node.nd_state with
-  | Ndone -> acc
-  | Nleaf exec -> exec :: acc
-  | Nseq s -> collect_leaves acc s.s_child
-  | Npar children -> List.fold_left collect_leaves acc children
-
-let eval_cond cx frame c =
-  let lookup name =
-    match Env.lookup frame name with
-    | Some v -> Some v
-    | None -> Sigtable.read cx.Interp.cx_signals name
-  in
-  let lookup_idx name i =
-    match Env.find_array frame name with
-    | Some arr when i >= 0 && i < Array.length arr -> Some arr.(i)
-    | Some _ | None -> None
-  in
-  match Expr.eval ~lookup_idx ~lookup c with
-  | VBool b -> b
-  | VInt _ ->
-    raise
-      (Interp.Run_error
-         (Printf.sprintf "TOC condition %s is not boolean" (Expr.to_string c)))
-
-(* Advance structural state after leaves have run: leaves with an empty
-   stack become done; a sequential composition whose child completed takes
-   its TOC arc; a parallel composition completes with all children.
-   Returns true when anything changed. *)
-let rec advance cx node =
-  match node.nd_state with
-  | Ndone -> false
-  | Nleaf exec ->
-    if exec.Interp.stack = [] then begin
-      node.nd_state <- Ndone;
-      true
-    end
-    else false
-  | Npar children ->
-    let changed =
-      List.fold_left (fun acc c -> advance cx c || acc) false children
+(* Check a session out of the domain-local store: rewind the stored one,
+   or elaborate from scratch on a miss.  A hit is only taken when the
+   session is idle — a reentrant run of the same program (or a run racing
+   a store eviction) gets a throwaway fresh session instead. *)
+let checkout_session (p : Ast.program) =
+  let store = Domain.DLS.get session_store_key in
+  let fresh () =
+    let cx =
+      {
+        Interp.cx_signals = Sigtable.make p.Ast.p_signals;
+        cx_trace = Trace.make ();
+        cx_procs = p.Ast.p_procs;
+        cx_delta = 0;
+      }
     in
-    if List.for_all is_done children then begin
-      node.nd_state <- Ndone;
-      true
-    end
-    else changed
-  | Nseq s ->
-    let changed = advance cx s.s_child in
-    if not (is_done s.s_child) then changed
-    else begin
-      let arms =
-        match node.nd_behavior.b_body with
-        | Seq arms -> arms
-        | Leaf _ | Par _ -> assert false
-      in
-      let arm = List.nth arms s.s_idx in
-      let fired =
-        let rec first_true = function
-          | [] -> None
-          | t :: rest ->
-            begin match t.t_cond with
-            | None -> Some t.t_target
-            | Some c ->
-              if eval_cond cx node.nd_frame c then Some t.t_target
-              else first_true rest
-            end
-        in
-        match arm.a_transitions with
-        | [] ->
-          (* fall through to the next arm in the list *)
-          if s.s_idx + 1 < List.length arms then
-            Some (Goto (List.nth arms (s.s_idx + 1)).a_behavior.b_name)
-          else Some Complete
-        | ts ->
-          (* no arc firing completes the composition *)
-          begin match first_true ts with
-          | Some target -> Some target
-          | None -> Some Complete
-          end
-      in
-      begin match fired with
-      | Some Complete | None -> node.nd_state <- Ndone
-      | Some (Goto name) ->
-        let rec index i = function
-          | [] ->
-            raise
-              (Interp.Run_error
-                 (Printf.sprintf "behavior %s: transition to unknown arm %s"
-                    node.nd_behavior.b_name name))
-          | a :: rest ->
-            if String.equal a.a_behavior.b_name name then i
-            else index (i + 1) rest
-        in
-        let j = index 0 arms in
-        s.s_idx <- j;
-        s.s_child <- instantiate node.nd_frame (List.nth arms j).a_behavior
-      end;
-      true
-    end
-
-let rec advance_fixpoint cx node =
-  if advance cx node then begin
-    ignore (advance_fixpoint cx node);
-    true
-  end
-  else false
-
-(* A node is effectively done when it finished, is a registered server, or
-   is a parallel composition of effectively done children (a component
-   whose only remaining activity is its perpetual servers counts as
-   finished). *)
-let rec effectively_done servers node =
-  match node.nd_state with
-  | Ndone -> true
-  | _ when List.mem node.nd_behavior.b_name servers -> true
-  | Nleaf _ | Nseq _ -> false
-  | Npar children -> List.for_all (effectively_done servers) children
-
-(* The signals a blocked wait is stuck on, with their current values —
-   fault-campaign deadlocks are diagnosed from these. *)
-let waited_signals cx c =
-  List.filter_map
-    (fun x ->
-      match Sigtable.read cx.Interp.cx_signals x with
-      | Some v ->
-        Some (Format.asprintf "%s=%a" x Expr.pp_value v)
-      | None -> None)
-    (Expr.refs c)
-
-let rec blocked_descriptions cx acc node =
-  match node.nd_state with
-  | Ndone -> acc
-  | Nleaf exec ->
-    begin match exec.Interp.stack with
-    | Interp.Twait c :: _ ->
-      let sigs = waited_signals cx c in
-      Printf.sprintf "%s waiting until %s%s" exec.Interp.ex_owner
-        (Expr.to_string c)
-        (match sigs with
-        | [] -> ""
-        | _ -> Printf.sprintf " [%s]" (String.concat ", " sigs))
-      :: acc
-    | _ -> Printf.sprintf "%s runnable" exec.Interp.ex_owner :: acc
-    end
-  | Nseq s -> blocked_descriptions cx acc s.s_child
-  | Npar children -> List.fold_left (blocked_descriptions cx) acc children
-
-(* Final variable values: the root frame (program variables) first, then
-   every live node's own declarations in preorder. *)
-let final_values root_frame root =
-  let acc = ref [] in
-  let seen = Hashtbl.create 32 in
-  let add name value =
-    if not (Hashtbl.mem seen name) then begin
-      Hashtbl.add seen name ();
-      acc := (name, value) :: !acc
-    end
-  in
-  Hashtbl.iter (fun name cell -> add name !cell) root_frame.Env.f_vars;
-  let add_array name arr =
-    Array.iteri (fun i v -> add (Printf.sprintf "%s[%d]" name i) v) arr
-  in
-  Hashtbl.iter add_array root_frame.Env.f_arrays;
-  let rec walk node =
-    List.iter
-      (fun (d : var_decl) ->
-        match d.v_ty with
-        | TArray _ ->
-          begin match Env.find_array node.nd_frame d.v_name with
-          | Some arr -> add_array d.v_name arr
-          | None -> ()
-          end
-        | TBool | TInt _ ->
-          begin match Env.lookup node.nd_frame d.v_name with
-          | Some v -> add d.v_name v
-          | None -> ()
-          end)
-      node.nd_behavior.b_vars;
-    begin match node.nd_state with
-    | Nseq s -> walk s.s_child
-    | Npar children -> List.iter walk children
-    | Nleaf _ | Ndone -> ()
-    end
-  in
-  walk root;
-  List.rev !acc
-
-let run ?(config = default_config) ?(hooks = no_hooks) (p : program) =
-  let cx =
+    let root_frame = Env.make ~owner:p.Ast.p_name p.Ast.p_vars in
     {
-      Interp.cx_signals = Sigtable.make p.p_signals;
-      cx_trace = Trace.make ();
-      cx_procs = p.p_procs;
-      cx_delta = 0;
+      ss_cx = cx;
+      ss_root_frame = root_frame;
+      ss_root = instantiate root_frame p.Ast.p_top;
+      ss_slots = [||];
+      ss_wait_sets = Array.make (Sigtable.n_signals cx.Interp.cx_signals) [];
+      ss_busy = true;
     }
   in
-  let root_frame = Env.make ~owner:p.p_name p.p_vars in
-  let root = instantiate root_frame p.p_top in
+  match List.find_opt (fun (p', _) -> p' == p) !store with
+  | Some (_, ss) when not ss.ss_busy ->
+    ss.ss_busy <- true;
+    (* Rewind to the freshly-elaborated state.  Hooks are cleared here
+       and re-installed per run; variables, signals, trace and delta
+       counter take their construction-time values; the scheduler slots
+       stay and are reconciled by the first [rebuild]. *)
+    Sigtable.reset ss.ss_cx.Interp.cx_signals;
+    Trace.clear ss.ss_cx.Interp.cx_trace;
+    ss.ss_cx.Interp.cx_delta <- 0;
+    Env.reinitialize ss.ss_root_frame p.Ast.p_vars;
+    reset_node ss.ss_root;
+    ss
+  | Some _ -> fresh ()
+  | None ->
+    let ss = fresh () in
+    let rec take n = function
+      | [] -> []
+      | _ when n <= 0 -> []
+      | e :: rest -> e :: take (n - 1) rest
+    in
+    store := (p, ss) :: take (session_cap - 1) !store;
+    ss
+
+let evict_session (p : Ast.program) ss =
+  let store = Domain.DLS.get session_store_key in
+  store := List.filter (fun (p', ss') -> p' != p || ss' != ss) !store
+
+let run_in_session ~(config : config) ~(hooks : hooks) (p : Ast.program) ss =
+  let cx = ss.ss_cx in
+  let sigs = cx.Interp.cx_signals in
+  let n_sig = Sigtable.n_signals sigs in
+  let root_frame = ss.ss_root_frame in
+  let root = ss.ss_root in
   let total_steps = ref 0 in
   let outcome = ref None in
   let signal_trace = ref [] in
+  let rounds = ref 0
+  and leaf_runs = ref 0
+  and wakes = ref 0
+  and rebuilds = ref 0 in
   begin match hooks.h_intercept with
   | None -> ()
   | Some f ->
-    Sigtable.set_intercept cx.Interp.cx_signals
+    Sigtable.set_intercept sigs
       (Some (fun name v -> f ~delta:cx.Interp.cx_delta name v))
   end;
-  (* Frame-variable access for the on-commit probe: the root frame first,
-     then every live node's own cell, preorder (matching [final_values]'
-     first-occurrence-wins order). *)
-  let find_cell name =
-    match Hashtbl.find_opt root_frame.Env.f_vars name with
-    | Some cell -> Some cell
-    | None ->
-      let rec walk node =
-        let here =
-          if
-            List.exists
-              (fun (d : var_decl) -> String.equal d.v_name name)
-              node.nd_behavior.b_vars
-          then Hashtbl.find_opt node.nd_frame.Env.f_vars name
-          else None
-        in
-        match here with
-        | Some _ -> here
-        | None ->
-          begin match node.nd_state with
-          | Nseq s -> walk s.s_child
-          | Npar children -> List.find_map walk children
-          | Nleaf _ | Ndone -> None
-          end
+  (* --- scheduler state ------------------------------------------------ *)
+  let wait_sets = ss.ss_wait_sets in
+  (* Probe name->cell resolutions are stable between structural changes:
+     cache them (fault campaigns poke the same storage cells at every
+     commit) and drop the cache whenever the tree changes shape. *)
+  let probe_cache : (string, Ast.value ref option) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  (* The maintained runnable queue: ascending slot indices still worth
+     visiting this round (runnable or polled leaves).  Parked and finished
+     leaves drop out; a commit merges the woken leaves back in.  Wakes
+     only happen between rounds (commits, fault pokes from the on-commit
+     probe), so the queue is stable while a round scans it. *)
+  let active : int list ref = ref [] in
+  let pending_wakes : int list ref = ref [] in
+  (* Incremental rebuild after a structural change.  A TOC transition
+     replaces one subtree; every other leaf keeps its exec, and with it
+     its slot: park state, classification cache and wait-set registrations
+     all stay valid, because advancing the tree of control touches no
+     signal value — a parked leaf's pure-signal condition cannot have
+     become true.  Only genuinely new leaves enter runnable.  (The polling
+     kernel instead re-ran {e every} leaf after a change; for the
+     survivors that visit was a guaranteed no-op, so skipping it is
+     observationally identical.)  Slots of vanished leaves are retired to
+     [Lfinished] so their stale wait-set entries can never wake. *)
+  let rebuild () =
+    incr rebuilds;
+    let old = ss.ss_slots in
+    let taken = Array.make (Array.length old) false in
+    let find_old exec =
+      let n = Array.length old in
+      let rec go i =
+        if i >= n then None
+        else if (not taken.(i)) && old.(i).sl_exec == exec then begin
+          taken.(i) <- true;
+          Some old.(i)
+        end
+        else go (i + 1)
       in
-      walk root
+      go 0
+    in
+    ss.ss_slots <-
+      Array.of_list
+        (List.mapi
+           (fun i exec ->
+             match find_old exec with
+             | Some sl ->
+               sl.sl_idx <- i;
+               (* A bumped generation means the leaf was recycled — by a
+                  TOC re-entry, or by a session rewind.  Observably a
+                  fresh process, so it restarts runnable.  Its [sl_sites]
+                  classifications are kept: recycling reuses the same
+                  physical frames and cells ({!Interp.reset_exec},
+                  {!Env.reinitialize}), so a condition resolves exactly as
+                  it did last generation.  Its wait-set registrations may
+                  have been purged while it was retired, so parked sites
+                  re-register from their recorded ids. *)
+               if sl.sl_gen <> exec.Interp.ex_gen then begin
+                 sl.sl_gen <- exec.Interp.ex_gen;
+                 sl.sl_state <- Lrunnable;
+                 List.iter
+                   (fun (_, _, cls, ids) ->
+                     match cls with
+                     | Lparked ->
+                       List.iter
+                         (fun id ->
+                           if not (List.memq sl wait_sets.(id)) then
+                             wait_sets.(id) <- sl :: wait_sets.(id))
+                         ids
+                     | Lrunnable | Lpolled | Lfinished -> ())
+                   sl.sl_sites
+               end;
+               sl
+             | None ->
+               {
+                 sl_idx = i;
+                 sl_exec = exec;
+                 sl_gen = exec.Interp.ex_gen;
+                 sl_state = Lrunnable;
+                 sl_sites = [];
+               })
+           (leaves root));
+    Array.iteri (fun i sl -> if not taken.(i) then sl.sl_state <- Lfinished) old;
+    let dead sl =
+      match sl.sl_state with
+      | Lfinished -> true
+      | Lrunnable | Lparked | Lpolled -> false
+    in
+    for id = 0 to n_sig - 1 do
+      match wait_sets.(id) with
+      | [] -> ()
+      | ws ->
+        if List.exists dead ws then
+          wait_sets.(id) <- List.filter (fun sl -> not (dead sl)) ws
+    done;
+    let acc = ref [] in
+    let arr = ss.ss_slots in
+    for i = Array.length arr - 1 downto 0 do
+      match arr.(i).sl_state with
+      | Lrunnable | Lpolled -> acc := i :: !acc
+      | Lparked | Lfinished -> ()
+    done;
+    active := !acc;
+    pending_wakes := [];
+    Hashtbl.reset probe_cache
+  in
+  (* Park a leaf blocked on [c]: compute its sensitivity set once (refs
+     are memoized per expression node).  Names that resolve to frame
+     cells or arrays — or to nothing at all — can change without a
+     commit, so such a leaf is polled; a pure signal condition is parked
+     under its signals' wait-sets. *)
+  let park sl c =
+    let frame = sl.sl_exec.Interp.frame in
+    let rec known = function
+      | [] -> None
+      | (c', frame', cls, _) :: rest ->
+        if c' == c && frame' == frame then Some cls else known rest
+    in
+    match known sl.sl_sites with
+    | Some cls ->
+      (* Seen wait site: the classification is unchanged and the wait-set
+         registrations are still in place. *)
+      sl.sl_state <- cls
+    | None ->
+      (* Classify each name the way evaluation resolves it (the per-exec
+         resolution cache): a frame cell can change without a commit, so
+         it forces polling; a signal read can only change at a commit (or
+         poke), so it parks; anything else — arrays, unbound names that a
+         short-circuit skipped — is conservatively polled. *)
+      let var_dep = ref false in
+      let sig_ids =
+        List.filter_map
+          (fun x ->
+            match Interp.resolve cx sl.sl_exec x with
+            | Interp.Rsig id -> Some id
+            | Interp.Rcell _ | Interp.Rnone ->
+              var_dep := true;
+              None)
+          (Expr.refs c)
+      in
+      let cls =
+        if !var_dep then Lpolled
+        else begin
+          List.iter
+            (fun id ->
+              if not (List.memq sl wait_sets.(id)) then
+                wait_sets.(id) <- sl :: wait_sets.(id))
+            sig_ids;
+          Lparked
+        end
+      in
+      sl.sl_state <- cls;
+      (* A wait inside a procedure body sees a fresh frame every call, so
+         its old entry can never hit again — replace it rather than letting
+         the site list grow (and every later scan pay for it) per call. *)
+      let rec replace = function
+        | [] -> [ (c, frame, cls, sig_ids) ]
+        | (c', _, _, _) :: rest when c' == c -> (c, frame, cls, sig_ids) :: rest
+        | site :: rest -> site :: replace rest
+      in
+      sl.sl_sites <- replace sl.sl_sites
+  in
+  let wake id =
+    List.iter
+      (fun sl ->
+        match sl.sl_state with
+        | Lparked ->
+          sl.sl_state <- Lrunnable;
+          pending_wakes := sl.sl_idx :: !pending_wakes;
+          incr wakes
+        | Lrunnable | Lpolled | Lfinished -> ())
+      wait_sets.(id)
+  in
+  Sigtable.set_notify sigs (Some wake);
+  let find_cell_cached name =
+    match Hashtbl.find_opt probe_cache name with
+    | Some res -> res
+    | None ->
+      let res = find_cell root_frame root name in
+      Hashtbl.replace probe_cache name res;
+      res
   in
   let probe () =
     {
       pr_delta = cx.Interp.cx_delta;
-      pr_signals = cx.Interp.cx_signals;
-      pr_read_var = (fun name -> Option.map ( ! ) (find_cell name));
+      pr_signals = sigs;
+      pr_read_var = (fun name -> Option.map ( ! ) (find_cell_cached name));
       pr_write_var =
         (fun name v ->
-          match find_cell name with
+          match find_cell_cached name with
           | Some cell ->
             cell := v;
             true
           | None -> false);
     }
   in
+  rebuild ();
+  rebuilds := 0;
+  (* The first round must advance unconditionally, like the polling
+     kernel's first round: instantiation can produce already-done nodes
+     (empty compositions) whose completion has to propagate.  After that,
+     the tree sits at its advancement fixpoint until a leaf finishes. *)
+  let first_round = ref true in
   while !outcome = None do
-    (* Run every runnable leaf for one slice. *)
-    let ran = ref false in
-    List.iter
-      (fun exec ->
-        match exec.Interp.stack with
-        | [] -> ()
-        | _ ->
-          let _, steps = Interp.run cx exec ~fuel:config.slice in
+    incr rounds;
+    (* One round: visit the queued leaves in ascending index order — the
+       preorder the polling kernel used.  A leaf stays queued while it is
+       runnable or polled; parking or finishing drops it.  Every leaf not
+       on the queue is one whose visit would have been a no-op, so the
+       round is observably identical to a full preorder walk. *)
+    if !pending_wakes <> [] then begin
+      let icmp (a : int) b = Stdlib.compare a b in
+      active := List.merge icmp (List.sort icmp !pending_wakes) !active;
+      pending_wakes := []
+    end;
+    let ran = ref false and finished_any = ref false in
+    let slot_arr = ss.ss_slots in
+    let rec visit acc = function
+      | [] -> List.rev acc
+      | i :: rest ->
+        let sl = Array.unsafe_get slot_arr i in
+        begin match sl.sl_state with
+        | Lfinished | Lparked -> visit acc rest
+        | Lrunnable | Lpolled ->
+          incr leaf_runs;
+          let status, steps = Interp.run cx sl.sl_exec ~fuel:config.slice in
           total_steps := !total_steps + steps;
-          if steps > 0 then ran := true)
-      (List.rev (collect_leaves [] root));
-    let structural = advance_fixpoint cx root in
+          if steps > 0 then ran := true;
+          begin match status with
+          | Interp.Progress -> sl.sl_state <- Lrunnable
+          | Interp.Finished ->
+            sl.sl_state <- Lfinished;
+            finished_any := true
+          | Interp.Blocked c -> park sl c
+          end;
+          begin match sl.sl_state with
+          | Lrunnable | Lpolled -> visit (i :: acc) rest
+          | Lparked | Lfinished -> visit acc rest
+          end
+        end
+    in
+    active := visit [] !active;
+    let structural =
+      if !finished_any || !first_round then advance_fixpoint cx root
+      else false
+    in
+    first_round := false;
+    if structural then rebuild ();
     if !total_steps > config.max_steps then outcome := Some Step_limit
     else if (not !ran) && not structural then begin
-      if Sigtable.pending cx.Interp.cx_signals then begin
-        let changes = Sigtable.commit_changes cx.Interp.cx_signals in
+      if Sigtable.pending sigs then begin
+        let changed = Sigtable.commit_ids sigs in
         cx.Interp.cx_delta <- cx.Interp.cx_delta + 1;
-        if config.trace_signals && changes <> [] then
-          signal_trace := (cx.Interp.cx_delta, changes) :: !signal_trace;
+        if config.trace_signals && changed <> [] then
+          signal_trace :=
+            ( cx.Interp.cx_delta,
+              List.map
+                (fun id -> (Sigtable.name_of sigs id, Sigtable.read_id sigs id))
+                changed )
+            :: !signal_trace;
+        List.iter wake changed;
         Option.iter (fun f -> f (probe ())) hooks.h_on_commit;
         if cx.Interp.cx_delta > config.max_deltas then
           outcome := Some Step_limit
       end
-      else if effectively_done p.p_servers root then outcome := Some Completed
+      else if effectively_done p.Ast.p_servers root then
+        outcome := Some Completed
       else
         outcome := Some (Deadlock (List.rev (blocked_descriptions cx [] root)))
     end
   done;
   let outcome = Option.get !outcome in
-  {
-    r_outcome = outcome;
-    r_trace = Trace.events cx.Interp.cx_trace;
-    r_deltas = cx.Interp.cx_delta;
-    r_steps = !total_steps;
-    r_final = final_values root_frame root;
-    r_signal_trace = List.rev !signal_trace;
-  }
+  ( {
+      r_outcome = outcome;
+      r_trace = Trace.events cx.Interp.cx_trace;
+      r_deltas = cx.Interp.cx_delta;
+      r_steps = !total_steps;
+      r_final = final_values root_frame root;
+      r_signal_trace = List.rev !signal_trace;
+    },
+    {
+      st_rounds = !rounds;
+      st_leaf_runs = !leaf_runs;
+      st_wakes = !wakes;
+      st_rebuilds = !rebuilds;
+    } )
 
-let outcome_to_string = function
-  | Completed -> "completed"
-  | Deadlock who ->
-    Printf.sprintf "deadlock (%s)" (String.concat "; " who)
-  | Step_limit -> "step limit exceeded"
+let run_internal ~(config : config) ~(hooks : hooks) (p : Ast.program) =
+  let ss = checkout_session p in
+  match run_in_session ~config ~hooks p ss with
+  | res ->
+    ss.ss_busy <- false;
+    res
+  | exception e ->
+    (* An abandoned mid-run session is in an unknown state: never reuse
+       it. *)
+    evict_session p ss;
+    raise e
+
+let run_stats ?(config = default_config) ?(hooks = no_hooks) p =
+  run_internal ~config ~hooks p
+
+let run ?(config = default_config) ?(hooks = no_hooks) p =
+  fst (run_internal ~config ~hooks p)

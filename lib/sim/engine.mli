@@ -1,16 +1,19 @@
-(** The discrete-event simulation engine.
+(** The event-driven simulation kernel.
 
-    The behavior tree is instantiated as a tree of processes; every
-    runnable leaf executes until it blocks on a [wait until], sequential
-    compositions advance over their TOC arcs, and when everything is
-    quiescent the scheduler commits the pending signal updates (one delta
-    cycle) and re-evaluates the blocked waits.  Simulation ends when the
-    design completes (every non-server process finished), deadlocks, or
-    exhausts its step/delta budget. *)
+    Signals are interned to dense integer ids at startup; blocked leaves
+    are parked under per-signal sensitivity sets; a maintained runnable
+    queue replaces per-round tree walks; the structural advancement runs
+    only when a leaf finishes.  Observable behavior — traces, final
+    values, deadlock reports, delta and step counts, fault-campaign
+    classifications — is bit-identical to the retained polling kernel
+    ({!Reference}); the differential tests enforce this.
+
+    All result/hook types are shared with {!Reference} through
+    {!Runtime} and re-exported here so existing callers are unaffected. *)
 
 open Spec
 
-type config = {
+type config = Runtime.config = {
   max_steps : int;  (** total interpreter steps across all processes *)
   max_deltas : int;
   slice : int;  (** interpreter steps per process per scheduling round *)
@@ -20,15 +23,15 @@ type config = {
 
 val default_config : config
 
-type outcome =
+type outcome = Runtime.outcome =
   | Completed
       (** every process that is not a registered server finished *)
   | Deadlock of string list
       (** blocked process descriptions, each including the waited-on
-          signals and their current values *)
+          signals and frame variables with their current values *)
   | Step_limit  (** the step or delta budget ran out *)
 
-type result = {
+type result = Runtime.result = {
   r_outcome : outcome;
   r_trace : Trace.event list;  (** the observable [emit] events, in order *)
   r_deltas : int;
@@ -45,7 +48,7 @@ type result = {
     [h_on_commit] hook: the signal store plus read/write access to the
     behavior-frame variables anywhere in the process tree.  Fault
     campaigns flip bits in generated memory storage through this. *)
-type probe = {
+type probe = Runtime.probe = {
   pr_delta : int;  (** the delta cycle just committed *)
   pr_signals : Sigtable.t;
   pr_read_var : string -> Ast.value option;
@@ -56,17 +59,31 @@ type probe = {
     store's update intercept (it sees every scheduled update at commit
     time and may drop or rewrite it); [h_on_commit] runs after every
     committed delta cycle. *)
-type hooks = {
+type hooks = Runtime.hooks = {
   h_intercept : (delta:int -> string -> Ast.value -> Sigtable.action) option;
   h_on_commit : (probe -> unit) option;
 }
 
 val no_hooks : hooks
 
+(** Scheduler-internal counters, exposed for the kernel's own tests and
+    benchmarks (e.g. proving that a parked leaf is not busy-polled while
+    nothing it waits on changes). *)
+type sched_stats = {
+  st_rounds : int;  (** scheduling rounds executed *)
+  st_leaf_runs : int;  (** interpreter activations across all rounds *)
+  st_wakes : int;  (** parked leaves re-armed by a signal change *)
+  st_rebuilds : int;  (** leaf-table rebuilds after structural change *)
+}
+
 val run : ?config:config -> ?hooks:hooks -> Ast.program -> result
 (** Simulate a validated program.
     @raise Interp.Run_error on dynamic errors (unbound names, type
     confusion) — run {!Spec.Program.validate} and {!Spec.Typecheck.check}
     first to rule these out statically. *)
+
+val run_stats :
+  ?config:config -> ?hooks:hooks -> Ast.program -> result * sched_stats
+(** {!run}, also returning the scheduler counters. *)
 
 val outcome_to_string : outcome -> string

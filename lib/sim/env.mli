@@ -9,6 +9,10 @@ type frame = {
   f_arrays : (string, Ast.value array) Hashtbl.t;
   f_parent : frame option;
   f_behavior : string;  (** name of the owning behavior / procedure *)
+  f_memo_cell : (string, Ast.value ref option) Hashtbl.t;
+      (** memoized parent-chain resolutions; maintained by {!find_cell},
+          invalidated by {!bind} *)
+  f_memo_arr : (string, Ast.value array option) Hashtbl.t;
 }
 
 val make : ?parent:frame -> owner:string -> Ast.var_decl list -> frame

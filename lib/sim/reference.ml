@@ -1,0 +1,85 @@
+(** The retained polling scheduler: every scheduling round walks the whole
+    process tree, gives every live leaf a slice (blocked leaves re-evaluate
+    their wait condition and consume no steps), and re-runs the structural
+    advancement to fixpoint.  This was the production kernel before the
+    event-driven scheduler ({!Engine}) replaced it; it is kept as the
+    differential-testing baseline — both kernels share {!Runtime}, so any
+    observable divergence is a scheduling bug. *)
+
+open Spec
+open Runtime
+
+let run ?(config = default_config) ?(hooks = no_hooks) (p : Ast.program) =
+  let cx =
+    {
+      Interp.cx_signals = Sigtable.make p.Ast.p_signals;
+      cx_trace = Trace.make ();
+      cx_procs = p.Ast.p_procs;
+      cx_delta = 0;
+    }
+  in
+  let root_frame = Env.make ~owner:p.Ast.p_name p.Ast.p_vars in
+  let root = instantiate root_frame p.Ast.p_top in
+  let total_steps = ref 0 in
+  let outcome = ref None in
+  let signal_trace = ref [] in
+  begin match hooks.h_intercept with
+  | None -> ()
+  | Some f ->
+    Sigtable.set_intercept cx.Interp.cx_signals
+      (Some (fun name v -> f ~delta:cx.Interp.cx_delta name v))
+  end;
+  let probe () =
+    {
+      pr_delta = cx.Interp.cx_delta;
+      pr_signals = cx.Interp.cx_signals;
+      pr_read_var =
+        (fun name -> Option.map ( ! ) (find_cell root_frame root name));
+      pr_write_var =
+        (fun name v ->
+          match find_cell root_frame root name with
+          | Some cell ->
+            cell := v;
+            true
+          | None -> false);
+    }
+  in
+  while !outcome = None do
+    (* Run every runnable leaf for one slice. *)
+    let ran = ref false in
+    List.iter
+      (fun exec ->
+        match exec.Interp.stack with
+        | [] -> ()
+        | _ ->
+          let _, steps = Interp.run cx exec ~fuel:config.slice in
+          total_steps := !total_steps + steps;
+          if steps > 0 then ran := true)
+      (leaves root);
+    let structural = advance_fixpoint cx root in
+    if !total_steps > config.max_steps then outcome := Some Step_limit
+    else if (not !ran) && not structural then begin
+      if Sigtable.pending cx.Interp.cx_signals then begin
+        let changes = Sigtable.commit_changes cx.Interp.cx_signals in
+        cx.Interp.cx_delta <- cx.Interp.cx_delta + 1;
+        if config.trace_signals && changes <> [] then
+          signal_trace := (cx.Interp.cx_delta, changes) :: !signal_trace;
+        Option.iter (fun f -> f (probe ())) hooks.h_on_commit;
+        if cx.Interp.cx_delta > config.max_deltas then
+          outcome := Some Step_limit
+      end
+      else if effectively_done p.Ast.p_servers root then
+        outcome := Some Completed
+      else
+        outcome := Some (Deadlock (List.rev (blocked_descriptions cx [] root)))
+    end
+  done;
+  let outcome = Option.get !outcome in
+  {
+    r_outcome = outcome;
+    r_trace = Trace.events cx.Interp.cx_trace;
+    r_deltas = cx.Interp.cx_delta;
+    r_steps = !total_steps;
+    r_final = final_values root_frame root;
+    r_signal_trace = List.rev !signal_trace;
+  }

@@ -1,0 +1,388 @@
+(** The process-tree runtime shared by the simulation kernels: behavior
+    instantiation, structural advancement over TOC arcs, completion and
+    deadlock analysis, and final-value readout.
+
+    Two kernels drive this machinery: the event-driven scheduler
+    ({!Engine}) and the retained round-robin polling scheduler
+    ({!Reference}), which exists as the differential-testing baseline.
+    Everything observable — traces, final values, deadlock reports, delta
+    counts — is produced by this shared code, so the kernels can only
+    differ in scheduling, and the differential tests check they do not. *)
+
+open Spec
+open Spec.Ast
+
+type config = {
+  max_steps : int;  (** total interpreter steps across all processes *)
+  max_deltas : int;
+  slice : int;  (** interpreter steps per process per scheduling round *)
+  trace_signals : bool;
+      (** record every committed signal change (for waveform dumps) *)
+}
+
+let default_config =
+  {
+    max_steps = 5_000_000;
+    max_deltas = 200_000;
+    slice = 10_000;
+    trace_signals = false;
+  }
+
+type outcome =
+  | Completed
+  | Deadlock of string list  (** blocked process descriptions *)
+  | Step_limit
+
+type result = {
+  r_outcome : outcome;
+  r_trace : Trace.event list;
+  r_deltas : int;
+  r_steps : int;
+  r_final : (string * value) list;
+      (** variable values at the end, preorder, first occurrence first *)
+  r_signal_trace : (int * (string * value) list) list;
+      (** with [trace_signals]: per delta cycle, the committed changes *)
+}
+
+(** Post-commit access to the live simulation state, handed to the
+    [h_on_commit] hook: the signal store plus read/write access to the
+    behavior-frame variables anywhere in the process tree (fault
+    injection flips bits in generated memory storage through this). *)
+type probe = {
+  pr_delta : int;  (** the delta cycle just committed *)
+  pr_signals : Sigtable.t;
+  pr_read_var : string -> value option;
+  pr_write_var : string -> value -> bool;
+}
+
+type hooks = {
+  h_intercept : (delta:int -> string -> value -> Sigtable.action) option;
+      (** sees every scheduled signal update at commit time;
+          [delta] is the cycle being committed *)
+  h_on_commit : (probe -> unit) option;  (** runs after every commit *)
+}
+
+let no_hooks = { h_intercept = None; h_on_commit = None }
+
+type nstate =
+  | Nleaf of Interp.exec
+  | Nseq of seq_run
+  | Npar of node list
+  | Ndone
+
+and seq_run = {
+  mutable s_idx : int;
+  mutable s_child : node;
+  s_arms : seq_arm array;  (** the composition's arms, for O(1) indexing *)
+  s_pool : node option array;
+      (** per arm, the subtree built when the arm was last entered;
+          re-entering an arm resets that subtree in place instead of
+          instantiating a fresh one *)
+}
+
+and node = {
+  nd_behavior : behavior;
+  nd_frame : Env.frame;
+  mutable nd_state : nstate;
+  nd_keep : keep;
+      (** the structure behind [nd_state], retained past completion so a
+          re-entered arm can be rewound instead of rebuilt *)
+}
+
+and keep =
+  | Kleaf of Interp.exec
+  | Kseq of seq_run
+  | Kpar of node list
+  | Knone  (** empty composition: born done *)
+
+let rec instantiate parent_frame b =
+  let frame = Env.make ~parent:parent_frame ~owner:b.b_name b.b_vars in
+  let state, keep =
+    match b.b_body with
+    | Leaf stmts ->
+      let exec = Interp.make_exec ~owner:b.b_name ~frame stmts in
+      (Nleaf exec, Kleaf exec)
+    | Seq [] -> (Ndone, Knone)
+    | Seq (first :: _ as arms) ->
+      let s =
+        {
+          s_idx = 0;
+          s_child = instantiate frame first.a_behavior;
+          s_arms = Array.of_list arms;
+          s_pool = Array.make (List.length arms) None;
+        }
+      in
+      s.s_pool.(0) <- Some s.s_child;
+      (Nseq s, Kseq s)
+    | Par [] -> (Ndone, Knone)
+    | Par children ->
+      let nodes = List.map (instantiate frame) children in
+      (Npar nodes, Kpar nodes)
+  in
+  { nd_behavior = b; nd_frame = frame; nd_state = state; nd_keep = keep }
+
+(* Rewind a previously-built subtree to its freshly-instantiated state,
+   in place: variables take their initializers again (cells and arrays
+   are overwritten, never replaced, so memoized resolutions and staged
+   closures stay valid), leaf machines restart at the top of their
+   compiled bodies, sequential compositions re-enter their first arm.
+   Observably identical to [instantiate] — same values, same steps —
+   without rebuilding any frame, table or compiled body. *)
+let rec reset_node node =
+  Env.reinitialize node.nd_frame node.nd_behavior.b_vars;
+  match node.nd_keep with
+  | Kleaf exec ->
+    Interp.reset_exec exec;
+    node.nd_state <- Nleaf exec
+  | Kseq s ->
+    s.s_idx <- 0;
+    s.s_child <- arm_child s node.nd_frame 0;
+    node.nd_state <- Nseq s
+  | Kpar children ->
+    List.iter reset_node children;
+    node.nd_state <- Npar children
+  | Knone -> node.nd_state <- Ndone
+
+(* The subtree for entering arm [j]: the pooled instance rewound, or a
+   fresh instantiation on first entry. *)
+and arm_child s frame j =
+  match s.s_pool.(j) with
+  | Some child ->
+    reset_node child;
+    child
+  | None ->
+    let child = instantiate frame s.s_arms.(j).a_behavior in
+    s.s_pool.(j) <- Some child;
+    child
+
+let is_done node = match node.nd_state with Ndone -> true | _ -> false
+
+let rec collect_leaves acc node =
+  match node.nd_state with
+  | Ndone -> acc
+  | Nleaf exec -> exec :: acc
+  | Nseq s -> collect_leaves acc s.s_child
+  | Npar children -> List.fold_left collect_leaves acc children
+
+(** All live leaves in preorder. *)
+let leaves root = List.rev (collect_leaves [] root)
+
+let eval_cond cx frame c =
+  let lookup name =
+    match Env.lookup frame name with
+    | Some v -> Some v
+    | None -> Sigtable.read cx.Interp.cx_signals name
+  in
+  let lookup_idx name i =
+    match Env.find_array frame name with
+    | Some arr when i >= 0 && i < Array.length arr -> Some arr.(i)
+    | Some _ | None -> None
+  in
+  match Expr.eval ~lookup_idx ~lookup c with
+  | VBool b -> b
+  | VInt _ ->
+    raise
+      (Interp.Run_error
+         (Printf.sprintf "TOC condition %s is not boolean" (Expr.to_string c)))
+
+(* Advance structural state after leaves have run: leaves with an empty
+   stack become done; a sequential composition whose child completed takes
+   its TOC arc; a parallel composition completes with all children.
+   Returns true when anything changed. *)
+let rec advance cx node =
+  match node.nd_state with
+  | Ndone -> false
+  | Nleaf exec ->
+    if exec.Interp.stack = [] then begin
+      node.nd_state <- Ndone;
+      true
+    end
+    else false
+  | Npar children ->
+    let changed =
+      List.fold_left (fun acc c -> advance cx c || acc) false children
+    in
+    if List.for_all is_done children then begin
+      node.nd_state <- Ndone;
+      true
+    end
+    else changed
+  | Nseq s ->
+    let changed = advance cx s.s_child in
+    if not (is_done s.s_child) then changed
+    else begin
+      let arms = s.s_arms in
+      let arm = arms.(s.s_idx) in
+      let fired =
+        let rec first_true = function
+          | [] -> None
+          | t :: rest ->
+            begin match t.t_cond with
+            | None -> Some t.t_target
+            | Some c ->
+              if eval_cond cx node.nd_frame c then Some t.t_target
+              else first_true rest
+            end
+        in
+        match arm.a_transitions with
+        | [] ->
+          (* fall through to the next arm in the list *)
+          if s.s_idx + 1 < Array.length arms then
+            Some (Goto arms.(s.s_idx + 1).a_behavior.b_name)
+          else Some Complete
+        | ts ->
+          (* no arc firing completes the composition *)
+          begin match first_true ts with
+          | Some target -> Some target
+          | None -> Some Complete
+          end
+      in
+      begin match fired with
+      | Some Complete | None -> node.nd_state <- Ndone
+      | Some (Goto name) ->
+        let j =
+          let found = ref (-1) in
+          Array.iteri
+            (fun i a ->
+              if !found < 0 && String.equal a.a_behavior.b_name name then
+                found := i)
+            arms;
+          if !found < 0 then
+            raise
+              (Interp.Run_error
+                 (Printf.sprintf "behavior %s: transition to unknown arm %s"
+                    node.nd_behavior.b_name name));
+          !found
+        in
+        s.s_idx <- j;
+        s.s_child <- arm_child s node.nd_frame j
+      end;
+      true
+    end
+
+let rec advance_fixpoint cx node =
+  if advance cx node then begin
+    ignore (advance_fixpoint cx node);
+    true
+  end
+  else false
+
+(* A node is effectively done when it finished, is a registered server, or
+   is a parallel composition of effectively done children (a component
+   whose only remaining activity is its perpetual servers counts as
+   finished). *)
+let rec effectively_done servers node =
+  match node.nd_state with
+  | Ndone -> true
+  | _ when List.mem node.nd_behavior.b_name servers -> true
+  | Nleaf _ | Nseq _ -> false
+  | Npar children -> List.for_all (effectively_done servers) children
+
+(* What a blocked wait is stuck on, with current values: the signals the
+   condition reads, and also the frame variables it reads (a wait on a
+   variable that no other process ever writes is a deadlock too, and the
+   report must name it) — fault-campaign deadlocks are diagnosed from
+   these. *)
+let waited_signals cx frame c =
+  List.filter_map
+    (fun x ->
+      match Env.lookup frame x with
+      | Some v -> Some (Format.asprintf "%s=%a" x Expr.pp_value v)
+      | None ->
+        begin match Sigtable.read cx.Interp.cx_signals x with
+        | Some v -> Some (Format.asprintf "%s=%a" x Expr.pp_value v)
+        | None -> None
+        end)
+    (Expr.refs c)
+
+let rec blocked_descriptions cx acc node =
+  match node.nd_state with
+  | Ndone -> acc
+  | Nleaf exec ->
+    begin match exec.Interp.stack with
+    | Interp.Twait ce :: _ ->
+      let c = ce.Interp.ce_expr in
+      let sigs = waited_signals cx exec.Interp.frame c in
+      Printf.sprintf "%s waiting until %s%s" exec.Interp.ex_owner
+        (Expr.to_string c)
+        (match sigs with
+        | [] -> ""
+        | _ -> Printf.sprintf " [%s]" (String.concat ", " sigs))
+      :: acc
+    | _ -> Printf.sprintf "%s runnable" exec.Interp.ex_owner :: acc
+    end
+  | Nseq s -> blocked_descriptions cx acc s.s_child
+  | Npar children -> List.fold_left (blocked_descriptions cx) acc children
+
+(* Final variable values: the root frame (program variables) first, then
+   every live node's own declarations in preorder. *)
+let final_values root_frame root =
+  let acc = ref [] in
+  let seen = Hashtbl.create 32 in
+  let add name value =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      acc := (name, value) :: !acc
+    end
+  in
+  Hashtbl.iter (fun name cell -> add name !cell) root_frame.Env.f_vars;
+  let add_array name arr =
+    Array.iteri (fun i v -> add (Printf.sprintf "%s[%d]" name i) v) arr
+  in
+  Hashtbl.iter add_array root_frame.Env.f_arrays;
+  let rec walk node =
+    List.iter
+      (fun (d : var_decl) ->
+        match d.v_ty with
+        | TArray _ ->
+          begin match Env.find_array node.nd_frame d.v_name with
+          | Some arr -> add_array d.v_name arr
+          | None -> ()
+          end
+        | TBool | TInt _ ->
+          begin match Env.lookup node.nd_frame d.v_name with
+          | Some v -> add d.v_name v
+          | None -> ()
+          end)
+      node.nd_behavior.b_vars;
+    begin match node.nd_state with
+    | Nseq s -> walk s.s_child
+    | Npar children -> List.iter walk children
+    | Nleaf _ | Ndone -> ()
+    end
+  in
+  walk root;
+  List.rev !acc
+
+(* Frame-variable access for the on-commit probe: the root frame first,
+   then every live node's own cell, preorder (matching [final_values]'
+   first-occurrence-wins order). *)
+let find_cell root_frame root name =
+  match Hashtbl.find_opt root_frame.Env.f_vars name with
+  | Some cell -> Some cell
+  | None ->
+    let rec walk node =
+      let here =
+        if
+          List.exists
+            (fun (d : var_decl) -> String.equal d.v_name name)
+            node.nd_behavior.b_vars
+        then Hashtbl.find_opt node.nd_frame.Env.f_vars name
+        else None
+      in
+      match here with
+      | Some _ -> here
+      | None ->
+        begin match node.nd_state with
+        | Nseq s -> walk s.s_child
+        | Npar children -> List.find_map walk children
+        | Nleaf _ | Ndone -> None
+        end
+    in
+    walk root
+
+let outcome_to_string = function
+  | Completed -> "completed"
+  | Deadlock who ->
+    Printf.sprintf "deadlock (%s)" (String.concat "; " who)
+  | Step_limit -> "step limit exceeded"

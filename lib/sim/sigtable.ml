@@ -1,7 +1,14 @@
 (** The signal store: current values plus the delta-delayed update queue.
-    A signal assignment schedules the new value; {!commit} applies all
-    scheduled updates at once (one delta cycle) and reports whether
-    anything changed. *)
+    A signal assignment schedules the new value; {!commit_changes} applies
+    all scheduled updates at once (one delta cycle) and reports what
+    changed.
+
+    Names are interned to dense integer ids at construction: the id order
+    is the sorted name order, so iterating ids ascending reproduces the
+    name-sorted commit order the string-keyed store had.  Values live in
+    flat arrays indexed by id; the scheduled queue is a validity mask plus
+    a worklist of scheduled ids, so a commit touches only the signals that
+    were actually written. *)
 
 open Spec
 
@@ -13,19 +20,23 @@ type action =
   | Rewrite of Ast.value
 
 type t = {
-  current : (string, Ast.value) Hashtbl.t;
-  scheduled : (string, Ast.value) Hashtbl.t;
+  names : string array;  (** id -> name; sorted, so id order = name order *)
+  ids : (string, int) Hashtbl.t;  (** name -> id *)
+  initial : Ast.value array;  (** declaration-time values, for {!reset} *)
+  current : Ast.value array;
+  sched_val : Ast.value array;  (** valid only where [sched_mark] is set *)
+  sched_mark : bool array;
+  mutable sched_ids : int list;  (** scheduled ids, unsorted, no duplicates *)
+  mutable n_sched : int;
   mutable intercept : (string -> Ast.value -> action) option;
+  mutable notify : (int -> unit) option;
+      (** called when {!poke} changes a current value outside a commit —
+          the event-driven scheduler re-arms the signal's waiters *)
 }
 
 let make (decls : Ast.sig_decl list) =
-  let t =
-    {
-      current = Hashtbl.create 16;
-      scheduled = Hashtbl.create 16;
-      intercept = None;
-    }
-  in
+  (* Last declaration of a name wins, as Hashtbl.replace used to. *)
+  let by_name = Hashtbl.create 16 in
   List.iter
     (fun (d : Ast.sig_decl) ->
       let init =
@@ -33,67 +44,142 @@ let make (decls : Ast.sig_decl list) =
         | Some v -> v
         | None -> Ast.default_value d.Ast.s_ty
       in
-      Hashtbl.replace t.current d.Ast.s_name init)
+      Hashtbl.replace by_name d.Ast.s_name init)
     decls;
-  t
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) by_name []
+    |> List.sort String.compare
+    |> Array.of_list
+  in
+  let n = Array.length names in
+  let ids = Hashtbl.create (max 16 n) in
+  Array.iteri (fun i name -> Hashtbl.replace ids name i) names;
+  let initial = Array.map (fun name -> Hashtbl.find by_name name) names in
+  {
+    names;
+    ids;
+    initial;
+    current = Array.copy initial;
+    sched_val = Array.make n (Ast.VBool false);
+    sched_mark = Array.make n false;
+    sched_ids = [];
+    n_sched = 0;
+    intercept = None;
+    notify = None;
+  }
 
-let is_signal t name = Hashtbl.mem t.current name
-let read t name = Hashtbl.find_opt t.current name
+(** Rewind the store to its construction state: declaration-time values,
+    empty update queue, no hooks.  Observably a fresh {!make} of the same
+    declarations — the session cache uses it to reuse one store across
+    runs of the same program. *)
+let reset t =
+  Array.blit t.initial 0 t.current 0 (Array.length t.initial);
+  List.iter (fun id -> t.sched_mark.(id) <- false) t.sched_ids;
+  t.sched_ids <- [];
+  t.n_sched <- 0;
+  t.intercept <- None;
+  t.notify <- None
+
+let n_signals t = Array.length t.names
+let id_of t name = Hashtbl.find_opt t.ids name
+let name_of t id = t.names.(id)
+let is_signal t name = Hashtbl.mem t.ids name
+
+let read_id t id = t.current.(id)
+
+let read t name =
+  match Hashtbl.find t.ids name with
+  | id -> Some t.current.(id)
+  | exception Not_found -> None
+
+let schedule_id t id v =
+  if not t.sched_mark.(id) then begin
+    t.sched_mark.(id) <- true;
+    t.sched_ids <- id :: t.sched_ids;
+    t.n_sched <- t.n_sched + 1
+  end;
+  t.sched_val.(id) <- v
 
 (** Schedule a delta-delayed update.  Returns false if the name is not a
-    signal. *)
+    signal.  The last schedule of a delta wins. *)
 let schedule t name v =
-  if is_signal t name then begin
-    Hashtbl.replace t.scheduled name v;
+  match Hashtbl.find t.ids name with
+  | id ->
+    schedule_id t id v;
     true
-  end
-  else false
+  | exception Not_found -> false
 
-let pending t = Hashtbl.length t.scheduled > 0
+let pending t = t.n_sched > 0
 
 let set_intercept t f = t.intercept <- f
+let set_notify t f = t.notify <- f
 
 (** Force a signal's current value immediately, outside the delta-cycle
     discipline (fault injection: stuck lines, delayed re-delivery).
-    Returns false if the name is not a signal. *)
+    Returns false if the name is not a signal.  Fires the notify hook when
+    the value actually changed. *)
 let poke t name v =
-  if is_signal t name then begin
-    Hashtbl.replace t.current name v;
+  match id_of t name with
+  | Some id ->
+    if not (Ast.equal_value t.current.(id) v) then begin
+      t.current.(id) <- v;
+      match t.notify with None -> () | Some f -> f id
+    end;
     true
+  | None -> false
+
+(** Apply all scheduled updates in ascending id order (= sorted name
+    order, for determinism).  An installed intercept sees every scheduled
+    update and may drop or rewrite it.  Returns the ids whose current
+    value actually changed, ascending. *)
+let commit_ids t =
+  (* Ascending id order = sorted name order.  A typical delta schedules a
+     handful of signals: sorting that short worklist beats scanning the
+     whole validity mask; a wide delta flips to the mask scan, which is
+     linear in the signal count rather than n log n. *)
+  if t.n_sched = 0 then []
+  else begin
+    let ids =
+      if t.n_sched <= 8 then
+        List.sort (fun (a : int) b -> Stdlib.compare a b) t.sched_ids
+      else begin
+        let acc = ref [] in
+        for id = Array.length t.names - 1 downto 0 do
+          if t.sched_mark.(id) then acc := id :: !acc
+        done;
+        !acc
+      end
+    in
+    t.sched_ids <- [];
+    t.n_sched <- 0;
+    let changed = ref [] in
+    List.iter
+      (fun id ->
+        t.sched_mark.(id) <- false;
+        let v = t.sched_val.(id) in
+        let verdict =
+          match t.intercept with None -> Pass | Some f -> f t.names.(id) v
+        in
+        match verdict with
+        | Drop -> ()
+        | Pass | Rewrite _ ->
+          let v = match verdict with Rewrite v' -> v' | Pass | Drop -> v in
+          if not (Ast.equal_value t.current.(id) v) then
+            changed := id :: !changed;
+          t.current.(id) <- v)
+      ids;
+    List.rev !changed
   end
-  else false
 
 (** Apply all scheduled updates; returns the signals whose value actually
-    changed (sorted by name, for determinism).  An installed intercept
-    sees every scheduled update — in sorted name order, so injection
-    campaigns are deterministic — and may drop or rewrite it. *)
+    changed (sorted by name). *)
 let commit_changes t =
-  let changed = ref [] in
-  let updates =
-    Hashtbl.fold (fun name v acc -> (name, v) :: acc) t.scheduled []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
-  List.iter
-    (fun (name, v) ->
-      let verdict =
-        match t.intercept with None -> Pass | Some f -> f name v
-      in
-      match verdict with
-      | Drop -> ()
-      | Pass | Rewrite _ ->
-        let v = match verdict with Rewrite v' -> v' | Pass | Drop -> v in
-        begin match Hashtbl.find_opt t.current name with
-        | Some old when old = v -> ()
-        | Some _ | None -> changed := (name, v) :: !changed
-        end;
-        Hashtbl.replace t.current name v)
-    updates;
-  Hashtbl.reset t.scheduled;
-  List.sort (fun (a, _) (b, _) -> String.compare a b) !changed
+  List.map (fun id -> (t.names.(id), t.current.(id))) (commit_ids t)
 
 (** Apply all scheduled updates; true iff any signal value changed. *)
-let commit t = commit_changes t <> []
+let commit t = commit_ids t <> []
 
+(** Current value of every signal, sorted by name — id order and name
+    order coincide, so this is a single pass over the value array. *)
 let snapshot t =
-  Hashtbl.fold (fun name v acc -> (name, v) :: acc) t.current []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  Array.to_list (Array.mapi (fun id v -> (t.names.(id), v)) t.current)

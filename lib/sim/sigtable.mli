@@ -1,5 +1,12 @@
 (** The signal store: current values plus the delta-delayed update queue
-    (VHDL-style signal semantics). *)
+    (VHDL-style signal semantics).
+
+    Signal names are interned to dense integer ids at construction; ids
+    are assigned in sorted name order, so ascending-id iteration
+    reproduces the name-sorted commit and snapshot orders.  Values are
+    array-backed, and the scheduled queue is a worklist of written ids, so
+    both the per-read cost and the per-commit cost are independent of the
+    total signal count. *)
 
 open Spec
 
@@ -8,7 +15,30 @@ type t
 val make : Ast.sig_decl list -> t
 (** Signals start at their declared initial value (or the type default). *)
 
+val reset : t -> unit
+(** Rewind to the construction state: declaration-time values, empty
+    update queue, no intercept or notify hooks.  Observably a fresh
+    {!make} of the same declarations. *)
+
 val is_signal : t -> string -> bool
+
+(** {1 Interned ids} *)
+
+val n_signals : t -> int
+
+val id_of : t -> string -> int option
+(** The dense id of a signal name; ids are [0 .. n_signals - 1] in sorted
+    name order, stable for the lifetime of the table. *)
+
+val name_of : t -> int -> string
+
+val read_id : t -> int -> Ast.value
+(** Current value, by id — a single array read. *)
+
+val schedule_id : t -> int -> Ast.value -> unit
+(** Schedule a delta-delayed update, by id. *)
+
+(** {1 Name-keyed interface} *)
 
 val read : t -> string -> Ast.value option
 
@@ -30,10 +60,21 @@ val set_intercept : t -> (string -> Ast.value -> action) option -> unit
     intercept sees every scheduled update in sorted name order and may
     drop or rewrite it; normal operation has no intercept installed. *)
 
+val set_notify : t -> (int -> unit) option -> unit
+(** Install (or clear) the out-of-band change hook: {!poke} calls it with
+    the signal's id whenever it changes a current value.  The event-driven
+    scheduler uses this to wake waiters on poked signals; commits do not
+    fire it (their changes are returned from {!commit_ids}). *)
+
 val poke : t -> string -> Ast.value -> bool
 (** Force a signal's current value immediately, bypassing the delta-cycle
     queue (fault injection: stuck lines, delayed re-delivery).  False if
     the name is not a signal. *)
+
+val commit_ids : t -> int list
+(** Apply all scheduled updates (in ascending id = sorted name order,
+    each filtered through the intercept); returns the ids whose current
+    value actually changed, ascending. *)
 
 val commit_changes : t -> (string * Ast.value) list
 (** Apply all scheduled updates; returns the signals whose value actually

@@ -14,6 +14,11 @@ type event = {
 type t = { mutable events : event list }
 
 let make () = { events = [] }
+
+(** Drop all recorded events — the session cache reuses one trace buffer
+    across runs of the same program. *)
+let clear t = t.events <- []
+
 let record t ~delta ~tag ~value =
   t.events <- { ev_tag = tag; ev_value = value; ev_delta = delta } :: t.events
 

@@ -13,6 +13,9 @@ type t
 
 val make : unit -> t
 
+val clear : t -> unit
+(** Drop all recorded events, reusing the buffer (session cache). *)
+
 val record : t -> delta:int -> tag:string -> value:Ast.value -> unit
 
 val events : t -> event list

@@ -35,11 +35,27 @@ let as_int = function
   | VInt n -> n
   | VBool _ -> eval_error "expected an integer value"
 
+(* The two boolean blocks, interned: condition evaluation is the
+   simulator's hottest loop and must not allocate its result. *)
+let vtrue = VBool true
+let vfalse = VBool false
+let vbool b = if b then vtrue else vfalse
+
+(* Small integers likewise: loop counters and protocol data values live
+   in a narrow range, and arithmetic re-boxing them was the next biggest
+   allocation after booleans. *)
+let vint_small = Array.init 1024 (fun n -> VInt n)
+
+let vint n =
+  if Stdlib.( && ) (Stdlib.( >= ) n 0) (Stdlib.( < ) n 1024) then
+    Array.unsafe_get vint_small n
+  else VInt n
+
 let apply_binop op va vb =
   let arith f =
-    VInt (f (as_int va) (as_int vb))
+    vint (f (as_int va) (as_int vb))
   and cmp f =
-    VBool (f (as_int va) (as_int vb))
+    vbool (f (as_int va) (as_int vb))
   in
   match op with
   | Add -> arith Stdlib.( + )
@@ -51,50 +67,88 @@ let apply_binop op va vb =
   | Mod ->
     if Stdlib.( = ) (as_int vb) 0 then eval_error "modulo by zero"
     else arith Stdlib.( mod )
-  | Eq -> VBool (Stdlib.( = ) va vb)
-  | Neq -> VBool (Stdlib.( <> ) va vb)
+  | Eq -> vbool (equal_value va vb)
+  | Neq -> vbool (Stdlib.not (equal_value va vb))
   | Lt -> cmp Stdlib.( < )
   | Le -> cmp Stdlib.( <= )
   | Gt -> cmp Stdlib.( > )
   | Ge -> cmp Stdlib.( >= )
-  | And -> VBool (Stdlib.( && ) (as_bool va) (as_bool vb))
-  | Or -> VBool (Stdlib.( || ) (as_bool va) (as_bool vb))
+  | And -> vbool (Stdlib.( && ) (as_bool va) (as_bool vb))
+  | Or -> vbool (Stdlib.( || ) (as_bool va) (as_bool vb))
 
 let apply_unop op v =
   match op with
-  | Neg -> VInt (Stdlib.( - ) 0 (as_int v))
-  | Not -> VBool (Stdlib.not (as_bool v))
+  | Neg -> vint (Stdlib.( - ) 0 (as_int v))
+  | Not -> vbool (Stdlib.not (as_bool v))
 
-let rec eval ?(lookup_idx = fun x _ -> eval_error "cannot index %s here" x)
-    ~lookup e =
-  let eval = eval ~lookup_idx in
-  match e with
-  | Const v -> v
-  | Ref x ->
-    begin match lookup x with
-    | Some v -> v
-    | None -> eval_error "unbound reference %s" x
-    end
-  | Index (x, i) ->
-    begin match lookup_idx x (as_int (eval ~lookup i)) with
-    | Some v -> v
-    | None -> eval_error "array access %s failed" x
-    end
-  | Binop (And, a, b) ->
-    (* Short-circuit, so protocol guards such as [started && data = k]
-       never evaluate the right operand on an idle bus. *)
-    if as_bool (eval ~lookup a) then eval ~lookup b else VBool false
-  | Binop (Or, a, b) ->
-    if as_bool (eval ~lookup a) then VBool true else eval ~lookup b
-  | Binop (op, a, b) -> apply_binop op (eval ~lookup a) (eval ~lookup b)
-  | Unop (op, a) -> apply_unop op (eval ~lookup a)
+let eval ?(lookup_idx = fun x _ -> eval_error "cannot index %s here" x)
+    ~lookup =
+  (* The recursion captures the lookups once instead of re-applying the
+     optional argument at every node — this is the simulator's innermost
+     loop, and per-node partial applications dominated its allocation.
+     Partially applying [eval ~lookup_idx ~lookup] yields a reusable
+     evaluator; {!Sim.Interp} caches one per process. *)
+  let rec go e =
+    match e with
+    | Const v -> v
+    | Ref x ->
+      begin match lookup x with
+      | Some v -> v
+      | None -> eval_error "unbound reference %s" x
+      end
+    | Index (x, i) ->
+      begin match lookup_idx x (as_int (go i)) with
+      | Some v -> v
+      | None -> eval_error "array access %s failed" x
+      end
+    | Binop (And, a, b) ->
+      (* Short-circuit, so protocol guards such as [started && data = k]
+         never evaluate the right operand on an idle bus. *)
+      if as_bool (go a) then go b else vfalse
+    | Binop (Or, a, b) ->
+      if as_bool (go a) then vtrue else go b
+    | Binop (op, a, b) -> apply_binop op (go a) (go b)
+    | Unop (op, a) -> apply_unop op (go a)
+  in
+  go
+
+let compile ?(resolve_idx = fun x -> fun _ -> eval_error "cannot index %s here" x)
+    ~resolve_ref e =
+  (* Stage the traversal: resolve every reference once, up front, and
+     return a closure tree that only dereferences.  The thunks returned
+     by [resolve_ref] may themselves raise on call — an unbound name
+     under a short-circuited operand must not fail any earlier than
+     {!eval} would have. *)
+  let rec go e =
+    match e with
+    | Const v -> fun () -> v
+    | Ref x -> resolve_ref x
+    | Index (x, i) ->
+      let gi = go i and f = resolve_idx x in
+      fun () -> f (as_int (gi ()))
+    | Binop (And, a, b) ->
+      let ga = go a and gb = go b in
+      fun () -> if as_bool (ga ()) then gb () else vfalse
+    | Binop (Or, a, b) ->
+      let ga = go a and gb = go b in
+      fun () -> if as_bool (ga ()) then vtrue else gb ()
+    | Binop (op, a, b) ->
+      let ga = go a and gb = go b in
+      fun () -> apply_binop op (ga ()) (gb ())
+    | Unop (op, a) ->
+      let ga = go a in
+      fun () -> apply_unop op (ga ())
+  in
+  go e
 
 let eval_const e =
   match eval ~lookup:(fun _ -> None) e with
   | v -> Some v
   | exception Eval_error _ -> None
 
-let refs e =
+let refs_uncached e =
+  (* Deduplicated on the fly: one entry per name, first occurrence first,
+     however many times the name occurs in the expression. *)
   let rec go acc = function
     | Const _ -> acc
     | Ref x -> if List.mem x acc then acc else x :: acc
@@ -105,6 +159,42 @@ let refs e =
     | Unop (_, a) -> go acc a
   in
   List.rev (go [] e)
+
+(* [refs] is on the hot path of both the simulator (sensitivity sets of
+   blocked waits) and the lint passes, which call it repeatedly on the
+   same physical AST nodes; memoize per node.  Keys are compared
+   physically — [Hashtbl.hash] is structural, so physically equal keys
+   land in the same bucket — and the table is dropped wholesale when it
+   grows past a bound, so it cannot leak across many programs.  The memo
+   is domain-local: the explore sweeps run simulations on a domain pool,
+   and a shared table would be a data race. *)
+module Phys_tbl = Hashtbl.Make (struct
+  type t = expr
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let refs_memo_key : string list Phys_tbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Phys_tbl.create 1024)
+
+let refs_memo_limit = 65_536
+
+let refs e =
+  match e with
+  | Const _ -> []
+  | Ref x -> [ x ]
+  | Index _ | Binop _ | Unop _ ->
+    let refs_memo = Domain.DLS.get refs_memo_key in
+    begin match Phys_tbl.find_opt refs_memo e with
+    | Some names -> names
+    | None ->
+      if Stdlib.( >= ) (Phys_tbl.length refs_memo) refs_memo_limit then
+        Phys_tbl.reset refs_memo;
+      let names = refs_uncached e in
+      Phys_tbl.replace refs_memo e names;
+      names
+    end
 
 let rec rename f = function
   | Const v -> Const v

@@ -41,6 +41,25 @@ val eval :
     and array reads through [lookup_idx] (which defaults to failing).
     @raise Eval_error on unbound references or ill-typed operations. *)
 
+val compile :
+  ?resolve_idx:(string -> int -> value) ->
+  resolve_ref:(string -> unit -> value) ->
+  expr ->
+  unit ->
+  value
+(** [compile ~resolve_ref e] stages [e]: every reference is resolved once
+    through [resolve_ref] (which returns a read thunk), and the result is
+    a closure evaluating [e] with no further name lookups.  Sound only
+    while the resolutions stay valid — the simulator uses it for wait and
+    loop conditions, whose frame never changes across re-evaluations.
+    Short-circuit and error behavior match {!eval} exactly: a resolver
+    thunk that raises does so only when its operand is actually
+    demanded. *)
+
+val vint : int -> Ast.value
+(** [VInt n], interned for small [n] — structurally identical to a fresh
+    [VInt n], but hot loops reuse one block. *)
+
 val eval_const : expr -> value option
 (** [eval_const e] is [Some v] when [e] contains no references and
     evaluates without error. *)
@@ -55,7 +74,9 @@ val as_int : value -> int
 
 val refs : expr -> string list
 (** All referenced names (including indexed array bases), in order of
-    first occurrence, without duplicates. *)
+    first occurrence, without duplicates.  Memoized per physical
+    expression node: the simulator's sensitivity sets and the lint passes
+    ask for the same node's references over and over. *)
 
 val rename : (string -> string) -> expr -> expr
 (** [rename f e] replaces every [Ref x] with [Ref (f x)]. *)

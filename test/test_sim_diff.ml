@@ -1,0 +1,353 @@
+(** Differential tests: the event-driven kernel ({!Sim.Engine}) against
+    the retained polling kernel ({!Sim.Reference}).  The two share all
+    observable machinery ({!Sim.Runtime}), so any divergence here is a
+    scheduling bug in the event-driven kernel.  Every comparison is
+    bit-level: outcome, trace, delta and step counts, final values,
+    signal trace — and for fault injection, the campaign classification
+    of the faulty run. *)
+
+open Workloads
+open Helpers
+
+let diff_config =
+  { Sim.Engine.default_config with Sim.Engine.trace_signals = true }
+
+(* Compare every observable field; on mismatch name the first field that
+   differs so failures are actionable. *)
+let check_same label (a : Sim.Engine.result) (b : Sim.Engine.result) =
+  let fail field =
+    Alcotest.failf "%s: kernels diverge on %s (engine: %s, reference: %s)"
+      label field
+      (Sim.Engine.outcome_to_string a.Sim.Engine.r_outcome)
+      (Sim.Engine.outcome_to_string b.Sim.Engine.r_outcome)
+  in
+  if a.Sim.Engine.r_outcome <> b.Sim.Engine.r_outcome then fail "outcome";
+  if a.Sim.Engine.r_trace <> b.Sim.Engine.r_trace then fail "trace";
+  if a.Sim.Engine.r_deltas <> b.Sim.Engine.r_deltas then fail "deltas";
+  if a.Sim.Engine.r_steps <> b.Sim.Engine.r_steps then fail "steps";
+  if a.Sim.Engine.r_final <> b.Sim.Engine.r_final then fail "final values";
+  if a.Sim.Engine.r_signal_trace <> b.Sim.Engine.r_signal_trace then
+    fail "signal trace"
+
+let run_both ?(config = diff_config) ?hooks_of p =
+  let hooks k = match hooks_of with None -> None | Some f -> Some (f k) in
+  let e = Sim.Engine.run ~config ?hooks:(hooks `Engine) p in
+  let r = Sim.Reference.run ~config ?hooks:(hooks `Reference) p in
+  (e, r)
+
+let check_program label ?config ?hooks_of p =
+  let e, r = run_both ?config ?hooks_of p in
+  check_same label e r
+
+(* --- the four implementation models on the medical workload ------------ *)
+
+let refined model design =
+  let r =
+    Core.Refiner.refine Medical.spec Medical.graph design.Designs.d_partition
+      model
+  in
+  r.Core.Refiner.rf_program
+
+let test_models () =
+  List.iter
+    (fun m ->
+      check_program
+        (Printf.sprintf "medical/%s" (Core.Model.name m))
+        (refined m Designs.design1))
+    Core.Model.all
+
+let test_designs () =
+  List.iter
+    (fun d ->
+      check_program
+        (Printf.sprintf "medical-m3/%s" d.Designs.d_name)
+        (refined Core.Model.Model3 d))
+    Designs.all
+
+(* --- the other workloads, original (unrefined) specs ------------------- *)
+
+let test_workloads () =
+  check_program "medical/original" Medical.spec;
+  check_program "elevator/original" Elevator.spec;
+  check_program "fir/original" Fir.spec
+
+(* --- deadlocking and budget-limited programs --------------------------- *)
+
+let s = Spec.Parser.stmts_of_string_exn
+
+let test_deadlock_reports () =
+  (* Two processes each waiting on a signal only the other would set, plus
+     a wait on a frame variable nobody writes: the deadlock descriptions
+     (including waited names and values) must match exactly. *)
+  let p =
+    Spec.Program.make
+      ~signals:
+        [ Spec.Builder.bool_signal "a"; Spec.Builder.bool_signal "b" ]
+      ~vars:[ Spec.Builder.int_var ~init:0 "quiet" ]
+      "dead"
+      (Spec.Behavior.par "top"
+         [
+           Spec.Behavior.leaf "P" (s "wait until a;");
+           Spec.Behavior.leaf "Q" (s "wait until b;");
+           Spec.Behavior.leaf "R" (s "wait until quiet = 1;");
+         ])
+  in
+  check_program "deadlock/three-waiters" p
+
+let test_step_limit () =
+  let p =
+    Spec.Program.make
+      ~signals:[ Spec.Builder.int_signal ~init:0 "tick" ]
+      "spin"
+      (Spec.Behavior.leaf "L"
+         (s "while 0 < 1 do tick <= tick + 1; wait until tick > 1000000; end while;"))
+  in
+  let config =
+    { diff_config with Sim.Engine.max_steps = 5_000; max_deltas = 100 }
+  in
+  check_program "limits/step-limit" ~config p
+
+(* --- fault injection under both kernels -------------------------------- *)
+
+let test_fault_hooks () =
+  let prog = refined Core.Model.Model2 Designs.design1 in
+  let golden = Sim.Engine.run ~config:diff_config prog in
+  (* Pick real handshake signals from the golden run's committed updates. *)
+  let committed =
+    List.concat_map (fun (_, cs) -> List.map fst cs) golden.Sim.Engine.r_signal_trace
+    |> List.sort_uniq compare
+  in
+  let pick i = List.nth committed (i mod List.length committed) in
+  let fault_sets =
+    [
+      [ Faults.Fault.Drop_update { du_signal = pick 0; du_occurrence = 2 } ];
+      [
+        Faults.Fault.Delay_update
+          { dl_signal = pick 1; dl_occurrence = 1; dl_deltas = 3 };
+      ];
+      [
+        Faults.Fault.Stuck_at
+          { st_signal = pick 2; st_value = Spec.Ast.VBool true; st_delta = 5 };
+      ];
+      [
+        Faults.Fault.Drop_update { du_signal = pick 3; du_occurrence = 1 };
+        Faults.Fault.Delay_update
+          { dl_signal = pick 4; dl_occurrence = 2; dl_deltas = 2 };
+      ];
+    ]
+  in
+  (* Bound faulty runs like the campaign does: a dropped handshake can hang
+     the design, which must classify identically, not run forever. *)
+  let config =
+    {
+      diff_config with
+      Sim.Engine.max_deltas = (golden.Sim.Engine.r_deltas * 10) + 50_000;
+    }
+  in
+  List.iteri
+    (fun i faults ->
+      let e, r =
+        (* hooks carry mutable occurrence counters: fresh per kernel *)
+        run_both ~config
+          ~hooks_of:(fun _ -> Faults.Inject.hooks faults)
+          prog
+      in
+      check_same (Printf.sprintf "faults/set-%d" i) e r;
+      let classify res =
+        Faults.Campaign.classify ~storage:[] ~golden res
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "faults/set-%d classification" i)
+        (Faults.Campaign.outcome_name (classify r))
+        (Faults.Campaign.outcome_name (classify e)))
+    fault_sets
+
+(* --- scheduler-level unit tests ---------------------------------------- *)
+
+(* A waiter parked on [go] plus a ticker that commits [n] unrelated delta
+   cycles before finally raising [go].  Every wait condition reads only
+   signals (a condition that reads frame variables would be polled, not
+   parked), so wakes are exactly countable: the ticker is woken by each
+   of its [n] handshake commits, the waiter once by the [go] commit. *)
+let ticker_prog n =
+  let body =
+    String.concat " "
+      (List.init n (fun k ->
+           Printf.sprintf "tick <= %d; wait until tick = %d;" k k))
+    ^ " go <= true;"
+  in
+  Spec.Program.make
+    ~signals:
+      [
+        Spec.Builder.bool_signal "go";
+        Spec.Builder.int_signal ~init:(-1) "tick";
+      ]
+    ~vars:[ Spec.Builder.int_var ~init:0 "seen" ]
+    "ticker"
+    (Spec.Behavior.par "top"
+       [
+         Spec.Behavior.leaf "W" (s "wait until go = true; seen := 1;");
+         Spec.Behavior.leaf "T" (s body);
+       ])
+
+let test_wait_set_wakeup () =
+  let p = ticker_prog 20 in
+  let r, st = Sim.Engine.run_stats ~config:diff_config p in
+  Alcotest.(check string)
+    "completes" "completed"
+    (Sim.Engine.outcome_to_string r.Sim.Engine.r_outcome);
+  Alcotest.(check (list (pair string value_testable)))
+    "waiter ran" [ ("seen", Spec.Ast.VInt 1) ]
+    (List.filter (fun (n, _) -> n = "seen") r.Sim.Engine.r_final);
+  (* The ticker parks 20 times, the waiter once: each park is released by
+     exactly one wake, triggered by the commit of a waited signal. *)
+  Alcotest.(check int) "one wake per park" 21 st.Sim.Engine.st_wakes
+
+let test_no_busy_polling () =
+  (* While the ticker churns out unrelated commits, the parked waiter must
+     not be revisited: with two leaves, busy-polling would activate both
+     every round (about [2 * rounds] activations); the event-driven queue
+     activates at most one — the woken ticker — plus the waiter's initial
+     park and final wake. *)
+  let p = ticker_prog 20 in
+  let _, st = Sim.Engine.run_stats ~config:diff_config p in
+  Alcotest.(check bool)
+    (Printf.sprintf "no busy-polling (%d leaf runs in %d rounds)"
+       st.Sim.Engine.st_leaf_runs st.Sim.Engine.st_rounds)
+    true
+    (st.Sim.Engine.st_leaf_runs < st.Sim.Engine.st_rounds)
+
+let test_interned_id_stability () =
+  (* Ids are assigned in sorted name order (last duplicate declaration
+     wins), are dense, survive scheduling activity, and ascending-id
+     iteration reproduces the name-sorted snapshot order. *)
+  let decl ?init name = { Spec.Ast.s_name = name; s_ty = Spec.Ast.TInt 16; s_init = init } in
+  let t =
+    Sim.Sigtable.make
+      [
+        decl ~init:(Spec.Ast.VInt 7) "zeta";
+        decl "alpha";
+        decl ~init:(Spec.Ast.VInt 1) "mid";
+        decl ~init:(Spec.Ast.VInt 2) "alpha" (* duplicate: this one wins *);
+      ]
+  in
+  Alcotest.(check int) "dense" 3 (Sim.Sigtable.n_signals t);
+  let id name =
+    match Sim.Sigtable.id_of t name with
+    | Some i -> i
+    | None -> Alcotest.failf "no id for %s" name
+  in
+  Alcotest.(check (list int)) "sorted name order" [ 0; 1; 2 ]
+    [ id "alpha"; id "mid"; id "zeta" ];
+  List.iter
+    (fun n -> Alcotest.(check string) "name_of inverts id_of" n
+        (Sim.Sigtable.name_of t (id n)))
+    [ "alpha"; "mid"; "zeta" ];
+  Alcotest.(check (list (pair string value_testable)))
+    "snapshot is name-sorted, duplicate resolved"
+    [ ("alpha", Spec.Ast.VInt 2); ("mid", Spec.Ast.VInt 1); ("zeta", Spec.Ast.VInt 7) ]
+    (Sim.Sigtable.snapshot t);
+  (* Scheduling out of id order commits ascending and leaves ids intact. *)
+  Sim.Sigtable.schedule_id t (id "zeta") (Spec.Ast.VInt 8);
+  Sim.Sigtable.schedule_id t (id "alpha") (Spec.Ast.VInt 3);
+  Alcotest.(check (list int)) "commit ascending" [ id "alpha"; id "zeta" ]
+    (Sim.Sigtable.commit_ids t);
+  Alcotest.(check (list int)) "ids stable across commits" [ 0; 1; 2 ]
+    [ id "alpha"; id "mid"; id "zeta" ];
+  Sim.Sigtable.reset t;
+  Alcotest.(check (list (pair string value_testable)))
+    "reset restores declaration values"
+    [ ("alpha", Spec.Ast.VInt 2); ("mid", Spec.Ast.VInt 1); ("zeta", Spec.Ast.VInt 7) ]
+    (Sim.Sigtable.snapshot t)
+
+(* --- session reuse ------------------------------------------------------ *)
+
+(* The engine keeps one elaborated session per program and rewinds it in
+   place between runs.  Reuse must be observationally invisible: repeat
+   runs bit-identical to the first, and a clean run after a faulted (or
+   step-limited) one identical to a cold clean run. *)
+
+let test_session_repeat () =
+  let p = refined Core.Model.Model2 Designs.design1 in
+  let cold = Sim.Engine.run ~config:diff_config p in
+  for i = 1 to 3 do
+    check_same
+      (Printf.sprintf "session/repeat-%d" i)
+      (Sim.Engine.run ~config:diff_config p)
+      cold
+  done;
+  check_same "session/vs-reference" cold (Sim.Reference.run ~config:diff_config p)
+
+let test_session_after_fault () =
+  let p = refined Core.Model.Model2 Designs.design1 in
+  let cold = Sim.Engine.run ~config:diff_config p in
+  let sig0 =
+    match cold.Sim.Engine.r_signal_trace with
+    | (_, (name, _) :: _) :: _ -> name
+    | _ -> Alcotest.fail "no committed signals"
+  in
+  let faults =
+    [ Faults.Fault.Drop_update { du_signal = sig0; du_occurrence = 1 } ]
+  in
+  let config =
+    { diff_config with Sim.Engine.max_deltas = (cold.Sim.Engine.r_deltas * 10) + 50_000 }
+  in
+  let _faulted = Sim.Engine.run ~config ~hooks:(Faults.Inject.hooks faults) p in
+  (* The rewound session must carry no residue of the faulted run: no
+     intercept, no poked values, no stale park state. *)
+  check_same "session/clean-after-fault" (Sim.Engine.run ~config:diff_config p) cold
+
+let test_session_after_step_limit () =
+  let p = refined Core.Model.Model2 Designs.design1 in
+  let cold = Sim.Engine.run ~config:diff_config p in
+  let cut = { diff_config with Sim.Engine.max_steps = cold.Sim.Engine.r_steps / 3 } in
+  let limited = Sim.Engine.run ~config:cut p in
+  Alcotest.(check string)
+    "cut mid-flight" "step limit exceeded"
+    (Sim.Engine.outcome_to_string limited.Sim.Engine.r_outcome);
+  check_same "session/clean-after-limit" (Sim.Engine.run ~config:diff_config p) cold
+
+(* --- qcheck: generated specs, both kernels ----------------------------- *)
+
+let prop_kernels_agree =
+  QCheck.Test.make ~count:60 ~name:"event-driven kernel = polling kernel"
+    QCheck.(make Gen.(int_range 1 10_000))
+    (fun seed ->
+      let p =
+        Workloads.Generator.program
+          { Workloads.Generator.default_config with gen_seed = seed }
+      in
+      let e, r = run_both p in
+      e.Sim.Engine.r_outcome = r.Sim.Engine.r_outcome
+      && e.Sim.Engine.r_trace = r.Sim.Engine.r_trace
+      && e.Sim.Engine.r_deltas = r.Sim.Engine.r_deltas
+      && e.Sim.Engine.r_steps = r.Sim.Engine.r_steps
+      && e.Sim.Engine.r_final = r.Sim.Engine.r_final
+      && e.Sim.Engine.r_signal_trace = r.Sim.Engine.r_signal_trace)
+
+let () =
+  Alcotest.run "sim-diff"
+    [
+      ( "kernels",
+        [
+          tc "four models" test_models;
+          tc "three designs" test_designs;
+          tc "original workloads" test_workloads;
+          tc "deadlock reports" test_deadlock_reports;
+          tc "step limit" test_step_limit;
+          tc "fault hooks" test_fault_hooks;
+        ] );
+      ( "scheduler",
+        [
+          tc "wait-set wakeup" test_wait_set_wakeup;
+          tc "no busy-polling" test_no_busy_polling;
+          tc "interned-id stability" test_interned_id_stability;
+        ] );
+      ( "sessions",
+        [
+          tc "repeat runs identical" test_session_repeat;
+          tc "clean after faulted" test_session_after_fault;
+          tc "clean after step limit" test_session_after_step_limit;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_kernels_agree ]);
+    ]
