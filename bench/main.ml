@@ -671,12 +671,49 @@ let bench_json out_path =
       (float_of_int n_results /. cold_s)
       hit_rate
   in
+  (* -- checkpoint: fsynced journal append and replay throughput ------- *)
+  let checkpoint_row =
+    let dir = Filename.temp_file "coref_bench_journal" ".d" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o755;
+    let path = Filename.concat dir "bench.journal" in
+    let meta = Checkpoint.Journal.meta_digest [ "bench-journal" ] in
+    let blob = String.make 256 'x' in
+    let n = 200 in
+    let j = Checkpoint.Journal.open_ ~path ~meta in
+    let (), append_s =
+      seconds_of (fun () ->
+          for i = 1 to n do
+            Checkpoint.Journal.append j ~key:(Printf.sprintf "k%d" i) blob
+          done)
+    in
+    Checkpoint.Journal.close j;
+    let replayed, replay_s =
+      seconds_of (fun () ->
+          let j = Checkpoint.Journal.open_ ~path ~meta in
+          let n = Checkpoint.Journal.length j in
+          Checkpoint.Journal.close j;
+          n)
+    in
+    Printf.printf
+      "checkpoint/journal   %d fsynced appends %6.2f s (%.0f/s)  replay \
+       %6.3f s  (%d entries)\n"
+      n append_s
+      (float_of_int n /. append_s)
+      replay_s replayed;
+    Printf.sprintf
+      "{\"appends\":%d,\"append_s\":%.3f,\"appends_per_s\":%.0f,\
+       \"replay_s\":%.3f,\"replayed\":%d}"
+      n append_s
+      (float_of_int n /. append_s)
+      replay_s replayed
+  in
   let json =
     Printf.sprintf
       "{\"schema\":\"coref-bench-sim-1\",\"simulate\":[%s],\"faults\":%s,\
-       \"explore\":%s}\n"
+       \"explore\":%s,\"checkpoint\":%s}\n"
       (String.concat "," sim_rows)
-      faults_row explore_row
+      faults_row explore_row checkpoint_row
   in
   let oc = open_out out_path in
   output_string oc json;

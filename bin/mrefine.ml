@@ -530,10 +530,40 @@ let explore_cmd =
       value & flag
       & info [ "no-cache" ] ~doc:"Do not read or write the on-disk cache.")
   in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-candidate wall-clock budget.  A candidate exceeding it \
+                (e.g. a runaway simulation) is cancelled cooperatively and \
+                reported as timed out; the other workers are unaffected \
+                and nothing transient is cached.")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Supervised retries (with exponential backoff) for an \
+                evaluation that raises, before the candidate is \
+                quarantined as crashed.")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"JOURNAL"
+          ~doc:"Checkpoint journal file (created if missing).  Every \
+                definitive evaluation is appended as it completes; rerun \
+                with the same journal after a crash or kill to replay \
+                completed candidates and continue from the frontier.")
+  in
   let run spec_path models seeds biases n_parts steps jobs json top cache_dir
-      no_cache output =
+      no_cache deadline retries resume output =
     let p = or_die (load_spec spec_path) in
     if jobs < 1 then or_die (Error "--jobs must be >= 1");
+    if retries < 0 then or_die (Error "--retries must be >= 0");
     if models = [] || seeds = [] || biases = [] then
       or_die (Error "--models, --seeds and --biases must be non-empty");
     let cache =
@@ -553,9 +583,23 @@ let explore_cmd =
         n_parts;
         steps;
         jobs;
+        deadline_s = deadline;
+        retries;
+        backoff_s = Explore.Sweep.default_config.Explore.Sweep.backoff_s;
       }
     in
-    let sw = Explore.Sweep.run ~cache config p in
+    let journal =
+      match resume with
+      | None -> None
+      | Some path ->
+        (try
+           Some
+             (Checkpoint.Journal.open_ ~path
+                ~meta:(Explore.Sweep.journal_meta config p))
+         with Checkpoint.Journal.Journal_error msg -> or_die (Error msg))
+    in
+    let sw = Explore.Sweep.run ~cache ?journal config p in
+    Option.iter Checkpoint.Journal.close journal;
     let report =
       if json then Explore.Sweep.to_json ~top sw
       else Explore.Sweep.to_text ~top sw
@@ -568,11 +612,14 @@ let explore_cmd =
          "Sweep the design space (partition seeds x biases x models), \
           evaluate every candidate in parallel with memoization, and \
           report the Pareto frontier over max bus rate, specification \
-          growth and pins+gates.")
+          growth and pins+gates.  Long sweeps run supervised: worker \
+          crashes and per-candidate deadlines degrade coverage instead \
+          of aborting, and $(b,--resume) checkpoints every completed \
+          evaluation to a crash-safe journal.")
     Term.(
       const run $ spec_arg $ models_arg $ seeds_arg $ biases_arg $ parts_arg
       $ steps_arg $ jobs_arg $ json_arg $ top_arg $ cache_dir_arg
-      $ no_cache_arg $ output_arg)
+      $ no_cache_arg $ deadline_arg $ retries_arg $ resume_arg $ output_arg)
 
 let faults_cmd =
   let cls_conv =
@@ -616,8 +663,28 @@ let faults_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
   in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget of the whole campaign: once exceeded, \
+                the running simulation is cancelled cooperatively and the \
+                remaining runs are classified timed-out instead of \
+                hanging the command.")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"JOURNAL"
+          ~doc:"Checkpoint journal file (created if missing).  Every \
+                classified run is appended as it completes; rerun with the \
+                same journal to replay completed runs and continue the \
+                campaign from where it stopped.")
+  in
   let run spec_path model n_parts algo seed assign protocol harden classes
-      seeds base_seed json output =
+      seeds base_seed json deadline resume output =
     let p = or_die (load_spec spec_path) in
     if seeds < 1 then or_die (Error "--seeds must be >= 1");
     if classes = [] then or_die (Error "--faults must be non-empty");
@@ -648,13 +715,25 @@ let faults_cmd =
         Faults.Campaign.cf_seeds = seeds;
         cf_base_seed = base_seed;
         cf_classes = classes;
+        cf_deadline_s = deadline;
       }
     in
+    let journal =
+      match resume with
+      | None -> None
+      | Some path ->
+        (try
+           Some
+             (Checkpoint.Journal.open_ ~path
+                ~meta:(Faults.Campaign.journal_meta config r))
+         with Checkpoint.Journal.Journal_error msg -> or_die (Error msg))
+    in
     let report =
-      try Faults.Campaign.run ~config r
+      try Faults.Campaign.run ~config ?journal r
       with Faults.Campaign.Campaign_error msg ->
         or_die (Error ("fault campaign: " ^ msg))
     in
+    Option.iter Checkpoint.Journal.close journal;
     let text =
       if json then Faults.Campaign.to_json report
       else Faults.Campaign.to_text report
@@ -673,7 +752,7 @@ let faults_cmd =
     Term.(
       const run $ spec_arg $ model_arg $ parts_arg $ algo_arg $ seed_arg
       $ assign_arg $ protocol_arg $ harden_arg $ classes_arg $ seeds_arg
-      $ base_seed_arg $ json_arg $ output_arg)
+      $ base_seed_arg $ json_arg $ deadline_arg $ resume_arg $ output_arg)
 
 let lint_cmd =
   let severity_conv =
@@ -741,9 +820,20 @@ let lint_cmd =
       value & flag
       & info [ "list-codes" ] ~doc:"Print the diagnostic code table and exit.")
   in
+  let override_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "severity-override" ] ~docv:"CODE=LEVEL"
+          ~doc:"Remap a diagnostic code's severity (LEVEL = error, \
+                warning, info) or silence it (LEVEL = off), e.g. \
+                $(b,--severity-override WIDTH001=error).  Repeatable; \
+                applied before $(b,--severity) filtering and the exit \
+                code.")
+  in
   (* One lint target: a named program with an optional forced phase. *)
-  let lint_target (name, p, phase) =
-    let ds = Lint.Registry.run ?phase p in
+  let lint_target overrides (name, p, phase) =
+    let ds = Lint.Registry.run ?phase ~overrides p in
     (name, p, phase, ds)
   in
   let workload_targets () =
@@ -775,13 +865,22 @@ let lint_cmd =
     in
     List.map (fun (n, p) -> (n, p, None)) builtin @ refined
   in
-  let run spec_path severity codes phase json workloads list_codes output =
+  let run spec_path severity codes phase json workloads list_codes overrides
+      output =
     if list_codes then begin
       List.iter
         (fun (code, descr) -> Printf.printf "%-9s %s\n" code descr)
         Lint.Registry.code_table;
       exit 0
     end;
+    let overrides =
+      List.map
+        (fun s ->
+          match Lint.Registry.parse_override s with
+          | Ok ov -> ov
+          | Error msg -> or_die (Error msg))
+        overrides
+    in
     let targets =
       if workloads then workload_targets ()
       else
@@ -791,7 +890,7 @@ let lint_cmd =
           let p = or_die (load_spec path) in
           [ (path, p, phase) ]
     in
-    let results = List.map lint_target targets in
+    let results = List.map (lint_target overrides) targets in
     let keep d =
       Spec.Diagnostic.severity_rank d.Spec.Diagnostic.d_severity
       <= Spec.Diagnostic.severity_rank severity
@@ -863,7 +962,8 @@ let lint_cmd =
           diagnostic.")
     Term.(
       const run $ spec_opt_arg $ severity_arg $ code_arg $ phase_arg
-      $ json_arg $ workloads_arg $ list_codes_arg $ output_arg)
+      $ json_arg $ workloads_arg $ list_codes_arg $ override_arg
+      $ output_arg)
 
 let () =
   let info =

@@ -1,9 +1,10 @@
 (** Mutex-protected memo table with optional one-file-per-key disk
     persistence.  See the interface for the concurrency contract. *)
 
-(* Bump when the marshalled layout of cached values changes: stale disk
-   entries from an older build then read as misses instead of garbage. *)
-let format_version = "coref-explore-cache-4\n"
+(* Bump when the marshalled layout of cached values or the entry framing
+   changes: stale disk entries from an older build then read as misses
+   instead of garbage.  v5: length-prefixed, checksummed blobs. *)
+let format_version = "coref-explore-cache-5\n"
 
 type stats = { hits : int; misses : int }
 
@@ -60,25 +61,50 @@ let write_file path data =
       output_string oc data);
   Sys.rename tmp path
 
+(* Entry framing behind the version prefix: [u32 length][16-byte MD5 of
+   blob][blob].  A partially-written file that survived a crash — short
+   of the declared length, or bit-rotted — fails the length or checksum
+   check and reads as a miss, never as a [Marshal] exception. *)
+let frame blob =
+  let len = String.length blob in
+  let b = Buffer.create (len + 20) in
+  Buffer.add_char b (Char.chr ((len lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((len lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((len lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (len land 0xff));
+  Buffer.add_string b (Digest.string blob);
+  Buffer.add_string b blob;
+  Buffer.contents b
+
+let unframe data =
+  let vn = String.length format_version in
+  if String.length data < vn + 20 then None
+  else if not (String.equal (String.sub data 0 vn) format_version) then None
+  else
+    let len =
+      (Char.code data.[vn] lsl 24)
+      lor (Char.code data.[vn + 1] lsl 16)
+      lor (Char.code data.[vn + 2] lsl 8)
+      lor Char.code data.[vn + 3]
+    in
+    if String.length data <> vn + 20 + len then None
+    else
+      let digest = String.sub data (vn + 4) 16 in
+      let blob = String.sub data (vn + 20) len in
+      if String.equal (Digest.string blob) digest then Some blob else None
+
 let disk_find t key =
   match file_of t key with
   | None -> None
   | Some path ->
-    (try
-       let data = read_file path in
-       let vn = String.length format_version in
-       if
-         String.length data > vn
-         && String.sub data 0 vn = format_version
-       then Some (String.sub data vn (String.length data - vn))
-       else None
-     with Sys_error _ | End_of_file -> None)
+    (try unframe (read_file path) with Sys_error _ | End_of_file -> None)
 
 let disk_add t key blob =
   match file_of t key with
   | None -> ()
   | Some path ->
-    (try write_file path (format_version ^ blob) with Sys_error _ -> ())
+    (try write_file path (format_version ^ frame blob)
+     with Sys_error _ -> ())
 
 let lookup t ~count key =
   with_lock t (fun () ->

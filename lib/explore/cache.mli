@@ -21,7 +21,10 @@ type t
 val create : ?dir:string -> unit -> t
 (** A fresh, empty cache.  With [dir], entries are also persisted under
     that directory (created if missing) and looked up there on an
-    in-memory miss; unreadable or corrupt files are treated as misses. *)
+    in-memory miss.  Disk entries are length-prefixed and checksummed
+    behind a format-version line, so an unreadable, truncated (e.g. a
+    partial write surviving a crash) or bit-rotted file reads as a miss
+    — never as a [Marshal] failure — and is evicted on recompute. *)
 
 val digest_key : string list -> string
 (** Stable hex key of the given components (order-sensitive). *)

@@ -23,11 +23,41 @@ type metrics = {
   e_robustness : float;
 }
 
+type failure =
+  | Refine_failed of string
+  | Timed_out of float
+  | Crashed of { cr_exn : string; cr_backtrace : string; cr_attempts : int }
+
+let failure_kind = function
+  | Refine_failed _ -> "refine-error"
+  | Timed_out _ -> "timeout"
+  | Crashed _ -> "crash"
+
+let failure_message = function
+  | Refine_failed msg -> msg
+  | Timed_out elapsed ->
+    Printf.sprintf "deadline exceeded after %.2fs" elapsed
+  | Crashed c ->
+    Printf.sprintf "%s (quarantined after %d attempts)" c.cr_exn
+      c.cr_attempts
+
+(* Definitive outcomes are properties of the candidate itself and may be
+   cached, journaled and replayed; timeouts and crashes are properties of
+   one particular execution and must be retried by a resumed sweep. *)
+let definitive = function
+  | Ok _ | Error (Refine_failed _) -> true
+  | Error (Timed_out _ | Crashed _) -> false
+
 type result = {
   r_candidate : Candidate.t;
-  r_outcome : (metrics, string) Stdlib.result;
+  r_outcome : (metrics, failure) Stdlib.result;
   r_cached : bool;
+  r_replayed : bool;
 }
+
+(* Cooperative per-candidate deadline: raised at evaluation checkpoints
+   and converted to a [Timed_out] outcome in {!run} — never cached. *)
+exception Deadline
 
 type ctx = {
   cx_spec : Spec.Ast.program;
@@ -92,18 +122,31 @@ let quality_totals (q : Core.Quality.t) =
 (* A small fixed fault campaign per candidate: two seeds over the two
    cheapest-to-classify classes.  Deterministic (seeded), so it belongs
    in the memoized tail; designs that cannot complete a golden run score
-   0.0 rather than failing the evaluation. *)
-let probe_robustness (r : Core.Refiner.t) =
+   0.0 rather than failing the evaluation.  [poll] threads the
+   candidate's deadline into the simulation kernels — a runaway refined
+   design is cancelled mid-run and surfaces as {!Deadline} rather than
+   stalling the worker until the step limit. *)
+let probe_robustness ?poll (r : Core.Refiner.t) =
   let config =
     {
       Faults.Campaign.default_config with
       Faults.Campaign.cf_seeds = 2;
       cf_classes = [ Faults.Fault.Drop_handshake; Faults.Fault.Bit_flip ];
+      cf_poll = poll;
     }
   in
+  let expired () = match poll with Some f -> f () | None -> false in
   match Faults.Campaign.run ~config r with
-  | report -> report.Faults.Campaign.rp_robustness
-  | exception _ -> 0.0
+  | report ->
+    if
+      List.exists
+        (fun rn ->
+          rn.Faults.Campaign.run_outcome = Faults.Campaign.Timed_out)
+        report.Faults.Campaign.rp_runs
+    then raise Deadline
+    else report.Faults.Campaign.rp_robustness
+  | exception Deadline -> raise Deadline
+  | exception _ -> if expired () then raise Deadline else 0.0
 
 (* Lint pass results memoized by the *output* text: different partitions
    of the same spec routinely refine to structurally identical model
@@ -128,20 +171,27 @@ let lint_counts ?cache refined =
     fst (Cache.find_or_add ~count_stats:false cache key compute)
 
 (* The memoized tail: everything downstream of the partition.  Pure in
-   (spec, partition, model) — exactly what the cache key covers. *)
-let refine_and_measure ?cache ctx alloc part (model : Core.Model.t) =
+   (spec, partition, model) — exactly what the cache key covers; the
+   deadline checkpoints can only abort it (via {!Deadline}, which
+   propagates out of the cache so nothing transient is ever stored),
+   never change its value. *)
+let refine_and_measure ?cache ?poll ~checkpoint ctx alloc part
+    (model : Core.Model.t) =
   match Core.Refiner.refine ctx.cx_spec ctx.cx_graph part model with
-  | exception Core.Refiner.Refine_error msg -> Error msg
+  | exception Core.Refiner.Refine_error msg -> Error (Refine_failed msg)
   | r ->
+    checkpoint ();
     let check_ok =
       match Core.Check.run ~original:ctx.cx_spec r with
       | Ok () -> true
       | Error _ -> false
     in
+    checkpoint ();
     let refined = r.Core.Refiner.rf_program in
     (* Structural lint of the refined output (the typecheck part is
        already inside Check.run / e_check_ok), memoized by output text. *)
     let lint_errors, lint_warnings = lint_counts ?cache refined in
+    checkpoint ();
     let env = Estimate.Rates.make_env ctx.cx_spec alloc part in
     let plan = r.Core.Refiner.rf_plan in
     let q = Core.Quality.of_refinement ~alloc r in
@@ -164,19 +214,39 @@ let refine_and_measure ?cache ctx alloc part (model : Core.Model.t) =
         e_check_ok = check_ok;
         e_lint_errors = lint_errors;
         e_lint_warnings = lint_warnings;
-        e_robustness = probe_robustness r;
+        e_robustness = probe_robustness ?poll r;
       }
 
-let run ?cache ctx (c : Candidate.t) =
-  let alloc = alloc_for ctx c in
-  let part = partition_of ctx c in
-  let model = c.Candidate.c_model in
-  let compute () = refine_and_measure ?cache ctx alloc part model in
-  let outcome, cached =
-    match cache with
+let run ?cache ?deadline_s ctx (c : Candidate.t) =
+  let started = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. started in
+  let poll =
+    Option.map (fun limit () -> elapsed () > limit) deadline_s
+  in
+  let checkpoint () =
+    match poll with Some f when f () -> raise Deadline | _ -> ()
+  in
+  match
+    let alloc = alloc_for ctx c in
+    let part = partition_of ctx c in
+    checkpoint ();
+    let model = c.Candidate.c_model in
+    let compute () =
+      refine_and_measure ?cache ?poll ~checkpoint ctx alloc part model
+    in
+    (match cache with
     | None -> (compute (), false)
     | Some cache ->
       let key = cache_key ~spec_digest:ctx.cx_digest ~partition:part ~model in
-      Cache.find_or_add cache key compute
-  in
-  { r_candidate = c; r_outcome = outcome; r_cached = cached }
+      Cache.find_or_add cache key compute)
+  with
+  | outcome, cached ->
+    { r_candidate = c; r_outcome = outcome; r_cached = cached;
+      r_replayed = false }
+  | exception Deadline ->
+    {
+      r_candidate = c;
+      r_outcome = Error (Timed_out (elapsed ()));
+      r_cached = false;
+      r_replayed = false;
+    }

@@ -36,11 +36,31 @@ type metrics = {
           ({!Faults.Campaign}); 0.0 when the design cannot be campaigned *)
 }
 
+(** Why a candidate has no metrics.  {!Refine_failed} is a {e definitive}
+    property of the candidate (cacheable, journalable); {!Timed_out} and
+    {!Crashed} describe one particular execution and are retried by a
+    resumed sweep. *)
+type failure =
+  | Refine_failed of string  (** refinement itself rejected the candidate *)
+  | Timed_out of float
+      (** the per-candidate deadline fired; payload = seconds elapsed *)
+  | Crashed of { cr_exn : string; cr_backtrace : string; cr_attempts : int }
+      (** the evaluation raised on every supervised attempt and was
+          quarantined (constructed by {!Sweep} from {!Pool.failure}) *)
+
+val failure_kind : failure -> string
+(** Stable taxonomy label: ["refine-error"], ["timeout"] or ["crash"]. *)
+
+val failure_message : failure -> string
+
+val definitive : (metrics, failure) Stdlib.result -> bool
+(** Whether the outcome may be cached, journaled and replayed on resume. *)
+
 type result = {
   r_candidate : Candidate.t;
-  r_outcome : (metrics, string) Stdlib.result;
-      (** [Error msg] when refinement itself failed *)
+  r_outcome : (metrics, failure) Stdlib.result;
   r_cached : bool;  (** the refine→quality tail came from the cache *)
+  r_replayed : bool;  (** the outcome came from a resume journal *)
 }
 
 type ctx
@@ -72,6 +92,13 @@ val cache_key :
 (** The memoization key: hex digest over the spec digest, the canonical
     (sorted) object→partition assignment, and the model name. *)
 
-val run : ?cache:Cache.t -> ctx -> Candidate.t -> result
+val run : ?cache:Cache.t -> ?deadline_s:float -> ctx -> Candidate.t -> result
 (** Evaluate one candidate, consulting [cache] for the refinement tail.
-    Never raises: refiner errors surface as [Error _] outcomes. *)
+    Never raises: refiner errors surface as [Error (Refine_failed _)].
+
+    With [deadline_s], the evaluation carries a cooperative wall-clock
+    budget: it is checked between pipeline stages and threaded into the
+    robustness probe's simulation kernels ({!Sim.Runtime.hooks.h_poll}),
+    so a runaway simulation is cancelled mid-run.  An expired candidate
+    returns [Error (Timed_out elapsed)] and {e nothing} is cached — a
+    later, unhurried evaluation recomputes it from scratch. *)

@@ -27,6 +27,7 @@ type outcome =
   | Deadlock
   | Silent_corruption
   | Step_limit
+  | Timed_out
 
 let outcome_name = function
   | Survived -> "survived"
@@ -34,9 +35,17 @@ let outcome_name = function
   | Deadlock -> "deadlock"
   | Silent_corruption -> "silent-corruption"
   | Step_limit -> "step-limit"
+  | Timed_out -> "timed-out"
 
 let all_outcomes =
-  [ Survived; Detected_recovered; Deadlock; Silent_corruption; Step_limit ]
+  [
+    Survived;
+    Detected_recovered;
+    Deadlock;
+    Silent_corruption;
+    Step_limit;
+    Timed_out;
+  ]
 
 type run = {
   run_seed : int;
@@ -60,6 +69,12 @@ type config = {
   cf_base_seed : int;
   cf_classes : Fault.cls list;
   cf_sim : Sim.Engine.config;  (** budget of the golden run *)
+  cf_deadline_s : float option;
+      (** wall-clock budget of the whole campaign: once exceeded, the
+          running simulation is cancelled and every remaining run is
+          classified {!Timed_out} *)
+  cf_poll : (unit -> bool) option;
+      (** external cooperative cancellation, polled with the deadline *)
 }
 
 let default_config =
@@ -68,6 +83,8 @@ let default_config =
     cf_base_seed = 1;
     cf_classes = Fault.all_classes;
     cf_sim = Sim.Engine.default_config;
+    cf_deadline_s = None;
+    cf_poll = None;
   }
 
 (* --- target enumeration ------------------------------------------------ *)
@@ -294,6 +311,7 @@ let classify ~storage ~(golden : Sim.Engine.result) (faulty : Sim.Engine.result)
   match faulty.Sim.Engine.r_outcome with
   | Sim.Engine.Deadlock _ -> Deadlock
   | Sim.Engine.Step_limit -> Step_limit
+  | Sim.Engine.Cancelled -> Timed_out
   | Sim.Engine.Completed ->
     let trace_ok =
       Sim.Trace.projection_equivalent
@@ -324,11 +342,45 @@ exception Campaign_error of string
    {!Sim.Runtime}, so classifications are directly comparable). *)
 let engine_simulate ~config ~hooks p = Sim.Engine.run ~config ~hooks p
 
-let run ?(config = default_config) ?(simulate = engine_simulate)
+(* The journal meta binds a checkpoint journal to everything that
+   determines a run's outcome: the refined program text and the campaign
+   configuration.  Resuming against a different design or configuration
+   is refused by {!Checkpoint.Journal.open_}. *)
+let journal_meta config (r : Core.Refiner.t) =
+  Checkpoint.Journal.meta_digest
+    [
+      "faults-campaign-1";
+      Spec.Printer.program_to_string r.Core.Refiner.rf_program;
+      string_of_int config.cf_seeds;
+      string_of_int config.cf_base_seed;
+      String.concat "," (List.map Fault.cls_name config.cf_classes);
+      string_of_int config.cf_sim.Sim.Engine.max_steps;
+      string_of_int config.cf_sim.Sim.Engine.max_deltas;
+    ]
+
+let decode_run blob =
+  match (Marshal.from_string blob 0 : run) with
+  | rn -> Some rn
+  | exception (Failure _ | Invalid_argument _) -> None
+
+let run ?(config = default_config) ?(simulate = engine_simulate) ?journal
     (r : Core.Refiner.t) =
   let program = r.Core.Refiner.rf_program in
+  let started = Unix.gettimeofday () in
+  let cancelled () =
+    (match config.cf_poll with Some f -> f () | None -> false)
+    || (match config.cf_deadline_s with
+       | Some d -> Unix.gettimeofday () -. started > d
+       | None -> false)
+  in
+  let with_poll hooks =
+    if config.cf_deadline_s = None && config.cf_poll = None then hooks
+    else { hooks with Sim.Engine.h_poll = Some cancelled }
+  in
   let counting_hooks, occurrences = Inject.counting () in
-  let golden = simulate ~config:config.cf_sim ~hooks:counting_hooks program in
+  let golden =
+    simulate ~config:config.cf_sim ~hooks:(with_poll counting_hooks) program
+  in
   begin match golden.Sim.Engine.r_outcome with
   | Sim.Engine.Completed -> ()
   | o ->
@@ -366,17 +418,41 @@ let run ?(config = default_config) ?(simulate = engine_simulate)
             match draw rng ~targets ~occurrences ~golden_deltas cls with
             | None -> None
             | Some faults ->
-              let result =
-                simulate ~config:budget ~hooks:(Inject.hooks faults) program
+              let key =
+                Printf.sprintf "seed%d/%s" seed (Fault.cls_name cls)
               in
-              Some
-                {
-                  run_seed = seed;
-                  run_class = cls;
-                  run_faults = faults;
-                  run_outcome = classify ~storage ~golden result;
-                  run_deltas = result.Sim.Engine.r_deltas;
-                })
+              let replayed =
+                match journal with
+                | None -> None
+                | Some j ->
+                  Option.bind (Checkpoint.Journal.find j key) decode_run
+              in
+              (match replayed with
+              | Some rn -> Some rn
+              | None ->
+                let result =
+                  simulate ~config:budget
+                    ~hooks:(with_poll (Inject.hooks faults))
+                    program
+                in
+                let rn =
+                  {
+                    run_seed = seed;
+                    run_class = cls;
+                    run_faults = faults;
+                    run_outcome = classify ~storage ~golden result;
+                    run_deltas = result.Sim.Engine.r_deltas;
+                  }
+                in
+                (* Only definitive outcomes checkpoint: a timed-out run
+                   must be retried by the resumed campaign, not replayed
+                   as a result. *)
+                (match journal with
+                | Some j when rn.run_outcome <> Timed_out ->
+                  Checkpoint.Journal.append j ~key
+                    (Marshal.to_string rn [])
+                | _ -> ());
+                Some rn))
           config.cf_classes)
       (List.init config.cf_seeds Fun.id)
   in
@@ -386,7 +462,7 @@ let run ?(config = default_config) ?(simulate = engine_simulate)
          (fun rn ->
            match rn.run_outcome with
            | Survived | Detected_recovered -> true
-           | Deadlock | Silent_corruption | Step_limit -> false)
+           | Deadlock | Silent_corruption | Step_limit | Timed_out -> false)
          runs)
   in
   {
@@ -427,7 +503,8 @@ let survival_fraction report cls =
             (fun rn ->
               match rn.run_outcome with
               | Survived | Detected_recovered -> true
-              | Deadlock | Silent_corruption | Step_limit -> false)
+              | Deadlock | Silent_corruption | Step_limit | Timed_out ->
+                false)
             of_cls))
     /. float_of_int (List.length of_cls)
 
@@ -440,15 +517,15 @@ let to_text report =
        report.rp_seeds
        (List.length report.rp_runs));
   Buffer.add_string buf
-    (Printf.sprintf "  %-18s %9s %9s %9s %9s %9s\n" "class" "survived"
-       "recovered" "deadlock" "corrupt" "limit");
+    (Printf.sprintf "  %-18s %9s %9s %9s %9s %9s %9s\n" "class" "survived"
+       "recovered" "deadlock" "corrupt" "limit" "timeout");
   List.iter
     (fun (cls, counts) ->
       let n o = List.assoc o counts in
       Buffer.add_string buf
-        (Printf.sprintf "  %-18s %9d %9d %9d %9d %9d\n" (Fault.cls_name cls)
-           (n Survived) (n Detected_recovered) (n Deadlock)
-           (n Silent_corruption) (n Step_limit)))
+        (Printf.sprintf "  %-18s %9d %9d %9d %9d %9d %9d\n"
+           (Fault.cls_name cls) (n Survived) (n Detected_recovered)
+           (n Deadlock) (n Silent_corruption) (n Step_limit) (n Timed_out)))
     (summary report);
   Buffer.add_string buf
     (Printf.sprintf "  robustness %.3f\n" report.rp_robustness);
@@ -468,13 +545,15 @@ let to_json report =
       (fun (cls, counts) ->
         Printf.sprintf
           "    {\"class\": %S, \"survived\": %d, \"recovered\": %d, \
-           \"deadlock\": %d, \"silent_corruption\": %d, \"step_limit\": %d}"
+           \"deadlock\": %d, \"silent_corruption\": %d, \"step_limit\": %d, \
+           \"timed_out\": %d}"
           (Fault.cls_name cls)
           (List.assoc Survived counts)
           (List.assoc Detected_recovered counts)
           (List.assoc Deadlock counts)
           (List.assoc Silent_corruption counts)
-          (List.assoc Step_limit counts))
+          (List.assoc Step_limit counts)
+          (List.assoc Timed_out counts))
       (summary report)
   in
   Buffer.add_string buf (String.concat ",\n" class_lines);

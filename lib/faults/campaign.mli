@@ -16,6 +16,10 @@ type outcome =
       (** completed, but the filtered trace or the (TMR-voted) final
           memory state differs from the golden run: the worst case *)
   | Step_limit  (** the simulation budget ran out *)
+  | Timed_out
+      (** the campaign's wall-clock deadline (or an external cancellation
+          poll) fired during this run; the result is not definitive and a
+          resumed campaign retries it *)
 
 val outcome_name : outcome -> string
 val all_outcomes : outcome list
@@ -42,10 +46,17 @@ type config = {
   cf_base_seed : int;
   cf_classes : Fault.cls list;
   cf_sim : Sim.Engine.config;  (** budget of the golden run *)
+  cf_deadline_s : float option;
+      (** wall-clock budget of the whole campaign: once exceeded, the
+          running simulation is cancelled ({!Sim.Runtime.hooks.h_poll})
+          and the run classified {!Timed_out} *)
+  cf_poll : (unit -> bool) option;
+      (** external cooperative cancellation, polled with the deadline *)
 }
 
 val default_config : config
-(** 8 seeds, base seed 1, every class, default engine budget. *)
+(** 8 seeds, base seed 1, every class, default engine budget, no
+    deadline. *)
 
 (** What a campaign can aim at, enumerated from the refined design. *)
 type targets = {
@@ -71,6 +82,12 @@ val classify :
 
 exception Campaign_error of string
 
+val journal_meta : config -> Core.Refiner.t -> string
+(** The {!Checkpoint.Journal} meta string binding a campaign journal to
+    the refined program and every configuration field that determines an
+    outcome — {!Checkpoint.Journal.open_} refuses to resume a journal
+    written under different inputs. *)
+
 val run :
   ?config:config ->
   ?simulate:
@@ -78,6 +95,7 @@ val run :
     hooks:Sim.Engine.hooks ->
     Spec.Ast.program ->
     Sim.Engine.result) ->
+  ?journal:Checkpoint.Journal.t ->
   Core.Refiner.t ->
   report
 (** Execute the campaign.  Fully deterministic: same refined design, same
@@ -85,7 +103,12 @@ val run :
     kernel ({!Sim.Engine.run}); the benchmark harness passes the polling
     kernel ({!Sim.Reference.run}) to compare campaign wall-clock on the
     two — both classify identically, which the differential tests enforce.
-    @raise Campaign_error when the golden run does not complete. *)
+    With [journal] (opened under {!journal_meta}), runs already recorded
+    replay without simulating and every {e definitive} new run — any
+    outcome but {!Timed_out} — is checkpointed as it completes, so a
+    killed campaign resumes from where it died with an identical report.
+    @raise Campaign_error when the golden run does not complete (including
+    a deadline firing during the golden run). *)
 
 val summary : report -> (Fault.cls * (outcome * int) list) list
 (** Outcome counts per fault class, every outcome present. *)

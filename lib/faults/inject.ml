@@ -73,6 +73,7 @@ let hooks faults =
   {
     Sim.Engine.h_intercept = Some intercept;
     h_on_commit = Some on_commit;
+    h_poll = None;
   }
 
 let counting () =
@@ -82,4 +83,5 @@ let counting () =
       ((Option.value ~default:0 (Hashtbl.find_opt occ name)) + 1);
     Sim.Sigtable.Pass
   in
-  ({ Sim.Engine.h_intercept = Some intercept; h_on_commit = None }, occ)
+  ( { Sim.Engine.h_intercept = Some intercept; h_on_commit = None; h_poll = None },
+    occ )

@@ -47,15 +47,58 @@ let code_table =
 
 let infer_phase = Pass.infer_phase
 
-let run ?phase ?(typecheck = true) ?(passes = all) (p : Ast.program) :
-    Diagnostic.t list =
+(* --- severity overrides ------------------------------------------------- *)
+
+type override = Severity of Diagnostic.severity | Off
+
+let known_code code =
+  List.exists (fun (c, _) -> String.equal c code) code_table
+
+let parse_override s =
+  match String.index_opt s '=' with
+  | None ->
+    Error
+      (Printf.sprintf "override %S is not of the form CODE=LEVEL" s)
+  | Some i ->
+    let code = String.sub s 0 i in
+    let level = String.sub s (i + 1) (String.length s - i - 1) in
+    if not (known_code code) then
+      Error (Printf.sprintf "override names unknown diagnostic code %S" code)
+    else begin
+      match String.lowercase_ascii level with
+      | "off" -> Ok (code, Off)
+      | lv ->
+        (match Diagnostic.severity_of_string lv with
+        | Some sev -> Ok (code, Severity sev)
+        | None ->
+          Error
+            (Printf.sprintf
+               "override %S: level must be error, warning, info or off" s))
+    end
+
+let apply_overrides overrides ds =
+  match overrides with
+  | [] -> ds
+  | _ ->
+    Diagnostic.sort
+      (List.filter_map
+         (fun (d : Diagnostic.t) ->
+           match List.assoc_opt d.Diagnostic.d_code overrides with
+           | None -> Some d
+           | Some Off -> None
+           | Some (Severity sev) ->
+             Some { d with Diagnostic.d_severity = sev })
+         ds)
+
+let run ?phase ?(typecheck = true) ?(passes = all) ?(overrides = [])
+    (p : Ast.program) : Diagnostic.t list =
   let phase =
     match phase with Some ph -> ph | None -> Pass.infer_phase p
   in
   let ctx = Pass.make_ctx ~phase p in
   let found = List.concat_map (fun ps -> ps.Pass.p_run ctx) passes in
   let found = if typecheck then Typecheck.diagnostics p @ found else found in
-  Diagnostic.sort found
+  apply_overrides overrides (Diagnostic.sort found)
 
 let run_refinement ~original (r : Core.Refiner.t) : Diagnostic.t list =
   Diagnostic.sort

@@ -22,15 +22,31 @@ val code_table : (string * string) list
 
 val infer_phase : Ast.program -> phase
 
+(** Per-code severity policy: remap a diagnostic code's severity or
+    silence it entirely. *)
+type override = Severity of Diagnostic.severity | Off
+
+val parse_override : string -> (string * override, string) result
+(** Parse a ["CODE=error|warning|info|off"] override.  The code must be
+    in {!code_table}; the level is case-insensitive. *)
+
+val apply_overrides :
+  (string * override) list -> Diagnostic.t list -> Diagnostic.t list
+(** Apply per-code overrides (first binding of a code wins): [Off] drops
+    the diagnostic, [Severity] remaps it; the result is re-sorted into
+    stable order. *)
+
 val run :
   ?phase:phase ->
   ?typecheck:bool ->
   ?passes:Pass.pass list ->
+  ?overrides:(string * override) list ->
   Ast.program ->
   Diagnostic.t list
 (** Lint one program.  The phase defaults to {!infer_phase}; the type
-    checker's diagnostics are folded in unless [~typecheck:false]; the
-    result is in stable {!Spec.Diagnostic.compare} order. *)
+    checker's diagnostics are folded in unless [~typecheck:false];
+    [overrides] applies the per-code severity policy; the result is in
+    stable {!Spec.Diagnostic.compare} order. *)
 
 val run_refinement :
   original:Ast.program -> Core.Refiner.t -> Diagnostic.t list

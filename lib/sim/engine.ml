@@ -375,6 +375,8 @@ let run_in_session ~(config : config) ~(hooks : hooks) (p : Ast.program) ss =
   let first_round = ref true in
   while !outcome = None do
     incr rounds;
+    if poll_cancelled hooks then outcome := Some Cancelled
+    else begin
     (* One round: visit the queued leaves in ascending index order — the
        preorder the polling kernel used.  A leaf stays queued while it is
        runnable or polled; parking or finishing drops it.  Every leaf not
@@ -439,6 +441,7 @@ let run_in_session ~(config : config) ~(hooks : hooks) (p : Ast.program) ss =
         outcome := Some Completed
       else
         outcome := Some (Deadlock (List.rev (blocked_descriptions cx [] root)))
+    end
     end
   done;
   let outcome = Option.get !outcome in

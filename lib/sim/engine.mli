@@ -30,6 +30,7 @@ type outcome = Runtime.outcome =
       (** blocked process descriptions, each including the waited-on
           signals and frame variables with their current values *)
   | Step_limit  (** the step or delta budget ran out *)
+  | Cancelled  (** the [h_poll] hook asked the kernel to stop *)
 
 type result = Runtime.result = {
   r_outcome : outcome;
@@ -55,13 +56,16 @@ type probe = Runtime.probe = {
   pr_write_var : string -> Ast.value -> bool;
 }
 
-(** Fault-injection hooks.  [h_intercept] is installed as the signal
-    store's update intercept (it sees every scheduled update at commit
-    time and may drop or rewrite it); [h_on_commit] runs after every
-    committed delta cycle. *)
+(** Fault-injection and supervision hooks.  [h_intercept] is installed as
+    the signal store's update intercept (it sees every scheduled update at
+    commit time and may drop or rewrite it); [h_on_commit] runs after
+    every committed delta cycle; [h_poll] is the cooperative cancellation
+    check, polled once per scheduling round — when it returns [true] the
+    run stops with {!Cancelled} instead of spinning to the step limit. *)
 type hooks = Runtime.hooks = {
   h_intercept : (delta:int -> string -> Ast.value -> Sigtable.action) option;
   h_on_commit : (probe -> unit) option;
+  h_poll : (unit -> bool) option;
 }
 
 val no_hooks : hooks

@@ -45,6 +45,8 @@ let run ?(config = default_config) ?(hooks = no_hooks) (p : Ast.program) =
     }
   in
   while !outcome = None do
+    if poll_cancelled hooks then outcome := Some Cancelled
+    else begin
     (* Run every runnable leaf for one slice. *)
     let ran = ref false in
     List.iter
@@ -72,6 +74,7 @@ let run ?(config = default_config) ?(hooks = no_hooks) (p : Ast.program) =
         outcome := Some Completed
       else
         outcome := Some (Deadlock (List.rev (blocked_descriptions cx [] root)))
+    end
     end
   done;
   let outcome = Option.get !outcome in

@@ -32,6 +32,7 @@ type outcome =
   | Completed
   | Deadlock of string list  (** blocked process descriptions *)
   | Step_limit
+  | Cancelled  (** the [h_poll] hook asked the kernel to stop *)
 
 type result = {
   r_outcome : outcome;
@@ -60,9 +61,16 @@ type hooks = {
       (** sees every scheduled signal update at commit time;
           [delta] is the cycle being committed *)
   h_on_commit : (probe -> unit) option;  (** runs after every commit *)
+  h_poll : (unit -> bool) option;
+      (** cooperative cancellation: checked once per scheduling round;
+          returning [true] stops the run with {!Cancelled} *)
 }
 
-let no_hooks = { h_intercept = None; h_on_commit = None }
+let no_hooks = { h_intercept = None; h_on_commit = None; h_poll = None }
+
+(* The round-boundary cancellation check both kernels share. *)
+let poll_cancelled hooks =
+  match hooks.h_poll with None -> false | Some f -> f ()
 
 type nstate =
   | Nleaf of Interp.exec
@@ -386,3 +394,4 @@ let outcome_to_string = function
   | Deadlock who ->
     Printf.sprintf "deadlock (%s)" (String.concat "; " who)
   | Step_limit -> "step limit exceeded"
+  | Cancelled -> "cancelled"

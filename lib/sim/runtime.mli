@@ -20,6 +20,7 @@ type outcome =
   | Completed
   | Deadlock of string list  (** blocked process descriptions *)
   | Step_limit
+  | Cancelled  (** the [h_poll] hook asked the kernel to stop *)
 
 type result = {
   r_outcome : outcome;
@@ -40,9 +41,19 @@ type probe = {
 type hooks = {
   h_intercept : (delta:int -> string -> Ast.value -> Sigtable.action) option;
   h_on_commit : (probe -> unit) option;
+  h_poll : (unit -> bool) option;
+      (** cooperative cancellation: checked once per scheduling round;
+          returning [true] stops the run with {!Cancelled}.  The {e exact}
+          interruption point is kernel-dependent (rounds differ between
+          the event-driven and polling schedulers), so only the outcome —
+          never the partial trace — is comparable across kernels. *)
 }
 
 val no_hooks : hooks
+
+val poll_cancelled : hooks -> bool
+(** The round-boundary cancellation check both kernels share: [false]
+    without an [h_poll] hook. *)
 
 (** {1 The instantiated process tree} *)
 

@@ -189,6 +189,58 @@ let test_lint_filters_and_json () =
   expect_ok [ "lint"; "--list-codes" ]
     [ "RACE001"; "PROTO002"; "CONT001"; "WIDTH001"; "TYPE001" ]
 
+let test_explore_resilience () =
+  (* A zero deadline times every candidate out; the sweep still completes
+     and reports the degradation instead of hanging or aborting. *)
+  expect_ok
+    [ "explore"; spec "fig2.sc"; "--seeds"; "1"; "--steps"; "400";
+      "--no-cache"; "--deadline"; "0" ]
+    [ "FAILED[timeout]"; "coverage 0.0%"; "failures: timeout=12" ]
+
+let test_explore_resume () =
+  let dir = Filename.temp_file "coref_cli_resume" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let journal = Filename.concat dir "sweep.journal" in
+  expect_ok
+    [ "explore"; spec "fig2.sc"; "--seeds"; "1"; "--steps"; "400";
+      "--no-cache"; "--resume"; journal; "--json" ]
+    [ "\"replayed\":0"; "\"coverage\":1.0000" ];
+  (* Rerunning against the journal replays every candidate. *)
+  expect_ok
+    [ "explore"; spec "fig2.sc"; "--seeds"; "1"; "--steps"; "400";
+      "--no-cache"; "--resume"; journal; "--json" ]
+    [ "\"replayed\":12"; "\"coverage\":1.0000" ];
+  (* A journal written under different search parameters must refuse. *)
+  expect_fail
+    [ "explore"; spec "fig2.sc"; "--seeds"; "1"; "--steps"; "500";
+      "--no-cache"; "--resume"; journal ]
+    [ "different specification or configuration" ]
+
+let test_lint_severity_overrides () =
+  (* Silencing the seeded race makes even the post-phase run clean. *)
+  expect_ok
+    [ "lint"; fixture "lint_race.sc"; "--phase"; "post";
+      "--severity-override"; "RACE001=off" ]
+    [ "0 error(s)" ];
+  (* Demoting it keeps it visible but non-fatal. *)
+  expect_ok
+    [ "lint"; fixture "lint_race.sc"; "--phase"; "post";
+      "--severity-override"; "RACE001=warning" ]
+    [ "warning[RACE001]" ];
+  (* Promoting it turns the clean pre-phase run into a failure. *)
+  expect_fail
+    [ "lint"; fixture "lint_race.sc";
+      "--severity-override"; "RACE001=error" ]
+    [ "error[RACE001]" ];
+  (* Malformed overrides are rejected up front. *)
+  expect_fail
+    [ "lint"; fixture "lint_race.sc"; "--severity-override"; "NOPE=off" ]
+    [ "unknown diagnostic code" ];
+  expect_fail
+    [ "lint"; fixture "lint_race.sc"; "--severity-override"; "RACE001=loud" ]
+    [ "level must be" ]
+
 let test_demo () =
   expect_ok [ "demo" ]
     [ "medical system: 147 lines, 52 channels"; "cosim ok" ]
@@ -224,8 +276,11 @@ let () =
           tc "quality" test_quality_real;
           tc "fir/elevator specs" test_fir_and_elevator_specs;
           tc "explore" test_explore;
+          tc "explore resilience" test_explore_resilience;
+          tc "explore resume" test_explore_resume;
           tc "lint" test_lint;
           tc "lint filters and json" test_lint_filters_and_json;
+          tc "lint severity overrides" test_lint_severity_overrides;
           tc "demo" test_demo;
           tc "errors" test_errors;
         ] );

@@ -53,6 +53,100 @@ let test_pool_iter_runs_everything () =
   Alcotest.(check (list int)) "each item once" (List.init 50 (fun _ -> 1))
     (Array.to_list hits)
 
+(* --- supervised pool ----------------------------------------------------- *)
+
+let test_try_map_reports_index () =
+  let f x = if x = 3 then failwith "three" else x + 1 in
+  List.iter
+    (fun jobs ->
+      let results = Pool.try_map ~jobs ~f (List.init 10 Fun.id) in
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v when i <> 3 ->
+            Alcotest.(check int) (Printf.sprintf "item %d" i) (i + 1) v
+          | Ok _ -> Alcotest.fail "item 3 should have failed"
+          | Error (e : Pool.error) ->
+            Alcotest.(check int) "failing index survives" 3 e.Pool.e_index;
+            (match e.Pool.e_exn with
+            | Failure msg -> Alcotest.(check string) "original exn" "three" msg
+            | _ -> Alcotest.fail "wrong exception");
+            Alcotest.(check bool) "printable" true
+              (String.length (Pool.error_to_string e) > 0))
+        results)
+    [ 1; 4 ]
+
+let test_supervise_all_ok () =
+  let items = List.init 30 Fun.id in
+  let got = Pool.supervise ~jobs:4 ~f:(fun x -> x * 3) items in
+  Alcotest.(check (list int)) "matches List.map" (List.map (fun x -> x * 3) items)
+    (List.map Result.get_ok got)
+
+let fast_supervisor retries =
+  { Pool.sv_retries = retries; sv_backoff_s = 0.001; sv_max_backoff_s = 0.002 }
+
+let test_supervise_quarantines_repeat_offender () =
+  let f x = if x = 3 then failwith "always broken" else x in
+  let got =
+    Pool.supervise ~supervisor:(fast_supervisor 1) ~jobs:4 ~f
+      (List.init 8 Fun.id)
+  in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v when i <> 3 -> Alcotest.(check int) "other items fine" i v
+      | Ok _ -> Alcotest.fail "item 3 should be quarantined"
+      | Error (fl : Pool.failure) ->
+        Alcotest.(check int) "quarantined index" 3 fl.Pool.f_index;
+        Alcotest.(check int) "first try + 1 retry" 2 fl.Pool.f_attempts;
+        Alcotest.(check bool) "exception text kept" true
+          (String.length fl.Pool.f_exn > 0))
+    got
+
+let test_supervise_retries_transient_failure () =
+  let attempts = Array.init 10 (fun _ -> Atomic.make 0) in
+  let f i =
+    let k = 1 + Atomic.fetch_and_add attempts.(i) 1 in
+    if i = 5 && k = 1 then failwith "flaky" else i * 2
+  in
+  let got =
+    Pool.supervise ~supervisor:(fast_supervisor 2) ~jobs:4 ~f
+      (List.init 10 Fun.id)
+  in
+  Alcotest.(check (list int)) "transient failure recovered"
+    (List.init 10 (fun i -> i * 2))
+    (List.map Result.get_ok got);
+  Alcotest.(check int) "exactly one retry" 2 (Atomic.get attempts.(5))
+
+let test_supervise_independent_of_jobs () =
+  let f x = if x mod 7 = 3 then failwith (string_of_int x) else x + 100 in
+  let fingerprint jobs =
+    List.map
+      (function
+        | Ok v -> Printf.sprintf "ok:%d" v
+        | Error (fl : Pool.failure) ->
+          Printf.sprintf "fail:%d:%d:%s" fl.Pool.f_index fl.Pool.f_attempts
+            fl.Pool.f_exn)
+      (Pool.supervise ~supervisor:(fast_supervisor 1) ~jobs ~f
+         (List.init 40 Fun.id))
+  in
+  let seq = fingerprint 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "jobs=%d" jobs)
+        seq (fingerprint jobs))
+    [ 2; 4 ]
+
+let test_backoff_delay_doubles_and_caps () =
+  let sv =
+    { Pool.sv_retries = 8; sv_backoff_s = 0.05; sv_max_backoff_s = 1.0 }
+  in
+  Alcotest.(check (float 1e-9)) "first" 0.05 (Pool.backoff_delay sv 1);
+  Alcotest.(check (float 1e-9)) "doubles" 0.1 (Pool.backoff_delay sv 2);
+  Alcotest.(check (float 1e-9)) "doubles again" 0.2 (Pool.backoff_delay sv 3);
+  Alcotest.(check (float 1e-9)) "capped" 1.0 (Pool.backoff_delay sv 6)
+
 (* --- cache --------------------------------------------------------------- *)
 
 let test_cache_computes_once () =
@@ -251,7 +345,9 @@ let small_config jobs =
 let result_fingerprint (r : Evaluate.result) =
   let label = Candidate.label r.Evaluate.r_candidate in
   match r.Evaluate.r_outcome with
-  | Error msg -> label ^ ":error:" ^ msg
+  | Error f ->
+    label ^ ":error:" ^ Evaluate.failure_kind f ^ ":"
+    ^ Evaluate.failure_message f
   | Ok m ->
     Printf.sprintf "%s:%d/%d:%.6f:%.6f:%d:%d" label m.Evaluate.e_locals
       m.Evaluate.e_globals m.Evaluate.e_max_bus_rate m.Evaluate.e_growth
@@ -282,7 +378,8 @@ let test_sweep_metrics_sane () =
   List.iter
     (fun (r : Evaluate.result) ->
       match r.Evaluate.r_outcome with
-      | Error msg -> Alcotest.failf "candidate failed: %s" msg
+      | Error f ->
+        Alcotest.failf "candidate failed: %s" (Evaluate.failure_message f)
       | Ok m ->
         Alcotest.(check bool) "check ok" true m.Evaluate.e_check_ok;
         Alcotest.(check bool) "growth > 1" true (m.Evaluate.e_growth > 1.0);
@@ -389,6 +486,269 @@ let test_reports_mention_frontier () =
   Alcotest.(check bool) "json has hit rate" true
     (contains ~sub:"\"hit_rate\":" json)
 
+(* --- checkpoint journal -------------------------------------------------- *)
+
+module Journal = Checkpoint.Journal
+
+let fresh_journal_path () =
+  Filename.concat (fresh_temp_dir ()) "sweep.journal"
+
+let test_journal_round_trip () =
+  let path = fresh_journal_path () in
+  let j = Journal.open_ ~path ~meta:"m1" in
+  Journal.append j ~key:"a" "1";
+  Journal.append j ~key:"b" "2";
+  Journal.append j ~key:"a" "3";
+  Alcotest.(check (option string)) "last record wins" (Some "3")
+    (Journal.find j "a");
+  Journal.close j;
+  let j2 = Journal.open_ ~path ~meta:"m1" in
+  Alcotest.(check int) "2 keys after replay" 2 (Journal.length j2);
+  Alcotest.(check (option string)) "a replays" (Some "3") (Journal.find j2 "a");
+  Alcotest.(check (option string)) "b replays" (Some "2") (Journal.find j2 "b");
+  Alcotest.(check (list (pair string string))) "entries deduped, append order"
+    [ ("a", "3"); ("b", "2") ]
+    (Journal.entries j2);
+  Journal.close j2
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let test_journal_truncates_torn_tail () =
+  let path = fresh_journal_path () in
+  let j = Journal.open_ ~path ~meta:"m1" in
+  Journal.append j ~key:"a" "1";
+  Journal.append j ~key:"b" "2";
+  let good = file_size path in
+  Journal.append j ~key:"c" "3";
+  Journal.close j;
+  (* A SIGKILL mid-write leaves a torn final record: model it by cutting
+     the last record short. *)
+  Unix.truncate path (file_size path - 5);
+  let j2 = Journal.open_ ~path ~meta:"m1" in
+  Alcotest.(check int) "torn record dropped" 2 (Journal.length j2);
+  Alcotest.(check (option string)) "intact prefix kept" (Some "2")
+    (Journal.find j2 "b");
+  Alcotest.(check int) "file truncated back to last good record" good
+    (file_size path);
+  (* The journal must still be appendable after recovery. *)
+  Journal.append j2 ~key:"d" "4";
+  Journal.close j2;
+  let j3 = Journal.open_ ~path ~meta:"m1" in
+  Alcotest.(check (list (pair string string))) "post-recovery appends survive"
+    [ ("a", "1"); ("b", "2"); ("d", "4") ]
+    (Journal.entries j3);
+  Journal.close j3
+
+let test_journal_checksum_stops_replay () =
+  let path = fresh_journal_path () in
+  let j = Journal.open_ ~path ~meta:"m1" in
+  Journal.append j ~key:"a" "1";
+  let after_a = file_size path in
+  Journal.append j ~key:"b" "2";
+  Journal.append j ~key:"c" "3";
+  Journal.close j;
+  (* Rot one byte inside b's record: replay must stop there, keeping a
+     and dropping both b and the (intact) c behind it. *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd (after_a + 21) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "\xff") 0 1);
+  Unix.close fd;
+  let j2 = Journal.open_ ~path ~meta:"m1" in
+  Alcotest.(check int) "replay stops at first bad record" 1
+    (Journal.length j2);
+  Alcotest.(check (option string)) "prefix intact" (Some "1")
+    (Journal.find j2 "a");
+  Alcotest.(check (option string)) "rotted record gone" None
+    (Journal.find j2 "b");
+  Journal.close j2
+
+let test_journal_meta_mismatch_refuses () =
+  let path = fresh_journal_path () in
+  let j = Journal.open_ ~path ~meta:"m1" in
+  Journal.append j ~key:"a" "1";
+  Journal.close j;
+  (match Journal.open_ ~path ~meta:"m2" with
+  | _ -> Alcotest.fail "meta mismatch must refuse to resume"
+  | exception Journal.Journal_error _ -> ());
+  (* A non-journal file must be rejected, not replayed. *)
+  let garbage = fresh_journal_path () in
+  let oc = open_out_bin garbage in
+  output_string oc "definitely not a journal";
+  close_out oc;
+  match Journal.open_ ~path:garbage ~meta:"m1" with
+  | _ -> Alcotest.fail "garbage file must be rejected"
+  | exception Journal.Journal_error _ -> ()
+
+let test_journal_closed_append_raises () =
+  let path = fresh_journal_path () in
+  let j = Journal.open_ ~path ~meta:"m1" in
+  Journal.close j;
+  match Journal.append j ~key:"a" "1" with
+  | () -> Alcotest.fail "append on a closed journal must raise"
+  | exception Journal.Journal_error _ -> ()
+
+(* --- resilience: deadlines, crashes, resume ------------------------------ *)
+
+let test_evaluate_deadline_times_out_uncached () =
+  let ctx = Evaluate.make_ctx fig2 in
+  let cache = Cache.create () in
+  let c =
+    { Candidate.c_seed = 1; c_bias = Partitioning.Design_search.Balanced;
+      c_model = Core.Model.Model1; c_n_parts = 2; c_steps = 600 }
+  in
+  let r = Evaluate.run ~cache ~deadline_s:0.0 ctx c in
+  (match r.Evaluate.r_outcome with
+  | Error (Evaluate.Timed_out _) -> ()
+  | _ -> Alcotest.fail "deadline 0 must time the candidate out");
+  Alcotest.(check bool) "not served from cache" false r.Evaluate.r_cached;
+  Alcotest.(check bool) "timeout is transient" false
+    (Evaluate.definitive r.Evaluate.r_outcome);
+  (* Nothing transient may be cached: the unhurried evaluation must
+     recompute from scratch and succeed. *)
+  let key =
+    Evaluate.cache_key
+      ~spec_digest:(Evaluate.spec_digest fig2)
+      ~partition:(Evaluate.partition_of ctx c)
+      ~model:Core.Model.Model1
+  in
+  Alcotest.(check bool) "nothing cached by the timeout" false
+    (Cache.mem cache key);
+  let r2 = Evaluate.run ~cache ctx c in
+  Alcotest.(check bool) "recomputes fine without a deadline" true
+    (Result.is_ok r2.Evaluate.r_outcome)
+
+let test_sweep_deadline_degrades_not_aborts () =
+  let config = { (small_config 2) with Sweep.deadline_s = Some 0.0 } in
+  let sw = Sweep.run config fig2 in
+  Alcotest.(check int) "all candidates reported" 24
+    (List.length sw.Sweep.sw_results);
+  Alcotest.(check (float 1e-9)) "zero coverage" 0.0 sw.Sweep.sw_coverage;
+  Alcotest.(check (list (pair string int))) "timeout taxonomy"
+    [ ("timeout", 24) ]
+    sw.Sweep.sw_failures;
+  Alcotest.(check (list string)) "no frontier from timeouts" []
+    (List.map result_fingerprint sw.Sweep.sw_frontier);
+  let json = Sweep.to_json sw in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  Alcotest.(check bool) "json coverage zero" true
+    (contains ~sub:"\"coverage\":0.0000" json);
+  Alcotest.(check bool) "json timeout taxonomy" true
+    (contains ~sub:"\"failures\":{\"timeout\":24}" json)
+
+let crashing_evaluate ~cache ~victim =
+  let ctx = Evaluate.make_ctx fig2 in
+  fun c ->
+    if Candidate.label c = victim then failwith "boom"
+    else Evaluate.run ~cache ctx c
+
+let test_sweep_survives_crashing_candidate () =
+  let victim = "seed1/balanced/Model1" in
+  let cache = Cache.create () in
+  let config =
+    { (small_config 2) with Sweep.retries = 1; backoff_s = 0.001 }
+  in
+  let sw =
+    Sweep.run ~cache ~evaluate:(crashing_evaluate ~cache ~victim) config fig2
+  in
+  Alcotest.(check int) "all candidates reported" 24
+    (List.length sw.Sweep.sw_results);
+  Alcotest.(check (float 1e-9)) "coverage excludes the crash" (23.0 /. 24.0)
+    sw.Sweep.sw_coverage;
+  Alcotest.(check (list (pair string int))) "crash taxonomy" [ ("crash", 1) ]
+    sw.Sweep.sw_failures;
+  Alcotest.(check bool) "frontier from the survivors" true
+    (sw.Sweep.sw_frontier <> []);
+  let crashed =
+    List.find
+      (fun r -> Candidate.label r.Evaluate.r_candidate = victim)
+      sw.Sweep.sw_results
+  in
+  (match crashed.Evaluate.r_outcome with
+  | Error (Evaluate.Crashed { cr_attempts; cr_exn; _ }) ->
+    Alcotest.(check int) "first try + 1 retry" 2 cr_attempts;
+    Alcotest.(check bool) "exception text kept" true
+      (String.length cr_exn > 0)
+  | _ -> Alcotest.fail "victim must surface as Crashed");
+  List.iter
+    (fun (r : Evaluate.result) ->
+      if Candidate.label r.Evaluate.r_candidate <> victim then
+        Alcotest.(check bool)
+          ("survivor ok: " ^ Candidate.label r.Evaluate.r_candidate)
+          true
+          (Result.is_ok r.Evaluate.r_outcome))
+    sw.Sweep.sw_results
+
+let test_sweep_journals_only_definitive () =
+  let victim = "seed1/balanced/Model1" in
+  let cache = Cache.create () in
+  let path = fresh_journal_path () in
+  let config =
+    { (small_config 1) with Sweep.retries = 0; backoff_s = 0.001 }
+  in
+  let j = Journal.open_ ~path ~meta:(Sweep.journal_meta config fig2) in
+  let sw =
+    Sweep.run ~cache ~journal:j
+      ~evaluate:(crashing_evaluate ~cache ~victim)
+      config fig2
+  in
+  Alcotest.(check (list (pair string int))) "crash surfaced" [ ("crash", 1) ]
+    sw.Sweep.sw_failures;
+  Alcotest.(check int) "crash not journaled" 23 (Journal.length j);
+  Alcotest.(check bool) "victim key absent" true
+    (Journal.find j victim = None);
+  Journal.close j;
+  (* Resuming replays the 23 definitive outcomes and retries the crash —
+     now with a healthy evaluator, converging to full coverage. *)
+  let j2 = Journal.open_ ~path ~meta:(Sweep.journal_meta config fig2) in
+  let resumed = Sweep.run ~cache:(Cache.create ()) ~journal:j2 config fig2 in
+  Journal.close j2;
+  Alcotest.(check int) "replayed all definitive outcomes" 23
+    resumed.Sweep.sw_replayed;
+  Alcotest.(check (float 1e-9)) "full coverage after retry" 1.0
+    resumed.Sweep.sw_coverage;
+  Alcotest.(check (list string)) "resumed results match the crash-free run"
+    (List.map result_fingerprint (Sweep.run (small_config 1) fig2).Sweep.sw_results)
+    (List.map result_fingerprint resumed.Sweep.sw_results)
+
+let test_sweep_kill_resume_round_trip () =
+  let config = small_config 2 in
+  let meta = Sweep.journal_meta config fig2 in
+  (* The uninterrupted reference run, journaled in full. *)
+  let full_path = fresh_journal_path () in
+  let jf = Journal.open_ ~path:full_path ~meta in
+  let full = Sweep.run ~journal:jf config fig2 in
+  Alcotest.(check int) "every definitive outcome journaled" 24
+    (Journal.length jf);
+  Alcotest.(check int) "nothing replayed on a cold run" 0
+    full.Sweep.sw_replayed;
+  let recorded = Journal.entries jf in
+  Journal.close jf;
+  (* Model a SIGKILL after 10 completed candidates: a journal holding
+     only a prefix of the records. *)
+  let part_path = fresh_journal_path () in
+  let jp = Journal.open_ ~path:part_path ~meta in
+  List.iteri
+    (fun i (key, blob) -> if i < 10 then Journal.append jp ~key blob)
+    recorded;
+  Journal.close jp;
+  let jr = Journal.open_ ~path:part_path ~meta in
+  let resumed = Sweep.run ~journal:jr config fig2 in
+  Alcotest.(check int) "10 results replayed" 10 resumed.Sweep.sw_replayed;
+  Alcotest.(check int) "journal caught back up" 24 (Journal.length jr);
+  Journal.close jr;
+  Alcotest.(check (list string)) "resumed results bit-identical"
+    (List.map result_fingerprint full.Sweep.sw_results)
+    (List.map result_fingerprint resumed.Sweep.sw_results);
+  Alcotest.(check (list string)) "resumed frontier bit-identical"
+    (List.map result_fingerprint full.Sweep.sw_frontier)
+    (List.map result_fingerprint resumed.Sweep.sw_frontier);
+  Alcotest.(check (float 1e-9)) "full coverage either way" 1.0
+    resumed.Sweep.sw_coverage
+
 let () =
   Alcotest.run "explore"
     [
@@ -400,6 +760,17 @@ let () =
           tc "rejects jobs<1" test_pool_rejects_bad_jobs;
           tc "deterministic failure" test_pool_exception_is_deterministic;
           tc "iter covers all" test_pool_iter_runs_everything;
+          tc "try_map reports index" test_try_map_reports_index;
+        ] );
+      ( "supervisor",
+        [
+          tc "all ok" test_supervise_all_ok;
+          tc "quarantines repeat offender"
+            test_supervise_quarantines_repeat_offender;
+          tc "retries transient failure"
+            test_supervise_retries_transient_failure;
+          tc "independent of jobs" test_supervise_independent_of_jobs;
+          tc "backoff doubles and caps" test_backoff_delay_doubles_and_caps;
         ] );
       ( "cache",
         [
@@ -433,5 +804,22 @@ let () =
           tc "persistent across processes" test_persistent_sweep_across_cache_instances;
           tc "content-hashed cache key" test_cache_key_is_content_hashed;
           tc "reports" test_reports_mention_frontier;
+        ] );
+      ( "journal",
+        [
+          tc "round-trip" test_journal_round_trip;
+          tc "truncates torn tail" test_journal_truncates_torn_tail;
+          tc "checksum stops replay" test_journal_checksum_stops_replay;
+          tc "meta mismatch refuses" test_journal_meta_mismatch_refuses;
+          tc "closed append raises" test_journal_closed_append_raises;
+        ] );
+      ( "resilience",
+        [
+          tc "deadline times out uncached"
+            test_evaluate_deadline_times_out_uncached;
+          tc "sweep deadline degrades" test_sweep_deadline_degrades_not_aborts;
+          tc "sweep survives crash" test_sweep_survives_crashing_candidate;
+          tc "journals only definitive" test_sweep_journals_only_definitive;
+          tc "kill-resume round-trip" test_sweep_kill_resume_round_trip;
         ] );
     ]

@@ -214,6 +214,146 @@ let test_report_rendering () =
   Alcotest.(check bool) "json has runs" true
     (String.length json > String.length text)
 
+(* --- resilience: cancellation, deadlines, resume ------------------------ *)
+
+let test_classify_cancelled_is_timed_out () =
+  let r = medical_refined ~harden:false Core.Model.Model2 in
+  let golden = Sim.Engine.run r.Core.Refiner.rf_program in
+  let cancelled = { golden with Sim.Engine.r_outcome = Sim.Engine.Cancelled } in
+  (match Faults.Campaign.classify ~storage:[] ~golden cancelled with
+  | Faults.Campaign.Timed_out -> ()
+  | o ->
+    Alcotest.failf "expected timed-out, got %s"
+      (Faults.Campaign.outcome_name o));
+  Alcotest.(check string) "named" "timed-out"
+    (Faults.Campaign.outcome_name Faults.Campaign.Timed_out)
+
+let test_campaign_deadline_on_golden_refuses () =
+  let r = medical_refined ~harden:false Core.Model.Model2 in
+  let config =
+    { small_config with Faults.Campaign.cf_deadline_s = Some 0.0 }
+  in
+  match Faults.Campaign.run ~config r with
+  | _ -> Alcotest.fail "an expired deadline must cancel the golden run"
+  | exception Faults.Campaign.Campaign_error _ -> ()
+
+(* A simulate wrapper that runs the golden (first) simulation for real,
+   then reports every injected run as cancelled — the shape a deadline
+   firing right after the golden run produces. *)
+let cancel_after_golden () =
+  let calls = ref 0 in
+  let simulate ~config ~hooks p =
+    incr calls;
+    let r = Sim.Engine.run ~config ~hooks p in
+    if !calls = 1 then r
+    else { r with Sim.Engine.r_outcome = Sim.Engine.Cancelled }
+  in
+  (simulate, calls)
+
+let campaign_fingerprint report =
+  List.map
+    (fun rn ->
+      Printf.sprintf "%d/%s/%s/%d" rn.Faults.Campaign.run_seed
+        (Faults.Fault.cls_name rn.Faults.Campaign.run_class)
+        (Faults.Campaign.outcome_name rn.Faults.Campaign.run_outcome)
+        rn.Faults.Campaign.run_deltas)
+    report.Faults.Campaign.rp_runs
+
+let fresh_journal_path () =
+  let dir = Filename.temp_file "coref_faults" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Filename.concat dir "campaign.journal"
+
+let test_campaign_timeouts_degrade_not_abort () =
+  let r = medical_refined ~harden:false Core.Model.Model2 in
+  let config = { small_config with Faults.Campaign.cf_seeds = 2 } in
+  let path = fresh_journal_path () in
+  let meta = Faults.Campaign.journal_meta config r in
+  let j = Checkpoint.Journal.open_ ~path ~meta in
+  let simulate, _ = cancel_after_golden () in
+  let report = Faults.Campaign.run ~config ~simulate ~journal:j r in
+  Alcotest.(check bool) "campaign completes" true
+    (report.Faults.Campaign.rp_runs <> []);
+  List.iter
+    (fun rn ->
+      match rn.Faults.Campaign.run_outcome with
+      | Faults.Campaign.Timed_out -> ()
+      | o ->
+        Alcotest.failf "expected timed-out, got %s"
+          (Faults.Campaign.outcome_name o))
+    report.Faults.Campaign.rp_runs;
+  Alcotest.(check (float 0.0)) "no run counted robust" 0.0
+    report.Faults.Campaign.rp_robustness;
+  (* Timed-out runs are transient: nothing may be journaled, so a later
+     unhurried campaign retries every run. *)
+  Alcotest.(check int) "nothing journaled" 0 (Checkpoint.Journal.length j);
+  Checkpoint.Journal.close j;
+  let j2 = Checkpoint.Journal.open_ ~path ~meta in
+  let healthy = Faults.Campaign.run ~config ~journal:j2 r in
+  Checkpoint.Journal.close j2;
+  Alcotest.(check (list string)) "retried to the definitive report"
+    (campaign_fingerprint (Faults.Campaign.run ~config r))
+    (campaign_fingerprint healthy)
+
+let test_campaign_kill_resume_round_trip () =
+  let r = medical_refined ~harden:true Core.Model.Model2 in
+  let config = { small_config with Faults.Campaign.cf_seeds = 2 } in
+  let meta = Faults.Campaign.journal_meta config r in
+  (* Reference: one full campaign, journaled. *)
+  let full_path = fresh_journal_path () in
+  let jf = Checkpoint.Journal.open_ ~path:full_path ~meta in
+  let full = Faults.Campaign.run ~config ~journal:jf r in
+  let n_runs = List.length full.Faults.Campaign.rp_runs in
+  Alcotest.(check int) "every definitive run journaled" n_runs
+    (Checkpoint.Journal.length jf);
+  let recorded = Checkpoint.Journal.entries jf in
+  Checkpoint.Journal.close jf;
+  (* Model a SIGKILL after 3 completed runs: a journal holding a prefix. *)
+  let part_path = fresh_journal_path () in
+  let jp = Checkpoint.Journal.open_ ~path:part_path ~meta in
+  List.iteri
+    (fun i (key, blob) ->
+      if i < 3 then Checkpoint.Journal.append jp ~key blob)
+    recorded;
+  Checkpoint.Journal.close jp;
+  let jr = Checkpoint.Journal.open_ ~path:part_path ~meta in
+  (* Resume with a healthy simulator, counting how many runs actually
+     re-simulate: the replayed 3 must not. *)
+  let calls = ref 0 in
+  let simulate ~config ~hooks p =
+    incr calls;
+    Sim.Engine.run ~config ~hooks p
+  in
+  let resumed = Faults.Campaign.run ~config ~simulate ~journal:jr r in
+  Checkpoint.Journal.close jr;
+  Alcotest.(check (list string)) "resumed report identical"
+    (campaign_fingerprint full)
+    (campaign_fingerprint resumed);
+  Alcotest.(check (float 0.0)) "identical robustness"
+    full.Faults.Campaign.rp_robustness
+    resumed.Faults.Campaign.rp_robustness;
+  Alcotest.(check int) "only the remainder re-simulated"
+    (1 + (n_runs - 3)) (* golden + the non-replayed runs *)
+    !calls
+
+let test_campaign_journal_meta_binds_config () =
+  let r = medical_refined ~harden:false Core.Model.Model2 in
+  let config = { small_config with Faults.Campaign.cf_seeds = 2 } in
+  let path = fresh_journal_path () in
+  let j =
+    Checkpoint.Journal.open_ ~path
+      ~meta:(Faults.Campaign.journal_meta config r)
+  in
+  Checkpoint.Journal.close j;
+  let other = { config with Faults.Campaign.cf_seeds = 3 } in
+  match
+    Checkpoint.Journal.open_ ~path
+      ~meta:(Faults.Campaign.journal_meta other r)
+  with
+  | _ -> Alcotest.fail "a different configuration must refuse the journal"
+  | exception Checkpoint.Journal.Journal_error _ -> ()
+
 (* --- qcheck: a dropped done-edge never silently corrupts ---------------- *)
 
 (* Refined fig1, hardened: any single dropped [*_done] handshake update
@@ -279,7 +419,9 @@ let prop_dropped_done_never_corrupts =
         QCheck.Test.fail_reportf "drop %s #%d: silent corruption" signal
           occurrence
       | Faults.Campaign.Step_limit ->
-        QCheck.Test.fail_reportf "drop %s #%d: step limit" signal occurrence)
+        QCheck.Test.fail_reportf "drop %s #%d: step limit" signal occurrence
+      | Faults.Campaign.Timed_out ->
+        QCheck.Test.fail_reportf "drop %s #%d: timed out" signal occurrence)
 
 let () =
   Alcotest.run "faults"
@@ -298,6 +440,14 @@ let () =
           tc "hardening improves survival" test_hardening_improves_survival;
           tc "hardened cosim equivalent" test_hardened_cosim_equivalent;
           tc "report rendering" test_report_rendering;
+        ] );
+      ( "resilience",
+        [
+          tc "cancelled classifies timed-out" test_classify_cancelled_is_timed_out;
+          tc "deadline on golden refuses" test_campaign_deadline_on_golden_refuses;
+          tc "timeouts degrade not abort" test_campaign_timeouts_degrade_not_abort;
+          tc "kill-resume round-trip" test_campaign_kill_resume_round_trip;
+          tc "journal meta binds config" test_campaign_journal_meta_binds_config;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_dropped_done_never_corrupts ] );

@@ -331,6 +331,35 @@ let test_step_limit () =
   | Sim.Engine.Step_limit -> ()
   | o -> Alcotest.failf "expected step limit, got %s" (Sim.Engine.outcome_to_string o)
 
+let test_cancel_hook_stops_both_kernels () =
+  (* An infinite loop that would otherwise run to the step limit: a
+     polling hook that trips must surface as Cancelled, on both kernels. *)
+  let prog = leaf_prog ~vars:(int_vars [ "x" ]) (s "while 1 < 2 do x := x + 1; end while;") in
+  let hooks () =
+    (* Let a little work happen before cancelling, so the kernel is
+       interrupted mid-flight rather than before its first round. *)
+    let polls = ref 0 in
+    { Sim.Engine.no_hooks with
+      Sim.Engine.h_poll = Some (fun () -> incr polls; !polls > 3) }
+  in
+  (match (Sim.Engine.run ~hooks:(hooks ()) prog).Sim.Engine.r_outcome with
+  | Sim.Engine.Cancelled -> ()
+  | o -> Alcotest.failf "engine: expected cancelled, got %s" (Sim.Engine.outcome_to_string o));
+  (match (Sim.Reference.run ~hooks:(hooks ()) prog).Sim.Engine.r_outcome with
+  | Sim.Engine.Cancelled -> ()
+  | o -> Alcotest.failf "reference: expected cancelled, got %s" (Sim.Engine.outcome_to_string o));
+  Alcotest.(check string) "printable" "cancelled"
+    (Sim.Engine.outcome_to_string Sim.Engine.Cancelled)
+
+let test_cancel_hook_false_never_interferes () =
+  let prog = leaf_prog ~vars:(int_vars [ "x" ]) (s "x := 41 + 1;") in
+  let hooks =
+    { Sim.Engine.no_hooks with Sim.Engine.h_poll = Some (fun () -> false) }
+  in
+  let r = Sim.Engine.run ~hooks prog in
+  Alcotest.(check bool) "completes" true
+    (r.Sim.Engine.r_outcome = Sim.Engine.Completed)
+
 let test_runtime_error_unbound () =
   let prog =
     Program.make "t" (Behavior.leaf "L" [ Assign ("ghost", Expr.int 1) ])
@@ -566,6 +595,8 @@ let () =
           tc "unregistered server deadlocks" test_unregistered_server_is_deadlock;
           tc "deadlock detection" test_deadlock_two_waiters;
           tc "step limit" test_step_limit;
+          tc "cancel hook stops both kernels" test_cancel_hook_stops_both_kernels;
+          tc "inert cancel hook" test_cancel_hook_false_never_interferes;
           tc "unbound is loud" test_runtime_error_unbound;
         ] );
       ( "arrays",
