@@ -708,18 +708,154 @@ let bench_json out_path =
       (float_of_int n /. append_s)
       replay_s replayed
   in
+  (* -- serve: warm daemon requests vs cold CLI invocations ----------- *)
+  let serve_row, serve_identical =
+    let write_file path text =
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc
+    in
+    let read_file path =
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      text
+    in
+    let percentile_ms p lats =
+      let a = Array.of_list lats in
+      Array.sort compare a;
+      let n = Array.length a in
+      1e3 *. a.(max 0 (min (n - 1) (int_of_float (p *. float_of_int (n - 1)))))
+    in
+    let mean lats =
+      List.fold_left ( +. ) 0.0 lats /. float_of_int (List.length lats)
+    in
+    let spec_text = Spec.Printer.program_to_string spec in
+    let spec_file = Filename.temp_file "coref_bench_spec" ".sc" in
+    write_file spec_file spec_text;
+    (* Cold: one full CLI process per request, the pre-daemon baseline. *)
+    let mrefine =
+      Filename.concat (Filename.dirname Sys.executable_name) "../bin/mrefine.exe"
+    in
+    let out_file = Filename.temp_file "coref_bench_refined" ".sc" in
+    let cold_cmd =
+      Printf.sprintf "%s refine -q -p 2 %s > %s" (Filename.quote mrefine)
+        (Filename.quote spec_file) (Filename.quote out_file)
+    in
+    let cold_once () =
+      if Sys.command cold_cmd <> 0 then failwith "bench: cold mrefine failed"
+    in
+    let n_cold = 8 and n_warm = 64 in
+    let cold_lats =
+      List.init n_cold (fun _ -> snd (seconds_of cold_once))
+    in
+    let cold_output = read_file out_file in
+    (* Warm: the same request served over a socket by a live daemon with
+       its elaboration and result caches hot. *)
+    let session = Serve.Session.create () in
+    let scheduler = Serve.Scheduler.create session in
+    let socket = Filename.temp_file "coref_bench_serve" ".sock" in
+    Sys.remove socket;
+    let server = Serve.Server.start ~socket scheduler in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    let conn_in = Unix.in_channel_of_descr fd in
+    let conn_out = Unix.out_channel_of_descr fd in
+    let roundtrip line =
+      output_string conn_out line;
+      output_char conn_out '\n';
+      flush conn_out;
+      match Serve.Protocol.parse (input_line conn_in) with
+      | Ok j -> j
+      | Error msg -> failwith ("bench: bad serve reply: " ^ msg)
+    in
+    let submit_line =
+      Serve.Protocol.to_string
+        (Serve.Protocol.Obj
+           [
+             ("op", Serve.Protocol.String "submit");
+             ( "job",
+               Serve.Protocol.Obj
+                 [
+                   ("kind", Serve.Protocol.String "refine");
+                   ("spec", Serve.Protocol.String spec_text);
+                   ("parts", Serve.Protocol.Int 2);
+                 ] );
+           ])
+    in
+    let field name reply =
+      match Serve.Protocol.string_field name reply with
+      | Ok v -> v
+      | Error _ -> failwith ("bench: serve reply missing " ^ name)
+    in
+    let request () =
+      let id = field "id" (roundtrip submit_line) in
+      let result =
+        roundtrip
+          (Serve.Protocol.to_string
+             (Serve.Protocol.Obj
+                [
+                  ("op", Serve.Protocol.String "result");
+                  ("id", Serve.Protocol.String id);
+                  ("wait", Serve.Protocol.Bool true);
+                ]))
+      in
+      if field "state" result <> "done" then
+        failwith ("bench: served job not done: " ^ field "state" result);
+      field "output" result
+    in
+    ignore (request ());
+    (* prime the daemon's caches *)
+    let warm = List.init n_warm (fun _ -> seconds_of request) in
+    let warm_output = fst (List.hd warm) in
+    let warm_lats = List.map snd warm in
+    let stats = Serve.Session.stats session in
+    let elab_hit_rate =
+      float_of_int stats.Serve.Session.st_elab_hits
+      /. float_of_int
+           (max 1
+              (stats.Serve.Session.st_elab_hits
+             + stats.Serve.Session.st_elab_misses))
+    in
+    close_out_noerr conn_out;
+    Serve.Server.stop server;
+    Serve.Server.run server;
+    let identical = String.equal warm_output cold_output in
+    let cold_rps = 1.0 /. mean cold_lats in
+    let warm_rps = 1.0 /. mean warm_lats in
+    Printf.printf
+      "serve/refine         cold %6.1f req/s  warm %8.1f req/s  (%.1fx)  \
+       p50 %.2f ms  p95 %.2f ms  elab hits %.0f%%  results %s\n"
+      cold_rps warm_rps (warm_rps /. cold_rps)
+      (percentile_ms 0.50 warm_lats)
+      (percentile_ms 0.95 warm_lats)
+      (100.0 *. elab_hit_rate)
+      (if identical then "identical" else "DIVERGED");
+    ( Printf.sprintf
+        "{\"requests\":%d,\"cold_rps\":%.1f,\"warm_rps\":%.1f,\
+         \"speedup\":%.1f,\"cold_p50_ms\":%.2f,\"cold_p95_ms\":%.2f,\
+         \"warm_p50_ms\":%.2f,\"warm_p95_ms\":%.2f,\
+         \"elab_hit_rate\":%.3f,\"results_identical\":%b}"
+        n_warm cold_rps warm_rps (warm_rps /. cold_rps)
+        (percentile_ms 0.50 cold_lats)
+        (percentile_ms 0.95 cold_lats)
+        (percentile_ms 0.50 warm_lats)
+        (percentile_ms 0.95 warm_lats)
+        elab_hit_rate identical,
+      identical )
+  in
   let json =
     Printf.sprintf
       "{\"schema\":\"coref-bench-sim-1\",\"simulate\":[%s],\"faults\":%s,\
-       \"explore\":%s,\"checkpoint\":%s}\n"
+       \"explore\":%s,\"checkpoint\":%s,\"serve\":%s}\n"
       (String.concat "," sim_rows)
-      faults_row explore_row checkpoint_row
+      faults_row explore_row checkpoint_row serve_row
   in
   let oc = open_out out_path in
   output_string oc json;
   close_out oc;
   Printf.printf "wrote %s\n" out_path;
-  if not match_ok then exit 1
+  if not (match_ok && serve_identical) then exit 1
 
 let () =
   let argv = Array.to_list Sys.argv in

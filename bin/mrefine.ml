@@ -12,14 +12,16 @@ let read_file path =
   close_in ic;
   s
 
-let load_spec path =
-  match Spec.Parser.program_of_string (read_file path) with
-  | Ok p ->
+let load_spec_located path =
+  match Spec.Parser.program_of_string_located (read_file path) with
+  | Ok (p, locs) ->
     begin match Spec.Program.validate p with
-    | Ok () -> Ok p
+    | Ok () -> Ok (p, locs)
     | Error msgs -> Error ("invalid specification: " ^ String.concat "; " msgs)
     end
   | Error msg -> Error msg
+
+let load_spec path = Result.map fst (load_spec_located path)
 
 let or_die = function
   | Ok v -> v
@@ -831,10 +833,11 @@ let lint_cmd =
                 applied before $(b,--severity) filtering and the exit \
                 code.")
   in
-  (* One lint target: a named program with an optional forced phase. *)
-  let lint_target overrides (name, p, phase) =
+  (* One lint target: a named program with an optional forced phase and,
+     for targets read from a file, the parser's source-line table. *)
+  let lint_target overrides (name, p, phase, locs) =
     let ds = Lint.Registry.run ?phase ~overrides p in
-    (name, p, phase, ds)
+    (name, p, phase, locs, ds)
   in
   let workload_targets () =
     let builtin =
@@ -864,6 +867,7 @@ let lint_cmd =
         Workloads.Designs.all
     in
     List.map (fun (n, p) -> (n, p, None)) builtin @ refined
+    |> List.map (fun (n, p, ph) -> (n, p, ph, None))
   in
   let run spec_path severity codes phase json workloads list_codes overrides
       output =
@@ -887,8 +891,8 @@ let lint_cmd =
         match spec_path with
         | None -> or_die (Error "give a SPEC file or --workloads")
         | Some path ->
-          let p = or_die (load_spec path) in
-          [ (path, p, phase) ]
+          let p, locs = or_die (load_spec_located path) in
+          [ (path, p, phase, Some locs) ]
     in
     let results = List.map (lint_target overrides) targets in
     let keep d =
@@ -896,62 +900,28 @@ let lint_cmd =
       <= Spec.Diagnostic.severity_rank severity
       && (codes = [] || List.mem d.Spec.Diagnostic.d_code codes)
     in
-    let results =
-      List.map (fun (n, p, ph, ds) -> (n, p, ph, List.filter keep ds)) results
-    in
-    let total sev =
-      List.fold_left
-        (fun acc (_, _, _, ds) -> acc + Spec.Diagnostic.count sev ds)
-        0 results
+    let targets =
+      List.map
+        (fun (name, p, ph, locs, ds) ->
+          let ds = List.filter keep ds in
+          let ds =
+            match locs with
+            | Some locs -> Lint.Report.locate ~file:name locs ds
+            | None -> ds
+          in
+          let t_phase =
+            match ph with
+            | Some ph -> ph
+            | None -> Lint.Registry.infer_phase p
+          in
+          { Lint.Report.t_name = name; t_phase; t_diags = ds })
+        results
     in
     let report =
-      if json then
-        Printf.sprintf "{\"targets\":[%s],\"errors\":%d,\"warnings\":%d}"
-          (String.concat ","
-             (List.map
-                (fun (name, p, phase, ds) ->
-                  let phase =
-                    match phase with
-                    | Some ph -> ph
-                    | None -> Lint.Registry.infer_phase p
-                  in
-                  Printf.sprintf
-                    "{\"name\":\"%s\",\"phase\":\"%s\",\"errors\":%d,\
-                     \"warnings\":%d,\"diagnostics\":[%s]}"
-                    (Spec.Diagnostic.json_escape name)
-                    (match phase with
-                    | Lint.Registry.Pre -> "pre"
-                    | Lint.Registry.Post -> "post")
-                    (Spec.Diagnostic.count Spec.Diagnostic.Error ds)
-                    (Spec.Diagnostic.count Spec.Diagnostic.Warning ds)
-                    (String.concat ","
-                       (List.map Spec.Diagnostic.to_json ds)))
-                results))
-          (total Spec.Diagnostic.Error)
-          (total Spec.Diagnostic.Warning)
-      else begin
-        let buf = Buffer.create 1024 in
-        List.iter
-          (fun (name, _, _, ds) ->
-            Buffer.add_string buf
-              (Printf.sprintf "== %s: %d error(s), %d warning(s)\n" name
-                 (Spec.Diagnostic.count Spec.Diagnostic.Error ds)
-                 (Spec.Diagnostic.count Spec.Diagnostic.Warning ds));
-            List.iter
-              (fun d ->
-                Buffer.add_string buf ("  " ^ Spec.Diagnostic.to_string d);
-                Buffer.add_char buf '\n')
-              ds)
-          results;
-        Buffer.add_string buf
-          (Printf.sprintf "total: %d error(s), %d warning(s)\n"
-             (total Spec.Diagnostic.Error)
-             (total Spec.Diagnostic.Warning));
-        Buffer.contents buf
-      end
+      if json then Lint.Report.to_json targets else Lint.Report.to_text targets
     in
     write_out output report;
-    if total Spec.Diagnostic.Error > 0 then exit 1
+    if Lint.Report.errors targets > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "lint"
@@ -965,6 +935,352 @@ let lint_cmd =
       $ json_arg $ workloads_arg $ list_codes_arg $ override_arg
       $ output_arg)
 
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt string ".mrefine.sock"
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket path to listen on (a stale socket file \
+                is replaced).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains per dispatched batch.  1 (the default) runs \
+                jobs inline in the dispatcher, which keeps the simulator's \
+                domain-local session cache hot across requests.")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Persist the shared evaluation cache under DIR; omitted = \
+                in-memory only.")
+  in
+  let cache_entries_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Cap the resident evaluation-cache entries (LRU evicted; \
+                with $(b,--cache-dir) eviction demotes to disk).")
+  in
+  let cache_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-bytes" ] ~docv:"BYTES"
+          ~doc:"Cap the resident evaluation-cache payload bytes.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Crash-safe job journal (created if missing).  Submitted \
+                jobs and their outcomes are checkpointed; a restarted \
+                daemon replays finished jobs and re-enqueues the ones that \
+                were in flight when it died.")
+  in
+  let max_jobs_arg =
+    Arg.(
+      value
+      & opt int 4096
+      & info [ "max-jobs" ] ~docv:"N"
+          ~doc:"Bound on retained jobs; submits beyond it are rejected.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "default-deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-job wall-clock budget applied to jobs that carry no \
+                $(i,job_deadline) of their own; exceeded jobs are \
+                cancelled cooperatively and reported failed.")
+  in
+  let run socket jobs cache_dir cache_entries cache_bytes journal max_jobs
+      deadline =
+    if jobs < 1 then or_die (Error "--jobs must be >= 1");
+    if max_jobs < 1 then or_die (Error "--max-jobs must be >= 1");
+    let session =
+      try
+        Serve.Session.create ?cache_dir ?cache_entries:cache_entries
+          ?cache_bytes ()
+      with
+      | Sys_error msg -> or_die (Error ("cannot create cache directory: " ^ msg))
+      | Invalid_argument msg -> or_die (Error msg)
+    in
+    let journal =
+      match journal with
+      | None -> None
+      | Some path ->
+        (try
+           Some
+             (Checkpoint.Journal.open_ ~path
+                ~meta:Serve.Scheduler.journal_meta)
+         with Checkpoint.Journal.Journal_error msg -> or_die (Error msg))
+    in
+    let scheduler =
+      Serve.Scheduler.create ?journal ~jobs ~max_jobs
+        ?default_deadline_s:deadline session
+    in
+    let server =
+      try Serve.Server.start ~socket scheduler
+      with Unix.Unix_error (err, _, _) ->
+        or_die
+          (Error
+             (Printf.sprintf "cannot listen on %s: %s" socket
+                (Unix.error_message err)))
+    in
+    let stop _ = Serve.Server.stop server in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    Printf.eprintf "mrefine serve: listening on %s\n%!" socket;
+    Serve.Server.run server;
+    Option.iter Checkpoint.Journal.close journal
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent refinement daemon: a Unix-domain socket \
+          speaking a newline-delimited JSON job protocol (submit / status \
+          / result / cancel / stats / shutdown) over refine, lint, \
+          explore and faults jobs.  One long-lived process keeps the \
+          evaluation cache and every elaborated specification hot across \
+          requests; with $(b,--journal), a killed daemon resumes its \
+          in-flight jobs on restart.")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ cache_dir_arg $ cache_entries_arg
+      $ cache_bytes_arg $ journal_arg $ max_jobs_arg $ deadline_arg)
+
+let client_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt string ".mrefine.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket to connect to.")
+  in
+  let submit_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "submit" ] ~docv:"KIND"
+          ~doc:"Submit a job: refine, lint, explore or faults (needs \
+                $(b,--spec)).")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"SPEC"
+          ~doc:"Specification file; its text is embedded in the job.")
+  in
+  let id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID"
+          ~doc:"Client-chosen job id; resubmitting an id is idempotent.")
+  in
+  let arg_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "arg" ] ~docv:"KEY=VALUE"
+          ~doc:"Extra job field, e.g. $(b,--arg parts=3), $(b,--arg \
+                json=true), $(b,--arg models=[\\\"model1\\\"]).  VALUE is \
+                parsed as JSON when possible, else taken as a string.  \
+                Repeatable.")
+  in
+  let wait_arg =
+    Arg.(
+      value & flag
+      & info [ "wait" ]
+          ~doc:"After submitting (or with $(b,--result)), block until the \
+                job is terminal and print its final reply.")
+  in
+  let print_output_arg =
+    Arg.(
+      value & flag
+      & info [ "print-output" ]
+          ~doc:"Print only the job's report text instead of the reply \
+                JSON; exits non-zero unless the job is done.")
+  in
+  let status_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "status" ] ~docv:"ID" ~doc:"Query one job's state.")
+  in
+  let result_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "result" ] ~docv:"ID" ~doc:"Fetch one job's result.")
+  in
+  let cancel_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cancel" ] ~docv:"ID" ~doc:"Cancel one job.")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Fetch daemon statistics.")
+  in
+  let ping_arg =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Check the daemon is alive.")
+  in
+  let shutdown_arg =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Stop the daemon.")
+  in
+  let raw_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~docv:"JSON" ~doc:"Send one raw request line.")
+  in
+  let connect socket =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      or_die
+        (Error
+           (Printf.sprintf "cannot connect to %s: %s" socket
+              (Unix.error_message err)))
+  in
+  let roundtrip (ic, oc) line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    match input_line ic with
+    | line -> line
+    | exception End_of_file -> or_die (Error "daemon closed the connection")
+  in
+  let field_value raw =
+    match Serve.Protocol.parse raw with
+    | Ok v -> v
+    | Error _ -> Serve.Protocol.String raw
+  in
+  let job_fields kind spec args =
+    let source =
+      match spec with
+      | Some path -> read_file path
+      | None -> or_die (Error "--submit needs --spec")
+    in
+    List.fold_left
+      (fun fields arg ->
+        match String.index_opt arg '=' with
+        | None -> or_die (Error (Printf.sprintf "bad --arg %S (want KEY=VALUE)" arg))
+        | Some i ->
+          let key = String.sub arg 0 i in
+          let value = String.sub arg (i + 1) (String.length arg - i - 1) in
+          fields @ [ (key, field_value value) ])
+      [ ("kind", Serve.Protocol.String kind);
+        ("spec", Serve.Protocol.String source) ]
+      args
+  in
+  let print_reply ~print_output raw =
+    if not print_output then print_endline raw
+    else
+      match Serve.Protocol.parse raw with
+      | Error msg -> or_die (Error ("unreadable reply: " ^ msg))
+      | Ok reply ->
+        (match Serve.Protocol.member "output" reply with
+        | Some (Serve.Protocol.String out) -> print_string out
+        | _ ->
+          let state =
+            match Serve.Protocol.member "state" reply with
+            | Some (Serve.Protocol.String s) -> s
+            | _ -> "unknown"
+          in
+          let error =
+            match Serve.Protocol.member "error" reply with
+            | Some (Serve.Protocol.String e) -> ": " ^ e
+            | _ -> ""
+          in
+          or_die (Error (Printf.sprintf "job %s%s" state error)))
+  in
+  let run socket submit spec id args wait print_output status result cancel
+      stats ping shutdown raw =
+    let send_simple req =
+      let conn = connect socket in
+      print_endline (roundtrip conn (Serve.Protocol.to_string req))
+    in
+    match (submit, status, result, cancel, stats, ping, shutdown, raw) with
+    | Some kind, None, None, None, false, false, false, None ->
+      let conn = connect socket in
+      let job = Serve.Protocol.Obj (job_fields kind spec args) in
+      let submit_req =
+        Serve.Protocol.request_to_json
+          (Serve.Protocol.Submit { sb_id = id; sb_job = job })
+      in
+      let reply = roundtrip conn (Serve.Protocol.to_string submit_req) in
+      if not wait then print_endline reply
+      else begin
+        let id =
+          match Serve.Protocol.parse reply with
+          | Ok r -> (
+            match Serve.Protocol.member "id" r with
+            | Some (Serve.Protocol.String id) -> id
+            | _ ->
+              or_die
+                (Error
+                   (match Serve.Protocol.member "error" r with
+                   | Some (Serve.Protocol.String e) -> "submit failed: " ^ e
+                   | _ -> "submit failed: " ^ reply)))
+          | Error msg -> or_die (Error ("unreadable reply: " ^ msg))
+        in
+        let result_req =
+          Serve.Protocol.request_to_json
+            (Serve.Protocol.Result { rs_id = id; rs_wait = true })
+        in
+        print_reply ~print_output
+          (roundtrip conn (Serve.Protocol.to_string result_req))
+      end
+    | None, Some id, None, None, false, false, false, None ->
+      send_simple (Serve.Protocol.request_to_json (Serve.Protocol.Status id))
+    | None, None, Some id, None, false, false, false, None ->
+      let conn = connect socket in
+      let req =
+        Serve.Protocol.request_to_json
+          (Serve.Protocol.Result { rs_id = id; rs_wait = wait })
+      in
+      print_reply ~print_output (roundtrip conn (Serve.Protocol.to_string req))
+    | None, None, None, Some id, false, false, false, None ->
+      send_simple (Serve.Protocol.request_to_json (Serve.Protocol.Cancel id))
+    | None, None, None, None, true, false, false, None ->
+      send_simple (Serve.Protocol.request_to_json Serve.Protocol.Stats)
+    | None, None, None, None, false, true, false, None ->
+      send_simple (Serve.Protocol.request_to_json Serve.Protocol.Ping)
+    | None, None, None, None, false, false, true, None ->
+      send_simple (Serve.Protocol.request_to_json Serve.Protocol.Shutdown)
+    | None, None, None, None, false, false, false, Some line ->
+      let conn = connect socket in
+      print_endline (roundtrip conn line)
+    | _ ->
+      or_die
+        (Error
+           "give exactly one of --submit, --status, --result, --cancel, \
+            --stats, --ping, --shutdown or --raw")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running $(b,mrefine serve) daemon: submit refine / \
+          lint / explore / faults jobs, poll or await their results, \
+          cancel them, or fetch daemon statistics.")
+    Term.(
+      const run $ socket_arg $ submit_arg $ spec_arg $ id_arg $ arg_arg
+      $ wait_arg $ print_output_arg $ status_arg $ result_arg $ cancel_arg
+      $ stats_arg $ ping_arg $ shutdown_arg $ raw_arg)
+
 let () =
   let info =
     Cmd.info "mrefine" ~version:"1.0.0"
@@ -975,4 +1291,4 @@ let () =
        (Cmd.group info
           [ parse_cmd; graph_cmd; partition_cmd; refine_cmd; simulate_cmd;
             cosim_cmd; typecheck_cmd; lint_cmd; export_cmd; quality_cmd;
-            demo_cmd; explore_cmd; faults_cmd ]))
+            demo_cmd; explore_cmd; faults_cmd; serve_cmd; client_cmd ]))

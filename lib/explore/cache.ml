@@ -1,5 +1,6 @@
 (** Mutex-protected memo table with optional one-file-per-key disk
-    persistence.  See the interface for the concurrency contract. *)
+    persistence and an optional LRU residency cap.  See the interface
+    for the concurrency contract. *)
 
 (* Bump when the marshalled layout of cached values or the entry framing
    changes: stale disk entries from an older build then read as misses
@@ -12,6 +13,12 @@ type t = {
   table : (string, string) Hashtbl.t;  (* key -> marshalled value *)
   lock : Mutex.t;
   dir : string option;
+  max_entries : int option;  (* in-memory residency caps; disk is unbounded *)
+  max_bytes : int option;
+  last_use : (string, int) Hashtbl.t;  (* key -> tick of last touch *)
+  mutable tick : int;
+  mutable bytes : int;  (* resident payload bytes (keys + blobs) *)
+  mutable evictions : int;
   mutable hits : int;
   mutable misses : int;
 }
@@ -28,12 +35,24 @@ let rec mkdir_p path =
     with Sys_error _ when Sys.file_exists path -> ()
   end
 
-let create ?dir () =
+let create ?dir ?max_entries ?max_bytes () =
+  (match max_entries with
+  | Some n when n < 1 -> invalid_arg "Cache.create: max_entries < 1"
+  | _ -> ());
+  (match max_bytes with
+  | Some n when n < 1 -> invalid_arg "Cache.create: max_bytes < 1"
+  | _ -> ());
   Option.iter mkdir_p dir;
   {
     table = Hashtbl.create 64;
     lock = Mutex.create ();
     dir;
+    max_entries;
+    max_bytes;
+    last_use = Hashtbl.create 64;
+    tick = 0;
+    bytes = 0;
+    evictions = 0;
     hits = 0;
     misses = 0;
   }
@@ -106,16 +125,74 @@ let disk_add t key blob =
     (try write_file path (format_version ^ frame blob)
      with Sys_error _ -> ())
 
+let entry_bytes key blob = String.length key + String.length blob
+
+(* --- LRU residency (all under the lock) -------------------------------- *)
+
+let touch t key =
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.last_use key t.tick
+
+let drop_resident t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some blob ->
+    Hashtbl.remove t.table key;
+    Hashtbl.remove t.last_use key;
+    t.bytes <- t.bytes - entry_bytes key blob
+
+let over_cap t =
+  (match t.max_entries with
+  | Some cap -> Hashtbl.length t.table > cap
+  | None -> false)
+  ||
+  match t.max_bytes with Some cap -> t.bytes > cap | None -> false
+
+(* Evict least-recently-used entries until back under both caps.  The
+   scan is O(resident) per eviction, but the resident set is bounded by
+   the cap itself, so sustained traffic amortizes to O(cap) per insert.
+   Entries persisted to [dir] were written at add time, so in-memory
+   eviction only sheds the resident copy — a later lookup re-promotes it
+   from disk ("evict to disk").  Without a [dir] the value is recomputed
+   on the next miss. *)
+let enforce_caps t =
+  while over_cap t && Hashtbl.length t.table > 0 do
+    let victim =
+      Hashtbl.fold
+        (fun key _ acc ->
+          let tick =
+            Option.value ~default:0 (Hashtbl.find_opt t.last_use key)
+          in
+          match acc with
+          | Some (_, best) when best <= tick -> acc
+          | _ -> Some (key, tick))
+        t.table None
+    in
+    match victim with
+    | None -> ()
+    | Some (key, _) ->
+      drop_resident t key;
+      t.evictions <- t.evictions + 1
+  done
+
+let insert_resident t key blob =
+  drop_resident t key;
+  Hashtbl.replace t.table key blob;
+  t.bytes <- t.bytes + entry_bytes key blob;
+  touch t key;
+  enforce_caps t
+
 let lookup t ~count key =
   with_lock t (fun () ->
       match Hashtbl.find_opt t.table key with
       | Some blob ->
+        touch t key;
         if count then t.hits <- t.hits + 1;
         Some blob
       | None ->
         (match disk_find t key with
         | Some blob ->
-          Hashtbl.replace t.table key blob;
+          insert_resident t key blob;
           if count then t.hits <- t.hits + 1;
           Some blob
         | None ->
@@ -127,7 +204,7 @@ let lookup t ~count key =
    recomputed value replaces the damaged file. *)
 let evict t key =
   with_lock t (fun () ->
-      Hashtbl.remove t.table key;
+      drop_resident t key;
       match file_of t key with
       | None -> ()
       | Some path -> (try Sys.remove path with Sys_error _ -> ()))
@@ -158,7 +235,7 @@ let find_or_add ?(count_stats = true) t key compute =
     let v = compute () in
     let blob = Marshal.to_string v [] in
     with_lock t (fun () ->
-        Hashtbl.replace t.table key blob;
+        insert_resident t key blob;
         disk_add t key blob);
     (v, false)
 
@@ -167,6 +244,12 @@ let mem t key =
       Hashtbl.mem t.table key || disk_find t key <> None)
 
 let stats t = with_lock t (fun () -> { hits = t.hits; misses = t.misses })
+
+let resident_entries t = with_lock t (fun () -> Hashtbl.length t.table)
+
+let resident_bytes t = with_lock t (fun () -> t.bytes)
+
+let evictions t = with_lock t (fun () -> t.evictions)
 
 let hit_rate t =
   let s = stats t in

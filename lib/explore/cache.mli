@@ -18,13 +18,24 @@
 
 type t
 
-val create : ?dir:string -> unit -> t
+val create :
+  ?dir:string -> ?max_entries:int -> ?max_bytes:int -> unit -> t
 (** A fresh, empty cache.  With [dir], entries are also persisted under
     that directory (created if missing) and looked up there on an
     in-memory miss.  Disk entries are length-prefixed and checksummed
     behind a format-version line, so an unreadable, truncated (e.g. a
     partial write surviving a crash) or bit-rotted file reads as a miss
-    — never as a [Marshal] failure — and is evicted on recompute. *)
+    — never as a [Marshal] failure — and is evicted on recompute.
+
+    [max_entries] / [max_bytes] bound the {e in-memory} resident set: a
+    long-lived process (the [mrefine serve] daemon) cannot grow without
+    limit under sustained traffic.  When either cap is exceeded the
+    least-recently-used entries are shed from memory — entries backed by
+    [dir] were already persisted at add time, so eviction demotes them
+    to disk and a later lookup silently re-promotes them; without [dir]
+    an evicted entry is recomputed on its next miss.  Disk usage is
+    never bounded by these caps.
+    @raise Invalid_argument when a cap is < 1. *)
 
 val digest_key : string list -> string
 (** Stable hex key of the given components (order-sensitive). *)
@@ -43,6 +54,15 @@ val mem : t -> string -> bool
 type stats = { hits : int; misses : int }
 
 val stats : t -> stats
+
+val resident_entries : t -> int
+(** Entries currently held in memory (excluding disk-only entries). *)
+
+val resident_bytes : t -> int
+(** Approximate resident payload size: summed key + blob bytes. *)
+
+val evictions : t -> int
+(** LRU evictions performed since creation. *)
 
 val hit_rate : t -> float
 (** [hits / (hits + misses)]; 0 when no lookups happened. *)

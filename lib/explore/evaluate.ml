@@ -217,17 +217,28 @@ let refine_and_measure ?cache ?poll ~checkpoint ctx alloc part
         e_robustness = probe_robustness ?poll r;
       }
 
-let run ?cache ?deadline_s ctx (c : Candidate.t) =
+let run ?cache ?deadline_s ?poll:external_poll ctx (c : Candidate.t) =
   let started = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. started in
+  (* One combined cooperative-cancellation check: the per-candidate
+     deadline or an external cancel signal (a served job being
+     cancelled).  Either way the outcome is the non-definitive
+     [Timed_out] — never cached, retried by an unhurried rerun. *)
   let poll =
-    Option.map (fun limit () -> elapsed () > limit) deadline_s
+    match (deadline_s, external_poll) with
+    | None, None -> None
+    | Some limit, None -> Some (fun () -> elapsed () > limit)
+    | None, Some f -> Some f
+    | Some limit, Some f -> Some (fun () -> f () || elapsed () > limit)
   in
   let checkpoint () =
     match poll with Some f when f () -> raise Deadline | _ -> ()
   in
   match
     let alloc = alloc_for ctx c in
+    (* Check before the partition search too: a cancelled or expired
+       candidate must not pay a full annealing run first. *)
+    checkpoint ();
     let part = partition_of ctx c in
     checkpoint ();
     let model = c.Candidate.c_model in

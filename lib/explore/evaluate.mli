@@ -92,7 +92,13 @@ val cache_key :
 (** The memoization key: hex digest over the spec digest, the canonical
     (sorted) object→partition assignment, and the model name. *)
 
-val run : ?cache:Cache.t -> ?deadline_s:float -> ctx -> Candidate.t -> result
+val run :
+  ?cache:Cache.t ->
+  ?deadline_s:float ->
+  ?poll:(unit -> bool) ->
+  ctx ->
+  Candidate.t ->
+  result
 (** Evaluate one candidate, consulting [cache] for the refinement tail.
     Never raises: refiner errors surface as [Error (Refine_failed _)].
 
@@ -101,4 +107,10 @@ val run : ?cache:Cache.t -> ?deadline_s:float -> ctx -> Candidate.t -> result
     robustness probe's simulation kernels ({!Sim.Runtime.hooks.h_poll}),
     so a runaway simulation is cancelled mid-run.  An expired candidate
     returns [Error (Timed_out elapsed)] and {e nothing} is cached — a
-    later, unhurried evaluation recomputes it from scratch. *)
+    later, unhurried evaluation recomputes it from scratch.
+
+    [poll] is an external cooperative cancel signal checked at the same
+    checkpoints (and or-ed into the kernels' [h_poll]): the [mrefine
+    serve] scheduler threads a job's cancel flag through it so an
+    explore job cancelled mid-sweep stops within one pipeline stage.
+    A cancelled candidate also surfaces as [Error (Timed_out _)]. *)

@@ -1,0 +1,41 @@
+(** Rendering of lint results over one or more targets — the single
+    source of the report text and JSON shapes, shared by the [mrefine
+    lint] subcommand and the [mrefine serve] lint jobs so a served lint
+    result is byte-identical to the CLI's.
+
+    Also the place where diagnostics acquire real [file:line] locations:
+    {!locate} resolves each diagnostic's behavior path against the
+    parser's source-line table ({!Spec.Parser.locations}). *)
+
+open Spec
+
+(** One lint target: a name (usually the spec path), the phase the
+    severity policy ran under, and the filtered diagnostics. *)
+type target = {
+  t_name : string;
+  t_phase : Registry.phase;
+  t_diags : Diagnostic.t list;
+}
+
+val locate :
+  file:string -> Parser.locations -> Diagnostic.t list -> Diagnostic.t list
+(** Prefix every resolvable diagnostic's location with [file:line]: the
+    diagnostic's behavior path is resolved through
+    {!Spec.Parser.line_of_path} (falling back to the declaration table
+    via [d_loc] for program-wide findings), and the existing location
+    string, when any, is kept after the position.  Unresolvable
+    diagnostics pass through unchanged. *)
+
+val errors : target list -> int
+(** Total error-severity diagnostics across the targets. *)
+
+val warnings : target list -> int
+
+val to_text : target list -> string
+(** The CLI's per-target report: a [== name: N error(s), M warning(s)]
+    header per target, each diagnostic on its own indented line, and a
+    final [total:] line. *)
+
+val to_json : target list -> string
+(** The same report as a JSON document:
+    [{"targets":[...],"errors":N,"warnings":M}]. *)

@@ -1,0 +1,436 @@
+(** Job execution; see the interface. *)
+
+type outcome = {
+  o_output : string;
+  o_meta : (string * Protocol.json) list;
+}
+
+let cancelled_message = "cancelled"
+
+let ( let* ) = Result.bind
+
+let check_poll poll = if poll () then Error cancelled_message else Ok ()
+
+(* --- shared parameter decoding ----------------------------------------- *)
+
+let model_field j =
+  let* name = Protocol.string_field ~default:"model2" "model" j in
+  match Core.Model.of_string name with
+  | Some m -> Ok m
+  | None -> Error (Printf.sprintf "unknown model %S (use 1-4)" name)
+
+let algo_field j =
+  let* name = Protocol.string_field ~default:"greedy" "algo" j in
+  match name with
+  | "greedy" -> Ok `Greedy
+  | "kl" -> Ok `Kl
+  | "annealing" -> Ok `Annealing
+  | "clustering" -> Ok `Clustering
+  | a ->
+    Error
+      (Printf.sprintf
+         "unknown algo %S (use greedy, kl, annealing or clustering)" a)
+
+let protocol_field j =
+  let* name = Protocol.string_field ~default:"four-phase" "protocol" j in
+  match name with
+  | "four-phase" -> Ok Core.Protocol.Four_phase
+  | "two-phase" -> Ok Core.Protocol.Two_phase
+  | p ->
+    Error (Printf.sprintf "unknown protocol %S (use four-phase or two-phase)" p)
+
+let assign_field j =
+  match Protocol.member "assign" j with
+  | Some (Protocol.String s) -> Some s
+  | _ -> None
+
+(* The CLI's partition construction ([mrefine --assign] / [--algo]),
+   against a served graph. *)
+let partition_of_assign g n_parts assign =
+  let parse_entry e =
+    match String.split_on_char '=' (String.trim e) with
+    | [ name; idx ] ->
+      let name = String.trim name in
+      let idx = int_of_string (String.trim idx) in
+      let obj =
+        if List.mem name g.Agraph.Access_graph.g_objects then
+          Partitioning.Partition.Obj_behavior name
+        else if List.mem name g.Agraph.Access_graph.g_variables then
+          Partitioning.Partition.Obj_variable name
+        else failwith (Printf.sprintf "unknown object %s" name)
+      in
+      (obj, idx)
+    | _ -> failwith (Printf.sprintf "bad assignment entry %S" e)
+  in
+  match List.map parse_entry (String.split_on_char ',' assign) with
+  | assocs ->
+    let part = Partitioning.Partition.make ~n_parts assocs in
+    begin match Partitioning.Partition.complete_for g part with
+    | Ok () -> Ok part
+    | Error msgs -> Error (String.concat "; " msgs)
+    end
+  | exception Failure msg -> Error msg
+  | exception _ -> Error (Printf.sprintf "bad assignment %S" assign)
+
+let make_partition g ~n_parts ~algo ~seed ~assign =
+  if n_parts < 1 then Error "parts must be >= 1"
+  else
+    match assign with
+    | Some a -> partition_of_assign g n_parts a
+    | None ->
+      Ok
+        (match algo with
+        | `Greedy -> Partitioning.Greedy.run g ~n_parts
+        | `Kl -> Partitioning.Kl.run_from_scratch g ~n_parts
+        | `Annealing ->
+          Partitioning.Annealing.run
+            ~config:{ Partitioning.Annealing.default_config with seed }
+            g ~n_parts
+        | `Clustering -> Partitioning.Clustering.run g ~n_parts)
+
+(* One refinement from decoded CLI-style parameters.  Shared by the
+   refine and faults kinds. *)
+let refine_design (elab : Session.elab) ~n_parts ~algo ~seed ~assign ~protocol
+    ~harden ~model =
+  let* part =
+    make_partition elab.Session.el_graph ~n_parts ~algo ~seed ~assign
+  in
+  let options = { Core.Refiner.default_options with protocol; harden } in
+  match Core.Refiner.refine ~options elab.Session.el_program
+          elab.Session.el_graph part model
+  with
+  | r -> Ok (part, r)
+  | exception Core.Refiner.Refine_error msg -> Error msg
+
+(* Parameter digests keying served-result memoization in the shared
+   cache.  Key domains are prefixed so they never collide with
+   {!Explore.Evaluate}'s refinement and lint entries. *)
+let refine_key (elab : Session.elab) ~n_parts ~algo ~seed ~assign ~protocol
+    ~harden ~model =
+  Explore.Cache.digest_key
+    [
+      "serve-refine-1";
+      elab.Session.el_digest;
+      string_of_int n_parts;
+      (match algo with
+      | `Greedy -> "greedy"
+      | `Kl -> "kl"
+      | `Annealing -> "annealing"
+      | `Clustering -> "clustering");
+      string_of_int seed;
+      (match assign with Some a -> a | None -> "");
+      (match protocol with
+      | Core.Protocol.Four_phase -> "four-phase"
+      | Core.Protocol.Two_phase -> "two-phase");
+      string_of_bool harden;
+      Core.Model.name model;
+    ]
+
+(* --- refine ------------------------------------------------------------- *)
+
+let run_refine ~session ~poll elab j =
+  let* model = model_field j in
+  let* n_parts = Protocol.int_field ~default:2 "parts" j in
+  let* algo = algo_field j in
+  let* seed = Protocol.int_field ~default:42 "seed" j in
+  let* protocol = protocol_field j in
+  let* harden = Protocol.bool_field ~default:false "harden" j in
+  let assign = assign_field j in
+  let* () = check_poll poll in
+  let key =
+    refine_key elab ~n_parts ~algo ~seed ~assign ~protocol ~harden ~model
+  in
+  let compute () =
+    let* _part, r =
+      refine_design elab ~n_parts ~algo ~seed ~assign ~protocol ~harden ~model
+    in
+    let* () =
+      match Core.Check.run ~original:elab.Session.el_program r with
+      | Ok () -> Ok ()
+      | Error msgs -> Error ("check failed: " ^ String.concat "; " msgs)
+    in
+    Ok (Spec.Printer.program_to_string r.Core.Refiner.rf_program)
+  in
+  let* text, cached =
+    match
+      Explore.Cache.find_or_add ~count_stats:false (Session.cache session) key
+        (fun () ->
+          match compute () with Ok t -> Ok t | Error _ as e -> e)
+    with
+    | Ok t, cached -> Ok (t, cached)
+    | (Error _ as e), _ -> (match e with Error m -> Error m | Ok _ -> assert false)
+  in
+  Ok
+    {
+      o_output = text;
+      o_meta =
+        [
+          ("model", Protocol.String (Core.Model.name model));
+          ("cached", Protocol.Bool cached);
+        ];
+    }
+
+(* --- lint --------------------------------------------------------------- *)
+
+let severity_field j =
+  let* name = Protocol.string_field ~default:"info" "severity" j in
+  match Spec.Diagnostic.severity_of_string name with
+  | Some s -> Ok s
+  | None ->
+    Error
+      (Printf.sprintf "unknown severity %S (use info, warning or error)" name)
+
+let phase_field j =
+  let* name = Protocol.string_field ~default:"auto" "phase" j in
+  match name with
+  | "auto" -> Ok None
+  | "pre" -> Ok (Some Lint.Registry.Pre)
+  | "post" -> Ok (Some Lint.Registry.Post)
+  | p -> Error (Printf.sprintf "unknown phase %S (use auto, pre or post)" p)
+
+let overrides_field j =
+  let* raw = Protocol.string_list_field ~default:[] "overrides" j in
+  List.fold_left
+    (fun acc s ->
+      let* acc = acc in
+      let* ov = Lint.Registry.parse_override s in
+      Ok (ov :: acc))
+    (Ok []) raw
+  |> Result.map List.rev
+
+let run_lint ~session:_ ~poll (elab : Session.elab) j =
+  let* file = Protocol.string_field ~default:"<spec>" "file" j in
+  let* severity = severity_field j in
+  let* codes = Protocol.string_list_field ~default:[] "codes" j in
+  let* phase = phase_field j in
+  let* overrides = overrides_field j in
+  let* json = Protocol.bool_field ~default:false "json" j in
+  let* () = check_poll poll in
+  let p = elab.Session.el_program in
+  let ds = Lint.Registry.run ?phase ~overrides p in
+  let keep d =
+    Spec.Diagnostic.severity_rank d.Spec.Diagnostic.d_severity
+    <= Spec.Diagnostic.severity_rank severity
+    && (codes = [] || List.mem d.Spec.Diagnostic.d_code codes)
+  in
+  let ds = List.filter keep ds in
+  let ds = Lint.Report.locate ~file elab.Session.el_locations ds in
+  let resolved =
+    match phase with Some ph -> ph | None -> Lint.Registry.infer_phase p
+  in
+  let targets =
+    [ { Lint.Report.t_name = file; t_phase = resolved; t_diags = ds } ]
+  in
+  let text =
+    if json then Lint.Report.to_json targets else Lint.Report.to_text targets
+  in
+  Ok
+    {
+      o_output = text;
+      o_meta =
+        [
+          ("errors", Protocol.Int (Lint.Report.errors targets));
+          ("warnings", Protocol.Int (Lint.Report.warnings targets));
+        ];
+    }
+
+(* --- explore ------------------------------------------------------------ *)
+
+let models_field j =
+  let* raw =
+    Protocol.string_list_field
+      ~default:(List.map Core.Model.name Core.Model.all)
+      "models" j
+  in
+  List.fold_left
+    (fun acc s ->
+      let* acc = acc in
+      match Core.Model.of_string s with
+      | Some m -> Ok (m :: acc)
+      | None -> Error (Printf.sprintf "unknown model %S (use 1-4)" s))
+    (Ok []) raw
+  |> Result.map List.rev
+
+let biases_field j =
+  let* raw =
+    Protocol.string_list_field
+      ~default:(List.map Explore.Candidate.bias_name
+                  Explore.Candidate.all_biases)
+      "biases" j
+  in
+  List.fold_left
+    (fun acc s ->
+      let* acc = acc in
+      match Explore.Candidate.bias_of_string s with
+      | Some b -> Ok (b :: acc)
+      | None ->
+        Error
+          (Printf.sprintf "unknown bias %S (use balanced, local or global)" s))
+    (Ok []) raw
+  |> Result.map List.rev
+
+let int_list_field ~default key j =
+  match Protocol.member key j with
+  | None -> Ok default
+  | Some (Protocol.List xs) ->
+    List.fold_left
+      (fun acc x ->
+        let* acc = acc in
+        match x with
+        | Protocol.Int n -> Ok (n :: acc)
+        | _ -> Error (Printf.sprintf "field %S must hold integers" key))
+      (Ok []) xs
+    |> Result.map List.rev
+  | Some _ -> Error (Printf.sprintf "field %S must be an array" key)
+
+let run_explore ~session ~poll (elab : Session.elab) j =
+  let* models = models_field j in
+  let* seeds = int_list_field ~default:[ 1; 2; 3 ] "seeds" j in
+  let* biases = biases_field j in
+  let* n_parts = Protocol.int_field ~default:2 "parts" j in
+  let* steps = Protocol.int_field ~default:4000 "steps" j in
+  let* jobs = Protocol.int_field ~default:1 "jobs" j in
+  let* top = Protocol.int_field ~default:0 "top" j in
+  let* deadline = Protocol.float_field "deadline" j in
+  let* retries = Protocol.int_field ~default:2 "retries" j in
+  let* json = Protocol.bool_field ~default:false "json" j in
+  if jobs < 1 then Error "jobs must be >= 1"
+  else if retries < 0 then Error "retries must be >= 0"
+  else if models = [] || seeds = [] || biases = [] then
+    Error "models, seeds and biases must be non-empty"
+  else
+    let* () = check_poll poll in
+    let config =
+      {
+        Explore.Sweep.seeds;
+        biases;
+        models;
+        n_parts;
+        steps;
+        jobs;
+        deadline_s = deadline;
+        retries;
+        backoff_s = Explore.Sweep.default_config.Explore.Sweep.backoff_s;
+      }
+    in
+    let cache = Session.cache session in
+    (* The override threads the daemon's cancel poll into every
+       candidate while reusing the session's shared context, so two
+       explore jobs over one spec share partition searches and
+       refinements through the hot cache. *)
+    let evaluate cand =
+      Explore.Evaluate.run ~cache ?deadline_s:deadline ~poll
+        elab.Session.el_ctx cand
+    in
+    let sw = Explore.Sweep.run ~cache ~evaluate config elab.Session.el_program in
+    let* () = check_poll poll in
+    let text =
+      if json then Explore.Sweep.to_json ~top sw
+      else Explore.Sweep.to_text ~top sw
+    in
+    Ok
+      {
+        o_output = text;
+        o_meta =
+          [
+            ("candidates", Protocol.Int (List.length sw.Explore.Sweep.sw_results));
+            ("coverage", Protocol.Float sw.Explore.Sweep.sw_coverage);
+            ("hits", Protocol.Int sw.Explore.Sweep.sw_hits);
+            ("misses", Protocol.Int sw.Explore.Sweep.sw_misses);
+          ];
+      }
+
+(* --- faults ------------------------------------------------------------- *)
+
+let classes_field j =
+  let* raw =
+    Protocol.string_list_field
+      ~default:(List.map Faults.Fault.cls_name Faults.Fault.all_classes)
+      "classes" j
+  in
+  List.fold_left
+    (fun acc s ->
+      let* acc = acc in
+      match Faults.Fault.cls_of_name s with
+      | Some c -> Ok (c :: acc)
+      | None ->
+        Error
+          (Printf.sprintf "unknown fault class %S (use %s)" s
+             (String.concat ", "
+                (List.map Faults.Fault.cls_name Faults.Fault.all_classes))))
+    (Ok []) raw
+  |> Result.map List.rev
+
+let run_faults ~session:_ ~poll (elab : Session.elab) j =
+  let* model = model_field j in
+  let* n_parts = Protocol.int_field ~default:2 "parts" j in
+  let* algo = algo_field j in
+  let* seed = Protocol.int_field ~default:42 "seed" j in
+  let* protocol = protocol_field j in
+  let* harden = Protocol.bool_field ~default:false "harden" j in
+  let assign = assign_field j in
+  let* classes = classes_field j in
+  let* seeds = Protocol.int_field ~default:8 "seeds" j in
+  let* base_seed = Protocol.int_field ~default:1 "base_seed" j in
+  let* deadline = Protocol.float_field "deadline" j in
+  let* json = Protocol.bool_field ~default:false "json" j in
+  if seeds < 1 then Error "seeds must be >= 1"
+  else if classes = [] then Error "classes must be non-empty"
+  else
+    let* () = check_poll poll in
+    let* _part, r =
+      refine_design elab ~n_parts ~algo ~seed ~assign ~protocol ~harden ~model
+    in
+    let* () = check_poll poll in
+    let config =
+      {
+        Faults.Campaign.default_config with
+        Faults.Campaign.cf_seeds = seeds;
+        cf_base_seed = base_seed;
+        cf_classes = classes;
+        cf_deadline_s = deadline;
+        cf_poll = Some poll;
+      }
+    in
+    match Faults.Campaign.run ~config r with
+    | report ->
+      let* () = check_poll poll in
+      let text =
+        if json then Faults.Campaign.to_json report
+        else Faults.Campaign.to_text report
+      in
+      Ok { o_output = text; o_meta = [] }
+    | exception Faults.Campaign.Campaign_error msg ->
+      Error ("fault campaign: " ^ msg)
+
+(* --- dispatch ----------------------------------------------------------- *)
+
+let run ~session ~poll job =
+  match Protocol.string_field "kind" job with
+  | Error msg -> Error msg
+  | Ok kind -> (
+    match Protocol.string_field "spec" job with
+    | Error msg -> Error msg
+    | Ok source -> (
+      match Session.elaborate session ~source with
+      | Error msg -> Error msg
+      | Ok elab -> (
+        let dispatch =
+          match kind with
+          | "refine" -> Some run_refine
+          | "lint" -> Some run_lint
+          | "explore" -> Some run_explore
+          | "faults" -> Some run_faults
+          | _ -> None
+        in
+        match dispatch with
+        | None ->
+          Error
+            (Printf.sprintf
+               "unknown job kind %S (use refine, lint, explore or faults)"
+               kind)
+        | Some f -> (
+          try f ~session ~poll elab job
+          with exn ->
+            Error
+              (Printf.sprintf "job raised %s" (Printexc.to_string exn))))))

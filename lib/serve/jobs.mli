@@ -1,0 +1,47 @@
+(** Execution of one job against the shared {!Session}.
+
+    A job is a JSON object with a ["kind"] — [refine], [lint],
+    [explore] or [faults] — plus the same knobs the matching [mrefine]
+    subcommand exposes.  The specification travels as source text in
+    the ["spec"] field (the daemon need not share a filesystem view
+    with its clients), and the produced report is {e byte-identical} to
+    the corresponding cold CLI invocation's output:
+
+    - [refine] → the printed refined program ([mrefine refine -q]);
+    - [lint] → {!Lint.Report} text or JSON ([mrefine lint]), with the
+      ["file"] field standing in for the spec path in the report;
+    - [explore] → {!Explore.Sweep.to_text} / [to_json];
+    - [faults] → {!Faults.Campaign.to_text} / [to_json].
+
+    Job field reference (defaults match the CLI):
+    {v
+    refine : spec, model, parts, algo, seed, assign, protocol, harden
+    lint   : spec, file, severity, codes, phase, overrides, json
+    explore: spec, models, seeds, biases, parts, steps, jobs, top,
+             deadline, retries, json
+    faults : spec, model, parts, algo, seed, assign, protocol, harden,
+             classes, seeds, base_seed, deadline, json
+    v} *)
+
+(** A finished job: the report text plus structured facts about it for
+    the reply envelope (e.g. lint error counts, sweep coverage). *)
+type outcome = {
+  o_output : string;
+  o_meta : (string * Protocol.json) list;
+}
+
+val run :
+  session:Session.t ->
+  poll:(unit -> bool) ->
+  Protocol.json ->
+  (outcome, string) result
+(** Execute one job.  [poll] is the scheduler's cooperative cancel /
+    deadline signal: it is checked between stages of every kind and
+    threaded into the simulation kernels of [explore]
+    ({!Explore.Evaluate.run}'s [poll]) and [faults]
+    ({!Faults.Campaign.config.cf_poll}) jobs, so a cancelled job stops
+    mid-simulation.  A cancelled job returns [Error "cancelled"].
+    Never raises on malformed job JSON — that is an [Error]. *)
+
+val cancelled_message : string
+(** The [Error] payload of a job stopped by its poll. *)

@@ -1,0 +1,86 @@
+(** The wire protocol of the [mrefine serve] daemon: newline-delimited
+    JSON over a Unix-domain stream socket.
+
+    Each request is one JSON object on one line; each reply is one JSON
+    object on one line.  Replies always carry an ["ok"] boolean; error
+    replies add ["error"] with a message and never terminate the
+    connection — a malformed line costs one error reply, not the
+    session.  Requests never embed raw newlines (the JSON escapes cover
+    them), so framing is trivial and torn requests are detected as
+    parse errors.
+
+    The JSON values here are self-contained: a hand-rolled parser and
+    printer (no external dependency), covering objects, arrays,
+    strings with standard escapes (including [\uXXXX], encoded to
+    UTF-8), integers, floats, booleans and null. *)
+
+(** A JSON document. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val parse : string -> (json, string) result
+(** Parse one JSON document (surrounding whitespace allowed; trailing
+    garbage is an error). *)
+
+val to_string : json -> string
+(** Compact one-line rendering; strings are escaped so the result never
+    contains a raw newline. *)
+
+(** {1 Accessors} *)
+
+val member : string -> json -> json option
+(** Field lookup on an object; [None] on missing field or non-object. *)
+
+val string_field : ?default:string -> string -> json -> (string, string) result
+val int_field : ?default:int -> string -> json -> (int, string) result
+val float_field : ?default:float -> string -> json -> (float option, string) result
+val bool_field : ?default:bool -> string -> json -> (bool, string) result
+
+val string_list_field :
+  ?default:string list -> string -> json -> (string list, string) result
+(** A field holding an array of strings (numbers are stringified). *)
+
+(** {1 Requests} *)
+
+type request =
+  | Submit of { sb_id : string option; sb_job : json }
+      (** enqueue a job; [sb_id] makes the submit idempotent: resubmitting
+          an existing id returns its current state instead of enqueueing
+          a duplicate *)
+  | Status of string
+  | Result of { rs_id : string; rs_wait : bool }
+      (** with [rs_wait], the reply is delayed until the job leaves the
+          queue (done, failed or cancelled) *)
+  | Cancel of string
+  | Stats
+  | Ping
+  | Shutdown
+
+val request_of_json : json -> (request, string) result
+val request_to_json : request -> json
+
+(** {1 Job states} *)
+
+type state = Pending | Running | Done | Failed | Cancelled
+
+val state_name : state -> string
+(** ["pending"], ["running"], ["done"], ["failed"], ["cancelled"]. *)
+
+val state_of_name : string -> state option
+
+val terminal : state -> bool
+(** Whether the state is final (done, failed or cancelled). *)
+
+(** {1 Replies} *)
+
+val ok : (string * json) list -> json
+(** An [{"ok":true, ...}] reply. *)
+
+val error : string -> json
+(** An [{"ok":false,"error":msg}] reply. *)

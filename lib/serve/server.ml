@@ -1,0 +1,139 @@
+(** Socket server; see the interface. *)
+
+type t = {
+  sv_socket : string;
+  sv_fd : Unix.file_descr;
+  sv_scheduler : Scheduler.t;
+  sv_stop : bool Atomic.t;
+  mutable sv_acceptor : Thread.t option;
+}
+
+(* --- request dispatch --------------------------------------------------- *)
+
+let dispatch t req =
+  match req with
+  | Protocol.Ping -> Protocol.ok [ ("pong", Protocol.Bool true) ]
+  | Protocol.Stats -> Protocol.ok (Scheduler.stats t.sv_scheduler)
+  | Protocol.Submit { sb_id; sb_job } -> (
+    match Scheduler.submit t.sv_scheduler ?id:sb_id sb_job with
+    | Ok view -> Protocol.ok (Scheduler.view_fields view)
+    | Error msg -> Protocol.error msg)
+  | Protocol.Status id -> (
+    match Scheduler.status t.sv_scheduler id with
+    | Some view -> Protocol.ok (Scheduler.view_fields view)
+    | None -> Protocol.error (Printf.sprintf "unknown job %S" id))
+  | Protocol.Result { rs_id; rs_wait } -> (
+    match Scheduler.result t.sv_scheduler ~wait:rs_wait rs_id with
+    | Some view -> Protocol.ok (Scheduler.view_fields view)
+    | None -> Protocol.error (Printf.sprintf "unknown job %S" rs_id))
+  | Protocol.Cancel id -> (
+    match Scheduler.cancel t.sv_scheduler id with
+    | Ok view -> Protocol.ok (Scheduler.view_fields view)
+    | Error msg -> Protocol.error msg)
+  | Protocol.Shutdown ->
+    Atomic.set t.sv_stop true;
+    Protocol.ok [ ("stopping", Protocol.Bool true) ]
+
+let reply_for t line =
+  match Protocol.parse line with
+  | Error msg -> Protocol.error ("bad request: " ^ msg)
+  | Ok json -> (
+    match Protocol.request_of_json json with
+    | Error msg -> Protocol.error ("bad request: " ^ msg)
+    | Ok req -> (
+      try dispatch t req
+      with exn ->
+        Protocol.error
+          (Printf.sprintf "request raised %s" (Printexc.to_string exn))))
+
+(* --- connection handling ------------------------------------------------ *)
+
+let handle_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line ->
+      let reply = reply_for t line in
+      (match
+         output_string oc (Protocol.to_string reply);
+         output_char oc '\n';
+         flush oc
+       with
+      | () -> ()
+      | exception Sys_error _ -> ());
+      (* A torn final line (no trailing newline before the peer died)
+         still got its error reply above; keep reading until EOF. *)
+      loop ()
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+(* --- accept loop -------------------------------------------------------- *)
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.sv_stop then ()
+    else
+      (* Poll with a timeout so a shutdown requested on a connection
+         thread is noticed without another client connecting. *)
+      match Unix.select [ t.sv_fd ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.sv_fd with
+        | fd, _ ->
+          ignore (Thread.create (fun () -> handle_connection t fd) () : Thread.t);
+          loop ()
+        | exception Unix.Unix_error ((EINTR | EAGAIN | ECONNABORTED), _, _) ->
+          loop ()
+        | exception Unix.Unix_error (EBADF, _, _) -> ())
+      | exception Unix.Unix_error ((EINTR | EBADF), _, _) ->
+        if Atomic.get t.sv_stop then () else loop ()
+  in
+  loop ()
+
+let start ~socket scheduler =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX socket);
+     Unix.listen fd 64
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  let t =
+    {
+      sv_socket = socket;
+      sv_fd = fd;
+      sv_scheduler = scheduler;
+      sv_stop = Atomic.make false;
+      sv_acceptor = None;
+    }
+  in
+  t.sv_acceptor <- Some (Thread.create accept_loop t);
+  t
+
+let stop t = Atomic.set t.sv_stop true
+
+let run t =
+  (match t.sv_acceptor with
+  | Some acceptor ->
+    let rec wait () =
+      if Atomic.get t.sv_stop then ()
+      else begin
+        Thread.delay 0.05;
+        wait ()
+      end
+    in
+    wait ();
+    Thread.join acceptor;
+    t.sv_acceptor <- None
+  | None -> ());
+  Scheduler.shutdown t.sv_scheduler;
+  (try Unix.close t.sv_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.sv_socket with Unix.Unix_error _ -> ())
+
+let serve ~socket scheduler = run (start ~socket scheduler)

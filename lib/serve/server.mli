@@ -1,0 +1,27 @@
+(** The daemon's front door: a Unix-domain stream socket speaking the
+    newline-delimited JSON protocol of {!Protocol}, one thread per
+    connection, all connections multiplexed onto one {!Scheduler}.
+
+    Error containment: a malformed or truncated request line costs one
+    [{"ok":false,...}] reply — the connection survives, and so does the
+    daemon.  A [shutdown] request stops the accept loop, drains the
+    scheduler (in-flight batch included) and returns from {!run}. *)
+
+type t
+
+val start :
+  socket:string -> Scheduler.t -> t
+(** Bind and listen on [socket] (an existing stale socket file is
+    replaced) and start accepting in background threads.
+    @raise Unix.Unix_error when the path cannot be bound. *)
+
+val run : t -> unit
+(** Block until a [shutdown] request (or {!stop}) terminates the
+    server, then shut the scheduler down and remove the socket file. *)
+
+val stop : t -> unit
+(** Request termination from another thread (e.g. a signal handler);
+    idempotent.  {!run} performs the actual teardown. *)
+
+val serve : socket:string -> Scheduler.t -> unit
+(** [start] + [run]. *)

@@ -93,7 +93,16 @@ type session = {
           abandoned mid-run by an exception is evicted, never reused *)
 }
 
-let session_cap = 4
+(* The default cap suits one-shot CLI runs (cosim originals + refined
+   pairs).  A long-lived daemon serving many distinct specs widens it —
+   the store is per-domain, so the cap bounds memory per worker. *)
+let session_cap_atomic = Atomic.make 4
+
+let session_cap () = Atomic.get session_cap_atomic
+
+let set_session_cap n =
+  if n < 1 then invalid_arg "Engine.set_session_cap: cap < 1";
+  Atomic.set session_cap_atomic n
 
 let session_store_key : (Ast.program * session) list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
@@ -144,7 +153,7 @@ let checkout_session (p : Ast.program) =
       | _ when n <= 0 -> []
       | e :: rest -> e :: take (n - 1) rest
     in
-    store := (p, ss) :: take (session_cap - 1) !store;
+    store := (p, ss) :: take (session_cap () - 1) !store;
     ss
 
 let evict_session (p : Ast.program) ss =

@@ -80,6 +80,20 @@ type sched_stats = {
   st_rebuilds : int;  (** leaf-table rebuilds after structural change *)
 }
 
+val session_cap : unit -> int
+(** Capacity of the per-domain session cache: how many distinct physical
+    programs keep their fully elaborated simulation state (frames,
+    compiled bodies, scheduler slots, wait-set registrations) alive
+    between runs.  Defaults to 4 — enough for a CLI invocation's cosim
+    pairs. *)
+
+val set_session_cap : int -> unit
+(** Widen (or narrow) the session cache, e.g. for a long-lived daemon
+    serving many distinct specifications; takes effect on the next
+    insertion in each domain.  The cap bounds elaborated state {e per
+    worker domain}.
+    @raise Invalid_argument when the cap is < 1. *)
+
 val run : ?config:config -> ?hooks:hooks -> Ast.program -> result
 (** Simulate a validated program.
     @raise Interp.Run_error on dynamic errors (unbound names, type

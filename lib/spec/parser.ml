@@ -2,7 +2,24 @@ open Ast
 
 exception Parse_error of string * int
 
-type state = { toks : Lexer.located array; mutable pos : int }
+type locations = {
+  loc_behaviors : (string * int) list;
+  loc_procedures : (string * int) list;
+  loc_decls : (string * int) list;
+}
+
+let no_locations = { loc_behaviors = []; loc_procedures = []; loc_decls = [] }
+
+type state = {
+  toks : Lexer.located array;
+  mutable pos : int;
+  (* Source lines of every named construct, recorded as declarations are
+     parsed (reverse order; reversed once at the end).  Diagnostics
+     resolve their behavior paths against these to render file:line. *)
+  mutable l_behaviors : (string * int) list;
+  mutable l_procedures : (string * int) list;
+  mutable l_decls : (string * int) list;
+}
 
 let cur st = st.toks.(st.pos)
 let peek_tok st = (cur st).tok
@@ -278,7 +295,9 @@ and parse_stmt st =
 
 let parse_var_decl st =
   (* "var" already consumed by the caller *)
+  let lnum = (cur st).Lexer.lnum in
   let name = ident st in
+  st.l_decls <- (name, lnum) :: st.l_decls;
   expect st Lexer.COLON;
   let ty = parse_ty st in
   let init = if accept st Lexer.ASSIGN then Some (parse_literal st) else None in
@@ -293,7 +312,9 @@ let parse_var_decls st =
   loop []
 
 let parse_signal_decl st =
+  let lnum = (cur st).Lexer.lnum in
   let name = ident st in
+  st.l_decls <- (name, lnum) :: st.l_decls;
   expect st Lexer.COLON;
   let ty = parse_ty st in
   let init = if accept st Lexer.ASSIGN then Some (parse_literal st) else None in
@@ -312,7 +333,9 @@ let parse_param st =
   { prm_name = name; prm_mode = mode; prm_ty = ty }
 
 let parse_proc st =
+  let lnum = (cur st).Lexer.lnum in
   let name = ident st in
+  st.l_procedures <- (name, lnum) :: st.l_procedures;
   expect st Lexer.LPAREN;
   let params =
     if peek_tok st = Lexer.RPAREN then []
@@ -337,8 +360,10 @@ let parse_proc st =
 (* --- behaviors ---------------------------------------------------------- *)
 
 let rec parse_behavior st =
+  let lnum = (cur st).Lexer.lnum in
   expect_kw st "behavior";
   let name = ident st in
+  st.l_behaviors <- (name, lnum) :: st.l_behaviors;
   expect st Lexer.COLON;
   let kind =
     if accept_kw st "leaf" then `Leaf
@@ -448,17 +473,56 @@ let parse_program st =
   }
 
 let state_of_string src =
-  { toks = Array.of_list (Lexer.tokenize src); pos = 0 }
+  {
+    toks = Array.of_list (Lexer.tokenize src);
+    pos = 0;
+    l_behaviors = [];
+    l_procedures = [];
+    l_decls = [];
+  }
+
+let locations_of st =
+  {
+    loc_behaviors = List.rev st.l_behaviors;
+    loc_procedures = List.rev st.l_procedures;
+    loc_decls = List.rev st.l_decls;
+  }
 
 let program_of_string_exn src = parse_program (state_of_string src)
 
-let program_of_string src =
-  match program_of_string_exn src with
-  | p -> Ok p
+let program_of_string_located src =
+  match
+    let st = state_of_string src in
+    let p = parse_program st in
+    (p, locations_of st)
+  with
+  | result -> Ok result
   | exception Parse_error (msg, lnum) ->
     Error (Printf.sprintf "parse error at line %d: %s" lnum msg)
   | exception Lexer.Lex_error (msg, lnum) ->
     Error (Printf.sprintf "lex error at line %d: %s" lnum msg)
+
+let program_of_string src =
+  Result.map fst (program_of_string_located src)
+
+(* Resolve a diagnostic's behavior path to a source line: deepest path
+   element with a recorded location wins — it is the most specific
+   position the diagnostic names.  Elements are either behavior names or
+   ["procedure f"] markers (see {!Diagnostic.d_path}). *)
+let line_of_path locs path =
+  let resolve element =
+    match String.index_opt element ' ' with
+    | Some i when String.sub element 0 i = "procedure" ->
+      let name =
+        String.sub element (i + 1) (String.length element - i - 1)
+      in
+      List.assoc_opt name locs.loc_procedures
+    | _ -> List.assoc_opt element locs.loc_behaviors
+  in
+  List.fold_left
+    (fun acc element ->
+      match resolve element with Some l -> Some l | None -> acc)
+    None path
 
 let expr_of_string_exn src =
   let st = state_of_string src in

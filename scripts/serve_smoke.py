@@ -1,0 +1,265 @@
+#!/usr/bin/env python3
+"""Smoke test for the mrefine serve daemon.
+
+Drives a live daemon over its Unix-domain socket with ~200 concurrent
+mixed jobs (refine / lint / explore / faults) from several client
+threads, SIGKILLs the daemon mid-load, restarts it on the same journal,
+and then requires:
+
+  - every job converges to a terminal state after the restart
+    (idempotent resubmission under client-chosen ids);
+  - every refine and lint result is bit-identical to the cold CLI run
+    of the same parameters;
+  - every explore job completes at coverage 1.0.
+
+Usage: serve_smoke.py [path/to/mrefine.exe]
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+MR = sys.argv[1] if len(sys.argv) > 1 else "_build/default/bin/mrefine.exe"
+SPECS = ["examples/specs/fig1.sc", "examples/specs/fig2.sc"]
+
+WORKDIR = tempfile.mkdtemp(prefix="serve_smoke_")
+SOCK = os.path.join(WORKDIR, "daemon.sock")
+JOURNAL = os.path.join(WORKDIR, "serve.journal")
+
+
+def start_daemon():
+    proc = subprocess.Popen(
+        [MR, "serve", "--socket", SOCK, "--journal", JOURNAL],
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.time() + 20.0
+    while time.time() < deadline:
+        if os.path.exists(SOCK):
+            try:
+                s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                s.connect(SOCK)
+                s.close()
+                return proc
+            except OSError:
+                pass
+        if proc.poll() is not None:
+            raise SystemExit(f"daemon exited early with {proc.returncode}")
+        time.sleep(0.05)
+    raise SystemExit("daemon did not come up within 20s")
+
+
+class Client:
+    def __init__(self):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(SOCK)
+        self.f = self.sock.makefile("rwb")
+
+    def rpc(self, obj):
+        self.f.write((json.dumps(obj) + "\n").encode())
+        self.f.flush()
+        line = self.f.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return json.loads(line)
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def spec_text(path):
+    with open(path) as f:
+        return f.read()
+
+
+def make_jobs():
+    """~200 mixed jobs, keyed by deterministic ids for idempotent
+    resubmission across the daemon restart."""
+    jobs = {}
+
+    def add(kind, job, path):
+        jobs[f"smoke-{len(jobs)}"] = (kind, job, path)
+
+    texts = [spec_text(p) for p in SPECS]
+    for i in range(160):
+        add(
+            "refine",
+            {
+                "kind": "refine",
+                "spec": texts[i % 2],
+                "model": f"model{1 + i % 4}",
+                "parts": 2,
+                "seed": 42 + (i // 8) % 2,
+            },
+            SPECS[i % 2],
+        )
+    for i in range(30):
+        add(
+            "lint",
+            {
+                "kind": "lint",
+                "spec": texts[i % 2],
+                "file": SPECS[i % 2],
+                "json": True,
+            },
+            SPECS[i % 2],
+        )
+    for i in range(6):
+        add(
+            "explore",
+            {
+                "kind": "explore",
+                "spec": texts[i % 2],
+                "seeds": [1],
+                "models": ["model2"],
+                "steps": 200,
+                "json": True,
+            },
+            SPECS[i % 2],
+        )
+    for i in range(4):
+        add(
+            "faults",
+            {
+                "kind": "faults",
+                "spec": texts[i % 2],
+                "model": "model2",
+                "seeds": 2,
+                "json": True,
+            },
+            SPECS[i % 2],
+        )
+    return jobs
+
+
+def submit_some(ids, jobs, submitted):
+    """Submit a slice of the job mix, polling status along the way.
+    Connection errors are expected — the daemon is SIGKILLed mid-load."""
+    try:
+        c = Client()
+        for n, job_id in enumerate(ids):
+            _kind, job, _path = jobs[job_id]
+            r = c.rpc({"op": "submit", "id": job_id, "job": job})
+            if r.get("ok"):
+                submitted.append(job_id)
+            if n % 5 == 0:
+                c.rpc({"op": "status", "id": job_id})
+        c.close()
+    except (ConnectionError, OSError):
+        pass
+
+
+def cold_refine(spec_path, model, parts, seed):
+    return subprocess.run(
+        [MR, "refine", "-q", "-m", model[-1], "-p", str(parts),
+         "--seed", str(seed), spec_path],
+        check=True, capture_output=True,
+    ).stdout.decode()
+
+
+def cold_lint(spec_path):
+    r = subprocess.run(
+        [MR, "lint", "--json", spec_path], capture_output=True
+    )
+    return r.stdout.decode()
+
+
+def main():
+    jobs = make_jobs()
+    ids = sorted(jobs, key=lambda s: int(s.split("-")[1]))
+    print(f"job mix: {len(ids)} jobs "
+          f"({sum(1 for k, *_ in jobs.values() if k == 'refine')} refine, "
+          f"{sum(1 for k, *_ in jobs.values() if k == 'lint')} lint, "
+          f"{sum(1 for k, *_ in jobs.values() if k == 'explore')} explore, "
+          f"{sum(1 for k, *_ in jobs.values() if k == 'faults')} faults)")
+
+    # Phase 1: concurrent submits, then SIGKILL mid-load.
+    proc = start_daemon()
+    submitted = []
+    n_threads = 8
+    slices = [ids[i::n_threads] for i in range(n_threads)]
+    threads = [
+        threading.Thread(target=submit_some, args=(s, jobs, submitted))
+        for s in slices
+    ]
+    for t in threads:
+        t.start()
+    # Kill mid-load: once a chunk of submits is acknowledged but before
+    # the queue can drain.
+    deadline = time.time() + 10.0
+    while len(submitted) < 60 and any(t.is_alive() for t in threads) \
+            and time.time() < deadline:
+        time.sleep(0.002)
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait()
+    for t in threads:
+        t.join()
+    print(f"SIGKILL after {len(submitted)} acknowledged submits")
+
+    # Phase 2: restart on the same journal; resubmit everything
+    # (idempotent), then wait every job to a terminal state.
+    proc = start_daemon()
+    c = Client()
+    states, outputs, metas, replayed = {}, {}, {}, 0
+    for job_id in ids:
+        r = c.rpc({"op": "submit", "id": job_id, "job": jobs[job_id][1]})
+        assert r.get("ok"), f"{job_id}: resubmit failed: {r}"
+    for job_id in ids:
+        r = c.rpc({"op": "result", "id": job_id, "wait": True})
+        assert r.get("ok"), f"{job_id}: result failed: {r}"
+        states[job_id] = r["state"]
+        outputs[job_id] = r.get("output", "")
+        metas[job_id] = r.get("meta", {})
+        replayed += bool(r.get("replayed"))
+    stats = c.rpc({"op": "stats"})
+    c.rpc({"op": "shutdown"})
+    c.close()
+    proc.wait(timeout=30)
+
+    bad = {i: s for i, s in states.items()
+           if s not in ("done", "failed", "cancelled")}
+    assert not bad, f"non-terminal jobs after restart: {bad}"
+    failed = {i: s for i, s in states.items() if s != "done"}
+    assert not failed, f"jobs did not complete: {failed}"
+    print(f"all {len(ids)} jobs done after restart "
+          f"({replayed} served from the journal)")
+
+    # Byte-identity of served refine/lint results against the cold CLI.
+    cli_cache = {}
+    checked = 0
+    for job_id in ids:
+        kind, job, spec_path = jobs[job_id]
+        if kind == "refine":
+            key = (spec_path, job["model"], job["parts"], job["seed"])
+            if key not in cli_cache:
+                cli_cache[key] = cold_refine(
+                    spec_path, job["model"], job["parts"], job["seed"])
+            assert outputs[job_id] == cli_cache[key], \
+                f"{job_id}: served refine differs from cold CLI"
+            checked += 1
+        elif kind == "lint":
+            key = ("lint", job["file"])
+            if key not in cli_cache:
+                cli_cache[key] = cold_lint(job["file"])
+            assert outputs[job_id] == cli_cache[key], \
+                f"{job_id}: served lint differs from cold CLI"
+            checked += 1
+        elif kind == "explore":
+            cov = metas[job_id].get("coverage")
+            assert cov == 1.0, f"{job_id}: explore coverage {cov} != 1.0"
+    print(f"{checked} refine/lint results bit-identical to the cold CLI; "
+          f"explore jobs at coverage 1.0")
+    print("serve smoke ok:", json.dumps(
+        {k: stats[k] for k in ("jobs", "done", "batches") if k in stats}))
+
+
+if __name__ == "__main__":
+    main()

@@ -253,6 +253,57 @@ let test_cache_reset_stats () =
   Alcotest.(check (pair int int)) "zeroed" (0, 0) (s.Cache.hits, s.Cache.misses);
   Alcotest.(check bool) "entry kept" true (snd (Cache.find_or_add c "k" (fun () -> 1)))
 
+let test_cache_lru_entry_cap () =
+  let c = Cache.create ~max_entries:2 () in
+  let add k = ignore (Cache.find_or_add c k (fun () -> k)) in
+  add "a";
+  add "b";
+  add "c";
+  Alcotest.(check int) "resident capped" 2 (Cache.resident_entries c);
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions c);
+  (* "a" is the least recently used: it must be the evicted one.  With
+     no disk behind the cache, it recomputes as a miss. *)
+  Alcotest.(check bool) "b survived" true
+    (snd (Cache.find_or_add c "b" (fun () -> "wrong")));
+  Alcotest.(check bool) "a evicted" false
+    (snd (Cache.find_or_add c "a" (fun () -> "a")))
+
+let test_cache_lru_touch_on_hit () =
+  let c = Cache.create ~max_entries:2 () in
+  let add k = ignore (Cache.find_or_add c k (fun () -> k)) in
+  add "a";
+  add "b";
+  (* Touch "a" so "b" becomes the LRU victim. *)
+  ignore (Cache.find_or_add c "a" (fun () -> "wrong"));
+  add "c";
+  Alcotest.(check bool) "a kept (recently used)" true
+    (snd (Cache.find_or_add c "a" (fun () -> "wrong")));
+  Alcotest.(check bool) "b evicted" false
+    (snd (Cache.find_or_add c "b" (fun () -> "b")))
+
+let test_cache_byte_cap_evicts_to_disk () =
+  let dir = fresh_temp_dir () in
+  let big = String.make 4096 'x' in
+  let c = Cache.create ~dir ~max_bytes:6000 () in
+  ignore (Cache.find_or_add c (Cache.digest_key [ "one" ]) (fun () -> big));
+  ignore (Cache.find_or_add c (Cache.digest_key [ "two" ]) (fun () -> big));
+  Alcotest.(check bool) "byte cap enforced" true
+    (Cache.resident_bytes c <= 6000);
+  Alcotest.(check bool) "evicted something" true (Cache.evictions c >= 1);
+  (* The demoted entry was persisted at add time: looking it up again is
+     a disk hit, not a recompute. *)
+  let v, cached =
+    Cache.find_or_add c (Cache.digest_key [ "one" ]) (fun () -> "recomputed")
+  in
+  Alcotest.(check string) "demoted value intact" big v;
+  Alcotest.(check bool) "served from disk" true cached
+
+let test_cache_rejects_bad_caps () =
+  Alcotest.check_raises "entries" (Invalid_argument "Cache.create: max_entries < 1")
+    (fun () -> ignore (Cache.create ~max_entries:0 ()));
+  Alcotest.check_raises "bytes" (Invalid_argument "Cache.create: max_bytes < 1")
+    (fun () -> ignore (Cache.create ~max_bytes:0 ()))
+
 (* --- pareto -------------------------------------------------------------- *)
 
 let test_dominates () =
@@ -781,6 +832,10 @@ let () =
           tc "tolerates corrupt blobs" test_cache_tolerates_corrupt_blob;
           tc "concurrent hammer" test_cache_concurrent_hammer;
           tc "reset stats" test_cache_reset_stats;
+          tc "LRU entry cap" test_cache_lru_entry_cap;
+          tc "LRU touch on hit" test_cache_lru_touch_on_hit;
+          tc "byte cap demotes to disk" test_cache_byte_cap_evicts_to_disk;
+          tc "rejects bad caps" test_cache_rejects_bad_caps;
         ] );
       ( "pareto",
         [

@@ -426,6 +426,74 @@ let prop_injected_race_detected =
           && String.equal d.Diagnostic.d_loc victim)
         ds)
 
+(* --- report ------------------------------------------------------------- *)
+
+let test_report_locate () =
+  let src =
+    "program locate_me is\n\
+    \  var shared : int<8> := 0;\n\
+    \  behavior TOP : par is\n\
+    \  begin\n\
+    \    behavior WRITER : leaf is\n\
+    \    begin\n\
+    \      shared := shared + 1;\n\
+    \    end behavior\n\
+    \    ;\n\
+    \    behavior READER : leaf is\n\
+    \    begin\n\
+    \      emit \"seen\" shared;\n\
+    \    end behavior\n\
+    \    ;\n\
+    \  end behavior\n\
+    end program\n"
+  in
+  let _, locs =
+    match Parser.program_of_string_located src with
+    | Ok v -> v
+    | Error msg -> Alcotest.fail msg
+  in
+  let d path loc =
+    {
+      Diagnostic.d_code = "RACE001";
+      d_severity = Diagnostic.Warning;
+      d_pass = "race";
+      d_path = path;
+      d_loc = loc;
+      d_message = "msg";
+    }
+  in
+  (match Lint.Report.locate ~file:"x.sc" locs [ d [ "TOP"; "WRITER" ] "shared" ] with
+  | [ located ] ->
+    Alcotest.(check string) "path resolves to behavior line" "x.sc:5: shared"
+      located.Diagnostic.d_loc
+  | _ -> Alcotest.fail "one diagnostic in, one out");
+  (* Program-wide finding: falls back to the declaration table. *)
+  (match Lint.Report.locate ~file:"x.sc" locs [ d [] "shared" ] with
+  | [ located ] ->
+    Alcotest.(check string) "decl fallback" "x.sc:2: shared"
+      located.Diagnostic.d_loc
+  | _ -> Alcotest.fail "one diagnostic in, one out");
+  (* Unresolvable findings pass through untouched. *)
+  match Lint.Report.locate ~file:"x.sc" locs [ d [] "nowhere" ] with
+  | [ located ] ->
+    Alcotest.(check string) "untouched" "nowhere" located.Diagnostic.d_loc
+  | _ -> Alcotest.fail "one diagnostic in, one out"
+
+let test_report_rendering () =
+  let p = parse "program p is behavior b : leaf is begin skip; end behavior end program" in
+  let ds = Lint.Registry.run p in
+  let targets =
+    [ { Lint.Report.t_name = "p.sc"; t_phase = Lint.Registry.Pre; t_diags = ds } ]
+  in
+  let text = Lint.Report.to_text targets in
+  Alcotest.(check bool) "has header" true (contains text "== p.sc:");
+  Alcotest.(check bool) "has total" true (contains text "total:");
+  let json = Lint.Report.to_json targets in
+  Alcotest.(check bool) "json shape" true
+    (contains json "{\"targets\":[{\"name\":\"p.sc\",\"phase\":\"pre\"");
+  Alcotest.(check int) "errors agree" (Lint.Report.errors targets)
+    (Diagnostic.count Diagnostic.Error ds)
+
 let () =
   Alcotest.run "lint"
     [
@@ -449,6 +517,11 @@ let () =
         ] );
       ( "registry",
         [ tc "code table" test_code_table; tc "stable order" test_run_sorted ] );
+      ( "report",
+        [
+          tc "locate file:line" test_report_locate;
+          tc "text and json rendering" test_report_rendering;
+        ] );
       ( "shims",
         [
           tc "typecheck" test_typecheck_shim;

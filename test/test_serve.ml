@@ -1,0 +1,546 @@
+(** Tests for the [mrefine serve] subsystem: the JSON wire protocol
+    (framing, escapes, request codec), a live socket server (malformed
+    requests, concurrent submits with interleaved polls, mid-job
+    cancellation), the scheduler's journal resume, and the session's
+    cross-request elaboration cache. *)
+
+let fig1_src = Spec.Printer.program_to_string Workloads.Smallspecs.fig1
+let fig2_src = Spec.Printer.program_to_string Workloads.Smallspecs.fig2
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec scan i = i + n <= m && (String.sub s i n = sub || scan (i + 1)) in
+  n = 0 || scan 0
+
+(* --- protocol ----------------------------------------------------------- *)
+
+let test_json_round_trip () =
+  let open Serve.Protocol in
+  let cases =
+    [
+      Null;
+      Bool true;
+      Bool false;
+      Int 0;
+      Int (-42);
+      Float 1.5;
+      String "";
+      String "plain";
+      String "quote \" backslash \\ newline \n tab \t nul \x00";
+      List [];
+      List [ Int 1; String "two"; Null ];
+      Obj [];
+      Obj
+        [
+          ("a", Int 1);
+          ("nested", Obj [ ("xs", List [ Bool false; Float 2.25 ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = to_string v in
+      Alcotest.(check bool)
+        (Printf.sprintf "no raw newline in %s" s)
+        false
+        (String.contains s '\n');
+      match parse s with
+      | Ok v' ->
+        Alcotest.(check string) "round-trip" s (to_string v')
+      | Error msg -> Alcotest.failf "parse %s failed: %s" s msg)
+    cases
+
+let test_json_escapes_and_unicode () =
+  let open Serve.Protocol in
+  (match parse {|"aAé€"|} with
+  | Ok (String s) -> Alcotest.(check string) "utf-8" "aA\xc3\xa9\xe2\x82\xac" s
+  | _ -> Alcotest.fail "unicode escapes");
+  (match parse {|"😀"|} with
+  | Ok (String s) ->
+    Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair");
+  match parse {|  {"k" : [ 1 , 2.5, true, null ] }  |} with
+  | Ok v ->
+    Alcotest.(check string) "whitespace tolerated"
+      {|{"k":[1,2.5,true,null]}|} (to_string v)
+  | Error msg -> Alcotest.fail msg
+
+let test_json_rejects_malformed () =
+  let open Serve.Protocol in
+  List.iter
+    (fun src ->
+      match parse src with
+      | Ok _ -> Alcotest.failf "accepted %S" src
+      | Error _ -> ())
+    [
+      "";
+      "{";
+      "[1,";
+      "{\"a\":}";
+      "\"unterminated";
+      "tru";
+      "{} trailing";
+      "{\"a\":1,}";
+      "nul";
+      "1e";
+    ]
+
+let test_request_codec () =
+  let open Serve.Protocol in
+  let reqs =
+    [
+      Submit { sb_id = Some "j1"; sb_job = Obj [ ("kind", String "refine") ] };
+      Submit { sb_id = None; sb_job = Obj [] };
+      Status "j2";
+      Result { rs_id = "j3"; rs_wait = true };
+      Cancel "j4";
+      Stats;
+      Ping;
+      Shutdown;
+    ]
+  in
+  List.iter
+    (fun req ->
+      match request_of_json (request_to_json req) with
+      | Ok req' ->
+        Alcotest.(check string) "request round-trip"
+          (to_string (request_to_json req))
+          (to_string (request_to_json req'))
+      | Error msg -> Alcotest.fail msg)
+    reqs;
+  (match request_of_json (Obj [ ("op", String "warp") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown op accepted");
+  match request_of_json (Obj [ ("op", String "status") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "status without id accepted"
+
+let test_states () =
+  let open Serve.Protocol in
+  List.iter
+    (fun s ->
+      match state_of_name (state_name s) with
+      | Some s' -> Alcotest.(check bool) "state round-trip" true (s = s')
+      | None -> Alcotest.fail (state_name s))
+    [ Pending; Running; Done; Failed; Cancelled ];
+  Alcotest.(check bool) "pending not terminal" false (terminal Pending);
+  Alcotest.(check bool) "done terminal" true (terminal Done)
+
+(* --- live server helpers ------------------------------------------------ *)
+
+let fresh_socket_path () =
+  let path = Filename.temp_file "coref_serve" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server ?journal ?(jobs = 1) f =
+  let session = Serve.Session.create () in
+  let scheduler = Serve.Scheduler.create ?journal ~jobs session in
+  let socket = fresh_socket_path () in
+  let server = Serve.Server.start ~socket scheduler in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Serve.Server.run server)
+    (fun () -> f socket)
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd, fd)
+
+let send (_, oc, _) line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let recv (ic, _, _) = input_line ic
+
+let close_conn (_, _, fd) = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let roundtrip conn line =
+  send conn line;
+  recv conn
+
+let reply_exn line =
+  match Serve.Protocol.parse line with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unreadable reply %s: %s" line msg
+
+let reply_ok line =
+  let v = reply_exn line in
+  match Serve.Protocol.member "ok" v with
+  | Some (Serve.Protocol.Bool b) -> (b, v)
+  | _ -> Alcotest.failf "reply without ok: %s" line
+
+let reply_string key v =
+  match Serve.Protocol.member key v with
+  | Some (Serve.Protocol.String s) -> s
+  | _ -> Alcotest.failf "reply without %S: %s" key (Serve.Protocol.to_string v)
+
+let submit_line ?id job_fields =
+  Serve.Protocol.to_string
+    (Serve.Protocol.request_to_json
+       (Serve.Protocol.Submit
+          { sb_id = id; sb_job = Serve.Protocol.Obj job_fields }))
+
+let refine_job ?(src = fig1_src) () =
+  [ ("kind", Serve.Protocol.String "refine");
+    ("spec", Serve.Protocol.String src) ]
+
+let await_result conn id =
+  let line =
+    roundtrip conn
+      (Serve.Protocol.to_string
+         (Serve.Protocol.request_to_json
+            (Serve.Protocol.Result { rs_id = id; rs_wait = true })))
+  in
+  let ok, v = reply_ok line in
+  Alcotest.(check bool) ("result ok for " ^ id) true ok;
+  v
+
+(* --- live server tests -------------------------------------------------- *)
+
+let test_malformed_requests_survive_connection () =
+  with_server (fun socket ->
+      let conn = connect socket in
+      Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+      List.iter
+        (fun bad ->
+          let ok, v = reply_ok (roundtrip conn bad) in
+          Alcotest.(check bool) ("rejected: " ^ bad) false ok;
+          ignore (reply_string "error" v))
+        [
+          "this is not json";
+          "{\"op\":";
+          "{\"op\":\"warp\"}";
+          "{\"op\":\"status\"}";
+          "{\"op\":\"submit\"}";
+          "42";
+        ];
+      (* The same connection must still serve well-formed requests. *)
+      let ok, v = reply_ok (roundtrip conn "{\"op\":\"ping\"}") in
+      Alcotest.(check bool) "ping after garbage" true ok;
+      match Serve.Protocol.member "pong" v with
+      | Some (Serve.Protocol.Bool true) -> ()
+      | _ -> Alcotest.fail "no pong")
+
+let test_submit_runs_job () =
+  with_server (fun socket ->
+      let conn = connect socket in
+      Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+      let ok, v = reply_ok (roundtrip conn (submit_line (refine_job ()))) in
+      Alcotest.(check bool) "submitted" true ok;
+      let id = reply_string "id" v in
+      let result = await_result conn id in
+      Alcotest.(check string) "done" "done" (reply_string "state" result);
+      let output = reply_string "output" result in
+      (* The served report must be byte-identical to the direct library
+         path the CLI prints. *)
+      let g = Agraph.Access_graph.of_program Workloads.Smallspecs.fig1 in
+      let part = Partitioning.Greedy.run g ~n_parts:2 in
+      let r =
+        Core.Refiner.refine Workloads.Smallspecs.fig1 g part
+          Core.Model.Model2
+      in
+      Alcotest.(check string) "byte-identical refine"
+        (Spec.Printer.program_to_string r.Core.Refiner.rf_program)
+        output)
+
+let test_unknown_job_kind_fails () =
+  with_server (fun socket ->
+      let conn = connect socket in
+      Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+      let _, v =
+        reply_ok
+          (roundtrip conn
+             (submit_line
+                [ ("kind", Serve.Protocol.String "transmogrify");
+                  ("spec", Serve.Protocol.String fig1_src) ]))
+      in
+      let id = reply_string "id" v in
+      let result = await_result conn id in
+      Alcotest.(check string) "failed" "failed" (reply_string "state" result);
+      let err = reply_string "error" result in
+      Alcotest.(check bool) "mentions kind" true
+        (contains_sub ~sub:"transmogrify" err))
+
+let test_concurrent_submits_with_status_polls () =
+  with_server (fun socket ->
+      let n = 8 in
+      let outputs = Array.make n "" in
+      let workers =
+        List.init n (fun i ->
+            Thread.create
+              (fun i ->
+                let conn = connect socket in
+                Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+                let src = if i mod 2 = 0 then fig1_src else fig2_src in
+                let _, v =
+                  reply_ok (roundtrip conn (submit_line (refine_job ~src ())))
+                in
+                let id = reply_string "id" v in
+                (* Interleave status polls with the others' submits. *)
+                for _ = 1 to 3 do
+                  let ok, sv =
+                    reply_ok
+                      (roundtrip conn
+                         (Printf.sprintf "{\"op\":\"status\",\"id\":%S}" id))
+                  in
+                  Alcotest.(check bool) "status ok" true ok;
+                  let state = reply_string "state" sv in
+                  Alcotest.(check bool)
+                    ("known state " ^ state)
+                    true
+                    (Serve.Protocol.state_of_name state <> None)
+                done;
+                let result = await_result conn id in
+                Alcotest.(check string) "done" "done"
+                  (reply_string "state" result);
+                outputs.(i) <- reply_string "output" result)
+              i)
+      in
+      List.iter Thread.join workers;
+      (* Identical sources produce identical served outputs. *)
+      for i = 2 to n - 1 do
+        Alcotest.(check string)
+          (Printf.sprintf "deterministic %d" i)
+          outputs.(i mod 2) outputs.(i)
+      done)
+
+let test_cancel_mid_job () =
+  with_server (fun socket ->
+      let conn = connect socket in
+      Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+      (* A sweep big enough to still be running when the cancel lands. *)
+      let job =
+        [
+          ("kind", Serve.Protocol.String "explore");
+          ("spec", Serve.Protocol.String fig2_src);
+          ("steps", Serve.Protocol.Int 300_000);
+          ( "seeds",
+            Serve.Protocol.List
+              [ Serve.Protocol.Int 1; Serve.Protocol.Int 2;
+                Serve.Protocol.Int 3 ] );
+        ]
+      in
+      let _, v = reply_ok (roundtrip conn (submit_line job)) in
+      let id = reply_string "id" v in
+      let ok, _ =
+        reply_ok
+          (roundtrip conn (Printf.sprintf "{\"op\":\"cancel\",\"id\":%S}" id))
+      in
+      Alcotest.(check bool) "cancel accepted" true ok;
+      let result = await_result conn id in
+      Alcotest.(check string) "cancelled" "cancelled"
+        (reply_string "state" result);
+      Alcotest.(check string) "cancel message" "cancelled"
+        (reply_string "error" result))
+
+let test_idempotent_submit () =
+  with_server (fun socket ->
+      let conn = connect socket in
+      Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+      let line = submit_line ~id:"stable" (refine_job ()) in
+      let _, v1 = reply_ok (roundtrip conn line) in
+      Alcotest.(check string) "first id" "stable" (reply_string "id" v1);
+      ignore (await_result conn "stable");
+      (* Resubmitting the same id returns the finished job, it does not
+         enqueue a second run. *)
+      let _, v2 = reply_ok (roundtrip conn line) in
+      Alcotest.(check string) "same id" "stable" (reply_string "id" v2);
+      Alcotest.(check string) "already done" "done" (reply_string "state" v2))
+
+(* --- scheduler journal resume ------------------------------------------- *)
+
+let fresh_journal_path () =
+  let path = Filename.temp_file "coref_serve" ".journal" in
+  Sys.remove path;
+  path
+
+let test_restart_replays_done_and_resumes_inflight () =
+  let path = fresh_journal_path () in
+  let meta = Serve.Scheduler.journal_meta in
+  (* First daemon lifetime: finish one job, record another as submitted
+     but never finished (the in-flight shape a SIGKILL leaves behind). *)
+  let output =
+    let journal = Checkpoint.Journal.open_ ~path ~meta in
+    let session = Serve.Session.create () in
+    let scheduler = Serve.Scheduler.create ~journal session in
+    let job =
+      Serve.Protocol.Obj
+        [ ("kind", Serve.Protocol.String "refine");
+          ("spec", Serve.Protocol.String fig1_src) ]
+    in
+    (match Serve.Scheduler.submit scheduler ~id:"finished" job with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.fail msg);
+    let view =
+      match Serve.Scheduler.result scheduler ~wait:true "finished" with
+      | Some v -> v
+      | None -> Alcotest.fail "job vanished"
+    in
+    Serve.Scheduler.shutdown scheduler;
+    (* Simulate dying mid-flight: the submit record exists, no outcome. *)
+    Checkpoint.Journal.append journal ~key:"spec/inflight"
+      (Serve.Protocol.to_string job);
+    Checkpoint.Journal.close journal;
+    match (view.Serve.Scheduler.v_state, view.Serve.Scheduler.v_output) with
+    | Serve.Protocol.Done, Some out -> out
+    | state, _ ->
+      Alcotest.failf "first run state %s" (Serve.Protocol.state_name state)
+  in
+  (* Second daemon lifetime over the same journal. *)
+  let journal = Checkpoint.Journal.open_ ~path ~meta in
+  let session = Serve.Session.create () in
+  let scheduler = Serve.Scheduler.create ~journal session in
+  (match Serve.Scheduler.status scheduler "finished" with
+  | Some v ->
+    Alcotest.(check bool) "replayed flag" true v.Serve.Scheduler.v_replayed;
+    Alcotest.(check string) "replayed state" "done"
+      (Serve.Protocol.state_name v.Serve.Scheduler.v_state);
+    Alcotest.(check (option string)) "replayed output" (Some output)
+      v.Serve.Scheduler.v_output
+  | None -> Alcotest.fail "finished job lost across restart");
+  (match Serve.Scheduler.result scheduler ~wait:true "inflight" with
+  | Some v ->
+    Alcotest.(check string) "in-flight job re-ran" "done"
+      (Serve.Protocol.state_name v.Serve.Scheduler.v_state);
+    Alcotest.(check (option string)) "identical output" (Some output)
+      v.Serve.Scheduler.v_output
+  | None -> Alcotest.fail "in-flight job not re-enqueued");
+  Serve.Scheduler.shutdown scheduler;
+  Checkpoint.Journal.close journal
+
+let test_cancelled_pending_survives_restart () =
+  let path = fresh_journal_path () in
+  let meta = Serve.Scheduler.journal_meta in
+  let journal = Checkpoint.Journal.open_ ~path ~meta in
+  Checkpoint.Journal.append journal ~key:"spec/doomed"
+    (Serve.Protocol.to_string
+       (Serve.Protocol.Obj
+          [ ("kind", Serve.Protocol.String "refine");
+            ("spec", Serve.Protocol.String fig1_src) ]));
+  Checkpoint.Journal.append journal ~key:"cancel/doomed" "";
+  Checkpoint.Journal.close journal;
+  let journal = Checkpoint.Journal.open_ ~path ~meta in
+  let session = Serve.Session.create () in
+  let scheduler = Serve.Scheduler.create ~journal session in
+  (match Serve.Scheduler.status scheduler "doomed" with
+  | Some v ->
+    Alcotest.(check string) "cancelled on replay" "cancelled"
+      (Serve.Protocol.state_name v.Serve.Scheduler.v_state)
+  | None -> Alcotest.fail "cancelled job lost");
+  Serve.Scheduler.shutdown scheduler;
+  Checkpoint.Journal.close journal
+
+let test_max_jobs_backpressure () =
+  let session = Serve.Session.create () in
+  let scheduler = Serve.Scheduler.create ~max_jobs:1 session in
+  let job =
+    Serve.Protocol.Obj
+      [ ("kind", Serve.Protocol.String "refine");
+        ("spec", Serve.Protocol.String fig1_src) ]
+  in
+  (match Serve.Scheduler.submit scheduler ~id:"one" job with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  (match Serve.Scheduler.submit scheduler ~id:"two" job with
+  | Ok _ -> Alcotest.fail "second submit exceeded max_jobs"
+  | Error msg ->
+    Alcotest.(check bool) "mentions full" true
+      (contains_sub ~sub:"full" msg));
+  (* Idempotent resubmits of a retained id still work at the cap. *)
+  (match Serve.Scheduler.submit scheduler ~id:"one" job with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  Serve.Scheduler.shutdown scheduler
+
+(* --- session ------------------------------------------------------------ *)
+
+let test_session_elaboration_cache () =
+  let session = Serve.Session.create () in
+  let e1 =
+    match Serve.Session.elaborate session ~source:fig1_src with
+    | Ok e -> e
+    | Error msg -> Alcotest.fail msg
+  in
+  let e2 =
+    match Serve.Session.elaborate session ~source:fig1_src with
+    | Ok e -> e
+    | Error msg -> Alcotest.fail msg
+  in
+  (* Same source must come back as the same physical program — that is
+     what lets the simulator's session cache rewind instead of
+     re-elaborating. *)
+  Alcotest.(check bool) "physically shared" true
+    (e1.Serve.Session.el_program == e2.Serve.Session.el_program);
+  let stats = Serve.Session.stats session in
+  Alcotest.(check int) "one hit" 1 stats.Serve.Session.st_elab_hits;
+  Alcotest.(check int) "one miss" 1 stats.Serve.Session.st_elab_misses;
+  match Serve.Session.elaborate session ~source:"program broken" with
+  | Ok _ -> Alcotest.fail "parse error accepted"
+  | Error _ -> ()
+
+let test_session_elab_lru () =
+  let session = Serve.Session.create ~elab_entries:2 () in
+  let specs =
+    List.map
+      (fun name ->
+        Printf.sprintf
+          "program %s is\n  var x : int<8> := 0;\n  behavior TOP : leaf is\n  \
+           begin\n    x := 1;\n  end behavior\nend program\n"
+          name)
+      [ "p_one"; "p_two"; "p_three" ]
+  in
+  List.iter
+    (fun src ->
+      match Serve.Session.elaborate session ~source:src with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail msg)
+    specs;
+  let stats = Serve.Session.stats session in
+  Alcotest.(check int) "capped at 2" 2 stats.Serve.Session.st_elab_entries
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_json_round_trip;
+          Alcotest.test_case "escapes and unicode" `Quick
+            test_json_escapes_and_unicode;
+          Alcotest.test_case "rejects malformed" `Quick
+            test_json_rejects_malformed;
+          Alcotest.test_case "request codec" `Quick test_request_codec;
+          Alcotest.test_case "states" `Quick test_states;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "malformed requests survive the connection"
+            `Quick test_malformed_requests_survive_connection;
+          Alcotest.test_case "submit runs a job" `Quick test_submit_runs_job;
+          Alcotest.test_case "unknown job kind fails cleanly" `Quick
+            test_unknown_job_kind_fails;
+          Alcotest.test_case "concurrent submits with status polls" `Quick
+            test_concurrent_submits_with_status_polls;
+          Alcotest.test_case "cancel mid-job" `Quick test_cancel_mid_job;
+          Alcotest.test_case "idempotent submit" `Quick test_idempotent_submit;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "restart replays done, resumes in-flight"
+            `Quick test_restart_replays_done_and_resumes_inflight;
+          Alcotest.test_case "cancelled pending survives restart" `Quick
+            test_cancelled_pending_survives_restart;
+          Alcotest.test_case "max-jobs backpressure" `Quick
+            test_max_jobs_backpressure;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "elaboration cache" `Quick
+            test_session_elaboration_cache;
+          Alcotest.test_case "elaboration LRU cap" `Quick
+            test_session_elab_lru;
+        ] );
+    ]

@@ -405,6 +405,58 @@ let test_parse_errors () =
   bad "";
   bad "program p is behavior b : leaf is begin skip; end behavior end program trailing"
 
+let test_located_parse () =
+  let src =
+    "program locs is\n\
+    \  var g : int<8> := 0;\n\
+    \  signal s : bool := false;\n\
+    \  procedure helper (a : in int<8>) is\n\
+    \  begin\n\
+    \    g := a;\n\
+    \  end procedure;\n\
+    \  behavior TOP : seq is\n\
+    \    var local : int<8>;\n\
+    \  begin\n\
+    \    behavior INNER : leaf is\n\
+    \    begin\n\
+    \      local := 1;\n\
+    \    end behavior\n\
+    \    -> complete;\n\
+    \  end behavior\n\
+    end program\n"
+  in
+  match Parser.program_of_string_located src with
+  | Error msg -> Alcotest.fail msg
+  | Ok (p, locs) ->
+    (* The located parse must agree with the plain one. *)
+    (match Parser.program_of_string src with
+    | Ok p' -> Alcotest.(check bool) "same program" true (Ast.equal_program p p')
+    | Error msg -> Alcotest.fail msg);
+    let line table name =
+      List.assoc_opt name table
+    in
+    Alcotest.(check (option int)) "program var" (Some 2)
+      (line locs.Parser.loc_decls "g");
+    Alcotest.(check (option int)) "signal" (Some 3)
+      (line locs.Parser.loc_decls "s");
+    Alcotest.(check (option int)) "procedure" (Some 4)
+      (line locs.Parser.loc_procedures "helper");
+    Alcotest.(check (option int)) "top behavior" (Some 8)
+      (line locs.Parser.loc_behaviors "TOP");
+    Alcotest.(check (option int)) "behavior var" (Some 9)
+      (line locs.Parser.loc_decls "local");
+    Alcotest.(check (option int)) "nested behavior" (Some 11)
+      (line locs.Parser.loc_behaviors "INNER");
+    (* Path resolution: the deepest resolvable element wins. *)
+    Alcotest.(check (option int)) "path deepest" (Some 11)
+      (Parser.line_of_path locs [ "TOP"; "INNER" ]);
+    Alcotest.(check (option int)) "procedure marker" (Some 4)
+      (Parser.line_of_path locs [ "TOP"; "procedure helper" ]);
+    Alcotest.(check (option int)) "unknown tail falls back" (Some 8)
+      (Parser.line_of_path locs [ "TOP"; "NOWHERE" ]);
+    Alcotest.(check (option int)) "nothing resolvable" None
+      (Parser.line_of_path locs [ "NOWHERE" ])
+
 let test_line_count () =
   let p = Workloads.Smallspecs.fig1 in
   let lines =
@@ -591,6 +643,7 @@ let () =
           tc "refined roundtrip" test_refined_roundtrip;
           QCheck_alcotest.to_alcotest prop_generated_roundtrip;
           tc "parse errors" test_parse_errors;
+          tc "located parse" test_located_parse;
           tc "line count" test_line_count;
           tc "string_of_ty" test_string_of_ty;
           tc "array syntax roundtrip" test_array_syntax_roundtrip;
