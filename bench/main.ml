@@ -597,6 +597,31 @@ let bench_json out_path =
           name engine polling (polling /. engine))
       sim_cases
   in
+  (* -- lint: full registry sweep, flow-insensitive vs flow-sensitive -- *)
+  let lint_rows =
+    List.map
+      (fun (name, p) ->
+        let row flow =
+          let n = List.length (Lint.Registry.run ~flow p) in
+          (* The flow summary cache is primed by the warm-up runs, so
+             this measures the steady state a serve daemon or repeated
+             CLI sweep sees. *)
+          let us = us_per_run (fun () -> Lint.Registry.run ~flow p) in
+          (n, us, float_of_int n /. us *. 1e6)
+        in
+        let off_n, off_us, off_rate = row false in
+        let on_n, on_us, on_rate = row true in
+        Printf.printf
+          "lint/%-15s flow off %8.1f us (%d diags, %7.0f/s)  flow on \
+           %8.1f us (%d diags, %7.0f/s)\n"
+          name off_us off_n off_rate on_us on_n on_rate;
+        Printf.sprintf
+          "{\"name\":\"%s\",\"flow_off_us\":%.1f,\"flow_off_diags\":%d,\
+           \"flow_off_diags_per_s\":%.0f,\"flow_on_us\":%.1f,\
+           \"flow_on_diags\":%d,\"flow_on_diags_per_s\":%.0f}"
+          name off_us off_n off_rate on_us on_n on_rate)
+      [ ("medical", spec); ("refined-m2", refined Core.Model.Model2) ]
+  in
   (* -- faults: the mrefine-faults campaign under both kernels -------- *)
   let fault_config =
     { Faults.Campaign.default_config with Faults.Campaign.cf_seeds = 4 }
@@ -846,9 +871,10 @@ let bench_json out_path =
   in
   let json =
     Printf.sprintf
-      "{\"schema\":\"coref-bench-sim-1\",\"simulate\":[%s],\"faults\":%s,\
-       \"explore\":%s,\"checkpoint\":%s,\"serve\":%s}\n"
+      "{\"schema\":\"coref-bench-sim-1\",\"simulate\":[%s],\"lint\":[%s],\
+       \"faults\":%s,\"explore\":%s,\"checkpoint\":%s,\"serve\":%s}\n"
       (String.concat "," sim_rows)
+      (String.concat "," lint_rows)
       faults_row explore_row checkpoint_row serve_row
   in
   let oc = open_out out_path in

@@ -822,6 +822,27 @@ let lint_cmd =
       value & flag
       & info [ "list-codes" ] ~doc:"Print the diagnostic code table and exit.")
   in
+  let flow_arg =
+    Arg.(
+      value & flag
+      & info [ "flow" ]
+          ~doc:"Run the flow-sensitive analyses: build a control-flow graph \
+                and interval/liveness fixpoint per leaf behavior, prune \
+                unreachable-by-value findings, add dead-store and \
+                written-never-read diagnostics, and sharpen width checks \
+                with value ranges.")
+  in
+  let fix_arg =
+    Arg.(
+      value & flag
+      & info [ "fix" ]
+          ~doc:"Rewrite the spec to fix the mechanical diagnostics \
+                (CONT001, PROTO003, WIDTH001; restrict with $(b,--code)) \
+                and print the fixed source.  Every rewrite is gated: it \
+                must re-parse, re-lint clean for the fixed code and \
+                cosimulate bit-identically with the input; refused fixes \
+                are reported on stderr with the reason.")
+  in
   let override_arg =
     Arg.(
       value
@@ -835,8 +856,8 @@ let lint_cmd =
   in
   (* One lint target: a named program with an optional forced phase and,
      for targets read from a file, the parser's source-line table. *)
-  let lint_target overrides (name, p, phase, locs) =
-    let ds = Lint.Registry.run ?phase ~overrides p in
+  let lint_target overrides flow (name, p, phase, locs) =
+    let ds = Lint.Registry.run ?phase ~overrides ~flow p in
     (name, p, phase, locs, ds)
   in
   let workload_targets () =
@@ -870,11 +891,79 @@ let lint_cmd =
     |> List.map (fun (n, p, ph) -> (n, p, ph, None))
   in
   let run spec_path severity codes phase json workloads list_codes overrides
-      output =
+      flow fix output =
     if list_codes then begin
       List.iter
         (fun (code, descr) -> Printf.printf "%-9s %s\n" code descr)
         Lint.Registry.code_table;
+      exit 0
+    end;
+    if fix then begin
+      (match spec_path with
+      | None -> or_die (Error "--fix needs a SPEC file (not --workloads)")
+      | Some path ->
+        let p, _ = or_die (load_spec_located path) in
+        let fix_codes =
+          if codes = [] then Lint.Fixer.fixable_codes
+          else begin
+            match
+              List.filter
+                (fun c -> List.mem c Lint.Fixer.fixable_codes)
+                codes
+            with
+            | [] ->
+              or_die
+                (Error
+                   (Printf.sprintf "no fixable code among %s (fixable: %s)"
+                      (String.concat ", " codes)
+                      (String.concat ", " Lint.Fixer.fixable_codes)))
+            | sel -> sel
+          end
+        in
+        let r = Lint.Fixer.fix ~codes:fix_codes p in
+        if json then begin
+          let applied =
+            List.map
+              (fun (a : Lint.Fixer.applied) ->
+                Printf.sprintf
+                  "{\"code\":\"%s\",\"loc\":\"%s\",\"note\":\"%s\"}"
+                  (Spec.Diagnostic.json_escape a.Lint.Fixer.fx_code)
+                  (Spec.Diagnostic.json_escape a.Lint.Fixer.fx_loc)
+                  (Spec.Diagnostic.json_escape a.Lint.Fixer.fx_note))
+              r.Lint.Fixer.x_applied
+          in
+          let refused =
+            List.map
+              (fun (f : Lint.Fixer.refused) ->
+                Printf.sprintf
+                  "{\"code\":\"%s\",\"loc\":\"%s\",\"reason\":\"%s\"}"
+                  (Spec.Diagnostic.json_escape f.Lint.Fixer.fr_code)
+                  (Spec.Diagnostic.json_escape f.Lint.Fixer.fr_loc)
+                  (Spec.Diagnostic.json_escape f.Lint.Fixer.fr_reason))
+              r.Lint.Fixer.x_refused
+          in
+          write_out output
+            (Printf.sprintf
+               "{\"changed\":%b,\"applied\":[%s],\"refused\":[%s],\
+                \"source\":\"%s\"}"
+               r.Lint.Fixer.x_changed
+               (String.concat "," applied)
+               (String.concat "," refused)
+               (Spec.Diagnostic.json_escape r.Lint.Fixer.x_source))
+        end
+        else begin
+          List.iter
+            (fun (a : Lint.Fixer.applied) ->
+              Printf.eprintf "applied %s %s: %s\n" a.Lint.Fixer.fx_code
+                a.Lint.Fixer.fx_loc a.Lint.Fixer.fx_note)
+            r.Lint.Fixer.x_applied;
+          List.iter
+            (fun (f : Lint.Fixer.refused) ->
+              Printf.eprintf "refused %s %s: %s\n" f.Lint.Fixer.fr_code
+                f.Lint.Fixer.fr_loc f.Lint.Fixer.fr_reason)
+            r.Lint.Fixer.x_refused;
+          write_out output r.Lint.Fixer.x_source
+        end);
       exit 0
     end;
     let overrides =
@@ -894,7 +983,7 @@ let lint_cmd =
           let p, locs = or_die (load_spec_located path) in
           [ (path, p, phase, Some locs) ]
     in
-    let results = List.map (lint_target overrides) targets in
+    let results = List.map (lint_target overrides flow) targets in
     let keep d =
       Spec.Diagnostic.severity_rank d.Spec.Diagnostic.d_severity
       <= Spec.Diagnostic.severity_rank severity
@@ -929,11 +1018,13 @@ let lint_cmd =
          "Run the static-analysis passes (races, protocol conformance, \
           liveness, bus contention, width narrowing) plus the type checker \
           over a specification, and exit non-zero on any error-severity \
-          diagnostic.")
+          diagnostic.  $(b,--flow) adds the CFG/interval/liveness \
+          fixpoint analyses; $(b,--fix) rewrites the mechanical findings \
+          with simulation-equivalence gating.")
     Term.(
       const run $ spec_opt_arg $ severity_arg $ code_arg $ phase_arg
       $ json_arg $ workloads_arg $ list_codes_arg $ override_arg
-      $ output_arg)
+      $ flow_arg $ fix_arg $ output_arg)
 
 let serve_cmd =
   let socket_arg =

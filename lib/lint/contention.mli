@@ -1,7 +1,22 @@
 (** Bus-contention pass: [CONT001] when a bus's master procedures are
     called from two or more parallel regions and some caller does not
     hold an arbitration grant (no request drive + grant wait around the
-    transaction).  The refinement-aware twin of this rule lives in
-    {!Core.Check}. *)
+    transaction), and [CONT002] when callers wrap an arbitration grant
+    around a bus only one parallel region ever masters.  The
+    refinement-aware twin of this rule lives in {!Core.Check}. *)
+
+(** One bus with its call sites, as the pass (and {!Fixer}) see it. *)
+type bus = {
+  bus_addr : string;  (** the bus's address signal *)
+  bus_regions : string list;  (** distinct caller regions, sorted *)
+  bus_callers : Pass.site list;  (** every calling site, preorder *)
+  bus_offenders : Pass.site list;  (** callers holding no grant *)
+}
+
+val analyze : Pass.t -> bus list
+(** Group the program's master procedures into buses by address signal
+    and classify each bus's call sites.  A bus needs arbitration when
+    [bus_regions] has two or more entries and [bus_offenders] is
+    non-empty. *)
 
 val pass : Pass.pass

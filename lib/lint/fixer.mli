@@ -1,0 +1,43 @@
+(** [mrefine lint --fix]: gated source-to-source rewrites for the
+    mechanical diagnostic codes [WIDTH001] (widen narrowed destination
+    declarations), [PROTO003] (inline a waited-but-never-driven signal
+    as the constant it is stuck at) and [CONT001] (synthesize a
+    request/grant arbiter for a multi-master bus).
+
+    Every rewrite must pass four gates before it is kept: the candidate
+    validates, its printed source re-parses, a re-lint reports zero
+    findings for the fixed code, and cosimulation proves it
+    trace-equivalent to the original input.  Failing transforms are
+    reported as refused with the gate's reason. *)
+
+open Spec
+
+type applied = {
+  fx_code : string;
+  fx_loc : string;  (** the declaration, signal or bus that was fixed *)
+  fx_note : string;  (** human-readable description of the rewrite *)
+}
+
+type refused = {
+  fr_code : string;
+  fr_loc : string;
+  fr_reason : string;  (** which gate failed, and why *)
+}
+
+type result = {
+  x_program : Ast.program;
+      (** the fixed program (the input when nothing applied) *)
+  x_source : string;  (** its printed source *)
+  x_applied : applied list;
+  x_refused : refused list;
+  x_changed : bool;
+}
+
+val fixable_codes : string list
+(** [["CONT001"; "PROTO003"; "WIDTH001"]]. *)
+
+val fix : ?codes:string list -> Ast.program -> result
+(** Apply every fixable transform (restricted to [codes] if given), in
+    the order WIDTH001, PROTO003, CONT001; each accepted rewrite feeds
+    the next, and the equivalence gate always compares against the
+    pristine input program. *)

@@ -1,6 +1,15 @@
 (** Liveness / usage pass (all warnings): [LIVE001] never-accessed
     variable, [LIVE002] never-used signal, [LIVE003] unreachable
     sequential arm, [LIVE004] variable read but never written with no
-    initializer. *)
+    initializer.
+
+    In flow mode ({!Registry.run} with [~flow:true]) the pass consults
+    the {!Flow} summary: reads on interval-unreachable paths no longer
+    count as accesses (so a guard-dominated uninitialized read demotes
+    from [LIVE004] to a precise [LIVE001]/[LIVE003]), TOC arms whose
+    guard the constant environment refutes are reported unreachable,
+    and two flow-only findings appear — [LIVE005] (a store overwritten
+    before any read) and [LIVE006] (a variable written but never
+    read). *)
 
 val pass : Pass.pass

@@ -48,6 +48,8 @@ type t = {
   lc_program : program;
   lc_phase : phase;
   lc_sites : site list;  (** every leaf and TOC site, preorder *)
+  lc_flow : Flow.summary option;
+      (** flow summary when the flow-sensitive modes are enabled *)
 }
 
 (** A named analysis pass: [p_codes] documents the diagnostic codes it
@@ -134,7 +136,7 @@ let site_of scope ~path ~region ~server name stmts ~extra_reads =
     st_calls = List.rev (calls_of_stmts [] stmts);
   }
 
-let make_ctx ~phase (p : program) =
+let make_ctx ~phase ?flow (p : program) =
   let base_scope =
     List.map (fun (v : var_decl) -> (v.v_name, Bvar v.v_name)) p.p_vars
     @ List.map (fun (s : sig_decl) -> (s.s_name, Bsig)) p.p_signals
@@ -180,7 +182,7 @@ let make_ctx ~phase (p : program) =
   let sites =
     List.rev (walk base_scope [] p.p_top.b_name false p.p_top [])
   in
-  { lc_program = p; lc_phase = phase; lc_sites = sites }
+  { lc_program = p; lc_phase = phase; lc_sites = sites; lc_flow = flow }
 
 (* ------------------------------------------------------------------ *)
 (* Protocol structure recognition.                                    *)

@@ -38,6 +38,9 @@ type t = {
   lc_program : program;
   lc_phase : phase;
   lc_sites : site list;  (** every leaf and TOC site, preorder *)
+  lc_flow : Flow.summary option;
+      (** flow summary ({!Flow.of_program}) when the flow-sensitive pass
+          modes are enabled; [None] keeps every pass structural *)
 }
 
 (** A named analysis pass; [p_codes] documents the diagnostic codes it
@@ -48,7 +51,7 @@ type pass = {
   p_run : t -> Diagnostic.t list;
 }
 
-val make_ctx : phase:phase -> program -> t
+val make_ctx : phase:phase -> ?flow:Flow.summary -> program -> t
 
 val waits_of_stmts : expr list -> stmt list -> expr list
 (** All [wait until] conditions, including nested ones, prepended in

@@ -32,32 +32,45 @@ let codes =
   ]
 
 (* Accesses of the non-server sites under one child subtree, as
-   (decl key -> display name) maps for readers and writers. *)
-let child_accesses sites child =
+   (decl key -> display name) maps for readers and writers.  With a
+   flow summary, a leaf site contributes only the accesses at CFG nodes
+   the interval analysis proves reachable — two accesses race only when
+   both can actually execute; TOC guard reads are kept as-is. *)
+let child_accesses ?flow sites child =
   let in_child s =
     (not s.Pass.st_server) && List.mem child s.Pass.st_path
   in
   let sites = List.filter in_child sites in
+  let accesses (s : Pass.site) =
+    match flow with
+    | Some fl when s.Pass.st_stmts <> [] -> (
+      match Flow.leaf_at fl s.Pass.st_path with
+      | Some li ->
+        (li.Flow.li_var_reads, li.Flow.li_var_writes, li.Flow.li_sig_writes)
+      | None -> (s.Pass.st_var_reads, s.Pass.st_var_writes, s.Pass.st_sig_writes))
+    | _ -> (s.Pass.st_var_reads, s.Pass.st_var_writes, s.Pass.st_sig_writes)
+  in
+  let sites = List.map (fun s -> (s, accesses s)) sites in
   let vars acc field =
     List.fold_left
-      (fun acc s ->
+      (fun acc (s, acs) ->
         List.fold_left
           (fun acc (key, name) ->
             if List.mem_assoc key acc then acc
             else (key, (name, s.Pass.st_behavior)) :: acc)
-          acc (field s))
+          acc (field acs))
       acc sites
   in
-  let reads = vars [] (fun s -> s.Pass.st_var_reads) in
-  let writes = vars [] (fun s -> s.Pass.st_var_writes) in
+  let reads = vars [] (fun (r, _, _) -> r) in
+  let writes = vars [] (fun (_, w, _) -> w) in
   let sig_writes =
     List.fold_left
-      (fun acc s ->
+      (fun acc (s, (_, _, sw)) ->
         List.fold_left
           (fun acc x ->
             if List.mem_assoc x acc then acc
             else (x, s.Pass.st_behavior) :: acc)
-          acc s.Pass.st_sig_writes)
+          acc sw)
       [] sites
   in
   (reads, writes, sig_writes)
@@ -71,7 +84,9 @@ let run (ctx : Pass.t) =
         let per_child =
           List.map
             (fun c ->
-              (c.b_name, child_accesses ctx.Pass.lc_sites c.b_name))
+              ( c.b_name,
+                child_accesses ?flow:ctx.Pass.lc_flow ctx.Pass.lc_sites
+                  c.b_name ))
             children
         in
         (* Variable races: a writer in one child, any accessor in

@@ -1,6 +1,10 @@
 (** Race detector: [RACE001] (variable accessed from two parallel
     branches with at least one writer and no mediating protocol) and
     [RACE002] (signal driven from two parallel branches).  Severity is
-    phase-dependent: warning pre-refinement, error post-refinement. *)
+    phase-dependent: warning pre-refinement, error post-refinement.
+
+    In flow mode ({!Registry.run} with [~flow:true]) accesses on
+    interval-unreachable nodes are ignored, so a "write" that can never
+    execute no longer races with a concurrent reader. *)
 
 val pass : Pass.pass

@@ -36,7 +36,6 @@ let checker_codes =
     ("REF002", "bus count above the model bound");
     ("REF003", "unregistered or missing server");
     ("REF004", "direct access to a partitioned variable");
-    ("CONT002", "arbiter on a single-master bus");
   ]
 
 let code_table =
@@ -91,11 +90,12 @@ let apply_overrides overrides ds =
          ds)
 
 let run ?phase ?(typecheck = true) ?(passes = all) ?(overrides = [])
-    (p : Ast.program) : Diagnostic.t list =
+    ?(flow = false) (p : Ast.program) : Diagnostic.t list =
   let phase =
     match phase with Some ph -> ph | None -> Pass.infer_phase p
   in
-  let ctx = Pass.make_ctx ~phase p in
+  let flow = if flow then Some (Flow.of_program p) else None in
+  let ctx = Pass.make_ctx ~phase ?flow p in
   let found = List.concat_map (fun ps -> ps.Pass.p_run ctx) passes in
   let found = if typecheck then Typecheck.diagnostics p @ found else found in
   apply_overrides overrides (Diagnostic.sort found)

@@ -41,12 +41,16 @@ val run :
   ?typecheck:bool ->
   ?passes:Pass.pass list ->
   ?overrides:(string * override) list ->
+  ?flow:bool ->
   Ast.program ->
   Diagnostic.t list
 (** Lint one program.  The phase defaults to {!infer_phase}; the type
     checker's diagnostics are folded in unless [~typecheck:false];
-    [overrides] applies the per-code severity policy; the result is in
-    stable {!Spec.Diagnostic.compare} order. *)
+    [overrides] applies the per-code severity policy; [~flow:true]
+    builds a {!Flow.summary} and switches the liveness, race and width
+    passes to their flow-sensitive modes (default off — structural
+    output is byte-stable); the result is in stable
+    {!Spec.Diagnostic.compare} order. *)
 
 val run_refinement :
   original:Ast.program -> Core.Refiner.t -> Diagnostic.t list

@@ -13,14 +13,29 @@ let locate ~file locs ds =
     (fun (d : Diagnostic.t) ->
       let line =
         match Parser.line_of_path locs d.Diagnostic.d_path with
-        | Some _ as l -> l
-        | None ->
+        | Some l when l > 0 -> Some l
+        | Some _ | None -> (
           (* Program-wide findings often name a declaration (a signal or
              variable) as their location — the declaration table can
              still place those. *)
-          List.assoc_opt d.Diagnostic.d_loc locs.Parser.loc_decls
+          match List.assoc_opt d.Diagnostic.d_loc locs.Parser.loc_decls with
+          | Some l when l > 0 -> Some l
+          | Some _ | None -> None)
       in
       match line with
+      | None when d.Diagnostic.d_path <> [] ->
+        (* Dataflow passes can anchor a finding on a synthesized node
+           with no source line; degrade to the behavior path rather
+           than reporting a bogus position. *)
+        let position =
+          Printf.sprintf "%s: %s" file
+            (String.concat "/" d.Diagnostic.d_path)
+        in
+        let loc =
+          if d.Diagnostic.d_loc = "" then position
+          else position ^ ": " ^ d.Diagnostic.d_loc
+        in
+        { d with Diagnostic.d_loc = loc }
       | None -> d
       | Some line ->
         let position = Printf.sprintf "%s:%d" file line in

@@ -23,8 +23,11 @@ val locate :
     diagnostic's behavior path is resolved through
     {!Spec.Parser.line_of_path} (falling back to the declaration table
     via [d_loc] for program-wide findings), and the existing location
-    string, when any, is kept after the position.  Unresolvable
-    diagnostics pass through unchanged. *)
+    string, when any, is kept after the position.  A diagnostic with a
+    behavior path no table can place (dataflow findings can anchor on
+    synthesized nodes) degrades to [file: path/to/behavior] instead of
+    a bogus line number; only diagnostics with no path at all pass
+    through unchanged. *)
 
 val errors : target list -> int
 (** Total error-severity diagnostics across the targets. *)

@@ -65,6 +65,8 @@ let narrowing scope ~dest e =
   | Some dw, Some sw when sw > dw -> Some (sw, dw)
   | _ -> None
 
+module I = Dataflow.Interval
+
 let run (ctx : Pass.t) =
   let p = ctx.Pass.lc_program in
   let acc = ref [] in
@@ -76,28 +78,36 @@ let run (ctx : Pass.t) =
           :: !acc)
       fmt
   in
-  let rec check_stmts scope path stmts =
-    List.iter (check_stmt scope path) stmts
-  and check_stmt scope path = function
+  (* With flow on, a structurally narrowing transfer whose value range
+     provably fits the destination is no loss of bits — suppress it. *)
+  let fits env ~dw e =
+    match env with
+    | None -> false
+    | Some env -> (
+      match I.bits_needed (I.eval env e) with
+      | Some b -> b <= dw
+      | None -> false)
+  in
+  let check_prim scope ~env path = function
     | Assign (x, e) ->
       (match narrowing scope ~dest:(dest_width scope x) e with
-      | Some (sw, dw) ->
+      | Some (sw, dw) when not (fits env ~dw e) ->
         report ~code:"WIDTH001" ~path ~loc:x
           "assignment to %s narrows a %d-bit value to %d bits" x sw dw
-      | None -> ())
+      | _ -> ())
     | Assign_idx (x, _, e) ->
       (match narrowing scope ~dest:(elem_width scope x) e with
-      | Some (sw, dw) ->
+      | Some (sw, dw) when not (fits env ~dw e) ->
         report ~code:"WIDTH001" ~path ~loc:x
           "assignment to an element of %s narrows a %d-bit value to %d bits"
           x sw dw
-      | None -> ())
+      | _ -> ())
     | Signal_assign (s, e) ->
       (match narrowing scope ~dest:(dest_width scope s) e with
-      | Some (sw, dw) ->
+      | Some (sw, dw) when not (fits env ~dw e) ->
         report ~code:"WIDTH001" ~path ~loc:s
           "signal assignment to %s narrows a %d-bit value to %d bits" s sw dw
-      | None -> ())
+      | _ -> ())
     | Call (name, args) ->
       (match Program.lookup_proc p name with
       | None -> ()
@@ -107,14 +117,14 @@ let run (ctx : Pass.t) =
             match (prm.prm_mode, arg, prm.prm_ty) with
             | Mode_in, Arg_expr e, TInt dw ->
               (match narrowing scope ~dest:(Some dw) e with
-              | Some (sw, _) ->
+              | Some (sw, _) when not (fits env ~dw e) ->
                 report ~code:"WIDTH002" ~path ~loc:(Expr.to_string e)
                   "argument %s of %s narrows a %d-bit value to %d bits"
                   prm.prm_name name sw dw
-              | None -> ())
+              | _ -> ())
             | Mode_in, Arg_var x, TInt dw ->
               (match dest_width scope x with
-              | Some sw when sw > dw ->
+              | Some sw when sw > dw && not (fits env ~dw (Ref x)) ->
                 report ~code:"WIDTH002" ~path ~loc:x
                   "argument %s of %s narrows a %d-bit value to %d bits"
                   prm.prm_name name sw dw
@@ -130,37 +140,80 @@ let run (ctx : Pass.t) =
             | _ -> ())
           pr.prc_params args
       | Some _ -> ())
-    | If (branches, els) ->
-      List.iter (fun (_, body) -> check_stmts scope path body) branches;
-      check_stmts scope path els
-    | While (_, body) -> check_stmts scope path body
-    | For (_, _, _, body) -> check_stmts scope path body
-    | Wait_until _ | Emit _ | Skip -> ()
+    | If _ | While _ | For _ | Wait_until _ | Emit _ | Skip -> ()
   in
   let base_scope =
     List.map (fun (v : var_decl) -> (v.v_name, v.v_ty)) p.p_vars
     @ List.map (fun (s : sig_decl) -> (s.s_name, s.s_ty)) p.p_signals
   in
-  let rec walk scope path b =
-    let scope =
-      List.map (fun (v : var_decl) -> (v.v_name, v.v_ty)) b.b_vars @ scope
+  (match ctx.Pass.lc_flow with
+  | None ->
+    (* Structural mode: recurse over the statement tree. *)
+    let rec check_stmts scope path stmts =
+      List.iter (check_stmt scope path) stmts
+    and check_stmt scope path s =
+      check_prim scope ~env:None path s;
+      match s with
+      | If (branches, els) ->
+        List.iter (fun (_, body) -> check_stmts scope path body) branches;
+        check_stmts scope path els
+      | While (_, body) -> check_stmts scope path body
+      | For (_, _, _, body) -> check_stmts scope path body
+      | Assign _ | Assign_idx _ | Signal_assign _ | Wait_until _ | Call _
+      | Emit _ | Skip ->
+        ()
     in
-    let path = path @ [ b.b_name ] in
-    match b.b_body with
-    | Leaf stmts -> check_stmts scope path stmts
-    | Par children -> List.iter (walk scope path) children
-    | Seq arms -> List.iter (fun a -> walk scope path a.a_behavior) arms
-  in
-  walk base_scope [] p.p_top;
-  List.iter
-    (fun pr ->
+    let rec walk scope path b =
       let scope =
-        List.map (fun (v : var_decl) -> (v.v_name, v.v_ty)) pr.prc_vars
-        @ List.map (fun prm -> (prm.prm_name, prm.prm_ty)) pr.prc_params
-        @ base_scope
+        List.map (fun (v : var_decl) -> (v.v_name, v.v_ty)) b.b_vars @ scope
       in
-      check_stmts scope [ "procedure " ^ pr.prc_name ] pr.prc_body)
-    p.p_procs;
+      let path = path @ [ b.b_name ] in
+      match b.b_body with
+      | Leaf stmts -> check_stmts scope path stmts
+      | Par children -> List.iter (walk scope path) children
+      | Seq arms -> List.iter (fun a -> walk scope path a.a_behavior) arms
+    in
+    walk base_scope [] p.p_top;
+    List.iter
+      (fun pr ->
+        let scope =
+          List.map (fun (v : var_decl) -> (v.v_name, v.v_ty)) pr.prc_vars
+          @ List.map (fun prm -> (prm.prm_name, prm.prm_ty)) pr.prc_params
+          @ base_scope
+        in
+        check_stmts scope [ "procedure " ^ pr.prc_name ] pr.prc_body)
+      p.p_procs
+  | Some fl ->
+    (* Flow mode: walk the CFGs — only reachable, hand-written nodes,
+       each with its interval environment. *)
+    let ty_scope scope =
+      List.map
+        (fun (name, b) ->
+          match b with
+          | Flow.Fvar { ty; _ } -> (name, ty)
+          | Flow.Fsig { ty; _ } -> (name, ty))
+        scope
+    in
+    let check_cfg scope path cfg reach env =
+      Array.iteri
+        (fun i (node : Cfg.node) ->
+          if reach.(i) && not node.Cfg.n_synth then
+            match node.Cfg.n_kind with
+            | Cfg.Nstmt s -> check_prim scope ~env:(Some env.(i)) path s
+            | Cfg.Nentry | Cfg.Nexit | Cfg.Nbranch _ -> ())
+        cfg.Cfg.c_nodes
+    in
+    List.iter
+      (fun (_, (li : Flow.leaf_info)) ->
+        check_cfg (ty_scope li.Flow.li_scope) li.Flow.li_path li.Flow.li_cfg
+          li.Flow.li_reach li.Flow.li_env)
+      fl.Flow.fl_leaves;
+    List.iter
+      (fun (_, (pi : Flow.proc_info)) ->
+        check_cfg (ty_scope pi.Flow.pi_scope)
+          [ "procedure " ^ pi.Flow.pi_name ]
+          pi.Flow.pi_cfg pi.Flow.pi_reach pi.Flow.pi_env)
+      fl.Flow.fl_procs);
   !acc
 
 let pass = { Pass.p_name = "width"; p_codes = codes; p_run = run }

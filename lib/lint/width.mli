@@ -2,6 +2,19 @@
     or signal assignment narrows its inferred source width, [WIDTH002]
     when a procedure-call transfer does (an [in] argument wider than
     its parameter, or an [out] parameter wider than the receiving
-    variable). *)
+    variable).  With a flow summary in the context, a structurally
+    narrowing transfer is suppressed when interval analysis proves the
+    value fits the destination. *)
+
+val bits_for : int -> int
+(** Bits needed to represent the magnitude of [n] (at least 1). *)
+
+val width_of : (string * Spec.Ast.ty) list -> Spec.Ast.expr -> int option
+(** Structural width inference against a scope of declared types
+    (innermost first): constants take the bits they need, references
+    their declared width, arithmetic the widest operand; [None] for
+    boolean-valued or unresolvable expressions.  Shared with {!Fixer},
+    which widens destinations until this inference reports no
+    narrowing. *)
 
 val pass : Pass.pass

@@ -205,9 +205,49 @@ let run_lint ~session:_ ~poll (elab : Session.elab) j =
   let* phase = phase_field j in
   let* overrides = overrides_field j in
   let* json = Protocol.bool_field ~default:false "json" j in
+  let* flow = Protocol.bool_field ~default:false "flow" j in
+  let* fix = Protocol.bool_field ~default:false "fix" j in
   let* () = check_poll poll in
   let p = elab.Session.el_program in
-  let ds = Lint.Registry.run ?phase ~overrides p in
+  if fix then begin
+    let r = Lint.Fixer.fix p in
+    let applied =
+      List.map
+        (fun (a : Lint.Fixer.applied) ->
+          Printf.sprintf "{\"code\":\"%s\",\"loc\":\"%s\",\"note\":\"%s\"}"
+            (Spec.Diagnostic.json_escape a.Lint.Fixer.fx_code)
+            (Spec.Diagnostic.json_escape a.Lint.Fixer.fx_loc)
+            (Spec.Diagnostic.json_escape a.Lint.Fixer.fx_note))
+        r.Lint.Fixer.x_applied
+    in
+    let refused =
+      List.map
+        (fun (f : Lint.Fixer.refused) ->
+          Printf.sprintf "{\"code\":\"%s\",\"loc\":\"%s\",\"reason\":\"%s\"}"
+            (Spec.Diagnostic.json_escape f.Lint.Fixer.fr_code)
+            (Spec.Diagnostic.json_escape f.Lint.Fixer.fr_loc)
+            (Spec.Diagnostic.json_escape f.Lint.Fixer.fr_reason))
+        r.Lint.Fixer.x_refused
+    in
+    Ok
+      {
+        o_output =
+          Printf.sprintf
+            "{\"changed\":%b,\"applied\":[%s],\"refused\":[%s],\
+             \"source\":\"%s\"}"
+            r.Lint.Fixer.x_changed
+            (String.concat "," applied)
+            (String.concat "," refused)
+            (Spec.Diagnostic.json_escape r.Lint.Fixer.x_source);
+        o_meta =
+          [
+            ("applied", Protocol.Int (List.length r.Lint.Fixer.x_applied));
+            ("refused", Protocol.Int (List.length r.Lint.Fixer.x_refused));
+          ];
+      }
+  end
+  else
+  let ds = Lint.Registry.run ?phase ~overrides ~flow p in
   let keep d =
     Spec.Diagnostic.severity_rank d.Spec.Diagnostic.d_severity
     <= Spec.Diagnostic.severity_rank severity

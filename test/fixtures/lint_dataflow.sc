@@ -1,0 +1,58 @@
+program lint_dataflow is
+  var mode : int<4> := 0;
+  var ghost : int<8>;
+  var phantom : int<8>;
+  var uninit : int<8>;
+  var shared : int<8> := 0;
+  var wide : int<8> := 0;
+  var narrow : int<4> := 0;
+  var clamped : int<4> := 0;
+  var sink : int<8> := 0;
+  behavior TOP : par is
+  begin
+    behavior WORK : leaf is
+      var tmp : int<8> := 0;
+      var y : int<8> := 0;
+    begin
+      if 1 = 2 then
+        y := ghost;
+      end if;
+      if mode = 1 then
+        y := phantom;
+      end if;
+      y := uninit;
+      tmp := 1;
+      tmp := 2;
+      sink := tmp + y;
+      narrow := 20;
+      wide := 3;
+      clamped := wide;
+      emit "nc" narrow + clamped;
+      if mode = 1 then
+        shared := 5;
+      end if;
+    end behavior
+    ;
+    behavior READER : leaf is
+      var r : int<8> := 0;
+    begin
+      r := shared;
+      emit "r" r;
+    end behavior
+    ;
+    behavior PHASES : seq is
+    begin
+      behavior P1 : leaf is
+      begin
+        skip;
+      end behavior
+      -> (mode = 1) P2;
+      behavior P2 : leaf is
+      begin
+        emit "p2" 1;
+      end behavior
+      ;
+    end behavior
+    ;
+  end behavior
+end program

@@ -1,0 +1,65 @@
+program lint_fixable is
+  signal go : bool := true;
+  signal m1_done : bool := false;
+  signal b1_start : bool := false;
+  signal b1_done : bool := false;
+  signal b1_wr : bool := false;
+  signal b1_addr : int<4> := 0;
+  signal b1_data : int<8> := 0;
+  servers MEM;
+  procedure MST_send_b1 (a : in int<4>; d : in int<8>) is
+  begin
+    b1_addr <= a;
+    b1_data <= d;
+    b1_wr <= true;
+    b1_start <= true;
+    wait until b1_done = true;
+    b1_start <= false;
+    b1_wr <= false;
+    wait until b1_done = false;
+  end procedure;
+  behavior TOP : par is
+  begin
+    behavior M1 : leaf is
+      var tally : int<2> := 0;
+    begin
+      wait until go = true;
+      tally := 12;
+      call MST_send_b1(0, tally);
+      m1_done <= true;
+    end behavior
+    ;
+    behavior M2 : leaf is
+    begin
+      wait until m1_done = true;
+      call MST_send_b1(1, 7);
+    end behavior
+    ;
+    behavior MEM : leaf is
+      var s0 : int<8> := 0;
+      var s1 : int<8> := 0;
+    begin
+      while true do
+        wait until b1_start = true;
+        if b1_wr = true and b1_addr = 0 then
+          s0 := b1_data;
+          emit "s0" s0;
+          b1_done <= true;
+          wait until b1_start = false;
+          b1_done <= false;
+        elsif b1_wr = true and b1_addr = 1 then
+          s1 := b1_data;
+          emit "s1" s1;
+          b1_done <= true;
+          wait until b1_start = false;
+          b1_done <= false;
+        else
+          b1_done <= true;
+          wait until b1_start = false;
+          b1_done <= false;
+        end if;
+      end while;
+    end behavior
+    ;
+  end behavior
+end program

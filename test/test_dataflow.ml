@@ -1,0 +1,313 @@
+(** Tests for the dataflow layer ([lib/lint]'s CFG builder, the generic
+    fixpoint solver with its interval and name-set lattices, the
+    program-level flow summary) and for the gated [lint --fix]
+    rewriter. *)
+
+open Spec
+open Ast
+open Helpers
+
+let stmts = Parser.stmts_of_string_exn
+let parse = Parser.program_of_string_exn
+
+let fixture name =
+  let path = Filename.concat "fixtures" name in
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  parse s
+
+let with_code c ds =
+  List.filter (fun d -> String.equal d.Diagnostic.d_code c) ds
+
+(* --- CFG golden tests: one per statement shape -------------------------- *)
+
+let cfg_of src = Lint.Cfg.to_string (Lint.Cfg.build (stmts src))
+
+let golden name src expected =
+  tc name (fun () -> Alcotest.(check string) name expected (cfg_of src))
+
+let cfg_goldens =
+  [
+    golden "straight line" "x := 1; s <= x; emit \"t\" x; skip;"
+      "0 entry -> 1\n\
+       1 x := 1 -> 2\n\
+       2 s <= x -> 3\n\
+       3 emit \"t\" x -> 4\n\
+       4 skip -> 5\n\
+       5 exit -> \n";
+    golden "if/elsif/else"
+      "if c then x := 1; elsif d then x := 2; else x := 3; end if; y := x;"
+      "0 entry -> 1\n\
+       1 branch c -> t:2,f:3\n\
+       2 x := 1 -> 6\n\
+       3 branch d -> t:4,f:5\n\
+       4 x := 2 -> 6\n\
+       5 x := 3 -> 6\n\
+       6 y := x -> 7\n\
+       7 exit -> \n";
+    golden "while loop" "while i < 3 do i := i + 1; end while;"
+      "0 entry -> 1\n\
+       1 branch i < 3 -> t:2,f:3\n\
+       2 i := i + 1 -> 1\n\
+       3 exit -> \n";
+    golden "for loop (synthesized nodes)"
+      "for i := 0 to 3 do acc := acc + i; end for;"
+      "0 entry -> 1\n\
+       1* i := 0 -> 2\n\
+       2* branch i <= 3 -> t:3,f:5\n\
+       3 acc := acc + i -> 4\n\
+       4* i := i + 1 -> 2\n\
+       5 exit -> \n";
+    golden "wait and call" "wait until go = true; call p(1, out_v);"
+      "0 entry -> 1\n\
+       1 wait until go = true -> 2\n\
+       2 call p/2 -> 3\n\
+       3 exit -> \n";
+  ]
+
+(* Structural invariants the builder must keep on every shape above. *)
+let test_cfg_wellformed () =
+  List.iter
+    (fun src ->
+      let g = Lint.Cfg.build (stmts src) in
+      let n = Lint.Cfg.size g in
+      Array.iter
+        (fun (node : Lint.Cfg.node) ->
+          List.iter
+            (fun (_, s) ->
+              Alcotest.(check bool) "succ in range" true (s >= 0 && s < n);
+              Alcotest.(check bool) "succ lists node as pred" true
+                (List.mem node.Lint.Cfg.n_id
+                   (Lint.Cfg.preds g s)))
+            node.Lint.Cfg.n_succ)
+        g.Lint.Cfg.c_nodes;
+      Alcotest.(check bool) "exit has no successors" true
+        (Lint.Cfg.succs g g.Lint.Cfg.c_exit = []))
+    [
+      "x := 1;";
+      "if c then x := 1; else x := 2; end if;";
+      "while i < 3 do i := i + 1; end while;";
+      "for i := 0 to 3 do acc := acc + i; end for;";
+      "wait until go = true; call p(1, out_v);";
+    ]
+
+(* --- interval lattice --------------------------------------------------- *)
+
+module I = Lint.Dataflow.Interval
+
+let itv lo hi = { I.lo; hi }
+
+let test_interval_eval () =
+  let env = I.env_set "x" (itv 2 5) I.env_empty in
+  Alcotest.(check string) "x+3" "[5,8]"
+    (I.itv_to_string (I.eval env (Binop (Add, Ref "x", Const (VInt 3)))));
+  Alcotest.(check string) "x*2" "[4,10]"
+    (I.itv_to_string (I.eval env (Binop (Mul, Ref "x", Const (VInt 2)))));
+  Alcotest.(check string) "mod bounds" "[-4,4]"
+    (I.itv_to_string (I.eval env (Binop (Mod, Ref "y", Const (VInt 5)))));
+  Alcotest.(check bool) "x < 10 definitely true" true
+    (I.definitely_true (I.eval env (Binop (Lt, Ref "x", Const (VInt 10)))));
+  Alcotest.(check bool) "x > 7 definitely false" true
+    (I.definitely_false (I.eval env (Binop (Gt, Ref "x", Const (VInt 7)))))
+
+let test_interval_assume () =
+  let env = I.env_set "x" (itv 2 5) I.env_empty in
+  (match I.assume env (Binop (Le, Ref "x", Const (VInt 4))) true with
+  | Some env' ->
+    Alcotest.(check string) "x <= 4 narrows" "[2,4]"
+      (I.itv_to_string (I.env_find "x" env'))
+  | None -> Alcotest.fail "feasible assumption rejected");
+  Alcotest.(check bool) "x = 7 infeasible" true
+    (I.assume env (Binop (Eq, Ref "x", Const (VInt 7))) true = None);
+  (match I.assume env (Binop (Eq, Ref "x", Const (VInt 3))) false with
+  | Some _ -> ()  (* non-convex complement: env unchanged, still feasible *)
+  | None -> Alcotest.fail "x <> 3 must stay feasible")
+
+let test_interval_bits () =
+  Alcotest.(check (option int)) "20 needs 5 bits" (Some 5)
+    (I.bits_needed (I.const 20));
+  Alcotest.(check (option int)) "top unbounded" None (I.bits_needed I.top);
+  Alcotest.(check (option int)) "negative magnitude counts" (Some 3)
+    (I.bits_needed (itv (-7) 2))
+
+let test_interval_widen () =
+  let w = I.widen_itv (itv 0 3) (itv 0 4) in
+  Alcotest.(check bool) "widening jumps the growing bound" true
+    (w.I.hi > 1000 || w.I.hi = max_int)
+
+(* --- fixpoint termination on loop-heavy specs --------------------------- *)
+
+let loopy_src =
+  "program loopy is\n\
+  \  var i : int<8> := 0;\n\
+  \  var j : int<8> := 0;\n\
+  \  var a : int<8> := 0;\n\
+  \  var b : int<8> := 0;\n\
+  \  var acc : int<16> := 0;\n\
+  \  behavior L : leaf is\n\
+  \  begin\n\
+  \    while i < 100 do\n\
+  \      j := 0;\n\
+  \      while j < 100 do\n\
+  \        j := j + 1;\n\
+  \        acc := acc + j;\n\
+  \      end while;\n\
+  \      i := i + 1;\n\
+  \    end while;\n\
+  \    for a := 0 to 9 do\n\
+  \      for b := 0 to 9 do\n\
+  \        acc := acc + a + b;\n\
+  \      end for;\n\
+  \    end for;\n\
+  \    emit \"acc\" acc;\n\
+  \  end behavior\n\
+   end program"
+
+let test_fixpoint_terminates () =
+  let s = Lint.Flow.of_program (parse loopy_src) in
+  match Lint.Flow.leaf s "L" with
+  | None -> Alcotest.fail "no flow info for the leaf"
+  | Some li ->
+    let n = Lint.Cfg.size li.Lint.Flow.li_cfg in
+    (* Widening caps each node's state changes, so the worklist drains
+       in a small multiple of |nodes| * widen_after. *)
+    let bound = 4 * n * Lint.Dataflow.widen_after in
+    Alcotest.(check bool)
+      (Printf.sprintf "iterations %d within %d" li.Lint.Flow.li_iterations
+         bound)
+      true
+      (li.Lint.Flow.li_iterations <= bound);
+    Array.iter
+      (fun r -> Alcotest.(check bool) "every node reachable" true r)
+      li.Lint.Flow.li_reach
+
+(* The summary cache returns the same analysis for the same program. *)
+let test_flow_cache () =
+  let p = parse loopy_src in
+  let s1 = Lint.Flow.of_program p and s2 = Lint.Flow.of_program p in
+  Alcotest.(check bool) "cached summary reused" true (s1 == s2)
+
+(* --- the fixer on the seeded fixtures ----------------------------------- *)
+
+let test_fixer_applies () =
+  let p = fixture "lint_fixable.sc" in
+  let r = Lint.Fixer.fix p in
+  Alcotest.(check bool) "rewrites happened" true r.Lint.Fixer.x_changed;
+  Alcotest.(check (list string)) "all three codes applied, in order"
+    [ "WIDTH001"; "PROTO003"; "CONT001" ]
+    (List.map (fun a -> a.Lint.Fixer.fx_code) r.Lint.Fixer.x_applied);
+  Alcotest.(check int) "nothing refused" 0
+    (List.length r.Lint.Fixer.x_refused);
+  (* the printed source re-parses to the fixed program *)
+  let reparsed = parse r.Lint.Fixer.x_source in
+  Alcotest.(check bool) "source re-parses to the fixed program" true
+    (equal_program reparsed r.Lint.Fixer.x_program);
+  (* fixed codes are gone; so is the single-master CONT002 (the arbiter
+     serves two contending masters, not one) *)
+  let ds = Lint.Registry.run r.Lint.Fixer.x_program in
+  List.iter
+    (fun c ->
+      Alcotest.(check int) (c ^ " clean after fix") 0
+        (List.length (with_code c ds)))
+    [ "WIDTH001"; "PROTO003"; "CONT001"; "CONT002" ];
+  (* bit-identical behavior *)
+  let v = Sim.Cosim.check ~original:p ~refined:r.Lint.Fixer.x_program () in
+  Alcotest.(check bool) "cosimulates bit-identically" true
+    v.Sim.Cosim.v_equivalent;
+  (* idempotent *)
+  let r2 = Lint.Fixer.fix r.Lint.Fixer.x_program in
+  Alcotest.(check bool) "second fix is a no-op" false r2.Lint.Fixer.x_changed;
+  Alcotest.(check string) "source stable" r.Lint.Fixer.x_source
+    r2.Lint.Fixer.x_source
+
+let test_fixer_refuses_unsafe () =
+  (* lint_arbiter.sc's two masters collide in one delta (the M2 write
+     wins), so serializing them behind an arbiter would change the
+     observable trace: the equivalence gate must refuse. *)
+  let p = fixture "lint_arbiter.sc" in
+  let r = Lint.Fixer.fix ~codes:[ "CONT001" ] p in
+  Alcotest.(check bool) "program untouched" false r.Lint.Fixer.x_changed;
+  (match r.Lint.Fixer.x_refused with
+  | [ f ] ->
+    Alcotest.(check string) "CONT001 refused" "CONT001" f.Lint.Fixer.fr_code;
+    Alcotest.(check string) "on the bus" "b1_addr" f.Lint.Fixer.fr_loc;
+    Alcotest.(check bool) "because equivalence failed" true
+      (let m = f.Lint.Fixer.fr_reason in
+       String.length m >= 10)
+  | l -> Alcotest.failf "expected one refusal, got %d" (List.length l));
+  Alcotest.(check int) "nothing applied" 0 (List.length r.Lint.Fixer.x_applied)
+
+(* --- property: --fix output re-parses, re-lints clean, cosimulates ------ *)
+
+let gen_cfg seed =
+  {
+    Workloads.Generator.default_config with
+    Workloads.Generator.gen_seed = seed;
+    gen_vars = 4;
+    gen_leaves = 5;
+    gen_stmts = 3;
+  }
+
+let prop_fix_semantics_preserving =
+  QCheck.Test.make
+    ~name:"fix of a seeded width defect re-parses, re-lints clean, cosimulates"
+    ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let p = Workloads.Generator.program (gen_cfg seed) in
+      match
+        List.find_opt
+          (fun (v : var_decl) ->
+            match v.v_ty with TInt _ -> true | TBool | TArray _ -> false)
+          p.p_vars
+      with
+      | None -> QCheck.assume_fail ()
+      | Some victim ->
+        (* Seed a WIDTH001 defect: store a value two bits too wide into
+           the victim in every leaf. *)
+        let big = Const (VInt (1 lsl (ty_width victim.v_ty + 2))) in
+        let top =
+          Behavior.map_leaf_stmts
+            (fun ss -> Assign (victim.v_name, big) :: ss)
+            p.p_top
+        in
+        let p = { p with p_top = top } in
+        let r = Lint.Fixer.fix ~codes:[ "WIDTH001" ] p in
+        let reparsed = Parser.program_of_string_exn r.Lint.Fixer.x_source in
+        r.Lint.Fixer.x_changed
+        && r.Lint.Fixer.x_refused = []
+        && equal_program reparsed r.Lint.Fixer.x_program
+        && (not
+              (List.exists
+                 (fun d -> String.equal d.Diagnostic.d_code "WIDTH001")
+                 (Lint.Registry.run r.Lint.Fixer.x_program)))
+        && (Sim.Cosim.check ~original:p ~refined:r.Lint.Fixer.x_program ())
+             .Sim.Cosim.v_equivalent)
+
+let () =
+  Alcotest.run "dataflow"
+    [
+      ("cfg golden", cfg_goldens);
+      ("cfg invariants", [ tc "well-formed" test_cfg_wellformed ]);
+      ( "interval",
+        [
+          tc "eval" test_interval_eval;
+          tc "assume" test_interval_assume;
+          tc "bits" test_interval_bits;
+          tc "widen" test_interval_widen;
+        ] );
+      ( "fixpoint",
+        [
+          tc "loop-heavy termination" test_fixpoint_terminates;
+          tc "summary cache" test_flow_cache;
+        ] );
+      ( "fixer",
+        [
+          tc "applies on fixable" test_fixer_applies;
+          tc "refuses unsafe" test_fixer_refuses_unsafe;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_fix_semantics_preserving ] );
+    ]

@@ -191,7 +191,10 @@ let test_grant_suppresses_contention () =
   in
   let ds = Lint.Registry.run ~phase:Lint.Registry.Post p' in
   Alcotest.(check bool) "grant holders are not flagged" false
-    (has_code "CONT001" ds)
+    (has_code "CONT001" ds);
+  (* Two contending regions: the single-master rule stays quiet too. *)
+  Alcotest.(check bool) "contended grant is not overhead" false
+    (has_code "CONT002" ds)
 
 (* --- liveness and width passes over inline programs -------------------- *)
 
@@ -264,6 +267,134 @@ let test_width_codes () =
   Alcotest.(check bool) "width findings are warnings in any phase" false
     (Diagnostic.has_errors (Lint.Registry.run ~phase:Lint.Registry.Post (parse width_src)))
 
+(* --- flow-sensitive mode ------------------------------------------------ *)
+
+let pairs ds = List.map (fun d -> (d.Diagnostic.d_code, d.Diagnostic.d_loc)) ds
+
+(* The exact diagnostic sets on the seeded fixture, flow off vs on: the
+   flow-sensitive passes must drop the unreachable/guard-dominated
+   LIVE004s and the interval-provable WIDTH001 and RACE001 while keeping
+   every true positive, and add the dead-store/unread-write findings. *)
+let test_flow_off_exact () =
+  let p = fixture "lint_dataflow.sc" in
+  Alcotest.(check (list (pair string string)))
+    "flow-insensitive diagnostics"
+    [
+      ("LIVE004", "ghost");
+      ("LIVE004", "phantom");
+      ("LIVE004", "uninit");
+      ("RACE001", "shared");
+      ("WIDTH001", "clamped");
+      ("WIDTH001", "narrow");
+    ]
+    (pairs (Lint.Registry.run p))
+
+let test_flow_on_exact () =
+  let p = fixture "lint_dataflow.sc" in
+  Alcotest.(check (list (pair string string)))
+    "flow-sensitive diagnostics"
+    [
+      ("LIVE001", "ghost");
+      ("LIVE001", "phantom");
+      ("LIVE003", "P2");
+      ("LIVE004", "uninit");
+      ("LIVE005", "tmp");
+      ("LIVE006", "sink");
+      ("WIDTH001", "narrow");
+    ]
+    (pairs (Lint.Registry.run ~flow:true p))
+
+(* --- single-master arbiter rule (CONT002) ------------------------------- *)
+
+let solo_master_src =
+  "program solo is\n\
+  \  signal b1_start : bool := false;\n\
+  \  signal b1_done : bool := false;\n\
+  \  signal b1_wr : bool := false;\n\
+  \  signal b1_addr : int<4> := 0;\n\
+  \  signal b1_data : int<8> := 0;\n\
+  \  signal arb_req : bool := false;\n\
+  \  signal arb_gnt : bool := false;\n\
+  \  servers MEM, ARB;\n\
+  \  procedure MST_send_b1 (a : in int<4>; d : in int<8>) is\n\
+  \  begin\n\
+  \    b1_addr <= a;\n\
+  \    b1_data <= d;\n\
+  \    b1_wr <= true;\n\
+  \    b1_start <= true;\n\
+  \    wait until b1_done = true;\n\
+  \    b1_start <= false;\n\
+  \    b1_wr <= false;\n\
+  \    wait until b1_done = false;\n\
+  \  end procedure;\n\
+  \  behavior TOP : par is\n\
+  \  begin\n\
+  \    behavior M1 : leaf is\n\
+  \    begin\n\
+  \      arb_req <= true;\n\
+  \      wait until arb_gnt = true;\n\
+  \      call MST_send_b1(0, 5);\n\
+  \      arb_req <= false;\n\
+  \      wait until arb_gnt = false;\n\
+  \    end behavior\n\
+  \    ;\n\
+  \    behavior ARB : leaf is\n\
+  \    begin\n\
+  \      while true do\n\
+  \        wait until arb_req = true;\n\
+  \        arb_gnt <= true;\n\
+  \        wait until arb_req = false;\n\
+  \        arb_gnt <= false;\n\
+  \      end while;\n\
+  \    end behavior\n\
+  \    ;\n\
+  \    behavior MEM : leaf is\n\
+  \      var s0 : int<8> := 0;\n\
+  \    begin\n\
+  \      while true do\n\
+  \        wait until b1_start = true;\n\
+  \        if b1_wr = true and b1_addr = 0 then\n\
+  \          s0 := b1_data;\n\
+  \          emit \"s0\" s0;\n\
+  \        end if;\n\
+  \        b1_done <= true;\n\
+  \        wait until b1_start = false;\n\
+  \        b1_done <= false;\n\
+  \      end while;\n\
+  \    end behavior\n\
+  \    ;\n\
+  \  end behavior\n\
+   end program"
+
+(* A lone master wrapping its transactions in a grant nobody contends
+   for is flagged CONT002; strip the wrapper and the pass goes quiet. *)
+let test_cont002_single_master () =
+  let p = parse solo_master_src in
+  let ds = Lint.Registry.run ~phase:Lint.Registry.Post p in
+  (match with_code "CONT002" ds with
+  | [ d ] ->
+    Alcotest.(check string) "on the bus address" "b1_addr"
+      d.Diagnostic.d_loc;
+    Alcotest.(check bool) "a warning, not an error" true
+      (d.Diagnostic.d_severity = Diagnostic.Warning);
+    Alcotest.(check bool) "names the wrapping master" true
+      (contains d.Diagnostic.d_message "M1 wraps its calls")
+  | l -> Alcotest.failf "expected one CONT002, got %d" (List.length l));
+  Alcotest.(check bool) "no CONT001 on a single region" false
+    (has_code "CONT001" ds);
+  (* Without the grant wrapper there is no overhead to report. *)
+  let strip =
+    List.filter (function
+      | Signal_assign ("arb_req", _) -> false
+      | Wait_until (Binop (Eq, Ref "arb_gnt", _)) -> false
+      | _ -> true)
+  in
+  let bare = { p with p_top = Behavior.map_leaf_stmts strip p.p_top } in
+  let ds' = Lint.Registry.run ~phase:Lint.Registry.Post bare in
+  Alcotest.(check bool) "bare single master is clean of CONT002" false
+    (has_code "CONT002" ds');
+  Alcotest.(check bool) "and of CONT001" false (has_code "CONT001" ds')
+
 (* --- registry ---------------------------------------------------------- *)
 
 let test_code_table () =
@@ -274,8 +405,8 @@ let test_code_table () =
       Alcotest.(check bool) (c ^ " documented") true (List.mem c cs))
     [
       "RACE001"; "RACE002"; "PROTO001"; "PROTO002"; "PROTO003"; "LIVE001";
-      "LIVE002"; "LIVE003"; "LIVE004"; "CONT001"; "CONT002"; "WIDTH001";
-      "WIDTH002"; "TYPE001"; "REF001"; "NAME001";
+      "LIVE002"; "LIVE003"; "LIVE004"; "LIVE005"; "LIVE006"; "CONT001";
+      "CONT002"; "WIDTH001"; "WIDTH002"; "TYPE001"; "REF001"; "NAME001";
     ];
   Alcotest.(check (list string)) "table sorted and duplicate-free"
     (List.sort_uniq String.compare cs) cs
@@ -473,6 +604,13 @@ let test_report_locate () =
     Alcotest.(check string) "decl fallback" "x.sc:2: shared"
       located.Diagnostic.d_loc
   | _ -> Alcotest.fail "one diagnostic in, one out");
+  (* A finding on a path the source map cannot resolve (e.g. a node the
+     fixer synthesized) degrades to file + behavior path, never line 0. *)
+  (match Lint.Report.locate ~file:"x.sc" locs [ d [ "NOPE" ] "tmp_1" ] with
+  | [ located ] ->
+    Alcotest.(check string) "degrades to the behavior path"
+      "x.sc: NOPE: tmp_1" located.Diagnostic.d_loc
+  | _ -> Alcotest.fail "one diagnostic in, one out");
   (* Unresolvable findings pass through untouched. *)
   match Lint.Report.locate ~file:"x.sc" locs [ d [] "nowhere" ] with
   | [ located ] ->
@@ -514,6 +652,12 @@ let () =
         [
           tc "liveness codes" test_liveness_codes;
           tc "width codes" test_width_codes;
+        ] );
+      ( "flow",
+        [
+          tc "flow off: exact set" test_flow_off_exact;
+          tc "flow on: exact set" test_flow_on_exact;
+          tc "single-master arbiter" test_cont002_single_master;
         ] );
       ( "registry",
         [ tc "code table" test_code_table; tc "stable order" test_run_sorted ] );
