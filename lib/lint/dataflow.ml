@@ -301,10 +301,10 @@ module Interval = struct
     let range_of op k outcome =
       (* the values of x for which [x op k] has the given outcome *)
       match (op, outcome) with
-      | Lt, true | Le, false -> Some { lo = min_int; hi = (if op = Lt then k - 1 else k) }
-      | Le, true | Lt, false -> Some { lo = (if op = Le then min_int else k + 1); hi = (if op = Le then k else max_int) }
-      | Gt, true | Ge, false -> Some { lo = (if op = Gt then k + 1 else min_int); hi = (if op = Gt then max_int else k - 1) }
-      | Ge, true | Gt, false -> Some { lo = (if op = Ge then k else min_int); hi = (if op = Ge then max_int else k) }
+      | Lt, true | Ge, false -> Some { lo = min_int; hi = k - 1 }
+      | Le, true | Gt, false -> Some { lo = min_int; hi = k }
+      | Gt, true | Le, false -> Some { lo = k + 1; hi = max_int }
+      | Ge, true | Lt, false -> Some { lo = k; hi = max_int }
       | Eq, true | Neq, false -> Some (const k)
       | Eq, false | Neq, true -> None (* non-convex; skip *)
       | _ -> None

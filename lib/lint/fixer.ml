@@ -37,6 +37,8 @@ type result = {
 
 let fixable_codes = [ "CONT001"; "PROTO003"; "WIDTH001" ]
 
+exception Cancelled
+
 (* --- the gate ----------------------------------------------------------- *)
 
 let lint_hits ~code ?loc p =
@@ -51,8 +53,11 @@ let lint_hits ~code ?loc p =
 
 (* Accept a candidate rewrite only if it validates, round-trips through
    the printer, re-lints clean for the fixed code (at [loc] if given)
-   and cosimulates bit-identically with the pristine input. *)
-let gate ~original ~code ?loc candidate =
+   and cosimulates bit-identically with the pristine input.  [poll] is
+   checked before each candidate's (expensive) gate run so a driver can
+   cancel a long fix job between rewrites. *)
+let gate ~poll ~original ~code ?loc candidate =
+  if poll () then raise Cancelled;
   match Program.validate candidate with
   | Error msgs ->
     Error ("fix does not validate: " ^ String.concat "; " msgs)
@@ -238,7 +243,7 @@ let all_decls p =
             pr.prc_params)
       p.p_procs
 
-let fix_width ~original current =
+let fix_width ~poll ~original current =
   (* Widen to a fixpoint: widening one declaration widens the inferred
      width of its references, which can surface a new narrowing
      downstream.  Widths only grow and are bounded by the widest width
@@ -262,7 +267,7 @@ let fix_width ~original current =
           | _ -> None)
         (all_decls candidate)
     in
-    match gate ~original ~code:"WIDTH001" candidate with
+    match gate ~poll ~original ~code:"WIDTH001" candidate with
     | Ok fixed ->
       ( fixed,
         List.map
@@ -365,7 +370,7 @@ let drop_true_waits ~unsat stmts =
       | _ -> [ st ])
     stmts
 
-let fix_proto ~original current =
+let fix_proto ~poll ~original current =
   let signals = proto_signals current in
   let p, applied, refused =
     List.fold_left
@@ -404,7 +409,7 @@ let fix_proto ~original current =
               "a wait on the signal can never be satisfied at its initial \
                value"
           else
-            match gate ~original ~code:"PROTO003" ~loc:s candidate with
+            match gate ~poll ~original ~code:"PROTO003" ~loc:s candidate with
             | Ok fixed ->
               ( fixed,
                 {
@@ -457,7 +462,7 @@ let fresh used base =
     in
     go 1
 
-let fix_cont ~original current =
+let fix_cont ~poll ~original current =
   let ctx = Pass.make_ctx ~phase:(Pass.infer_phase current) current in
   let buses =
     List.filter
@@ -613,7 +618,7 @@ let fix_cont ~original current =
         match fix_bus p bus with
         | Error reason -> refuse reason
         | Ok (candidate, arb_name, n) -> (
-          match gate ~original ~code:"CONT001" ~loc:addr candidate with
+          match gate ~poll ~original ~code:"CONT001" ~loc:addr candidate with
           | Ok fixed ->
             ( fixed,
               {
@@ -634,11 +639,11 @@ let fix_cont ~original current =
 
 (* --- driver -------------------------------------------------------------- *)
 
-let fix ?(codes = fixable_codes) (p0 : program) =
+let fix ?(codes = fixable_codes) ?(poll = fun () -> false) (p0 : program) =
   let want c = List.exists (String.equal c) codes in
   let step code f (p, applied, refused) =
     if want code then
-      let p', a, r = f ~original:p0 p in
+      let p', a, r = f ~poll ~original:p0 p in
       (p', applied @ a, refused @ r)
     else (p, applied, refused)
   in

@@ -36,8 +36,14 @@ type result = {
 val fixable_codes : string list
 (** [["CONT001"; "PROTO003"; "WIDTH001"]]. *)
 
-val fix : ?codes:string list -> Ast.program -> result
+exception Cancelled
+(** Raised by {!fix} when its [poll] callback reports cancellation. *)
+
+val fix :
+  ?codes:string list -> ?poll:(unit -> bool) -> Ast.program -> result
 (** Apply every fixable transform (restricted to [codes] if given), in
     the order WIDTH001, PROTO003, CONT001; each accepted rewrite feeds
     the next, and the equivalence gate always compares against the
-    pristine input program. *)
+    pristine input program.  [poll] (default: never) is consulted
+    before each candidate's validate/re-lint/cosimulate gate; when it
+    returns [true] the fix run stops by raising {!Cancelled}. *)

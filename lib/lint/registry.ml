@@ -101,6 +101,26 @@ let run ?phase ?(typecheck = true) ?(passes = all) ?(overrides = [])
   apply_overrides overrides (Diagnostic.sort found)
 
 let run_refinement ~original (r : Core.Refiner.t) : Diagnostic.t list =
-  Diagnostic.sort
-    (Core.Check.diagnostics ~original r
-    @ run ~phase:Post ~typecheck:false r.Core.Refiner.rf_program)
+  let check = Core.Check.diagnostics ~original r in
+  let lint = run ~phase:Post ~typecheck:false r.Core.Refiner.rf_program in
+  (* CONT002 has two reporters: {!Core.Check} from the bus metadata
+     (located at the bus label, e.g. [b1]) and the structural contention
+     pass from program text (located at the address signal, e.g.
+     [b1_addr]).  On a refined program keep the refinement-aware copy
+     and drop the structural one for the same bus. *)
+  let label_of_addr loc =
+    let n = String.length loc in
+    if n > 5 && String.equal (String.sub loc (n - 5) 5) "_addr" then
+      String.sub loc 0 (n - 5)
+    else loc
+  in
+  let duplicate (d : Diagnostic.t) =
+    String.equal d.Diagnostic.d_code "CONT002"
+    && List.exists
+         (fun (c : Diagnostic.t) ->
+           String.equal c.Diagnostic.d_code "CONT002"
+           && String.equal c.Diagnostic.d_loc
+                (label_of_addr d.Diagnostic.d_loc))
+         check
+  in
+  Diagnostic.sort (check @ List.filter (fun d -> not (duplicate d)) lint)

@@ -210,7 +210,41 @@ let run_lint ~session:_ ~poll (elab : Session.elab) j =
   let* () = check_poll poll in
   let p = elab.Session.el_program in
   if fix then begin
-    let r = Lint.Fixer.fix p in
+    (* The fixer runs the full pass set on its own candidates and emits
+       a rewrite report, so the lint-report knobs have no effect here:
+       reject them loudly rather than silently ignoring them. *)
+    let* () =
+      match
+        List.filter
+          (fun k -> Option.is_some (Protocol.member k j))
+          [ "severity"; "phase"; "overrides"; "json"; "flow" ]
+      with
+      | [] -> Ok ()
+      | ks ->
+        Error
+          (Printf.sprintf "field(s) %s do not apply when fix is true"
+             (String.concat ", " ks))
+    in
+    let* fix_codes =
+      if codes = [] then Ok Lint.Fixer.fixable_codes
+      else
+        match
+          List.filter
+            (fun c -> not (List.mem c Lint.Fixer.fixable_codes))
+            codes
+        with
+        | [] -> Ok codes
+        | bad ->
+          Error
+            (Printf.sprintf "code(s) %s are not fixable (fixable: %s)"
+               (String.concat ", " bad)
+               (String.concat ", " Lint.Fixer.fixable_codes))
+    in
+    let* r =
+      match Lint.Fixer.fix ~codes:fix_codes ~poll p with
+      | r -> Ok r
+      | exception Lint.Fixer.Cancelled -> Error cancelled_message
+    in
     let applied =
       List.map
         (fun (a : Lint.Fixer.applied) ->

@@ -16,7 +16,11 @@
     Job field reference (defaults match the CLI):
     {v
     refine : spec, model, parts, algo, seed, assign, protocol, harden
-    lint   : spec, file, severity, codes, phase, overrides, json
+    lint   : spec, file, severity, codes, phase, overrides, json, flow,
+             fix — [fix=true] runs the [mrefine lint --fix] pipeline:
+             [codes] restricts the fixable set (non-fixable codes are
+             an error) and the report-only knobs (severity, phase,
+             overrides, json, flow) are rejected rather than ignored
     explore: spec, models, seeds, biases, parts, steps, jobs, top,
              deadline, retries, json
     faults : spec, model, parts, algo, seed, assign, protocol, harden,

@@ -124,6 +124,26 @@ let test_interval_assume () =
   | Some _ -> ()  (* non-convex complement: env unchanged, still feasible *)
   | None -> Alcotest.fail "x <> 3 must stay feasible")
 
+(* The false outcome of each inequality is the complement range: the
+   negation of [x < k] keeps x = k (a loop's exit state), and the
+   negation of [x <= k] starts at k + 1. *)
+let test_interval_assume_negations () =
+  let env = I.env_set "x" (itv 2 5) I.env_empty in
+  let check name op k outcome expected =
+    match I.assume env (Binop (op, Ref "x", Const (VInt k))) outcome with
+    | Some env' ->
+      Alcotest.(check string) name expected
+        (I.itv_to_string (I.env_find "x" env'))
+    | None -> Alcotest.failf "%s: feasible assumption rejected" name
+  in
+  check "x < 4" Lt 4 true "[2,3]";
+  check "not (x < 4)" Lt 4 false "[4,5]";
+  check "not (x <= 4)" Le 4 false "[5,5]";
+  check "not (x > 3)" Gt 3 false "[2,3]";
+  check "not (x >= 4)" Ge 4 false "[2,3]";
+  check "x > 3" Gt 3 true "[4,5]";
+  check "x >= 3" Ge 3 true "[3,5]"
+
 let test_interval_bits () =
   Alcotest.(check (option int)) "20 needs 5 bits" (Some 5)
     (I.bits_needed (I.const 20));
@@ -182,6 +202,47 @@ let test_fixpoint_terminates () =
       (fun r -> Alcotest.(check bool) "every node reachable" true r)
       li.Lint.Flow.li_reach
 
+(* Regression: "while x < N" leaves x = N exactly on the exit edge, so
+   the post-loop code stays reachable under --flow (a mis-grouped
+   negation once made the exit edge provably infeasible, suppressing
+   diagnostics after the loop and flagging it unreachable/dead). *)
+let loop_exit_src =
+  "program loopexit is\n\
+  \  var x : int<8> := 0;\n\
+  \  var y : int<8> := 0;\n\
+  \  behavior L : leaf is\n\
+  \  begin\n\
+  \    x := 0;\n\
+  \    while x < 10 do\n\
+  \      x := x + 1;\n\
+  \    end while;\n\
+  \    y := x;\n\
+  \    emit \"y\" y;\n\
+  \  end behavior\n\
+   end program"
+
+let test_loop_exit_feasible () =
+  let p = parse loop_exit_src in
+  let s = Lint.Flow.of_program p in
+  (match Lint.Flow.leaf s "L" with
+  | None -> Alcotest.fail "no flow info for the leaf"
+  | Some li ->
+    Array.iteri
+      (fun i r ->
+        Alcotest.(check bool) (Printf.sprintf "node %d reachable" i) true r)
+      li.Lint.Flow.li_reach;
+    Alcotest.(check int) "post-loop store is not dead" 0
+      (List.length li.Lint.Flow.li_dead_stores));
+  let live =
+    List.filter
+      (fun (d : Diagnostic.t) ->
+        String.length d.Diagnostic.d_code >= 4
+        && String.equal (String.sub d.Diagnostic.d_code 0 4) "LIVE")
+      (Lint.Registry.run ~flow:true p)
+  in
+  Alcotest.(check int) "no liveness findings on the live post-loop code" 0
+    (List.length live)
+
 (* The summary cache returns the same analysis for the same program. *)
 let test_flow_cache () =
   let p = parse loopy_src in
@@ -237,6 +298,12 @@ let test_fixer_refuses_unsafe () =
        String.length m >= 10)
   | l -> Alcotest.failf "expected one refusal, got %d" (List.length l));
   Alcotest.(check int) "nothing applied" 0 (List.length r.Lint.Fixer.x_applied)
+
+(* The poll hook stops a fix run before the first candidate's gate. *)
+let test_fixer_cancels () =
+  let p = fixture "lint_fixable.sc" in
+  Alcotest.check_raises "poll cancels" Lint.Fixer.Cancelled (fun () ->
+      ignore (Lint.Fixer.fix ~poll:(fun () -> true) p))
 
 (* --- property: --fix output re-parses, re-lints clean, cosimulates ------ *)
 
@@ -294,18 +361,21 @@ let () =
         [
           tc "eval" test_interval_eval;
           tc "assume" test_interval_assume;
+          tc "assume negations" test_interval_assume_negations;
           tc "bits" test_interval_bits;
           tc "widen" test_interval_widen;
         ] );
       ( "fixpoint",
         [
           tc "loop-heavy termination" test_fixpoint_terminates;
+          tc "loop exit stays feasible" test_loop_exit_feasible;
           tc "summary cache" test_flow_cache;
         ] );
       ( "fixer",
         [
           tc "applies on fixable" test_fixer_applies;
           tc "refuses unsafe" test_fixer_refuses_unsafe;
+          tc "poll cancels" test_fixer_cancels;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -456,6 +456,48 @@ let test_max_jobs_backpressure () =
   | Error msg -> Alcotest.fail msg);
   Serve.Scheduler.shutdown scheduler
 
+(* --- jobs: lint fix field handling -------------------------------------- *)
+
+let test_lint_fix_fields () =
+  let session = Serve.Session.create () in
+  let poll () = false in
+  let job fields =
+    Serve.Protocol.Obj
+      (("kind", Serve.Protocol.String "lint")
+      :: ("spec", Serve.Protocol.String fig1_src)
+      :: fields)
+  in
+  (* Report-only knobs conflict with fix=true: rejected, not ignored. *)
+  (match
+     Serve.Jobs.run ~session ~poll
+       (job
+          [ ("fix", Serve.Protocol.Bool true);
+            ("json", Serve.Protocol.Bool true);
+            ("flow", Serve.Protocol.Bool true) ])
+   with
+  | Ok _ -> Alcotest.fail "conflicting report fields accepted"
+  | Error msg ->
+    Alcotest.(check bool) "names json" true (contains_sub ~sub:"json" msg);
+    Alcotest.(check bool) "names flow" true (contains_sub ~sub:"flow" msg));
+  (* codes is honored, so a non-fixable code is an error. *)
+  (match
+     Serve.Jobs.run ~session ~poll
+       (job
+          [ ("fix", Serve.Protocol.Bool true);
+            ("codes", Serve.Protocol.List [ Serve.Protocol.String "LIVE004" ])
+          ])
+   with
+  | Ok _ -> Alcotest.fail "non-fixable code accepted"
+  | Error msg ->
+    Alcotest.(check bool) "names the code" true
+      (contains_sub ~sub:"LIVE004" msg));
+  (* A plain fix job runs; fig1 has nothing fixable, so no rewrite. *)
+  match Serve.Jobs.run ~session ~poll (job [ ("fix", Serve.Protocol.Bool true) ]) with
+  | Ok o ->
+    Alcotest.(check bool) "reports changed:false" true
+      (contains_sub ~sub:"\"changed\":false" o.Serve.Jobs.o_output)
+  | Error msg -> Alcotest.fail msg
+
 (* --- session ------------------------------------------------------------ *)
 
 let test_session_elaboration_cache () =
@@ -535,6 +577,11 @@ let () =
             test_cancelled_pending_survives_restart;
           Alcotest.test_case "max-jobs backpressure" `Quick
             test_max_jobs_backpressure;
+        ] );
+      ( "jobs",
+        [
+          Alcotest.test_case "lint fix field handling" `Quick
+            test_lint_fix_fields;
         ] );
       ( "session",
         [
