@@ -636,7 +636,8 @@ let bench_json out_path =
   let polling_report, polling_s =
     seconds_of (fun () ->
         Faults.Campaign.run ~config:fault_config
-          ~simulate:(fun ~config ~hooks p -> Sim.Reference.run ~config ~hooks p)
+          ~simulate:(fun ~config ~hooks ?ordering p ->
+            Sim.Reference.run ~config ~hooks ?ordering p)
           fault_design)
   in
   let classifications rp =
@@ -732,6 +733,34 @@ let bench_json out_path =
       n append_s
       (float_of_int n /. append_s)
       replay_s replayed
+  in
+  (* -- litmus: the weak-memory suite across orderings, both kernels --- *)
+  let litmus_row, litmus_ok =
+    let cfg = Litmus.Suite.default_config () in
+    let rp, suite_s = seconds_of (fun () -> Litmus.Suite.run cfg) in
+    let n = List.length rp.Litmus.Suite.rp_entries in
+    let ok =
+      rp.Litmus.Suite.rp_forbidden = 0
+      && rp.Litmus.Suite.rp_corruption = 0
+      && rp.Litmus.Suite.rp_kernel_mismatches = 0
+    in
+    Printf.printf
+      "litmus/suite         %d entries %6.2f s (%.0f runs/s, both kernels)  \
+       %d weak-allowed  %s\n"
+      n suite_s
+      (float_of_int n /. suite_s)
+      rp.Litmus.Suite.rp_weak_allowed
+      (if ok then "clean" else "BROKEN");
+    ( Printf.sprintf
+        "{\"entries\":%d,\"suite_s\":%.3f,\"runs_per_s\":%.0f,\
+         \"sc_consistent\":%d,\"weak_allowed\":%d,\"forbidden\":%d,\
+         \"deadlock\":%d,\"corruption\":%d,\"kernel_mismatches\":%d}"
+        n suite_s
+        (float_of_int n /. suite_s)
+        rp.Litmus.Suite.rp_sc_consistent rp.Litmus.Suite.rp_weak_allowed
+        rp.Litmus.Suite.rp_forbidden rp.Litmus.Suite.rp_deadlock
+        rp.Litmus.Suite.rp_corruption rp.Litmus.Suite.rp_kernel_mismatches,
+      ok )
   in
   (* -- serve: warm daemon requests vs cold CLI invocations ----------- *)
   let serve_row, serve_identical =
@@ -872,16 +901,17 @@ let bench_json out_path =
   let json =
     Printf.sprintf
       "{\"schema\":\"coref-bench-sim-1\",\"simulate\":[%s],\"lint\":[%s],\
-       \"faults\":%s,\"explore\":%s,\"checkpoint\":%s,\"serve\":%s}\n"
+       \"faults\":%s,\"explore\":%s,\"checkpoint\":%s,\"litmus\":%s,\
+       \"serve\":%s}\n"
       (String.concat "," sim_rows)
       (String.concat "," lint_rows)
-      faults_row explore_row checkpoint_row serve_row
+      faults_row explore_row checkpoint_row litmus_row serve_row
   in
   let oc = open_out out_path in
   output_string oc json;
   close_out oc;
   Printf.printf "wrote %s\n" out_path;
-  if not (match_ok && serve_identical) then exit 1
+  if not (match_ok && serve_identical && litmus_ok) then exit 1
 
 let () =
   let argv = Array.to_list Sys.argv in

@@ -46,6 +46,15 @@ let model_conv =
   let print ppf m = Format.pp_print_string ppf (Core.Model.name m) in
   Arg.conv (parse, print)
 
+let memord_conv =
+  let parse s =
+    Result.map_error (fun msg -> `Msg msg) (Sim.Memord.policy_of_string s)
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Sim.Memord.policy_to_string p)
+  in
+  Arg.conv (parse, print)
+
 let model_arg =
   Arg.(
     value
@@ -685,8 +694,20 @@ let faults_cmd =
                 same journal to replay completed runs and continue the \
                 campaign from where it stopped.")
   in
+  let ordering_arg =
+    Arg.(
+      value
+      & opt memord_conv Sim.Memord.Sc
+      & info [ "ordering" ] ~docv:"POLICY"
+          ~doc:"Port-ordering semantics of the refined multi-port memory \
+                during the campaign: sc (default, today's sequentially \
+                consistent commits), per-port-fifo, or relaxed[:N] \
+                (bounded per-port reordering window).  Every run, golden \
+                and faulty alike, executes under the same policy and \
+                scheduler seed.")
+  in
   let run spec_path model n_parts algo seed assign protocol harden classes
-      seeds base_seed json deadline resume output =
+      seeds base_seed json deadline resume ordering output =
     let p = or_die (load_spec spec_path) in
     if seeds < 1 then or_die (Error "--seeds must be >= 1");
     if classes = [] then or_die (Error "--faults must be non-empty");
@@ -718,6 +739,7 @@ let faults_cmd =
         cf_base_seed = base_seed;
         cf_classes = classes;
         cf_deadline_s = deadline;
+        cf_ordering = ordering;
       }
     in
     let journal =
@@ -754,7 +776,106 @@ let faults_cmd =
     Term.(
       const run $ spec_arg $ model_arg $ parts_arg $ algo_arg $ seed_arg
       $ assign_arg $ protocol_arg $ harden_arg $ classes_arg $ seeds_arg
-      $ base_seed_arg $ json_arg $ deadline_arg $ resume_arg $ output_arg)
+      $ base_seed_arg $ json_arg $ deadline_arg $ resume_arg $ ordering_arg
+      $ output_arg)
+
+let litmus_cmd =
+  let orderings_arg =
+    Arg.(
+      value
+      & opt (list memord_conv)
+          [
+            Sim.Memord.Sc;
+            Sim.Memord.Per_port_fifo;
+            Sim.Memord.Relaxed Sim.Memord.default_window;
+          ]
+      & info [ "ordering" ] ~docv:"POLICIES"
+          ~doc:"Comma-separated port-ordering policies to run each shape \
+                under: sc, per-port-fifo, relaxed[:N] (default: all \
+                three).")
+  in
+  let shapes_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "shape" ] ~docv:"NAMES"
+          ~doc:"Comma-separated shape names to run (default: all).  \
+                Available: sb, mp, lb, co, mem, mem-tmr.")
+  in
+  let seeds_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Scheduler seeds 1..N per weak ordering (sc is \
+                deterministic and runs once).")
+  in
+  let faults_arg =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:"Also run each shape under its canned fault plans (a late \
+                bit flip pushing an observed register out of the domain, \
+                and a dropped handshake edge) from $(b,lib/faults).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let run orderings shapes seeds faults json output =
+    if seeds < 1 then or_die (Error "--seeds must be >= 1");
+    if orderings = [] then or_die (Error "--ordering must be non-empty");
+    let cf_shapes =
+      match shapes with
+      | [] -> Litmus.Shape.all ()
+      | names ->
+        List.map
+          (fun n ->
+            match Litmus.Shape.find n with
+            | Some s -> s
+            | None ->
+              or_die
+                (Error
+                   (Printf.sprintf
+                      "unknown litmus shape %S (use sb, mp, lb, co, mem or \
+                       mem-tmr)"
+                      n)))
+          names
+    in
+    let cfg =
+      {
+        Litmus.Suite.cf_shapes;
+        cf_orderings = orderings;
+        cf_seeds = seeds;
+        cf_faults = faults;
+      }
+    in
+    let rp = Litmus.Suite.run cfg in
+    write_out output
+      (if json then Litmus.Suite.to_json rp else Litmus.Suite.to_text rp);
+    (* Forbidden outcomes, corruption outside fault injection, and kernel
+       disagreements all mean the ordering model is broken — fail. *)
+    let bad =
+      rp.Litmus.Suite.rp_forbidden > 0
+      || rp.Litmus.Suite.rp_kernel_mismatches > 0
+      || (not faults) && rp.Litmus.Suite.rp_corruption > 0
+    in
+    if bad then exit 1
+  in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:
+         "Run the built-in weak-memory litmus shapes (store buffering, \
+          message passing, load buffering, coherence, and a generated \
+          two-port Model3 memory, hardened and not) across port-ordering \
+          policies, scheduler seeds and optional fault plans, on both \
+          simulation kernels.  Classifies every outcome as sc-consistent, \
+          weak-allowed, forbidden, deadlock or corruption against the \
+          shape's enumerated allowed sets, and reports RACE003 for shapes \
+          whose outcome is ordering-dependent.  Exits non-zero on any \
+          forbidden outcome, fault-free corruption, or kernel mismatch.")
+    Term.(
+      const run $ orderings_arg $ shapes_arg $ seeds_arg $ faults_arg
+      $ json_arg $ output_arg)
 
 let lint_cmd =
   let severity_conv =
@@ -1141,7 +1262,7 @@ let serve_cmd =
          "Run the persistent refinement daemon: a Unix-domain socket \
           speaking a newline-delimited JSON job protocol (submit / status \
           / result / cancel / stats / shutdown) over refine, lint, \
-          explore and faults jobs.  One long-lived process keeps the \
+          explore, faults and litmus jobs.  One long-lived process keeps the \
           evaluation cache and every elaborated specification hot across \
           requests; with $(b,--journal), a killed daemon resumes its \
           in-flight jobs on restart.")
@@ -1161,8 +1282,8 @@ let client_cmd =
       value
       & opt (some string) None
       & info [ "submit" ] ~docv:"KIND"
-          ~doc:"Submit a job: refine, lint, explore or faults (needs \
-                $(b,--spec)).")
+          ~doc:"Submit a job: refine, lint, explore, faults (each needs \
+                $(b,--spec)) or litmus.")
   in
   let spec_arg =
     Arg.(
@@ -1260,10 +1381,15 @@ let client_cmd =
     | Error _ -> Serve.Protocol.String raw
   in
   let job_fields kind spec args =
-    let source =
-      match spec with
-      | Some path -> read_file path
-      | None -> or_die (Error "--submit needs --spec")
+    (* Litmus jobs run built-in shapes and take no spec; every other
+       job kind refuses to run without one. *)
+    let base =
+      match (spec, kind) with
+      | Some path, _ ->
+        [ ("kind", Serve.Protocol.String kind);
+          ("spec", Serve.Protocol.String (read_file path)) ]
+      | None, "litmus" -> [ ("kind", Serve.Protocol.String kind) ]
+      | None, _ -> or_die (Error "--submit needs --spec")
     in
     List.fold_left
       (fun fields arg ->
@@ -1273,9 +1399,7 @@ let client_cmd =
           let key = String.sub arg 0 i in
           let value = String.sub arg (i + 1) (String.length arg - i - 1) in
           fields @ [ (key, field_value value) ])
-      [ ("kind", Serve.Protocol.String kind);
-        ("spec", Serve.Protocol.String source) ]
-      args
+      base args
   in
   let print_reply ~print_output raw =
     if not print_output then print_endline raw
@@ -1382,4 +1506,5 @@ let () =
        (Cmd.group info
           [ parse_cmd; graph_cmd; partition_cmd; refine_cmd; simulate_cmd;
             cosim_cmd; typecheck_cmd; lint_cmd; export_cmd; quality_cmd;
-            demo_cmd; explore_cmd; faults_cmd; serve_cmd; client_cmd ]))
+            demo_cmd; explore_cmd; faults_cmd; litmus_cmd; serve_cmd;
+            client_cmd ]))

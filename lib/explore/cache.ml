@@ -5,7 +5,7 @@
 (* Bump when the marshalled layout of cached values or the entry framing
    changes: stale disk entries from an older build then read as misses
    instead of garbage.  v5: length-prefixed, checksummed blobs. *)
-let format_version = "coref-explore-cache-5\n"
+let format_version = "coref-explore-cache-6\n"
 
 type stats = { hits : int; misses : int }
 

@@ -20,6 +20,8 @@ type metrics = {
   e_check_ok : bool;
   e_lint_errors : int;
   e_lint_warnings : int;
+  e_live_dead_stores : int;
+  e_live_write_only : int;
   e_robustness : float;
 }
 
@@ -157,10 +159,19 @@ let lint_counts ?cache refined =
   let printed = Spec.Printer.program_to_string refined in
   let compute () =
     let lint =
-      Lint.Registry.run ~phase:Lint.Registry.Post ~typecheck:false refined
+      Lint.Registry.run ~phase:Lint.Registry.Post ~typecheck:false ~flow:true
+        refined
+    in
+    let by_code c =
+      List.length
+        (List.filter
+           (fun d -> String.equal d.Spec.Diagnostic.d_code c)
+           lint)
     in
     ( Spec.Diagnostic.count Spec.Diagnostic.Error lint,
-      Spec.Diagnostic.count Spec.Diagnostic.Warning lint )
+      Spec.Diagnostic.count Spec.Diagnostic.Warning lint,
+      by_code "LIVE005",
+      by_code "LIVE006" )
   in
   match cache with
   | None -> compute ()
@@ -190,7 +201,9 @@ let refine_and_measure ?cache ?poll ~checkpoint ctx alloc part
     let refined = r.Core.Refiner.rf_program in
     (* Structural lint of the refined output (the typecheck part is
        already inside Check.run / e_check_ok), memoized by output text. *)
-    let lint_errors, lint_warnings = lint_counts ?cache refined in
+    let lint_errors, lint_warnings, live_dead_stores, live_write_only =
+      lint_counts ?cache refined
+    in
     checkpoint ();
     let env = Estimate.Rates.make_env ctx.cx_spec alloc part in
     let plan = r.Core.Refiner.rf_plan in
@@ -214,6 +227,8 @@ let refine_and_measure ?cache ?poll ~checkpoint ctx alloc part
         e_check_ok = check_ok;
         e_lint_errors = lint_errors;
         e_lint_warnings = lint_warnings;
+        e_live_dead_stores = live_dead_stores;
+        e_live_write_only = live_write_only;
         e_robustness = probe_robustness ?poll r;
       }
 

@@ -31,6 +31,11 @@ type metrics = {
   e_check_ok : bool;  (** {!Core.Check} found no violation *)
   e_lint_errors : int;  (** error-severity lint diagnostics on the output *)
   e_lint_warnings : int;  (** warning-severity lint diagnostics *)
+  e_live_dead_stores : int;
+      (** flow-only [LIVE005] findings: reachable stores overwritten
+          before any read *)
+  e_live_write_only : int;
+      (** flow-only [LIVE006] findings: variables written but never read *)
   e_robustness : float;
       (** survived-or-recovered fraction of a small fixed fault campaign
           ({!Faults.Campaign}); 0.0 when the design cannot be campaigned *)

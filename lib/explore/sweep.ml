@@ -70,7 +70,7 @@ let result_objectives (r : Evaluate.result) =
 let journal_meta config spec =
   Checkpoint.Journal.meta_digest
     [
-      "explore-sweep-1";
+      "explore-sweep-2";
       Evaluate.spec_digest spec;
       string_of_int config.n_parts;
       string_of_int config.steps;
@@ -233,12 +233,13 @@ let row_of (r : Evaluate.result) =
   | Ok m ->
     Printf.sprintf
       "%-24s %2dL/%-2dG %8.1f Mbps %6.1fx %4d pins %6d gates rob:%.2f %s \
-       lint:%dE/%dW%s%s"
+       lint:%dE/%dW live:%dD/%dW%s%s"
       label m.Evaluate.e_locals m.Evaluate.e_globals m.Evaluate.e_max_bus_rate
       m.Evaluate.e_growth m.Evaluate.e_pins m.Evaluate.e_gates
       m.Evaluate.e_robustness
       (if m.Evaluate.e_check_ok then "ok" else "CHECK-FAILED")
       m.Evaluate.e_lint_errors m.Evaluate.e_lint_warnings
+      m.Evaluate.e_live_dead_stores m.Evaluate.e_live_write_only
       (if r.Evaluate.r_cached then " (cached)" else "")
       (if r.Evaluate.r_replayed then " (replayed)" else "")
 
@@ -315,13 +316,16 @@ let json_of_result (r : Evaluate.result) =
        \"max_bus_rate_mbps\":%.4f,\"buses\":%d,\"memories\":%d,\
        \"lines\":%d,\"growth\":%.4f,\"pins\":%d,\"gates\":%d,\
        \"software_bytes\":%d,\"exec_seconds\":%.6f,\"check_ok\":%b,\
-       \"lint_errors\":%d,\"lint_warnings\":%d,\"robustness\":%.4f}"
+       \"lint_errors\":%d,\"lint_warnings\":%d,\
+       \"live_dead_stores\":%d,\"live_write_only\":%d,\
+       \"robustness\":%.4f}"
       base m.Evaluate.e_locals m.Evaluate.e_globals m.Evaluate.e_comm_bits
       m.Evaluate.e_max_bus_rate m.Evaluate.e_bus_count m.Evaluate.e_memories
       m.Evaluate.e_lines m.Evaluate.e_growth m.Evaluate.e_pins
       m.Evaluate.e_gates m.Evaluate.e_software_bytes
       m.Evaluate.e_exec_seconds m.Evaluate.e_check_ok
       m.Evaluate.e_lint_errors m.Evaluate.e_lint_warnings
+      m.Evaluate.e_live_dead_stores m.Evaluate.e_live_write_only
       m.Evaluate.e_robustness
 
 let to_json ?(top = 0) t =

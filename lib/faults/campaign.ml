@@ -75,6 +75,12 @@ type config = {
           classified {!Timed_out} *)
   cf_poll : (unit -> bool) option;
       (** external cooperative cancellation, polled with the deadline *)
+  cf_ordering : Sim.Memord.policy;
+      (** port-ordering semantics of the design's multi-port memories:
+          every run of the campaign — golden and faulty alike — executes
+          under this policy with the same scheduler seed, so a hardened
+          design is judged on whether its observable behavior stays
+          interleaving-independent *)
 }
 
 let default_config =
@@ -85,7 +91,25 @@ let default_config =
     cf_sim = Sim.Engine.default_config;
     cf_deadline_s = None;
     cf_poll = None;
+    cf_ordering = Sim.Memord.Sc;
   }
+
+(* Port ownership under a weak ordering: every line of a refined bus
+   belongs to the port named by its bus label. *)
+let port_of_buses (buses : Core.Refiner.bus_inst list) name =
+  List.find_map
+    (fun (bi : Core.Refiner.bus_inst) ->
+      let bs = bi.Core.Refiner.bi_signals in
+      if
+        List.exists (String.equal name)
+          [
+            bs.Core.Protocol.bs_start; bs.Core.Protocol.bs_done;
+            bs.Core.Protocol.bs_rd; bs.Core.Protocol.bs_wr;
+            bs.Core.Protocol.bs_addr; bs.Core.Protocol.bs_data;
+          ]
+      then Some bs.Core.Protocol.bs_label
+      else None)
+    buses
 
 (* --- target enumeration ------------------------------------------------ *)
 
@@ -340,7 +364,8 @@ exception Campaign_error of string
    instead to price the event-driven kernel against the polling one on an
    identical campaign (both kernels share result and hook types through
    {!Sim.Runtime}, so classifications are directly comparable). *)
-let engine_simulate ~config ~hooks p = Sim.Engine.run ~config ~hooks p
+let engine_simulate ~config ~hooks ?ordering p =
+  Sim.Engine.run ~config ~hooks ?ordering p
 
 (* The journal meta binds a checkpoint journal to everything that
    determines a run's outcome: the refined program text and the campaign
@@ -356,6 +381,7 @@ let journal_meta config (r : Core.Refiner.t) =
       String.concat "," (List.map Fault.cls_name config.cf_classes);
       string_of_int config.cf_sim.Sim.Engine.max_steps;
       string_of_int config.cf_sim.Sim.Engine.max_deltas;
+      Sim.Memord.policy_to_string config.cf_ordering;
     ]
 
 let decode_run blob =
@@ -377,9 +403,23 @@ let run ?(config = default_config) ?(simulate = engine_simulate) ?journal
     if config.cf_deadline_s = None && config.cf_poll = None then hooks
     else { hooks with Sim.Engine.h_poll = Some cancelled }
   in
+  (* A fresh ordering layer per simulation: same policy, same scheduler
+     seed for every run of the campaign, so a faulty run's fault-free
+     prefix replays the golden interleaving exactly. [None] under [Sc] —
+     the kernels run their literally unchanged commit path. *)
+  let ordering () =
+    match config.cf_ordering with
+    | Sim.Memord.Sc -> None
+    | policy ->
+      Some
+        (Sim.Memord.make ~policy ~seed:config.cf_base_seed
+           ~port_of:(port_of_buses r.Core.Refiner.rf_buses))
+  in
   let counting_hooks, occurrences = Inject.counting () in
   let golden =
-    simulate ~config:config.cf_sim ~hooks:(with_poll counting_hooks) program
+    simulate ~config:config.cf_sim
+      ~hooks:(with_poll counting_hooks)
+      ?ordering:(ordering ()) program
   in
   begin match golden.Sim.Engine.r_outcome with
   | Sim.Engine.Completed -> ()
@@ -433,7 +473,7 @@ let run ?(config = default_config) ?(simulate = engine_simulate) ?journal
                 let result =
                   simulate ~config:budget
                     ~hooks:(with_poll (Inject.hooks faults))
-                    program
+                    ?ordering:(ordering ()) program
                 in
                 let rn =
                   {

@@ -52,11 +52,18 @@ type config = {
           and the run classified {!Timed_out} *)
   cf_poll : (unit -> bool) option;
       (** external cooperative cancellation, polled with the deadline *)
+  cf_ordering : Sim.Memord.policy;
+      (** port-ordering semantics of the design's multi-port memories:
+          every run — golden and faulty alike — executes under this
+          policy with the same scheduler seed ([cf_base_seed]), so a
+          hardened design is judged on whether its observable behavior
+          stays interleaving-independent.  {!Sim.Memord.Sc} (the
+          default) leaves the kernels' commit path untouched. *)
 }
 
 val default_config : config
 (** 8 seeds, base seed 1, every class, default engine budget, no
-    deadline. *)
+    deadline, [sc] port ordering. *)
 
 (** What a campaign can aim at, enumerated from the refined design. *)
 type targets = {
@@ -93,6 +100,7 @@ val run :
   ?simulate:
     (config:Sim.Engine.config ->
     hooks:Sim.Engine.hooks ->
+    ?ordering:Sim.Memord.t ->
     Spec.Ast.program ->
     Sim.Engine.result) ->
   ?journal:Checkpoint.Journal.t ->

@@ -301,30 +301,42 @@ module Interval = struct
     let range_of op k outcome =
       (* the values of x for which [x op k] has the given outcome *)
       match (op, outcome) with
-      | Lt, true | Ge, false -> Some { lo = min_int; hi = k - 1 }
-      | Le, true | Gt, false -> Some { lo = min_int; hi = k }
-      | Gt, true | Le, false -> Some { lo = k + 1; hi = max_int }
-      | Ge, true | Lt, false -> Some { lo = k; hi = max_int }
-      | Eq, true | Neq, false -> Some (const k)
-      | Eq, false | Neq, true -> None (* non-convex; skip *)
-      | _ -> None
+      | Lt, true | Ge, false -> `Range { lo = min_int; hi = k - 1 }
+      | Le, true | Gt, false -> `Range { lo = min_int; hi = k }
+      | Gt, true | Le, false -> `Range { lo = k + 1; hi = max_int }
+      | Ge, true | Lt, false -> `Range { lo = k; hi = max_int }
+      | Eq, true | Neq, false -> `Range (const k)
+      | Eq, false | Neq, true -> `Exclude k
+      | _ -> `Unknown
+    in
+    (* [x <> k] is non-convex, so a disequality usually cannot narrow an
+       interval — except at the endpoints: excluding [k] from [[k,k]] is
+       infeasible, and excluding it from [[k,hi]] or [[lo,k]] shaves the
+       endpoint. *)
+    let exclude x k =
+      let cur = env_find x env in
+      if cur.lo = k && cur.hi = k then None
+      else if cur.lo = k then Some (env_set x { cur with lo = k + 1 } env)
+      else if cur.hi = k then Some (env_set x { cur with hi = k - 1 } env)
+      else Some env
+    in
+    let refine x = function
+      | `Range r -> bind x r
+      | `Exclude k -> exclude x k
+      | `Unknown -> Some env
     in
     match cond with
     | Ref x -> bind x (if outcome then itv_true else itv_false)
     | Unop (Not, c) -> assume env c (not outcome)
-    | Binop (op, Ref x, Const v) -> (
+    | Binop (op, Ref x, Const v) ->
       let k = match v with VInt n -> n | VBool b -> if b then 1 else 0 in
-      match range_of op k outcome with
-      | Some r -> bind x r
-      | None -> Some env)
-    | Binop (op, Const v, Ref x) -> (
+      refine x (range_of op k outcome)
+    | Binop (op, Const v, Ref x) ->
       let flip = function
         | Lt -> Gt | Le -> Ge | Gt -> Lt | Ge -> Le | op -> op
       in
       let k = match v with VInt n -> n | VBool b -> if b then 1 else 0 in
-      match range_of (flip op) k outcome with
-      | Some r -> bind x r
-      | None -> Some env)
+      refine x (range_of (flip op) k outcome)
     | Binop (And, a, b) when outcome ->
       Option.bind (assume env a true) (fun env -> assume env b true)
     | Binop (Or, a, b) when not outcome ->

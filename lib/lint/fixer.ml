@@ -1,16 +1,19 @@
 (** [mrefine lint --fix]: source-to-source rewrites for the mechanical
     diagnostics.
 
-    Three codes are fixable.  [WIDTH001] widens narrowed destination
+    Four codes are fixable.  [WIDTH001] widens narrowed destination
     declarations until width inference reports no loss (widths are
     bus-sizing hints, so widening never changes simulation).
     [PROTO003] inlines a waited-but-never-driven signal as the constant
     it is stuck at, drops the waits that become trivially true, and
-    removes the declaration.  [CONT001] synthesizes a request/grant
-    arbiter for a multi-master bus: every offending caller is wrapped
-    in an acquire/release pair and a server behavior granting one
-    requester at a time (in site preorder) joins their parallel
-    composition.
+    removes the declaration.  [PROTO002] synthesizes the missing
+    handshake end for a driven-but-never-observed signal: a passive
+    observer server that waits for the signal to leave its rest value
+    and return, joining the top-level parallel composition.  [CONT001]
+    synthesizes a request/grant arbiter for a multi-master bus: every
+    offending caller is wrapped in an acquire/release pair and a server
+    behavior granting one requester at a time (in site preorder) joins
+    their parallel composition.
 
     Every rewrite is gated before it is kept: the candidate must pass
     {!Spec.Program.validate}, its printed source must re-parse, a
@@ -35,7 +38,7 @@ type result = {
   x_changed : bool;
 }
 
-let fixable_codes = [ "CONT001"; "PROTO003"; "WIDTH001" ]
+let fixable_codes = [ "CONT001"; "PROTO002"; "PROTO003"; "WIDTH001" ]
 
 exception Cancelled
 
@@ -462,6 +465,87 @@ let fresh used base =
     in
     go 1
 
+(* --- PROTO002: synthesize the missing handshake end --------------------- *)
+
+let proto2_signals p =
+  List.filter_map
+    (fun (d : Diagnostic.t) ->
+      if String.equal d.Diagnostic.d_code "PROTO002" then
+        Some d.Diagnostic.d_loc
+      else None)
+    (Registry.run p)
+  |> List.sort_uniq String.compare
+
+let fix_proto2 ~poll ~original current =
+  let signals = proto2_signals current in
+  let p, applied, refused =
+    List.fold_left
+      (fun (p, applied, refused) s ->
+        let refuse reason =
+          ( p,
+            applied,
+            { fr_code = "PROTO002"; fr_loc = s; fr_reason = reason }
+            :: refused )
+        in
+        match Program.lookup_signal p s with
+        | None -> refuse "signal declaration not found"
+        | Some sd -> (
+          match p.p_top.b_body with
+          | Leaf _ | Seq _ ->
+            refuse
+              "the top-level behavior is not a parallel composition the \
+               observer could join"
+          | Par children -> (
+            let v =
+              match sd.s_init with
+              | Some v -> v
+              | None -> default_value sd.s_ty
+            in
+            let used = used_names p in
+            let obs_name = fresh used ("OBS_" ^ s) in
+            (* The missing handshake end, made passive: wait for the
+               signal to leave its rest value, then to return — one
+               transaction per iteration.  The observer never drives
+               anything, so behavior is unchanged; registering it as a
+               perpetual server exempts it from completion and from the
+               race passes, like any protocol endpoint. *)
+            let obs =
+              Behavior.leaf obs_name
+                [
+                  While
+                    ( Expr.tru,
+                      [
+                        Wait_until (Binop (Neq, Ref s, Const v));
+                        Wait_until (Binop (Eq, Ref s, Const v));
+                      ] );
+                ]
+            in
+            let candidate =
+              {
+                p with
+                p_top = { p.p_top with b_body = Par (children @ [ obs ]) };
+                p_servers = p.p_servers @ [ obs_name ];
+              }
+            in
+            match gate ~poll ~original ~code:"PROTO002" ~loc:s candidate with
+            | Ok fixed ->
+              ( fixed,
+                {
+                  fx_code = "PROTO002";
+                  fx_loc = s;
+                  fx_note =
+                    Printf.sprintf
+                      "synthesized passive observer %s for driven-but-never-\
+                       observed signal %s"
+                      obs_name s;
+                }
+                :: applied,
+                refused )
+            | Error reason -> refuse reason)))
+      (current, [], []) signals
+  in
+  (p, List.rev applied, List.rev refused)
+
 let fix_cont ~poll ~original current =
   let ctx = Pass.make_ctx ~phase:(Pass.infer_phase current) current in
   let buses =
@@ -651,6 +735,7 @@ let fix ?(codes = fixable_codes) ?(poll = fun () -> false) (p0 : program) =
     (p0, [], [])
     |> step "WIDTH001" fix_width
     |> step "PROTO003" fix_proto
+    |> step "PROTO002" fix_proto2
     |> step "CONT001" fix_cont
   in
   {

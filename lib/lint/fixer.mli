@@ -1,8 +1,10 @@
 (** [mrefine lint --fix]: gated source-to-source rewrites for the
     mechanical diagnostic codes [WIDTH001] (widen narrowed destination
     declarations), [PROTO003] (inline a waited-but-never-driven signal
-    as the constant it is stuck at) and [CONT001] (synthesize a
-    request/grant arbiter for a multi-master bus).
+    as the constant it is stuck at), [PROTO002] (synthesize a passive
+    observer server for a driven-but-never-observed signal) and
+    [CONT001] (synthesize a request/grant arbiter for a multi-master
+    bus).
 
     Every rewrite must pass four gates before it is kept: the candidate
     validates, its printed source re-parses, a re-lint reports zero
@@ -34,7 +36,7 @@ type result = {
 }
 
 val fixable_codes : string list
-(** [["CONT001"; "PROTO003"; "WIDTH001"]]. *)
+(** [["CONT001"; "PROTO002"; "PROTO003"; "WIDTH001"]]. *)
 
 exception Cancelled
 (** Raised by {!fix} when its [poll] callback reports cancellation. *)
@@ -42,7 +44,8 @@ exception Cancelled
 val fix :
   ?codes:string list -> ?poll:(unit -> bool) -> Ast.program -> result
 (** Apply every fixable transform (restricted to [codes] if given), in
-    the order WIDTH001, PROTO003, CONT001; each accepted rewrite feeds
+    the order WIDTH001, PROTO003, PROTO002, CONT001; each accepted
+    rewrite feeds
     the next, and the equivalence gate always compares against the
     pristine input program.  [poll] (default: never) is consulted
     before each candidate's validate/re-lint/cosimulate gate; when it

@@ -29,6 +29,9 @@ let codes =
      "variable accessed from two parallel branches with at least one \
       writer and no mediating protocol");
     ("RACE002", "signal driven from two parallel branches");
+    ("RACE003",
+     "racy access whose outcome changes under relaxed port ordering \
+      (litmus evidence)");
   ]
 
 (* Accesses of the non-server sites under one child subtree, as

@@ -435,6 +435,10 @@ let classes_field j =
     (Ok []) raw
   |> Result.map List.rev
 
+let ordering_field j =
+  let* name = Protocol.string_field ~default:"sc" "ordering" j in
+  Sim.Memord.policy_of_string name
+
 let run_faults ~session:_ ~poll (elab : Session.elab) j =
   let* model = model_field j in
   let* n_parts = Protocol.int_field ~default:2 "parts" j in
@@ -447,6 +451,7 @@ let run_faults ~session:_ ~poll (elab : Session.elab) j =
   let* seeds = Protocol.int_field ~default:8 "seeds" j in
   let* base_seed = Protocol.int_field ~default:1 "base_seed" j in
   let* deadline = Protocol.float_field "deadline" j in
+  let* ordering = ordering_field j in
   let* json = Protocol.bool_field ~default:false "json" j in
   if seeds < 1 then Error "seeds must be >= 1"
   else if classes = [] then Error "classes must be non-empty"
@@ -464,6 +469,7 @@ let run_faults ~session:_ ~poll (elab : Session.elab) j =
         cf_classes = classes;
         cf_deadline_s = deadline;
         cf_poll = Some poll;
+        cf_ordering = ordering;
       }
     in
     match Faults.Campaign.run ~config r with
@@ -477,11 +483,90 @@ let run_faults ~session:_ ~poll (elab : Session.elab) j =
     | exception Faults.Campaign.Campaign_error msg ->
       Error ("fault campaign: " ^ msg)
 
+(* --- litmus ------------------------------------------------------------- *)
+
+let orderings_field j =
+  let* raw =
+    Protocol.string_list_field
+      ~default:[ "sc"; "per-port-fifo"; "relaxed" ]
+      "orderings" j
+  in
+  List.fold_left
+    (fun acc s ->
+      let* acc = acc in
+      let* p = Sim.Memord.policy_of_string s in
+      Ok (p :: acc))
+    (Ok []) raw
+  |> Result.map List.rev
+
+(* The litmus job runs the built-in weak-memory shapes — no spec to
+   elaborate — and returns the same deterministic report as the CLI, so
+   a served run replays a [mrefine litmus --json] bit-identically. *)
+let run_litmus ~session:_ ~poll j =
+  let* orderings = orderings_field j in
+  let* shape_names = Protocol.string_list_field ~default:[] "shapes" j in
+  let* seeds = Protocol.int_field ~default:4 "seeds" j in
+  let* faults = Protocol.bool_field ~default:false "faults" j in
+  let* json = Protocol.bool_field ~default:false "json" j in
+  if seeds < 1 then Error "seeds must be >= 1"
+  else if orderings = [] then Error "orderings must be non-empty"
+  else
+    let* shapes =
+      match shape_names with
+      | [] -> Ok (Litmus.Shape.all ())
+      | names ->
+        List.fold_left
+          (fun acc n ->
+            let* acc = acc in
+            match Litmus.Shape.find n with
+            | Some s -> Ok (s :: acc)
+            | None ->
+              Error
+                (Printf.sprintf
+                   "unknown litmus shape %S (use sb, mp, lb, co, mem or \
+                    mem-tmr)"
+                   n))
+          (Ok []) names
+        |> Result.map List.rev
+    in
+    let* () = check_poll poll in
+    let rp =
+      Litmus.Suite.run
+        {
+          Litmus.Suite.cf_shapes = shapes;
+          cf_orderings = orderings;
+          cf_seeds = seeds;
+          cf_faults = faults;
+        }
+    in
+    let* () = check_poll poll in
+    let text =
+      if json then Litmus.Suite.to_json rp else Litmus.Suite.to_text rp
+    in
+    Ok
+      {
+        o_output = text;
+        o_meta =
+          [
+            ("entries", Protocol.Int (List.length rp.Litmus.Suite.rp_entries));
+            ("weak_allowed", Protocol.Int rp.Litmus.Suite.rp_weak_allowed);
+            ("forbidden", Protocol.Int rp.Litmus.Suite.rp_forbidden);
+            ("corruption", Protocol.Int rp.Litmus.Suite.rp_corruption);
+            ( "kernel_mismatches",
+              Protocol.Int rp.Litmus.Suite.rp_kernel_mismatches );
+          ];
+      }
+
 (* --- dispatch ----------------------------------------------------------- *)
 
 let run ~session ~poll job =
   match Protocol.string_field "kind" job with
   | Error msg -> Error msg
+  | Ok "litmus" -> (
+    (* Litmus runs the built-in shapes: no spec, no elaboration. *)
+    try run_litmus ~session ~poll job
+    with exn ->
+      Error (Printf.sprintf "job raised %s" (Printexc.to_string exn)))
   | Ok kind -> (
     match Protocol.string_field "spec" job with
     | Error msg -> Error msg
@@ -501,7 +586,8 @@ let run ~session ~poll job =
         | None ->
           Error
             (Printf.sprintf
-               "unknown job kind %S (use refine, lint, explore or faults)"
+               "unknown job kind %S (use refine, lint, explore, faults or \
+                litmus)"
                kind)
         | Some f -> (
           try f ~session ~poll elab job

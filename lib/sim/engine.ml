@@ -160,7 +160,8 @@ let evict_session (p : Ast.program) ss =
   let store = Domain.DLS.get session_store_key in
   store := List.filter (fun (p', ss') -> p' != p || ss' != ss) !store
 
-let run_in_session ~(config : config) ~(hooks : hooks) (p : Ast.program) ss =
+let run_in_session ~(config : config) ~(hooks : hooks) ~ordering
+    (p : Ast.program) ss =
   let cx = ss.ss_cx in
   let sigs = cx.Interp.cx_signals in
   let n_sig = Sigtable.n_signals sigs in
@@ -173,12 +174,44 @@ let run_in_session ~(config : config) ~(hooks : hooks) (p : Ast.program) ss =
   and leaf_runs = ref 0
   and wakes = ref 0
   and rebuilds = ref 0 in
-  begin match hooks.h_intercept with
-  | None -> ()
-  | Some f ->
+  (* The ordering layer sees every update the fault intercept lets
+     through (post-rewrite), and may divert it into a port FIFO. *)
+  let base_intercept =
+    match hooks.h_intercept with
+    | None -> None
+    | Some f -> Some (fun name v -> f ~delta:cx.Interp.cx_delta name v)
+  in
+  begin match (base_intercept, ordering) with
+  | None, None -> ()
+  | Some f, None -> Sigtable.set_intercept sigs (Some f)
+  | base, Some mo ->
     Sigtable.set_intercept sigs
-      (Some (fun name v -> f ~delta:cx.Interp.cx_delta name v))
+      (Some
+         (fun name v ->
+           let act =
+             match base with None -> Sigtable.Pass | Some f -> f name v
+           in
+           let capture v =
+             Memord.capture mo ~delta:cx.Interp.cx_delta name v
+           in
+           match act with
+           | Sigtable.Drop -> Sigtable.Drop
+           | Sigtable.Pass ->
+             if capture v then Sigtable.Drop else Sigtable.Pass
+           | Sigtable.Rewrite v' ->
+             if capture v' then Sigtable.Drop else Sigtable.Rewrite v'))
   end;
+  (* Apply one scheduler-chosen release of diverted port updates: pokes,
+     not schedules, so the delta counter is untouched and waiters wake
+     through the notify hook exactly as fault pokes do. *)
+  let release_ordered () =
+    match ordering with
+    | Some mo when Memord.pending mo ->
+      List.iter
+        (fun (name, v) -> ignore (Sigtable.poke sigs name v))
+        (Memord.release mo)
+    | _ -> ()
+  in
   (* --- scheduler state ------------------------------------------------ *)
   let wait_sets = ss.ss_wait_sets in
   (* Probe name->cell resolutions are stable between structural changes:
@@ -443,13 +476,26 @@ let run_in_session ~(config : config) ~(hooks : hooks) (p : Ast.program) ss =
             :: !signal_trace;
         List.iter wake changed;
         Option.iter (fun f -> f (probe ())) hooks.h_on_commit;
+        (* Post-commit release point: keeps diverted updates draining
+           while watchdog ticks (or other self-pacing traffic) prevent
+           the network from ever going quiescent. *)
+        release_ordered ();
         if cx.Interp.cx_delta > config.max_deltas then
           outcome := Some Step_limit
       end
-      else if effectively_done p.Ast.p_servers root then
-        outcome := Some Completed
-      else
-        outcome := Some (Deadlock (List.rev (blocked_descriptions cx [] root)))
+      else begin
+        (* Quiescent: no runnable leaf and no scheduled update.  Diverted
+           port updates release here, one scheduler choice per round,
+           before the kernel may conclude Completed or Deadlock. *)
+        match ordering with
+        | Some mo when Memord.pending mo -> release_ordered ()
+        | _ ->
+          if effectively_done p.Ast.p_servers root then
+            outcome := Some Completed
+          else
+            outcome :=
+              Some (Deadlock (List.rev (blocked_descriptions cx [] root)))
+      end
     end
     end
   done;
@@ -469,9 +515,10 @@ let run_in_session ~(config : config) ~(hooks : hooks) (p : Ast.program) ss =
       st_rebuilds = !rebuilds;
     } )
 
-let run_internal ~(config : config) ~(hooks : hooks) (p : Ast.program) =
+let run_internal ~(config : config) ~(hooks : hooks) ~ordering
+    (p : Ast.program) =
   let ss = checkout_session p in
-  match run_in_session ~config ~hooks p ss with
+  match run_in_session ~config ~hooks ~ordering p ss with
   | res ->
     ss.ss_busy <- false;
     res
@@ -481,8 +528,8 @@ let run_internal ~(config : config) ~(hooks : hooks) (p : Ast.program) =
     evict_session p ss;
     raise e
 
-let run_stats ?(config = default_config) ?(hooks = no_hooks) p =
-  run_internal ~config ~hooks p
+let run_stats ?(config = default_config) ?(hooks = no_hooks) ?ordering p =
+  run_internal ~config ~hooks ~ordering p
 
-let run ?(config = default_config) ?(hooks = no_hooks) p =
-  fst (run_internal ~config ~hooks p)
+let run ?(config = default_config) ?(hooks = no_hooks) ?ordering p =
+  fst (run_internal ~config ~hooks ~ordering p)

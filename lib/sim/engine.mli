@@ -94,14 +94,21 @@ val set_session_cap : int -> unit
     worker domain}.
     @raise Invalid_argument when the cap is < 1. *)
 
-val run : ?config:config -> ?hooks:hooks -> Ast.program -> result
-(** Simulate a validated program.
+val run :
+  ?config:config -> ?hooks:hooks -> ?ordering:Memord.t -> Ast.program -> result
+(** Simulate a validated program.  [ordering] interposes weak
+    port-ordering semantics on the commit path ({!Memord}); omitted, the
+    kernel is sequentially consistent and byte-identical to before.
     @raise Interp.Run_error on dynamic errors (unbound names, type
     confusion) — run {!Spec.Program.validate} and {!Spec.Typecheck.check}
     first to rule these out statically. *)
 
 val run_stats :
-  ?config:config -> ?hooks:hooks -> Ast.program -> result * sched_stats
+  ?config:config ->
+  ?hooks:hooks ->
+  ?ordering:Memord.t ->
+  Ast.program ->
+  result * sched_stats
 (** {!run}, also returning the scheduler counters. *)
 
 val outcome_to_string : outcome -> string

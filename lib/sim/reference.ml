@@ -9,7 +9,8 @@
 open Spec
 open Runtime
 
-let run ?(config = default_config) ?(hooks = no_hooks) (p : Ast.program) =
+let run ?(config = default_config) ?(hooks = no_hooks) ?ordering
+    (p : Ast.program) =
   let cx =
     {
       Interp.cx_signals = Sigtable.make p.Ast.p_signals;
@@ -23,12 +24,46 @@ let run ?(config = default_config) ?(hooks = no_hooks) (p : Ast.program) =
   let total_steps = ref 0 in
   let outcome = ref None in
   let signal_trace = ref [] in
-  begin match hooks.h_intercept with
-  | None -> ()
-  | Some f ->
+  (* Same intercept composition as the event-driven kernel: the fault
+     hook decides first, then the ordering layer may divert the write
+     into a port FIFO.  The two kernels see identical capture/release
+     sequences, so a (policy, seed) pair replays bit-identically. *)
+  let base_intercept =
+    match hooks.h_intercept with
+    | None -> None
+    | Some f -> Some (fun name v -> f ~delta:cx.Interp.cx_delta name v)
+  in
+  begin match (base_intercept, ordering) with
+  | None, None -> ()
+  | Some f, None -> Sigtable.set_intercept cx.Interp.cx_signals (Some f)
+  | base, Some mo ->
     Sigtable.set_intercept cx.Interp.cx_signals
-      (Some (fun name v -> f ~delta:cx.Interp.cx_delta name v))
+      (Some
+         (fun name v ->
+           let act =
+             match base with None -> Sigtable.Pass | Some f -> f name v
+           in
+           let capture v =
+             Memord.capture mo ~delta:cx.Interp.cx_delta name v
+           in
+           match act with
+           | Sigtable.Drop -> Sigtable.Drop
+           | Sigtable.Pass ->
+             if capture v then Sigtable.Drop else Sigtable.Pass
+           | Sigtable.Rewrite v' ->
+             if capture v' then Sigtable.Drop else Sigtable.Rewrite v'))
   end;
+  (* Same release points as the event-driven kernel (post-commit and
+     quiescent rounds), so the scheduler consumes its seed identically
+     and a (policy, seed) pair replays bit-identically on both. *)
+  let release_ordered () =
+    match ordering with
+    | Some mo when Memord.pending mo ->
+      List.iter
+        (fun (name, v) -> ignore (Sigtable.poke cx.Interp.cx_signals name v))
+        (Memord.release mo)
+    | _ -> ()
+  in
   let probe () =
     {
       pr_delta = cx.Interp.cx_delta;
@@ -67,13 +102,24 @@ let run ?(config = default_config) ?(hooks = no_hooks) (p : Ast.program) =
         if config.trace_signals && changes <> [] then
           signal_trace := (cx.Interp.cx_delta, changes) :: !signal_trace;
         Option.iter (fun f -> f (probe ())) hooks.h_on_commit;
+        release_ordered ();
         if cx.Interp.cx_delta > config.max_deltas then
           outcome := Some Step_limit
       end
-      else if effectively_done p.Ast.p_servers root then
-        outcome := Some Completed
-      else
-        outcome := Some (Deadlock (List.rev (blocked_descriptions cx [] root)))
+      else begin
+        match ordering with
+        | Some mo when Memord.pending mo ->
+          (* Quiescent: release diverted port updates as pokes — the
+             polling walk re-evaluates every wait condition next round
+             anyway. *)
+          release_ordered ()
+        | _ ->
+          if effectively_done p.Ast.p_servers root then
+            outcome := Some Completed
+          else
+            outcome :=
+              Some (Deadlock (List.rev (blocked_descriptions cx [] root)))
+      end
     end
     end
   done;

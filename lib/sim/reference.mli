@@ -10,9 +10,12 @@ open Spec
 val run :
   ?config:Runtime.config ->
   ?hooks:Runtime.hooks ->
+  ?ordering:Memord.t ->
   Ast.program ->
   Runtime.result
 (** Simulate with the polling scheduler.  Observable behavior (outcome,
     trace, final values, delta and step counts, signal trace, deadlock
-    reports, fault classifications) is identical to {!Engine.run}.
+    reports, fault classifications) is identical to {!Engine.run},
+    including under a weak [ordering] ({!Memord}) with the same policy
+    and seed.
     @raise Interp.Run_error on dynamic errors. *)

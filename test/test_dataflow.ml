@@ -121,8 +121,44 @@ let test_interval_assume () =
   Alcotest.(check bool) "x = 7 infeasible" true
     (I.assume env (Binop (Eq, Ref "x", Const (VInt 7))) true = None);
   (match I.assume env (Binop (Eq, Ref "x", Const (VInt 3))) false with
-  | Some _ -> ()  (* non-convex complement: env unchanged, still feasible *)
+  | Some env' ->
+    (* non-convex complement of an interior point: env unchanged *)
+    Alcotest.(check string) "x <> 3 interior" "[2,5]"
+      (I.itv_to_string (I.env_find "x" env'))
   | None -> Alcotest.fail "x <> 3 must stay feasible")
+
+(* A disequality is non-convex in general, but at the endpoints it still
+   sharpens: excluding the only remaining value is infeasible, and
+   excluding an endpoint shaves it off. *)
+let test_interval_assume_disequality () =
+  let check_env env name cond outcome expected =
+    match (I.assume env cond outcome, expected) with
+    | Some env', Some itv ->
+      Alcotest.(check string) name itv
+        (I.itv_to_string (I.env_find "x" env'))
+    | None, None -> ()
+    | Some _, None -> Alcotest.failf "%s: infeasible assumption accepted" name
+    | None, Some _ -> Alcotest.failf "%s: feasible assumption rejected" name
+  in
+  let wide = I.env_set "x" (itv 2 5) I.env_empty in
+  let single = I.env_set "x" (I.const 4) I.env_empty in
+  let neq k = Binop (Neq, Ref "x", Const (VInt k)) in
+  let eq k = Binop (Eq, Ref "x", Const (VInt k)) in
+  check_env single "x:[4,4], x <> 4 is bottom" (neq 4) true None;
+  check_env single "x:[4,4], not (x = 4) is bottom" (eq 4) false None;
+  check_env single "x:[4,4], x <> 5 keeps x" (neq 5) true (Some "[4,4]");
+  check_env wide "x:[2,5], x <> 2 shaves lo" (neq 2) true (Some "[3,5]");
+  check_env wide "x:[2,5], x <> 5 shaves hi" (neq 5) true (Some "[2,4]");
+  check_env wide "x:[2,5], not (x = 2) shaves lo" (eq 2) false (Some "[3,5]");
+  check_env wide "x:[2,5], x <> 3 interior unchanged" (neq 3) true
+    (Some "[2,5]");
+  check_env wide "x:[2,5], x <> 9 outside unchanged" (neq 9) true
+    (Some "[2,5]");
+  (* the flipped-operand form goes through the same refinement *)
+  check_env wide "x:[2,5], 5 <> x shaves hi"
+    (Binop (Neq, Const (VInt 5), Ref "x")) true (Some "[2,4]");
+  check_env single "x:[4,4], not (4 = x) is bottom"
+    (Binop (Eq, Const (VInt 4), Ref "x")) false None
 
 (* The false outcome of each inequality is the complement range: the
    negation of [x < k] keeps x = k (a loop's exit state), and the
@@ -282,6 +318,60 @@ let test_fixer_applies () =
   Alcotest.(check string) "source stable" r.Lint.Fixer.x_source
     r2.Lint.Fixer.x_source
 
+(* PROTO002: a completion flag nobody reads gains a passive observer
+   server; the observer must not change the trace, and the re-lint must
+   be clean of the code. *)
+let proto2_src =
+  "program proto2_demo is\n\
+   signal done_flag : bool := false;\n\
+   behavior TOP : par is begin\n\
+   behavior A : leaf is var x : int<8> := 0; begin\n\
+   x := 5; emit \"x\" x; done_flag <= true; end behavior;\n\
+   behavior B : leaf is var y : int<8> := 0; begin\n\
+   y := 2; emit \"y\" y; end behavior;\n\
+   end behavior\n\
+   end program"
+
+let test_fixer_proto2 () =
+  let p = parse proto2_src in
+  Alcotest.(check int) "fixture trips PROTO002" 1
+    (List.length (with_code "PROTO002" (Lint.Registry.run p)));
+  let r = Lint.Fixer.fix ~codes:[ "PROTO002" ] p in
+  Alcotest.(check bool) "rewrite happened" true r.Lint.Fixer.x_changed;
+  (match r.Lint.Fixer.x_applied with
+  | [ a ] ->
+    Alcotest.(check string) "code" "PROTO002" a.Lint.Fixer.fx_code;
+    Alcotest.(check string) "on the unobserved signal" "done_flag"
+      a.Lint.Fixer.fx_loc
+  | l -> Alcotest.failf "expected one application, got %d" (List.length l));
+  Alcotest.(check int) "nothing refused" 0
+    (List.length r.Lint.Fixer.x_refused);
+  let fixed = r.Lint.Fixer.x_program in
+  Alcotest.(check int) "PROTO002 clean after fix" 0
+    (List.length (with_code "PROTO002" (Lint.Registry.run fixed)));
+  (* the observer is a registered server, so completion is unaffected *)
+  Alcotest.(check bool) "observer registered as server" true
+    (List.exists
+       (fun s -> String.length s >= 4 && String.sub s 0 4 = "OBS_")
+       fixed.p_servers);
+  let v = Sim.Cosim.check ~original:p ~refined:fixed () in
+  Alcotest.(check bool) "cosimulates bit-identically" true
+    v.Sim.Cosim.v_equivalent
+
+(* PROTO002 on a deadlocking input: the equivalence gate cannot prove
+   the observer harmless, so the fix is refused and the program left
+   untouched. *)
+let test_fixer_proto2_refuses_on_deadlock () =
+  let p = fixture "lint_handshake.sc" in
+  let r = Lint.Fixer.fix ~codes:[ "PROTO002" ] p in
+  Alcotest.(check bool) "program untouched" false r.Lint.Fixer.x_changed;
+  match r.Lint.Fixer.x_refused with
+  | [ f ] ->
+    Alcotest.(check string) "PROTO002 refused" "PROTO002" f.Lint.Fixer.fr_code;
+    Alcotest.(check string) "on the unpaired start wire" "go_start"
+      f.Lint.Fixer.fr_loc
+  | l -> Alcotest.failf "expected one refusal, got %d" (List.length l)
+
 let test_fixer_refuses_unsafe () =
   (* lint_arbiter.sc's two masters collide in one delta (the M2 write
      wins), so serializing them behind an arbiter would change the
@@ -362,6 +452,7 @@ let () =
           tc "eval" test_interval_eval;
           tc "assume" test_interval_assume;
           tc "assume negations" test_interval_assume_negations;
+          tc "assume disequality" test_interval_assume_disequality;
           tc "bits" test_interval_bits;
           tc "widen" test_interval_widen;
         ] );
@@ -374,6 +465,9 @@ let () =
       ( "fixer",
         [
           tc "applies on fixable" test_fixer_applies;
+          tc "synthesizes the missing handshake end" test_fixer_proto2;
+          tc "refuses the observer on a deadlocking input"
+            test_fixer_proto2_refuses_on_deadlock;
           tc "refuses unsafe" test_fixer_refuses_unsafe;
           tc "poll cancels" test_fixer_cancels;
         ] );

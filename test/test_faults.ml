@@ -242,9 +242,9 @@ let test_campaign_deadline_on_golden_refuses () =
    firing right after the golden run produces. *)
 let cancel_after_golden () =
   let calls = ref 0 in
-  let simulate ~config ~hooks p =
+  let simulate ~config ~hooks ?ordering p =
     incr calls;
-    let r = Sim.Engine.run ~config ~hooks p in
+    let r = Sim.Engine.run ~config ~hooks ?ordering p in
     if !calls = 1 then r
     else { r with Sim.Engine.r_outcome = Sim.Engine.Cancelled }
   in
@@ -321,9 +321,9 @@ let test_campaign_kill_resume_round_trip () =
   (* Resume with a healthy simulator, counting how many runs actually
      re-simulate: the replayed 3 must not. *)
   let calls = ref 0 in
-  let simulate ~config ~hooks p =
+  let simulate ~config ~hooks ?ordering p =
     incr calls;
-    Sim.Engine.run ~config ~hooks p
+    Sim.Engine.run ~config ~hooks ?ordering p
   in
   let resumed = Faults.Campaign.run ~config ~simulate ~journal:jr r in
   Checkpoint.Journal.close jr;

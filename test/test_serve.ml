@@ -247,6 +247,52 @@ let test_submit_runs_job () =
         (Spec.Printer.program_to_string r.Core.Refiner.rf_program)
         output)
 
+(* A served litmus job must print exactly what the CLI prints for the
+   same matrix — deterministic suite, same to_json, byte-identical. *)
+let test_litmus_job_replays_cli () =
+  with_server (fun socket ->
+      let conn = connect socket in
+      Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+      let job =
+        [
+          ("kind", Serve.Protocol.String "litmus");
+          ( "shapes",
+            Serve.Protocol.List
+              [ Serve.Protocol.String "sb"; Serve.Protocol.String "mp" ] );
+          ( "orderings",
+            Serve.Protocol.List
+              [ Serve.Protocol.String "sc"; Serve.Protocol.String "relaxed" ]
+          );
+          ("seeds", Serve.Protocol.Int 2);
+          ("json", Serve.Protocol.Bool true);
+        ]
+      in
+      let ok, v = reply_ok (roundtrip conn (submit_line job)) in
+      Alcotest.(check bool) "submitted" true ok;
+      let id = reply_string "id" v in
+      let result = await_result conn id in
+      Alcotest.(check string) "done" "done" (reply_string "state" result);
+      let output = reply_string "output" result in
+      let direct =
+        Litmus.Suite.to_json
+          (Litmus.Suite.run
+             {
+               Litmus.Suite.cf_shapes =
+                 [
+                   Litmus.Shape.store_buffering ();
+                   Litmus.Shape.message_passing ();
+                 ];
+               cf_orderings =
+                 [
+                   Sim.Memord.Sc;
+                   Sim.Memord.Relaxed Sim.Memord.default_window;
+                 ];
+               cf_seeds = 2;
+               cf_faults = false;
+             })
+      in
+      Alcotest.(check string) "byte-identical litmus report" direct output)
+
 let test_unknown_job_kind_fails () =
   with_server (fun socket ->
       let conn = connect socket in
@@ -562,6 +608,8 @@ let () =
           Alcotest.test_case "malformed requests survive the connection"
             `Quick test_malformed_requests_survive_connection;
           Alcotest.test_case "submit runs a job" `Quick test_submit_runs_job;
+          Alcotest.test_case "litmus job replays the CLI bit-identically"
+            `Quick test_litmus_job_replays_cli;
           Alcotest.test_case "unknown job kind fails cleanly" `Quick
             test_unknown_job_kind_fails;
           Alcotest.test_case "concurrent submits with status polls" `Quick
