@@ -584,19 +584,46 @@ let bench_json out_path =
       ("refined-m4", refined Core.Model.Model4);
     ]
   in
+  let sim_identical = ref true in
   let sim_rows =
     List.map
       (fun (name, p) ->
-        let engine = us_per_run (fun () -> Sim.Engine.run p) in
+        (* Gate before timing: one fully traced run per backend must be
+           bit-identical across the VM, the tree-walker and the polling
+           oracle, or the benchmark exits nonzero — a fast kernel that
+           drifts observably is a regression, not a win. *)
+        let traced =
+          { Sim.Engine.default_config with Sim.Engine.trace_signals = true }
+        in
+        let vm_r = Sim.Engine.run ~config:traced p in
+        let same =
+          vm_r = Sim.Engine.run ~config:traced ~backend:`Treewalk p
+          && vm_r = Sim.Reference.run ~config:traced p
+        in
+        if not same then sim_identical := false;
+        let engine_vm = us_per_run (fun () -> Sim.Engine.run p) in
+        let engine_tree =
+          us_per_run (fun () -> Sim.Engine.run ~backend:`Treewalk p)
+        in
         let polling = us_per_run (fun () -> Sim.Reference.run p) in
-        Printf.printf "simulate/%-12s engine %8.1f us  polling %8.1f us  (%.2fx)\n"
-          name engine polling (polling /. engine);
+        Printf.printf
+          "simulate/%-12s vm %8.1f us  tree %8.1f us  polling %8.1f us  \
+           (vm %.2fx over tree, %.2fx over polling)  observables %s\n"
+          name engine_vm engine_tree polling (engine_tree /. engine_vm)
+          (polling /. engine_vm)
+          (if same then "identical" else "DIVERGED");
+        (* engine_us/speedup keep their historical meaning (the default
+           engine backend vs the polling kernel) for trend continuity. *)
         Printf.sprintf
-          "{\"name\":\"%s\",\"engine_us\":%.1f,\"polling_us\":%.1f,\
-           \"speedup\":%.2f}"
-          name engine polling (polling /. engine))
+          "{\"name\":\"%s\",\"engine_vm_us\":%.1f,\"engine_tree_us\":%.1f,\
+           \"vm_speedup\":%.2f,\"engine_us\":%.1f,\"polling_us\":%.1f,\
+           \"speedup\":%.2f,\"observables_identical\":%b}"
+          name engine_vm engine_tree
+          (engine_tree /. engine_vm)
+          engine_vm polling (polling /. engine_vm) same)
       sim_cases
   in
+  let sim_identical = !sim_identical in
   (* -- lint: full registry sweep, flow-insensitive vs flow-sensitive -- *)
   let lint_rows =
     List.map
@@ -911,7 +938,8 @@ let bench_json out_path =
   output_string oc json;
   close_out oc;
   Printf.printf "wrote %s\n" out_path;
-  if not (match_ok && serve_identical && litmus_ok) then exit 1
+  if not (sim_identical && match_ok && serve_identical && litmus_ok) then
+    exit 1
 
 let () =
   let argv = Array.to_list Sys.argv in

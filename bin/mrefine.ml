@@ -55,6 +55,35 @@ let memord_conv =
   in
   Arg.conv (parse, print)
 
+let backend_conv =
+  let parse s =
+    Result.map_error (fun msg -> `Msg msg) (Sim.Runtime.backend_of_string s)
+  in
+  let print ppf b =
+    Format.pp_print_string ppf (Sim.Runtime.backend_to_string b)
+  in
+  Arg.conv (parse, print)
+
+(* Sets the process-wide simulation backend before the command body
+   runs, so every simulation the invocation performs — cosim gates,
+   fault campaigns, litmus runs — honors one switch. *)
+let backend_arg =
+  let set b =
+    Sim.Runtime.set_default_backend b;
+    b
+  in
+  Term.(
+    const set
+    $ Arg.(
+        value
+        & opt backend_conv `Bytecode
+        & info [ "backend" ] ~docv:"BACKEND"
+            ~doc:
+              "Simulation leaf machine: $(b,vm) (the bytecode register \
+               VM, the default) or $(b,tree) (the retained tree-walking \
+               interpreter).  Observables are bit-identical; the tree \
+               backend exists as the differential oracle."))
+
 let model_arg =
   Arg.(
     value
@@ -231,7 +260,8 @@ let partition_cmd =
     Term.(const run $ spec_arg $ parts_arg $ algo_arg $ seed_arg $ assign_arg)
 
 let refine_cmd =
-  let run spec_path model n_parts algo seed assign output quiet protocol harden =
+  let run spec_path model n_parts algo seed assign output quiet protocol harden
+      (_backend : Sim.Runtime.backend) =
     let p = or_die (load_spec spec_path) in
     let g = Agraph.Access_graph.of_program p in
     let part = or_die (make_partition g ~n_parts ~algo ~seed ~assign) in
@@ -276,10 +306,11 @@ let refine_cmd =
     (Cmd.info "refine" ~doc:"Refine a partitioned specification to a model.")
     Term.(
       const run $ spec_arg $ model_arg $ parts_arg $ algo_arg $ seed_arg
-      $ assign_arg $ output_arg $ quiet $ protocol_arg $ harden_arg)
+      $ assign_arg $ output_arg $ quiet $ protocol_arg $ harden_arg
+      $ backend_arg)
 
 let simulate_cmd =
-  let run spec_path vcd_path =
+  let run spec_path vcd_path (_backend : Sim.Runtime.backend) =
     let p = or_die (load_spec spec_path) in
     let config =
       { Sim.Engine.default_config with trace_signals = vcd_path <> None }
@@ -313,10 +344,11 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate a specification and print its trace.")
-    Term.(const run $ spec_arg $ vcd)
+    Term.(const run $ spec_arg $ vcd $ backend_arg)
 
 let cosim_cmd =
-  let run spec_path model n_parts algo seed assign protocol harden =
+  let run spec_path model n_parts algo seed assign protocol harden
+      (_backend : Sim.Runtime.backend) =
     let p = or_die (load_spec spec_path) in
     let g = Agraph.Access_graph.of_program p in
     let part = or_die (make_partition g ~n_parts ~algo ~seed ~assign) in
@@ -353,7 +385,7 @@ let cosim_cmd =
        ~doc:"Refine, then co-simulate original vs refined and compare.")
     Term.(
       const run $ spec_arg $ model_arg $ parts_arg $ algo_arg $ seed_arg
-      $ assign_arg $ protocol_arg $ harden_arg)
+      $ assign_arg $ protocol_arg $ harden_arg $ backend_arg)
 
 let typecheck_cmd =
   let run spec_path =
@@ -707,7 +739,8 @@ let faults_cmd =
                 scheduler seed.")
   in
   let run spec_path model n_parts algo seed assign protocol harden classes
-      seeds base_seed json deadline resume ordering output =
+      seeds base_seed json deadline resume ordering output
+      (_backend : Sim.Runtime.backend) =
     let p = or_die (load_spec spec_path) in
     if seeds < 1 then or_die (Error "--seeds must be >= 1");
     if classes = [] then or_die (Error "--faults must be non-empty");
@@ -777,7 +810,7 @@ let faults_cmd =
       const run $ spec_arg $ model_arg $ parts_arg $ algo_arg $ seed_arg
       $ assign_arg $ protocol_arg $ harden_arg $ classes_arg $ seeds_arg
       $ base_seed_arg $ json_arg $ deadline_arg $ resume_arg $ ordering_arg
-      $ output_arg)
+      $ output_arg $ backend_arg)
 
 let litmus_cmd =
   let orderings_arg =
@@ -821,7 +854,8 @@ let litmus_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
   in
-  let run orderings shapes seeds faults json output =
+  let run orderings shapes seeds faults json output
+      (_backend : Sim.Runtime.backend) =
     if seeds < 1 then or_die (Error "--seeds must be >= 1");
     if orderings = [] then or_die (Error "--ordering must be non-empty");
     let cf_shapes =
@@ -847,6 +881,8 @@ let litmus_cmd =
         cf_orderings = orderings;
         cf_seeds = seeds;
         cf_faults = faults;
+        (* [--backend] already set the process default; None defers to it *)
+        cf_backend = None;
       }
     in
     let rp = Litmus.Suite.run cfg in
@@ -875,7 +911,7 @@ let litmus_cmd =
           forbidden outcome, fault-free corruption, or kernel mismatch.")
     Term.(
       const run $ orderings_arg $ shapes_arg $ seeds_arg $ faults_arg
-      $ json_arg $ output_arg)
+      $ json_arg $ output_arg $ backend_arg)
 
 let lint_cmd =
   let severity_conv =

@@ -16,6 +16,7 @@ type outcome = {
 
 val run :
   ?kernel:kernel ->
+  ?backend:Sim.Runtime.backend ->
   ?faults:Faults.Fault.spec list ->
   ordering:Sim.Memord.policy ->
   seed:int ->
@@ -23,6 +24,9 @@ val run :
   outcome
 (** Deterministic: the same (kernel, faults, ordering, seed, shape)
     point always yields the same outcome, and the two kernels classify
-    identically (the litmus determinism tests enforce this).  [seed] is
+    identically (the litmus determinism tests enforce this).  [backend]
+    selects the engine kernel's leaf machine (it is ignored by
+    [`Reference], which always tree-walks); omitted, the process
+    default applies.  [seed] is
     ignored under {!Sim.Memord.Sc}, where no ordering layer is
     installed at all. *)

@@ -439,6 +439,13 @@ let ordering_field j =
   let* name = Protocol.string_field ~default:"sc" "ordering" j in
   Sim.Memord.policy_of_string name
 
+(* The daemon serves concurrent jobs, so the backend is threaded
+   explicitly per job rather than through the process-wide default the
+   CLI flag sets. *)
+let backend_field j =
+  let* name = Protocol.string_field ~default:"vm" "backend" j in
+  Sim.Runtime.backend_of_string name
+
 let run_faults ~session:_ ~poll (elab : Session.elab) j =
   let* model = model_field j in
   let* n_parts = Protocol.int_field ~default:2 "parts" j in
@@ -452,6 +459,7 @@ let run_faults ~session:_ ~poll (elab : Session.elab) j =
   let* base_seed = Protocol.int_field ~default:1 "base_seed" j in
   let* deadline = Protocol.float_field "deadline" j in
   let* ordering = ordering_field j in
+  let* backend = backend_field j in
   let* json = Protocol.bool_field ~default:false "json" j in
   if seeds < 1 then Error "seeds must be >= 1"
   else if classes = [] then Error "classes must be non-empty"
@@ -472,7 +480,10 @@ let run_faults ~session:_ ~poll (elab : Session.elab) j =
         cf_ordering = ordering;
       }
     in
-    match Faults.Campaign.run ~config r with
+    let simulate ~config ~hooks ?ordering p =
+      Sim.Engine.run ~config ~hooks ?ordering ~backend p
+    in
+    match Faults.Campaign.run ~config ~simulate r with
     | report ->
       let* () = check_poll poll in
       let text =
@@ -507,6 +518,7 @@ let run_litmus ~session:_ ~poll j =
   let* shape_names = Protocol.string_list_field ~default:[] "shapes" j in
   let* seeds = Protocol.int_field ~default:4 "seeds" j in
   let* faults = Protocol.bool_field ~default:false "faults" j in
+  let* backend = backend_field j in
   let* json = Protocol.bool_field ~default:false "json" j in
   if seeds < 1 then Error "seeds must be >= 1"
   else if orderings = [] then Error "orderings must be non-empty"
@@ -537,6 +549,7 @@ let run_litmus ~session:_ ~poll j =
           cf_orderings = orderings;
           cf_seeds = seeds;
           cf_faults = faults;
+          cf_backend = Some backend;
         }
     in
     let* () = check_poll poll in

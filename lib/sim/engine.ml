@@ -37,6 +37,33 @@
 open Spec
 include Runtime
 
+(* Index of an isolated bit (a power of two) — the runnable-mask scan
+   extracts slots lowest-bit-first, which is ascending slot order. *)
+let bit_index b =
+  let i = ref 0 and b = ref b in
+  if !b land 0xFFFFFFFF = 0 then begin
+    i := 32;
+    b := !b lsr 32
+  end;
+  if !b land 0xFFFF = 0 then begin
+    i := !i + 16;
+    b := !b lsr 16
+  end;
+  if !b land 0xFF = 0 then begin
+    i := !i + 8;
+    b := !b lsr 8
+  end;
+  if !b land 0xF = 0 then begin
+    i := !i + 4;
+    b := !b lsr 4
+  end;
+  if !b land 0x3 = 0 then begin
+    i := !i + 2;
+    b := !b lsr 2
+  end;
+  if !b land 0x1 = 0 then incr i;
+  !i
+
 type sched_stats = {
   st_rounds : int;  (** scheduling rounds executed *)
   st_leaf_runs : int;  (** interpreter activations across all rounds *)
@@ -51,16 +78,22 @@ type lstate =
   | Lfinished
 
 type slot = {
-  mutable sl_idx : int;
-      (** preorder position; round order = ascending index.  Updated on
-          structural rebuilds, where surviving leaves can shift. *)
-  sl_exec : Interp.exec;
+  sl_machine : machine;
+  sl_uid : int;
+      (** session-unique slot identity; wait sites stamp it when their
+          registration is recorded, so a repeat park is an O(1) check
+          that survives slot turnover (a revived machine gets a fresh
+          slot, hence a fresh uid, and re-registers) *)
   mutable sl_gen : int;
-      (** [ex_gen] at last rebuild: a recycled leaf (same exec, bumped
-          generation) is a fresh process — it restarts runnable — but its
-          wait-site classifications and wait-set registrations stay, since
-          recycling reuses the same physical frames and cells *)
+      (** machine generation at last rebuild: a recycled leaf (same
+          machine, bumped generation) is a fresh process — it restarts
+          runnable — but its wait-site classifications and wait-set
+          registrations stay, since recycling reuses the same physical
+          frames and cells *)
   mutable sl_state : lstate;
+  mutable sl_idx : int;
+      (** position in [ss_slots] as of the last rebuild — the wake path
+          uses it to set the slot's runnable-mask bit without a search *)
   mutable sl_sites : (Spec.Ast.expr * Env.frame * lstate * int list) list;
       (** classification per wait site already parked at (physical
           condition and frame), with the signal ids the condition reads —
@@ -98,20 +131,31 @@ type session = {
    the store is per-domain, so the cap bounds memory per worker. *)
 let session_cap_atomic = Atomic.make 4
 
+(* Slot uids are drawn from a process-wide counter: sessions are
+   domain-local but the explore pool runs several domains, and a shared
+   counter must not hand out duplicates. *)
+let slot_uid_counter = Atomic.make 0
+let fresh_slot_uid () = Atomic.fetch_and_add slot_uid_counter 1
+
 let session_cap () = Atomic.get session_cap_atomic
 
 let set_session_cap n =
   if n < 1 then invalid_arg "Engine.set_session_cap: cap < 1";
   Atomic.set session_cap_atomic n
 
-let session_store_key : (Ast.program * session) list ref Domain.DLS.key =
+(* Sessions are keyed by physical program {e and} backend: the two
+   backends elaborate different leaf machines over the same program, and
+   a differential run alternating them must not rewind one into the
+   other. *)
+let session_store_key :
+    ((Ast.program * backend) * session) list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
 (* Check a session out of the domain-local store: rewind the stored one,
    or elaborate from scratch on a miss.  A hit is only taken when the
    session is idle — a reentrant run of the same program (or a run racing
    a store eviction) gets a throwaway fresh session instead. *)
-let checkout_session (p : Ast.program) =
+let checkout_session ~(backend : backend) (p : Ast.program) =
   let store = Domain.DLS.get session_store_key in
   let fresh () =
     let cx =
@@ -126,13 +170,15 @@ let checkout_session (p : Ast.program) =
     {
       ss_cx = cx;
       ss_root_frame = root_frame;
-      ss_root = instantiate root_frame p.Ast.p_top;
+      ss_root = instantiate ~backend root_frame p.Ast.p_top;
       ss_slots = [||];
       ss_wait_sets = Array.make (Sigtable.n_signals cx.Interp.cx_signals) [];
       ss_busy = true;
     }
   in
-  match List.find_opt (fun (p', _) -> p' == p) !store with
+  match
+    List.find_opt (fun ((p', be'), _) -> p' == p && be' = backend) !store
+  with
   | Some (_, ss) when not ss.ss_busy ->
     ss.ss_busy <- true;
     (* Rewind to the freshly-elaborated state.  Hooks are cleared here
@@ -153,12 +199,12 @@ let checkout_session (p : Ast.program) =
       | _ when n <= 0 -> []
       | e :: rest -> e :: take (n - 1) rest
     in
-    store := (p, ss) :: take (session_cap () - 1) !store;
+    store := ((p, backend), ss) :: take (session_cap () - 1) !store;
     ss
 
 let evict_session (p : Ast.program) ss =
   let store = Domain.DLS.get session_store_key in
-  store := List.filter (fun (p', ss') -> p' != p || ss' != ss) !store
+  store := List.filter (fun ((p', _), ss') -> p' != p || ss' != ss) !store
 
 let run_in_session ~(config : config) ~(hooks : hooks) ~ordering
     (p : Ast.program) ss =
@@ -220,13 +266,30 @@ let run_in_session ~(config : config) ~(hooks : hooks) ~ordering
   let probe_cache : (string, Ast.value ref option) Hashtbl.t =
     Hashtbl.create 32
   in
-  (* The maintained runnable queue: ascending slot indices still worth
-     visiting this round (runnable or polled leaves).  Parked and finished
-     leaves drop out; a commit merges the woken leaves back in.  Wakes
-     only happen between rounds (commits, fault pokes from the on-commit
-     probe), so the queue is stable while a round scans it. *)
-  let active : int list ref = ref [] in
-  let pending_wakes : int list ref = ref [] in
+  (* The runnable set is the slots whose state is [Lrunnable] or
+     [Lpolled]; a round visits them in ascending index order — the
+     preorder the polling kernel used — by scanning the slot array
+     directly.  A maintained index queue used to shadow this set, but
+     per-round list building, sorting and merging of woken indices was
+     pure allocator churn: the scan is branch-per-slot, allocation-free,
+     and identical in visit order (wakes only happen between rounds, so
+     the set is stable while a round scans it).  [n_active] counts that
+     set, so the every-other round in a handshake exchange — every leaf
+     parked, one commit pending — skips the scan entirely. *)
+  let n_active = ref 0 in
+  (* The same set as a bitmask over slot indices, for sessions of at most
+     62 slots (an OCaml int's worth, sign bit spared): a round then visits
+     exactly the runnable and polled slots, lowest index first, instead of
+     filtering the whole slot array.  Wider sessions fall back to the
+     scan. *)
+  let run_mask = ref 0 in
+  let mask_ok = ref true in
+  let mask_set sl =
+    if !mask_ok then run_mask := !run_mask lor (1 lsl sl.sl_idx)
+  in
+  let mask_clear sl =
+    if !mask_ok then run_mask := !run_mask land lnot (1 lsl sl.sl_idx)
+  in
   (* Incremental rebuild after a structural change.  A TOC transition
      replaces one subtree; every other leaf keeps its exec, and with it
      its slot: park state, classification cache and wait-set registrations
@@ -241,11 +304,11 @@ let run_in_session ~(config : config) ~(hooks : hooks) ~ordering
     incr rebuilds;
     let old = ss.ss_slots in
     let taken = Array.make (Array.length old) false in
-    let find_old exec =
+    let find_old m =
       let n = Array.length old in
       let rec go i =
         if i >= n then None
-        else if (not taken.(i)) && old.(i).sl_exec == exec then begin
+        else if (not taken.(i)) && old.(i).sl_machine == m then begin
           taken.(i) <- true;
           Some old.(i)
         end
@@ -255,11 +318,10 @@ let run_in_session ~(config : config) ~(hooks : hooks) ~ordering
     in
     ss.ss_slots <-
       Array.of_list
-        (List.mapi
-           (fun i exec ->
-             match find_old exec with
+        (List.map
+           (fun m ->
+             match find_old m with
              | Some sl ->
-               sl.sl_idx <- i;
                (* A bumped generation means the leaf was recycled — by a
                   TOC re-entry, or by a session rewind.  Observably a
                   fresh process, so it restarts runnable.  Its [sl_sites]
@@ -269,8 +331,8 @@ let run_in_session ~(config : config) ~(hooks : hooks) ~ordering
                   it did last generation.  Its wait-set registrations may
                   have been purged while it was retired, so parked sites
                   re-register from their recorded ids. *)
-               if sl.sl_gen <> exec.Interp.ex_gen then begin
-                 sl.sl_gen <- exec.Interp.ex_gen;
+               if sl.sl_gen <> machine_gen m then begin
+                 sl.sl_gen <- machine_gen m;
                  sl.sl_state <- Lrunnable;
                  List.iter
                    (fun (_, _, cls, ids) ->
@@ -287,14 +349,28 @@ let run_in_session ~(config : config) ~(hooks : hooks) ~ordering
                sl
              | None ->
                {
-                 sl_idx = i;
-                 sl_exec = exec;
-                 sl_gen = exec.Interp.ex_gen;
+                 sl_machine = m;
+                 sl_uid = fresh_slot_uid ();
+                 sl_gen = machine_gen m;
                  sl_state = Lrunnable;
+                 sl_idx = -1;
                  sl_sites = [];
                })
            (leaves root));
     Array.iteri (fun i sl -> if not taken.(i) then sl.sl_state <- Lfinished) old;
+    let active = ref 0 in
+    mask_ok := Array.length ss.ss_slots <= 62;
+    run_mask := 0;
+    Array.iteri
+      (fun i sl ->
+        sl.sl_idx <- i;
+        match sl.sl_state with
+        | Lrunnable | Lpolled ->
+          incr active;
+          if !mask_ok then run_mask := !run_mask lor (1 lsl i)
+        | Lparked | Lfinished -> ())
+      ss.ss_slots;
+    n_active := !active;
     let dead sl =
       match sl.sl_state with
       | Lfinished -> true
@@ -307,15 +383,6 @@ let run_in_session ~(config : config) ~(hooks : hooks) ~ordering
         if List.exists dead ws then
           wait_sets.(id) <- List.filter (fun sl -> not (dead sl)) ws
     done;
-    let acc = ref [] in
-    let arr = ss.ss_slots in
-    for i = Array.length arr - 1 downto 0 do
-      match arr.(i).sl_state with
-      | Lrunnable | Lpolled -> acc := i :: !acc
-      | Lparked | Lfinished -> ()
-    done;
-    active := !acc;
-    pending_wakes := [];
     Hashtbl.reset probe_cache
   in
   (* Park a leaf blocked on [c]: compute its sensitivity set once (refs
@@ -323,14 +390,39 @@ let run_in_session ~(config : config) ~(hooks : hooks) ~ordering
      cells or arrays — or to nothing at all — can change without a
      commit, so such a leaf is polled; a pure signal condition is parked
      under its signals' wait-sets. *)
-  let park sl c =
-    let frame = sl.sl_exec.Interp.frame in
-    let rec known = function
+  let register sl cls ids =
+    match cls with
+    | Lparked ->
+      List.iter
+        (fun id ->
+          if not (List.memq sl wait_sets.(id)) then
+            wait_sets.(id) <- sl :: wait_sets.(id))
+        ids
+    | Lrunnable | Lpolled | Lfinished -> ()
+  in
+  (* A wait inside a procedure body sees a fresh frame every call, so its
+     old entry can never hit again — replace it rather than letting the
+     site list grow (and every later scan pay for it) per call. *)
+  let record_site sl c frame cls ids =
+    sl.sl_state <- cls;
+    let rec replace = function
+      | [] -> [ (c, frame, cls, ids) ]
+      | (c', _, _, _) :: rest when c' == c -> (c, frame, cls, ids) :: rest
+      | site :: rest -> site :: replace rest
+    in
+    sl.sl_sites <- replace sl.sl_sites
+  in
+  let known_site sl c frame =
+    let rec go = function
       | [] -> None
       | (c', frame', cls, _) :: rest ->
-        if c' == c && frame' == frame then Some cls else known rest
+        if c' == c && frame' == frame then Some cls else go rest
     in
-    match known sl.sl_sites with
+    go sl.sl_sites
+  in
+  let park_tree sl exec c =
+    let frame = exec.Interp.frame in
+    match known_site sl c frame with
     | Some cls ->
       (* Seen wait site: the classification is unchanged and the wait-set
          registrations are still in place. *)
@@ -345,34 +437,34 @@ let run_in_session ~(config : config) ~(hooks : hooks) ~ordering
       let sig_ids =
         List.filter_map
           (fun x ->
-            match Interp.resolve cx sl.sl_exec x with
+            match Interp.resolve cx exec x with
             | Interp.Rsig id -> Some id
             | Interp.Rcell _ | Interp.Rnone ->
               var_dep := true;
               None)
           (Expr.refs c)
       in
-      let cls =
-        if !var_dep then Lpolled
-        else begin
-          List.iter
-            (fun id ->
-              if not (List.memq sl wait_sets.(id)) then
-                wait_sets.(id) <- sl :: wait_sets.(id))
-            sig_ids;
-          Lparked
-        end
-      in
-      sl.sl_state <- cls;
-      (* A wait inside a procedure body sees a fresh frame every call, so
-         its old entry can never hit again — replace it rather than letting
-         the site list grow (and every later scan pay for it) per call. *)
-      let rec replace = function
-        | [] -> [ (c, frame, cls, sig_ids) ]
-        | (c', _, _, _) :: rest when c' == c -> (c, frame, cls, sig_ids) :: rest
-        | site :: rest -> site :: replace rest
-      in
-      sl.sl_sites <- replace sl.sl_sites
+      let cls = if !var_dep then Lpolled else Lparked in
+      register sl cls sig_ids;
+      record_site sl c frame cls sig_ids
+  in
+  (* The VM precomputed the classification per wait site at compile time
+     — by the same resolution rule — so parking is just the wait-set
+     registration. *)
+  let park_vm sl (ws : Opcode.wait_site) =
+    (* After the first park the classification is recorded on the site
+       itself and the wait-set registrations are in place, so a repeat
+       park — the steady state of a handshake loop — is one flag test
+       and a state flip. *)
+    if ws.Opcode.ws_reg_uid = sl.sl_uid then
+      sl.sl_state <- (if ws.Opcode.ws_polled then Lpolled else Lparked)
+    else begin
+      let cls = if ws.Opcode.ws_polled then Lpolled else Lparked in
+      register sl cls ws.Opcode.ws_ids;
+      record_site sl ws.Opcode.ws_expr ws.Opcode.ws_frame cls
+        ws.Opcode.ws_ids;
+      ws.Opcode.ws_reg_uid <- sl.sl_uid
+    end
   in
   let wake id =
     List.iter
@@ -380,7 +472,8 @@ let run_in_session ~(config : config) ~(hooks : hooks) ~ordering
         match sl.sl_state with
         | Lparked ->
           sl.sl_state <- Lrunnable;
-          pending_wakes := sl.sl_idx :: !pending_wakes;
+          incr n_active;
+          mask_set sl;
           incr wakes
         | Lrunnable | Lpolled | Lfinished -> ())
       wait_sets.(id)
@@ -415,6 +508,58 @@ let run_in_session ~(config : config) ~(hooks : hooks) ~ordering
      (empty compositions) whose completion has to propagate.  After that,
      the tree sits at its advancement fixpoint until a leaf finishes. *)
   let first_round = ref true in
+  (* Reused across rounds: a couple of thousand rounds per run would
+     otherwise each allocate a fresh pair of refs. *)
+  let ran = ref false and finished_any = ref false in
+  let visit sl =
+    match sl.sl_state with
+    | Lfinished | Lparked -> ()
+    | Lrunnable | Lpolled ->
+      incr leaf_runs;
+      begin match sl.sl_machine with
+      | Mtree exec ->
+        let status, steps = Interp.run cx exec ~fuel:config.slice in
+        total_steps := !total_steps + steps;
+        if steps > 0 then ran := true;
+        begin match status with
+        | Interp.Progress -> sl.sl_state <- Lrunnable
+        | Interp.Finished ->
+          sl.sl_state <- Lfinished;
+          decr n_active;
+          mask_clear sl;
+          finished_any := true
+        | Interp.Blocked c ->
+          park_tree sl exec c;
+          (match sl.sl_state with
+          | Lparked ->
+            decr n_active;
+            mask_clear sl
+          | Lrunnable | Lpolled | Lfinished -> ())
+        end
+      | Mvm t ->
+        let status = Vm.run cx t ~fuel:config.slice in
+        let steps = t.Vm.th_steps in
+        total_steps := !total_steps + steps;
+        if steps > 0 then ran := true;
+        begin match status with
+        | Vm.Progress -> sl.sl_state <- Lrunnable
+        | Vm.Finished ->
+          sl.sl_state <- Lfinished;
+          decr n_active;
+          mask_clear sl;
+          finished_any := true
+        | Vm.Blocked ->
+          (match t.Vm.th_blocked with
+          | Some ws -> park_vm sl ws
+          | None -> assert false);
+          (match sl.sl_state with
+          | Lparked ->
+            decr n_active;
+            mask_clear sl
+          | Lrunnable | Lpolled | Lfinished -> ())
+        end
+      end
+  in
   while !outcome = None do
     incr rounds;
     if poll_cancelled hooks then outcome := Some Cancelled
@@ -424,58 +569,66 @@ let run_in_session ~(config : config) ~(hooks : hooks) ~ordering
        runnable or polled; parking or finishing drops it.  Every leaf not
        on the queue is one whose visit would have been a no-op, so the
        round is observably identical to a full preorder walk. *)
-    if !pending_wakes <> [] then begin
-      let icmp (a : int) b = Stdlib.compare a b in
-      active := List.merge icmp (List.sort icmp !pending_wakes) !active;
-      pending_wakes := []
+    ran := false;
+    finished_any := false;
+    if !n_active > 0 then begin
+      let slot_arr = ss.ss_slots in
+      if !mask_ok then begin
+        (* No leaf's run can change another slot's state (bodies only
+           schedule updates; commits, pokes and structural advancement
+           all happen between scans), so the mask snapshot taken bit by
+           bit here is exactly the runnable set, in ascending order. *)
+        let m = ref !run_mask in
+        while !m <> 0 do
+          let b = !m land (- !m) in
+          m := !m lxor b;
+          visit (Array.unsafe_get slot_arr (bit_index b))
+        done
+      end
+      else
+        for i = 0 to Array.length slot_arr - 1 do
+          visit (Array.unsafe_get slot_arr i)
+        done
     end;
-    let ran = ref false and finished_any = ref false in
-    let slot_arr = ss.ss_slots in
-    let rec visit acc = function
-      | [] -> List.rev acc
-      | i :: rest ->
-        let sl = Array.unsafe_get slot_arr i in
-        begin match sl.sl_state with
-        | Lfinished | Lparked -> visit acc rest
-        | Lrunnable | Lpolled ->
-          incr leaf_runs;
-          let status, steps = Interp.run cx sl.sl_exec ~fuel:config.slice in
-          total_steps := !total_steps + steps;
-          if steps > 0 then ran := true;
-          begin match status with
-          | Interp.Progress -> sl.sl_state <- Lrunnable
-          | Interp.Finished ->
-            sl.sl_state <- Lfinished;
-            finished_any := true
-          | Interp.Blocked c -> park sl c
-          end;
-          begin match sl.sl_state with
-          | Lrunnable | Lpolled -> visit (i :: acc) rest
-          | Lparked | Lfinished -> visit acc rest
-          end
-        end
-    in
-    active := visit [] !active;
     let structural =
       if !finished_any || !first_round then advance_fixpoint cx root
       else false
     in
-    first_round := false;
     if structural then rebuild ();
+    first_round := false;
     if !total_steps > config.max_steps then outcome := Some Step_limit
-    else if (not !ran) && not structural then begin
+    else if ((not !ran) || !n_active = 0) && not structural then begin
+      (* Quiescent.  [not ran] is the polling kernel's test — a full
+         round made no progress.  [n_active = 0] reaches the same
+         verdict one round early: every leaf is parked or finished, so
+         the next scan is a guaranteed no-op and the round that would
+         discover it can be skipped.  In the handshake steady state
+         this fuses run-round and commit-round into one. *)
       if Sigtable.pending sigs then begin
-        let changed = Sigtable.commit_ids sigs in
-        cx.Interp.cx_delta <- cx.Interp.cx_delta + 1;
-        if config.trace_signals && changed <> [] then
-          signal_trace :=
-            ( cx.Interp.cx_delta,
-              List.map
-                (fun id -> (Sigtable.name_of sigs id, Sigtable.read_id sigs id))
-                changed )
-            :: !signal_trace;
-        List.iter wake changed;
-        Option.iter (fun f -> f (probe ())) hooks.h_on_commit;
+        if config.trace_signals then begin
+          let changed = Sigtable.commit_ids sigs in
+          cx.Interp.cx_delta <- cx.Interp.cx_delta + 1;
+          if changed <> [] then
+            signal_trace :=
+              ( cx.Interp.cx_delta,
+                List.map
+                  (fun id ->
+                    (Sigtable.name_of sigs id, Sigtable.read_id sigs id))
+                  changed )
+              :: !signal_trace;
+          List.iter wake changed
+        end
+        else begin
+          (* Wake waiters straight from the commit walk — same ascending
+             id order as the materialized list, without allocating it. *)
+          Sigtable.commit_iter sigs wake;
+          cx.Interp.cx_delta <- cx.Interp.cx_delta + 1
+        end;
+        (* [match] rather than [Option.iter (fun f -> ...)]: the latter
+           allocates the closure every commit even with no hook set. *)
+        (match hooks.h_on_commit with
+        | None -> ()
+        | Some f -> f (probe ()));
         (* Post-commit release point: keeps diverted updates draining
            while watchdog ticks (or other self-pacing traffic) prevent
            the network from ever going quiescent. *)
@@ -515,9 +668,9 @@ let run_in_session ~(config : config) ~(hooks : hooks) ~ordering
       st_rebuilds = !rebuilds;
     } )
 
-let run_internal ~(config : config) ~(hooks : hooks) ~ordering
+let run_internal ~(config : config) ~(hooks : hooks) ~ordering ~backend
     (p : Ast.program) =
-  let ss = checkout_session p in
+  let ss = checkout_session ~backend p in
   match run_in_session ~config ~hooks ~ordering p ss with
   | res ->
     ss.ss_busy <- false;
@@ -528,8 +681,15 @@ let run_internal ~(config : config) ~(hooks : hooks) ~ordering
     evict_session p ss;
     raise e
 
-let run_stats ?(config = default_config) ?(hooks = no_hooks) ?ordering p =
-  run_internal ~config ~hooks ~ordering p
+let run_stats ?(config = default_config) ?(hooks = no_hooks) ?ordering
+    ?backend p =
+  let backend =
+    match backend with Some b -> b | None -> Runtime.default_backend ()
+  in
+  run_internal ~config ~hooks ~ordering ~backend p
 
-let run ?(config = default_config) ?(hooks = no_hooks) ?ordering p =
-  fst (run_internal ~config ~hooks ~ordering p)
+let run ?(config = default_config) ?(hooks = no_hooks) ?ordering ?backend p =
+  let backend =
+    match backend with Some b -> b | None -> Runtime.default_backend ()
+  in
+  fst (run_internal ~config ~hooks ~ordering ~backend p)

@@ -95,10 +95,23 @@ val set_session_cap : int -> unit
     @raise Invalid_argument when the cap is < 1. *)
 
 val run :
-  ?config:config -> ?hooks:hooks -> ?ordering:Memord.t -> Ast.program -> result
+  ?config:config ->
+  ?hooks:hooks ->
+  ?ordering:Memord.t ->
+  ?backend:Runtime.backend ->
+  Ast.program ->
+  result
 (** Simulate a validated program.  [ordering] interposes weak
     port-ordering semantics on the commit path ({!Memord}); omitted, the
     kernel is sequentially consistent and byte-identical to before.
+    [backend] selects the leaf machine: the bytecode register VM
+    ([`Bytecode]) or the retained tree-walking interpreter
+    ([`Treewalk]) — observables are bit-identical, the tree-walker exists
+    as the differential oracle.  Omitted, the process-wide
+    {!Runtime.default_backend} applies ([`Bytecode] unless the CLI's
+    [--backend] flag changed it).  Sessions are cached per (program,
+    backend), so alternating backends over the same program does not
+    thrash the cache.
     @raise Interp.Run_error on dynamic errors (unbound names, type
     confusion) — run {!Spec.Program.validate} and {!Spec.Typecheck.check}
     first to rule these out statically. *)
@@ -107,6 +120,7 @@ val run_stats :
   ?config:config ->
   ?hooks:hooks ->
   ?ordering:Memord.t ->
+  ?backend:Runtime.backend ->
   Ast.program ->
   result * sched_stats
 (** {!run}, also returning the scheduler counters. *)

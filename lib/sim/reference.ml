@@ -20,7 +20,10 @@ let run ?(config = default_config) ?(hooks = no_hooks) ?ordering
     }
   in
   let root_frame = Env.make ~owner:p.Ast.p_name p.Ast.p_vars in
-  let root = instantiate root_frame p.Ast.p_top in
+  (* The polling oracle drives the tree-walking interpreter: with the
+     engine defaulting to the bytecode VM, the differential suite then
+     crosses kernels {e and} leaf backends in one comparison. *)
+  let root = instantiate ~backend:`Treewalk root_frame p.Ast.p_top in
   let total_steps = ref 0 in
   let outcome = ref None in
   let signal_trace = ref [] in
@@ -85,13 +88,18 @@ let run ?(config = default_config) ?(hooks = no_hooks) ?ordering
     (* Run every runnable leaf for one slice. *)
     let ran = ref false in
     List.iter
-      (fun exec ->
-        match exec.Interp.stack with
-        | [] -> ()
-        | _ ->
-          let _, steps = Interp.run cx exec ~fuel:config.slice in
+      (fun m ->
+        if not (machine_finished m) then begin
+          let steps =
+            match m with
+            | Mtree exec -> snd (Interp.run cx exec ~fuel:config.slice)
+            | Mvm t ->
+              ignore (Vm.run cx t ~fuel:config.slice);
+              t.Vm.th_steps
+          in
           total_steps := !total_steps + steps;
-          if steps > 0 then ran := true)
+          if steps > 0 then ran := true
+        end)
       (leaves root);
     let structural = advance_fixpoint cx root in
     if !total_steps > config.max_steps then outcome := Some Step_limit

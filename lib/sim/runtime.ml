@@ -72,8 +72,54 @@ let no_hooks = { h_intercept = None; h_on_commit = None; h_poll = None }
 let poll_cancelled hooks =
   match hooks.h_poll with None -> false | Some f -> f ()
 
+(** Which leaf machine the kernels drive: the bytecode register VM
+    ({!Vm}, the default) or the retained tree-walking interpreter
+    ({!Interp}, the differential oracle).  Both produce bit-identical
+    observables — traces, final values, step counts, error messages —
+    which the differential tests enforce. *)
+type backend = [ `Bytecode | `Treewalk ]
+
+(* The process-wide default the kernels fall back to when a caller does
+   not pass [?backend] explicitly.  The CLI's [--backend] flag sets it
+   once at startup so every simulation an invocation performs — cosim
+   gates, fault campaigns, litmus runs — honors one switch; the serve
+   daemon instead threads an explicit backend per job and never touches
+   this. *)
+let default_backend_cell : backend Atomic.t = Atomic.make `Bytecode
+let default_backend () = Atomic.get default_backend_cell
+let set_default_backend b = Atomic.set default_backend_cell b
+
+let backend_of_string = function
+  | "vm" | "bytecode" -> Ok `Bytecode
+  | "tree" | "treewalk" -> Ok `Treewalk
+  | s -> Error (Printf.sprintf "unknown backend %S (use vm or tree)" s)
+
+let backend_to_string = function `Bytecode -> "vm" | `Treewalk -> "tree"
+
+(** One leaf process machine of either backend. *)
+type machine = Mtree of Interp.exec | Mvm of Vm.thread
+
+let machine_owner = function
+  | Mtree exec -> exec.Interp.ex_owner
+  | Mvm t -> Vm.owner t
+
+let machine_gen = function
+  | Mtree exec -> exec.Interp.ex_gen
+  | Mvm t -> Vm.gen t
+
+(** Finished, as the structural advance observes it: the tree-walker's
+    empty task stack, the VM's halt flag — both become true the moment
+    the body's last step completes, even mid-slice. *)
+let machine_finished = function
+  | Mtree exec -> exec.Interp.stack = []
+  | Mvm t -> Vm.halted t
+
+let reset_machine = function
+  | Mtree exec -> Interp.reset_exec exec
+  | Mvm t -> Vm.reset t
+
 type nstate =
-  | Nleaf of Interp.exec
+  | Nleaf of machine
   | Nseq of seq_run
   | Npar of node list
   | Ndone
@@ -86,11 +132,16 @@ and seq_run = {
       (** per arm, the subtree built when the arm was last entered;
           re-entering an arm resets that subtree in place instead of
           instantiating a fresh one *)
+  mutable s_conds : (expr * Vm.cond_prog) list;
+      (** TOC-arc conditions compiled for the bytecode backend, keyed by
+          physical expression — a composition re-evaluates the same few
+          conditions at every arm completion *)
 }
 
 and node = {
   nd_behavior : behavior;
   nd_frame : Env.frame;
+  nd_backend : backend;
   mutable nd_state : nstate;
   nd_keep : keep;
       (** the structure behind [nd_state], retained past completion so a
@@ -98,36 +149,47 @@ and node = {
 }
 
 and keep =
-  | Kleaf of Interp.exec
+  | Kleaf of machine
   | Kseq of seq_run
   | Kpar of node list
   | Knone  (** empty composition: born done *)
 
-let rec instantiate parent_frame b =
+let rec instantiate ?(backend = `Bytecode) parent_frame b =
   let frame = Env.make ~parent:parent_frame ~owner:b.b_name b.b_vars in
   let state, keep =
     match b.b_body with
     | Leaf stmts ->
-      let exec = Interp.make_exec ~owner:b.b_name ~frame stmts in
-      (Nleaf exec, Kleaf exec)
+      let m =
+        match backend with
+        | `Treewalk -> Mtree (Interp.make_exec ~owner:b.b_name ~frame stmts)
+        | `Bytecode -> Mvm (Vm.make ~owner:b.b_name ~frame stmts)
+      in
+      (Nleaf m, Kleaf m)
     | Seq [] -> (Ndone, Knone)
     | Seq (first :: _ as arms) ->
       let s =
         {
           s_idx = 0;
-          s_child = instantiate frame first.a_behavior;
+          s_child = instantiate ~backend frame first.a_behavior;
           s_arms = Array.of_list arms;
           s_pool = Array.make (List.length arms) None;
+          s_conds = [];
         }
       in
       s.s_pool.(0) <- Some s.s_child;
       (Nseq s, Kseq s)
     | Par [] -> (Ndone, Knone)
     | Par children ->
-      let nodes = List.map (instantiate frame) children in
+      let nodes = List.map (instantiate ~backend frame) children in
       (Npar nodes, Kpar nodes)
   in
-  { nd_behavior = b; nd_frame = frame; nd_state = state; nd_keep = keep }
+  {
+    nd_behavior = b;
+    nd_frame = frame;
+    nd_backend = backend;
+    nd_state = state;
+    nd_keep = keep;
+  }
 
 (* Rewind a previously-built subtree to its freshly-instantiated state,
    in place: variables take their initializers again (cells and arrays
@@ -139,12 +201,12 @@ let rec instantiate parent_frame b =
 let rec reset_node node =
   Env.reinitialize node.nd_frame node.nd_behavior.b_vars;
   match node.nd_keep with
-  | Kleaf exec ->
-    Interp.reset_exec exec;
-    node.nd_state <- Nleaf exec
+  | Kleaf m ->
+    reset_machine m;
+    node.nd_state <- Nleaf m
   | Kseq s ->
     s.s_idx <- 0;
-    s.s_child <- arm_child s node.nd_frame 0;
+    s.s_child <- arm_child ~backend:node.nd_backend s node.nd_frame 0;
     node.nd_state <- Nseq s
   | Kpar children ->
     List.iter reset_node children;
@@ -153,13 +215,13 @@ let rec reset_node node =
 
 (* The subtree for entering arm [j]: the pooled instance rewound, or a
    fresh instantiation on first entry. *)
-and arm_child s frame j =
+and arm_child ~backend s frame j =
   match s.s_pool.(j) with
   | Some child ->
     reset_node child;
     child
   | None ->
-    let child = instantiate frame s.s_arms.(j).a_behavior in
+    let child = instantiate ~backend frame s.s_arms.(j).a_behavior in
     s.s_pool.(j) <- Some child;
     child
 
@@ -168,7 +230,7 @@ let is_done node = match node.nd_state with Ndone -> true | _ -> false
 let rec collect_leaves acc node =
   match node.nd_state with
   | Ndone -> acc
-  | Nleaf exec -> exec :: acc
+  | Nleaf m -> m :: acc
   | Nseq s -> collect_leaves acc s.s_child
   | Npar children -> List.fold_left collect_leaves acc children
 
@@ -193,6 +255,34 @@ let eval_cond cx frame c =
       (Interp.Run_error
          (Printf.sprintf "TOC condition %s is not boolean" (Expr.to_string c)))
 
+(* A TOC-arc condition under the bytecode backend: compiled once per
+   (composition, condition) site, evaluated by the VM's condition
+   interpreter.  Operand resolution order (frame chain before signal
+   table) and every error message match [eval_cond] exactly. *)
+let eval_cond_seq cx node s c =
+  match node.nd_backend with
+  | `Treewalk -> eval_cond cx node.nd_frame c
+  | `Bytecode ->
+    let cp =
+      match List.assq_opt c s.s_conds with
+      | Some cp -> cp
+      | None ->
+        let cp =
+          Vm.compile_cond ~frame:node.nd_frame
+            ~signals:cx.Interp.cx_signals c
+        in
+        s.s_conds <- (c, cp) :: s.s_conds;
+        cp
+    in
+    begin match Vm.eval_cond cx cp with
+    | VBool b -> b
+    | VInt _ ->
+      raise
+        (Interp.Run_error
+           (Printf.sprintf "TOC condition %s is not boolean"
+              (Expr.to_string c)))
+    end
+
 (* Advance structural state after leaves have run: leaves with an empty
    stack become done; a sequential composition whose child completed takes
    its TOC arc; a parallel composition completes with all children.
@@ -200,8 +290,8 @@ let eval_cond cx frame c =
 let rec advance cx node =
   match node.nd_state with
   | Ndone -> false
-  | Nleaf exec ->
-    if exec.Interp.stack = [] then begin
+  | Nleaf m ->
+    if machine_finished m then begin
       node.nd_state <- Ndone;
       true
     end
@@ -228,7 +318,7 @@ let rec advance cx node =
             begin match t.t_cond with
             | None -> Some t.t_target
             | Some c ->
-              if eval_cond cx node.nd_frame c then Some t.t_target
+              if eval_cond_seq cx node s c then Some t.t_target
               else first_true rest
             end
         in
@@ -263,7 +353,7 @@ let rec advance cx node =
           !found
         in
         s.s_idx <- j;
-        s.s_child <- arm_child s node.nd_frame j
+        s.s_child <- arm_child ~backend:node.nd_backend s node.nd_frame j
       end;
       true
     end
@@ -303,21 +393,29 @@ let waited_signals cx frame c =
         end)
     (Expr.refs c)
 
+let describe_wait cx owner frame c acc =
+  let sigs = waited_signals cx frame c in
+  Printf.sprintf "%s waiting until %s%s" owner (Expr.to_string c)
+    (match sigs with
+    | [] -> ""
+    | _ -> Printf.sprintf " [%s]" (String.concat ", " sigs))
+  :: acc
+
 let rec blocked_descriptions cx acc node =
   match node.nd_state with
   | Ndone -> acc
-  | Nleaf exec ->
+  | Nleaf (Mtree exec) ->
     begin match exec.Interp.stack with
     | Interp.Twait ce :: _ ->
-      let c = ce.Interp.ce_expr in
-      let sigs = waited_signals cx exec.Interp.frame c in
-      Printf.sprintf "%s waiting until %s%s" exec.Interp.ex_owner
-        (Expr.to_string c)
-        (match sigs with
-        | [] -> ""
-        | _ -> Printf.sprintf " [%s]" (String.concat ", " sigs))
-      :: acc
+      describe_wait cx exec.Interp.ex_owner exec.Interp.frame
+        ce.Interp.ce_expr acc
     | _ -> Printf.sprintf "%s runnable" exec.Interp.ex_owner :: acc
+    end
+  | Nleaf (Mvm t) ->
+    begin match Vm.blocked_site t with
+    | Some ws ->
+      describe_wait cx (Vm.owner t) ws.Opcode.ws_frame ws.Opcode.ws_expr acc
+    | None -> Printf.sprintf "%s runnable" (Vm.owner t) :: acc
     end
   | Nseq s -> blocked_descriptions cx acc s.s_child
   | Npar children -> List.fold_left (blocked_descriptions cx) acc children

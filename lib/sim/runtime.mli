@@ -57,8 +57,39 @@ val poll_cancelled : hooks -> bool
 
 (** {1 The instantiated process tree} *)
 
+(** Which leaf machine the kernels drive: the bytecode register VM
+    ({!Vm}, the default) or the retained tree-walking interpreter
+    ({!Interp}, the differential oracle).  Both produce bit-identical
+    observables — the differential tests enforce it. *)
+type backend = [ `Bytecode | `Treewalk ]
+
+val default_backend : unit -> backend
+(** The backend the kernels use when a caller does not pass [?backend]
+    explicitly; [`Bytecode] unless {!set_default_backend} changed it. *)
+
+val set_default_backend : backend -> unit
+(** Set the process-wide default backend.  The CLI's [--backend] flag
+    calls this once at startup; long-lived daemons should thread an
+    explicit backend per job instead of mutating a process global. *)
+
+val backend_of_string : string -> (backend, string) Stdlib.result
+(** Accepts ["vm"]/["bytecode"] and ["tree"]/["treewalk"]. *)
+
+val backend_to_string : backend -> string
+
+(** One leaf process machine of either backend. *)
+type machine = Mtree of Interp.exec | Mvm of Vm.thread
+
+val machine_owner : machine -> string
+val machine_gen : machine -> int
+
+val machine_finished : machine -> bool
+(** Finished as the structural advance observes it: the tree-walker's
+    empty task stack, the VM's halt flag — both become true the moment
+    the body's last step completes, even mid-slice. *)
+
 type nstate =
-  | Nleaf of Interp.exec
+  | Nleaf of machine
   | Nseq of seq_run
   | Npar of node list
   | Ndone
@@ -71,11 +102,15 @@ and seq_run = {
       (** per arm, the subtree built when the arm was last entered;
           re-entering an arm rewinds it in place instead of
           instantiating a fresh one *)
+  mutable s_conds : (Ast.expr * Vm.cond_prog) list;
+      (** TOC-arc conditions compiled for the bytecode backend, keyed by
+          physical expression *)
 }
 
 and node = {
   nd_behavior : Ast.behavior;
   nd_frame : Env.frame;
+  nd_backend : backend;
   mutable nd_state : nstate;
   nd_keep : keep;
       (** the structure behind [nd_state], retained past completion so a
@@ -83,12 +118,14 @@ and node = {
 }
 
 and keep =
-  | Kleaf of Interp.exec
+  | Kleaf of machine
   | Kseq of seq_run
   | Kpar of node list
   | Knone  (** empty composition: born done *)
 
-val instantiate : Env.frame -> Ast.behavior -> node
+val instantiate : ?backend:backend -> Env.frame -> Ast.behavior -> node
+(** Build the process tree with the given leaf backend (default
+    [`Bytecode]). *)
 
 val reset_node : node -> unit
 (** Rewind a previously-built subtree to its freshly-instantiated state,
@@ -100,7 +137,7 @@ val reset_node : node -> unit
 
 val is_done : node -> bool
 
-val leaves : node -> Interp.exec list
+val leaves : node -> machine list
 (** All live leaf machines, in preorder — the deterministic scheduling
     order of both kernels. *)
 

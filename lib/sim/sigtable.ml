@@ -26,7 +26,8 @@ type t = {
   current : Ast.value array;
   sched_val : Ast.value array;  (** valid only where [sched_mark] is set *)
   sched_mark : bool array;
-  mutable sched_ids : int list;  (** scheduled ids, unsorted, no duplicates *)
+  sched_q : int array;  (** first [n_sched] entries: scheduled ids, unsorted, no duplicates *)
+  sched_scratch : int array;  (** commit-order staging, so a commit survives re-schedules *)
   mutable n_sched : int;
   mutable intercept : (string -> Ast.value -> action) option;
   mutable notify : (int -> unit) option;
@@ -62,7 +63,8 @@ let make (decls : Ast.sig_decl list) =
     current = Array.copy initial;
     sched_val = Array.make n (Ast.VBool false);
     sched_mark = Array.make n false;
-    sched_ids = [];
+    sched_q = Array.make (max 1 n) 0;
+    sched_scratch = Array.make (max 1 n) 0;
     n_sched = 0;
     intercept = None;
     notify = None;
@@ -74,8 +76,9 @@ let make (decls : Ast.sig_decl list) =
     runs of the same program. *)
 let reset t =
   Array.blit t.initial 0 t.current 0 (Array.length t.initial);
-  List.iter (fun id -> t.sched_mark.(id) <- false) t.sched_ids;
-  t.sched_ids <- [];
+  for k = 0 to t.n_sched - 1 do
+    t.sched_mark.(t.sched_q.(k)) <- false
+  done;
   t.n_sched <- 0;
   t.intercept <- None;
   t.notify <- None
@@ -95,7 +98,7 @@ let read t name =
 let schedule_id t id v =
   if not t.sched_mark.(id) then begin
     t.sched_mark.(id) <- true;
-    t.sched_ids <- id :: t.sched_ids;
+    t.sched_q.(t.n_sched) <- id;
     t.n_sched <- t.n_sched + 1
   end;
   t.sched_val.(id) <- v
@@ -128,48 +131,78 @@ let poke t name v =
     true
   | None -> false
 
-(** Apply all scheduled updates in ascending id order (= sorted name
-    order, for determinism).  An installed intercept sees every scheduled
-    update and may drop or rewrite it.  Returns the ids whose current
-    value actually changed, ascending. *)
-let commit_ids t =
-  (* Ascending id order = sorted name order.  A typical delta schedules a
-     handful of signals: sorting that short worklist beats scanning the
-     whole validity mask; a wide delta flips to the mask scan, which is
-     linear in the signal count rather than n log n. *)
-  if t.n_sched = 0 then []
-  else begin
-    let ids =
-      if t.n_sched <= 8 then
-        List.sort (fun (a : int) b -> Stdlib.compare a b) t.sched_ids
-      else begin
-        let acc = ref [] in
-        for id = Array.length t.names - 1 downto 0 do
-          if t.sched_mark.(id) then acc := id :: !acc
-        done;
-        !acc
-      end
-    in
-    t.sched_ids <- [];
+(** Apply all scheduled updates in ascending id order, calling [f] on
+    each id whose current value actually changed, as it commits.  The
+    allocation-free form of {!commit_ids} — the event-driven kernel
+    wakes waiters straight from the callback instead of materializing
+    the changed-id list every delta cycle. *)
+(* One scheduled update: clear the mark, run the intercept, write the
+   current value, and call [f] on an actual change.  Top-level (not
+   nested in {!commit_iter}) so the single-signal fast path commits
+   without allocating a closure. *)
+let commit_one t f id =
+  t.sched_mark.(id) <- false;
+  let v = t.sched_val.(id) in
+  let verdict =
+    match t.intercept with None -> Pass | Some g -> g t.names.(id) v
+  in
+  match verdict with
+  | Drop -> ()
+  | Pass | Rewrite _ ->
+    let v = match verdict with Rewrite v' -> v' | Pass | Drop -> v in
+    if not (Ast.equal_value t.current.(id) v) then begin
+      t.current.(id) <- v;
+      f id
+    end
+    else t.current.(id) <- v
+
+let commit_iter t f =
+  (* Ascending id order = sorted name order.  Most deltas schedule one
+     signal (a handshake edge) — no ordering needed at all; a handful
+     insertion-sorts the short worklist in place; a wide delta flips to
+     the mask scan, which is linear in the signal count rather than
+     n log n.  The ids commit from [sched_scratch], and the live queue
+     is emptied first, so an intercept or callback that schedules new
+     updates mid-commit lands them cleanly in the next delta. *)
+  let n = t.n_sched in
+  if n = 0 then ()
+  else if n = 1 then begin
     t.n_sched <- 0;
-    let changed = ref [] in
-    List.iter
-      (fun id ->
-        t.sched_mark.(id) <- false;
-        let v = t.sched_val.(id) in
-        let verdict =
-          match t.intercept with None -> Pass | Some f -> f t.names.(id) v
-        in
-        match verdict with
-        | Drop -> ()
-        | Pass | Rewrite _ ->
-          let v = match verdict with Rewrite v' -> v' | Pass | Drop -> v in
-          if not (Ast.equal_value t.current.(id) v) then
-            changed := id :: !changed;
-          t.current.(id) <- v)
-      ids;
-    List.rev !changed
+    commit_one t f t.sched_q.(0)
   end
+  else begin
+    let q = t.sched_q and sc = t.sched_scratch in
+    if n <= 8 then begin
+      Array.blit q 0 sc 0 n;
+      for i = 1 to n - 1 do
+        let x = sc.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && sc.(!j) > x do
+          sc.(!j + 1) <- sc.(!j);
+          decr j
+        done;
+        sc.(!j + 1) <- x
+      done
+    end
+    else begin
+      let k = ref 0 in
+      for id = 0 to Array.length t.names - 1 do
+        if t.sched_mark.(id) then begin
+          sc.(!k) <- id;
+          incr k
+        end
+      done
+    end;
+    t.n_sched <- 0;
+    for k = 0 to n - 1 do
+      commit_one t f sc.(k)
+    done
+  end
+
+let commit_ids t =
+  let changed = ref [] in
+  commit_iter t (fun id -> changed := id :: !changed);
+  List.rev !changed
 
 (** Apply all scheduled updates; returns the signals whose value actually
     changed (sorted by name). *)

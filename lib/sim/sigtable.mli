@@ -76,6 +76,11 @@ val commit_ids : t -> int list
     each filtered through the intercept); returns the ids whose current
     value actually changed, ascending. *)
 
+val commit_iter : t -> (int -> unit) -> unit
+(** Apply all scheduled updates exactly as {!commit_ids}, calling the
+    callback on each changed id (ascending) as it commits instead of
+    materializing the list. *)
+
 val commit_changes : t -> (string * Ast.value) list
 (** Apply all scheduled updates; returns the signals whose value actually
     changed, sorted by name. *)

@@ -173,7 +173,17 @@ let default_value = function
           value, which defaults to 0 *)
 
 let equal_ty (a : ty) (b : ty) = a = b
-let equal_value (a : value) (b : value) = a = b
+(* Specialized — the simulator compares values on every wait-site test
+   and every signal commit, and the polymorphic [=] there is a C call.
+   Cached boxes ({!Expr.vbool}, small {!Expr.vint}) make the pointer
+   test hit first for almost all runtime values. *)
+let equal_value (a : value) (b : value) =
+  a == b
+  ||
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VBool x, VBool y -> x = y
+  | VBool _, VInt _ | VInt _, VBool _ -> false
 let equal_expr (a : expr) (b : expr) = a = b
 let equal_stmt (a : stmt) (b : stmt) = a = b
 let equal_behavior (a : behavior) (b : behavior) = a = b

@@ -60,6 +60,19 @@ val vint : int -> Ast.value
 (** [VInt n], interned for small [n] — structurally identical to a fresh
     [VInt n], but hot loops reuse one block. *)
 
+val vbool : bool -> Ast.value
+(** The interned [VBool] blocks. *)
+
+val apply_binop : Ast.binop -> Ast.value -> Ast.value -> Ast.value
+(** One binary operation on values, exactly as {!eval} applies it —
+    including the [And]/[Or] strict forms (both operands already
+    evaluated).  The bytecode backend dispatches through this so value
+    interning and error messages stay shared.
+    @raise Eval_error on type mismatches, division or modulo by zero. *)
+
+val apply_unop : Ast.unop -> Ast.value -> Ast.value
+(** @raise Eval_error on type mismatches. *)
+
 val eval_const : expr -> value option
 (** [eval_const e] is [Some v] when [e] contains no references and
     evaluates without error. *)
@@ -96,3 +109,6 @@ val pp : Format.formatter -> expr -> unit
 val pp_value : Format.formatter -> value -> unit
 
 val to_string : expr -> string
+
+val binop_symbol : binop -> string
+(** Concrete-syntax spelling of a binary operator. *)

@@ -1,10 +1,12 @@
-(** Differential tests: the event-driven kernel ({!Sim.Engine}) against
-    the retained polling kernel ({!Sim.Reference}).  The two share all
-    observable machinery ({!Sim.Runtime}), so any divergence here is a
-    scheduling bug in the event-driven kernel.  Every comparison is
-    bit-level: outcome, trace, delta and step counts, final values,
-    signal trace — and for fault injection, the campaign classification
-    of the faulty run. *)
+(** Differential tests: three kernels over the same observable machinery
+    ({!Sim.Runtime}).  The event-driven {!Sim.Engine} runs leaves either
+    on the bytecode register VM (the default backend) or on the retained
+    tree-walking interpreter; the polling {!Sim.Reference} is the
+    independent scheduling oracle.  A vm/tree divergence is a compiler or
+    VM bug; an engine/reference divergence is a scheduling bug.  Every
+    comparison is bit-level: outcome, trace, delta and step counts, final
+    values, signal trace — and for fault injection, the campaign
+    classification of the faulty run. *)
 
 open Workloads
 open Helpers
@@ -12,13 +14,21 @@ open Helpers
 let diff_config =
   { Sim.Engine.default_config with Sim.Engine.trace_signals = true }
 
-(* Compare every observable field; on mismatch name the first field that
-   differs so failures are actionable. *)
-let check_same label (a : Sim.Engine.result) (b : Sim.Engine.result) =
+type kernel = [ `Vm | `Tree | `Reference ]
+
+let kernel_name = function
+  | `Vm -> "engine-vm"
+  | `Tree -> "engine-tree"
+  | `Reference -> "reference"
+
+(* Compare every observable field; on mismatch name the kernels and the
+   first field that differs so failures are actionable. *)
+let check_same label ka kb (a : Sim.Engine.result) (b : Sim.Engine.result) =
   let fail field =
-    Alcotest.failf "%s: kernels diverge on %s (engine: %s, reference: %s)"
-      label field
+    Alcotest.failf "%s: %s and %s diverge on %s (%s: %s, %s: %s)" label
+      (kernel_name ka) (kernel_name kb) field (kernel_name ka)
       (Sim.Engine.outcome_to_string a.Sim.Engine.r_outcome)
+      (kernel_name kb)
       (Sim.Engine.outcome_to_string b.Sim.Engine.r_outcome)
   in
   if a.Sim.Engine.r_outcome <> b.Sim.Engine.r_outcome then fail "outcome";
@@ -29,15 +39,28 @@ let check_same label (a : Sim.Engine.result) (b : Sim.Engine.result) =
   if a.Sim.Engine.r_signal_trace <> b.Sim.Engine.r_signal_trace then
     fail "signal trace"
 
-let run_both ?(config = diff_config) ?hooks_of p =
-  let hooks k = match hooks_of with None -> None | Some f -> Some (f k) in
-  let e = Sim.Engine.run ~config ?hooks:(hooks `Engine) p in
-  let r = Sim.Reference.run ~config ?hooks:(hooks `Reference) p in
-  (e, r)
+(* Run one program under one kernel.  [hooks_of]/[ordering_of] build a
+   fresh value per kernel — hooks carry mutable fault counters and an
+   ordering carries FIFO state, so sharing one across kernels would leak
+   the first run into the second. *)
+let run_kernel ?(config = diff_config) ?hooks ?ordering (k : kernel) p =
+  match k with
+  | `Vm -> Sim.Engine.run ~config ?hooks ?ordering p
+  | `Tree -> Sim.Engine.run ~config ?hooks ?ordering ~backend:`Treewalk p
+  | `Reference -> Sim.Reference.run ~config ?hooks ?ordering p
+
+let run_three ?config ?hooks_of ?ordering_of p =
+  let get f k = match f with None -> None | Some g -> Some (g k) in
+  let one k =
+    run_kernel ?config ?hooks:(get hooks_of k) ?ordering:(get ordering_of k)
+      k p
+  in
+  (one `Vm, one `Tree, one `Reference)
 
 let check_program label ?config ?hooks_of p =
-  let e, r = run_both ?config ?hooks_of p in
-  check_same label e r
+  let vm, tree, r = run_three ?config ?hooks_of p in
+  check_same label `Vm `Tree vm tree;
+  check_same label `Vm `Reference vm r
 
 (* --- the four implementation models on the medical workload ------------ *)
 
@@ -107,7 +130,60 @@ let test_step_limit () =
   in
   check_program "limits/step-limit" ~config p
 
-(* --- fault injection under both kernels -------------------------------- *)
+(* --- cooperative cancellation ------------------------------------------ *)
+
+let test_cancellation () =
+  (* Cut the run off mid-flight through the poll hook.  All three kernels
+     must report Cancelled; and since both engine backends share the
+     scheduler (one poll per round), the cut lands on the same round and
+     the partial run must be bit-identical between them.  The reference
+     kernel's rounds differ, so only its outcome is compared. *)
+  let p = refined Core.Model.Model2 Designs.design1 in
+  let hooks_of (_ : kernel) =
+    let polls = ref 0 in
+    {
+      Sim.Engine.no_hooks with
+      Sim.Engine.h_poll =
+        Some
+          (fun () ->
+            incr polls;
+            !polls > 40);
+    }
+  in
+  let vm, tree, r = run_three ~hooks_of p in
+  List.iter
+    (fun (k, res) ->
+      Alcotest.(check string)
+        (kernel_name k ^ " cancelled")
+        "cancelled"
+        (Sim.Engine.outcome_to_string res.Sim.Engine.r_outcome))
+    [ (`Vm, vm); (`Tree, tree); (`Reference, r) ];
+  check_same "cancel/partial-run" `Vm `Tree vm tree
+
+(* --- weak memory orderings --------------------------------------------- *)
+
+let test_orderings () =
+  (* A (policy, seed, program) triple must replay bit-identically on all
+     three kernels.  Signals are grouped into two ports by leading
+     character; everything else stays sequentially consistent. *)
+  let p = refined Core.Model.Model2 Designs.design1 in
+  let port_of name =
+    if String.length name = 0 then None
+    else if name.[0] < 'm' then Some "lo"
+    else Some "hi"
+  in
+  List.iter
+    (fun policy ->
+      let ordering_of (_ : kernel) =
+        Sim.Memord.make ~policy ~seed:11 ~port_of
+      in
+      let vm, tree, r = run_three ~ordering_of p in
+      let lbl = "ordering/" ^ Sim.Memord.policy_to_string policy in
+      check_same lbl `Vm `Tree vm tree;
+      check_same lbl `Vm `Reference vm r)
+    [ Sim.Memord.Sc; Sim.Memord.Per_port_fifo; Sim.Memord.Relaxed 2 ]
+
+(* --- fault injection under all kernels --------------------------------- *)
 
 let test_fault_hooks () =
   let prog = refined Core.Model.Model2 Designs.design1 in
@@ -146,20 +222,24 @@ let test_fault_hooks () =
   in
   List.iteri
     (fun i faults ->
-      let e, r =
+      let vm, tree, r =
         (* hooks carry mutable occurrence counters: fresh per kernel *)
-        run_both ~config
+        run_three ~config
           ~hooks_of:(fun _ -> Faults.Inject.hooks faults)
           prog
       in
-      check_same (Printf.sprintf "faults/set-%d" i) e r;
+      check_same (Printf.sprintf "faults/set-%d" i) `Vm `Tree vm tree;
+      check_same (Printf.sprintf "faults/set-%d" i) `Vm `Reference vm r;
       let classify res =
-        Faults.Campaign.classify ~storage:[] ~golden res
+        Faults.Campaign.outcome_name
+          (Faults.Campaign.classify ~storage:[] ~golden res)
       in
       Alcotest.(check string)
-        (Printf.sprintf "faults/set-%d classification" i)
-        (Faults.Campaign.outcome_name (classify r))
-        (Faults.Campaign.outcome_name (classify e)))
+        (Printf.sprintf "faults/set-%d classification vm=tree" i)
+        (classify tree) (classify vm);
+      Alcotest.(check string)
+        (Printf.sprintf "faults/set-%d classification vm=reference" i)
+        (classify r) (classify vm))
     fault_sets
 
 (* --- scheduler-level unit tests ---------------------------------------- *)
@@ -262,10 +342,11 @@ let test_interned_id_stability () =
 
 (* --- session reuse ------------------------------------------------------ *)
 
-(* The engine keeps one elaborated session per program and rewinds it in
-   place between runs.  Reuse must be observationally invisible: repeat
-   runs bit-identical to the first, and a clean run after a faulted (or
-   step-limited) one identical to a cold clean run. *)
+(* The engine keeps one elaborated session per (program, backend) and
+   rewinds it in place between runs.  Reuse must be observationally
+   invisible: repeat runs bit-identical to the first, and a clean run
+   after a faulted (or step-limited, or crashed) one identical to a cold
+   clean run. *)
 
 let test_session_repeat () =
   let p = refined Core.Model.Model2 Designs.design1 in
@@ -273,10 +354,26 @@ let test_session_repeat () =
   for i = 1 to 3 do
     check_same
       (Printf.sprintf "session/repeat-%d" i)
+      `Vm `Vm
       (Sim.Engine.run ~config:diff_config p)
       cold
   done;
-  check_same "session/vs-reference" cold (Sim.Reference.run ~config:diff_config p)
+  (* Alternating backends over the same program must not thrash either
+     session: each is cached under its own (program, backend) key. *)
+  for i = 1 to 2 do
+    check_same
+      (Printf.sprintf "session/alternate-%d" i)
+      `Tree `Vm
+      (Sim.Engine.run ~config:diff_config ~backend:`Treewalk p)
+      cold;
+    check_same
+      (Printf.sprintf "session/alternate-back-%d" i)
+      `Vm `Vm
+      (Sim.Engine.run ~config:diff_config p)
+      cold
+  done;
+  check_same "session/vs-reference" `Vm `Reference cold
+    (Sim.Reference.run ~config:diff_config p)
 
 let test_session_after_fault () =
   let p = refined Core.Model.Model2 Designs.design1 in
@@ -295,7 +392,9 @@ let test_session_after_fault () =
   let _faulted = Sim.Engine.run ~config ~hooks:(Faults.Inject.hooks faults) p in
   (* The rewound session must carry no residue of the faulted run: no
      intercept, no poked values, no stale park state. *)
-  check_same "session/clean-after-fault" (Sim.Engine.run ~config:diff_config p) cold
+  check_same "session/clean-after-fault" `Vm `Vm
+    (Sim.Engine.run ~config:diff_config p)
+    cold
 
 let test_session_after_step_limit () =
   let p = refined Core.Model.Model2 Designs.design1 in
@@ -305,25 +404,71 @@ let test_session_after_step_limit () =
   Alcotest.(check string)
     "cut mid-flight" "step limit exceeded"
     (Sim.Engine.outcome_to_string limited.Sim.Engine.r_outcome);
-  check_same "session/clean-after-limit" (Sim.Engine.run ~config:diff_config p) cold
+  check_same "session/clean-after-limit" `Vm `Vm
+    (Sim.Engine.run ~config:diff_config p)
+    cold
 
-(* --- qcheck: generated specs, both kernels ----------------------------- *)
+let test_session_after_run_error () =
+  (* A leaf that mutates its frame and then dies on a dynamic error.  If
+     a re-run saw the mutated cell — a cached session rewound without
+     resetting frames, or a crashed session left in the cache — the
+     guard would be skipped and the second run would complete.  It must
+     fail exactly like the first, on every backend, matching the
+     reference kernel. *)
+  let p =
+    Spec.Program.make
+      ~vars:
+        [
+          Spec.Builder.int_var ~init:0 "flag";
+          Spec.Builder.int_var ~init:0 "zero";
+          Spec.Builder.int_var ~init:0 "ok";
+        ]
+      "crash"
+      (Spec.Behavior.leaf "L"
+         (s "if flag = 0 then flag := 1; ok := 1 / zero; end if; ok := 2;"))
+  in
+  let attempt k =
+    match run_kernel k p with
+    | (_ : Sim.Engine.result) ->
+      Alcotest.failf "%s: run completed instead of failing" (kernel_name k)
+    | exception e -> Printexc.to_string e
+  in
+  let first_vm = attempt `Vm in
+  List.iter
+    (fun k ->
+      Alcotest.(check string)
+        (kernel_name k ^ ": re-run fails identically (no stale frame cells)")
+        (attempt k) (attempt k))
+    [ `Vm; `Tree ];
+  Alcotest.(check string) "backends agree on the error" (attempt `Tree)
+    first_vm;
+  Alcotest.(check string) "reference agrees on the error"
+    (attempt `Reference) first_vm;
+  (* And the crashed entries must not poison later clean runs of other
+     programs through the shared cache. *)
+  check_program "session/clean-after-crash" Medical.spec
+
+(* --- qcheck: generated specs, all kernels ------------------------------ *)
 
 let prop_kernels_agree =
-  QCheck.Test.make ~count:60 ~name:"event-driven kernel = polling kernel"
+  QCheck.Test.make ~count:60
+    ~name:"vm backend = tree-walk backend = polling kernel"
     QCheck.(make Gen.(int_range 1 10_000))
     (fun seed ->
       let p =
         Workloads.Generator.program
           { Workloads.Generator.default_config with gen_seed = seed }
       in
-      let e, r = run_both p in
-      e.Sim.Engine.r_outcome = r.Sim.Engine.r_outcome
-      && e.Sim.Engine.r_trace = r.Sim.Engine.r_trace
-      && e.Sim.Engine.r_deltas = r.Sim.Engine.r_deltas
-      && e.Sim.Engine.r_steps = r.Sim.Engine.r_steps
-      && e.Sim.Engine.r_final = r.Sim.Engine.r_final
-      && e.Sim.Engine.r_signal_trace = r.Sim.Engine.r_signal_trace)
+      let vm, tree, r = run_three p in
+      let same (a : Sim.Engine.result) (b : Sim.Engine.result) =
+        a.Sim.Engine.r_outcome = b.Sim.Engine.r_outcome
+        && a.Sim.Engine.r_trace = b.Sim.Engine.r_trace
+        && a.Sim.Engine.r_deltas = b.Sim.Engine.r_deltas
+        && a.Sim.Engine.r_steps = b.Sim.Engine.r_steps
+        && a.Sim.Engine.r_final = b.Sim.Engine.r_final
+        && a.Sim.Engine.r_signal_trace = b.Sim.Engine.r_signal_trace
+      in
+      same vm tree && same vm r)
 
 let () =
   Alcotest.run "sim-diff"
@@ -335,6 +480,8 @@ let () =
           tc "original workloads" test_workloads;
           tc "deadlock reports" test_deadlock_reports;
           tc "step limit" test_step_limit;
+          tc "cancellation" test_cancellation;
+          tc "memory orderings" test_orderings;
           tc "fault hooks" test_fault_hooks;
         ] );
       ( "scheduler",
@@ -348,6 +495,7 @@ let () =
           tc "repeat runs identical" test_session_repeat;
           tc "clean after faulted" test_session_after_fault;
           tc "clean after step limit" test_session_after_step_limit;
+          tc "clean after run error" test_session_after_run_error;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_kernels_agree ]);
     ]
