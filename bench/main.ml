@@ -837,12 +837,16 @@ let bench_json out_path =
     let scheduler = Serve.Scheduler.create session in
     let socket = Filename.temp_file "coref_bench_serve" ".sock" in
     Sys.remove socket;
-    let server = Serve.Server.start ~socket scheduler in
+    let server =
+      Serve.Server.start
+        ~listen:(Serve.Server.Tcp { host = "127.0.0.1"; port = 0 })
+        ~socket scheduler
+    in
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.connect fd (Unix.ADDR_UNIX socket);
     let conn_in = Unix.in_channel_of_descr fd in
     let conn_out = Unix.out_channel_of_descr fd in
-    let roundtrip line =
+    let roundtrip_on conn_in conn_out line =
       output_string conn_out line;
       output_char conn_out '\n';
       flush conn_out;
@@ -850,6 +854,7 @@ let bench_json out_path =
       | Ok j -> j
       | Error msg -> failwith ("bench: bad serve reply: " ^ msg)
     in
+    let roundtrip = roundtrip_on conn_in conn_out in
     let submit_line =
       Serve.Protocol.to_string
         (Serve.Protocol.Obj
@@ -869,7 +874,7 @@ let bench_json out_path =
       | Ok v -> v
       | Error _ -> failwith ("bench: serve reply missing " ^ name)
     in
-    let request () =
+    let request_on roundtrip () =
       let id = field "id" (roundtrip submit_line) in
       let result =
         roundtrip
@@ -885,11 +890,34 @@ let bench_json out_path =
         failwith ("bench: served job not done: " ^ field "state" result);
       field "output" result
     in
+    let request = request_on roundtrip in
     ignore (request ());
     (* prime the daemon's caches *)
     let warm = List.init n_warm (fun _ -> seconds_of request) in
     let warm_output = fst (List.hd warm) in
     let warm_lats = List.map snd warm in
+    (* Warm over TCP: the same hot daemon, with the loopback TCP stack
+       in the path instead of a Unix socket. *)
+    let tcp_port =
+      match Serve.Server.tcp_port server with
+      | Some p -> p
+      | None -> failwith "bench: serve daemon bound no TCP port"
+    in
+    let tcp_fd =
+      match
+        Serve.Server.connect_endpoint
+          (Serve.Server.Tcp { host = "127.0.0.1"; port = tcp_port })
+      with
+      | Ok fd -> fd
+      | Error msg -> failwith ("bench: tcp connect failed: " ^ msg)
+    in
+    let tcp_in = Unix.in_channel_of_descr tcp_fd in
+    let tcp_out = Unix.out_channel_of_descr tcp_fd in
+    let tcp_request = request_on (roundtrip_on tcp_in tcp_out) in
+    ignore (tcp_request ());
+    let tcp = List.init n_warm (fun _ -> seconds_of tcp_request) in
+    let tcp_output = fst (List.hd tcp) in
+    let tcp_lats = List.map snd tcp in
     let stats = Serve.Session.stats session in
     let elab_hit_rate =
       float_of_int stats.Serve.Session.st_elab_hits
@@ -899,29 +927,41 @@ let bench_json out_path =
              + stats.Serve.Session.st_elab_misses))
     in
     close_out_noerr conn_out;
+    close_out_noerr tcp_out;
     Serve.Server.stop server;
     Serve.Server.run server;
-    let identical = String.equal warm_output cold_output in
+    let identical =
+      String.equal warm_output cold_output
+      && String.equal tcp_output cold_output
+    in
     let cold_rps = 1.0 /. mean cold_lats in
     let warm_rps = 1.0 /. mean warm_lats in
+    let warm_tcp_rps = 1.0 /. mean tcp_lats in
     Printf.printf
       "serve/refine         cold %6.1f req/s  warm %8.1f req/s  (%.1fx)  \
-       p50 %.2f ms  p95 %.2f ms  elab hits %.0f%%  results %s\n"
+       p50 %.2f ms  p95 %.2f ms  tcp %8.1f req/s  p50 %.2f ms  \
+       elab hits %.0f%%  results %s\n"
       cold_rps warm_rps (warm_rps /. cold_rps)
       (percentile_ms 0.50 warm_lats)
       (percentile_ms 0.95 warm_lats)
+      warm_tcp_rps
+      (percentile_ms 0.50 tcp_lats)
       (100.0 *. elab_hit_rate)
       (if identical then "identical" else "DIVERGED");
     ( Printf.sprintf
         "{\"requests\":%d,\"cold_rps\":%.1f,\"warm_rps\":%.1f,\
          \"speedup\":%.1f,\"cold_p50_ms\":%.2f,\"cold_p95_ms\":%.2f,\
          \"warm_p50_ms\":%.2f,\"warm_p95_ms\":%.2f,\
+         \"warm_tcp_rps\":%.1f,\"tcp_p50_ms\":%.2f,\"tcp_p95_ms\":%.2f,\
          \"elab_hit_rate\":%.3f,\"results_identical\":%b}"
         n_warm cold_rps warm_rps (warm_rps /. cold_rps)
         (percentile_ms 0.50 cold_lats)
         (percentile_ms 0.95 cold_lats)
         (percentile_ms 0.50 warm_lats)
         (percentile_ms 0.95 warm_lats)
+        warm_tcp_rps
+        (percentile_ms 0.50 tcp_lats)
+        (percentile_ms 0.95 tcp_lats)
         elab_hit_rate identical,
       identical )
   in

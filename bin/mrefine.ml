@@ -1250,10 +1250,105 @@ let serve_cmd =
                 $(i,job_deadline) of their own; exceeded jobs are \
                 cancelled cooperatively and reported failed.")
   in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:"Additionally listen on TCP (port 0 picks an ephemeral \
+                port).  TCP clients must authenticate when a token is \
+                configured.")
+  in
+  let token_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "token" ] ~docv:"SECRET"
+          ~doc:"Shared-secret token TCP clients must present as their \
+                first frame ($(i,{\"op\":\"auth\",...})).  Unix-socket \
+                clients are trusted by file permissions and never need \
+                it.")
+  in
+  let token_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "token-file" ] ~docv:"FILE"
+          ~doc:"Read the shared-secret token from FILE (trailing \
+                whitespace stripped); keeps the secret out of process \
+                listings.")
+  in
+  let max_connections_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:"Cap on simultaneous connections; clients beyond it get \
+                one structured error reply with a $(i,retry_after_ms) \
+                hint and are disconnected.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value
+      & opt float 300.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Reap connections that send nothing for this long \
+                (0 disables).")
+  in
+  let write_timeout_arg =
+    Arg.(
+      value
+      & opt float 30.
+      & info [ "write-timeout" ] ~docv:"SECONDS"
+          ~doc:"Reap connections that will not drain our replies for \
+                this long (0 disables).")
+  in
+  let max_frame_bytes_arg =
+    Arg.(
+      value
+      & opt int (4 * 1024 * 1024)
+      & info [ "max-frame-bytes" ] ~docv:"BYTES"
+          ~doc:"Cap on one request frame; larger frames cost one error \
+                reply and are discarded.")
+  in
+  let max_pending_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:"Admission-control cap on queued plus running jobs; \
+                submits past it are turned away with a \
+                $(i,retry_after_ms) backpressure hint.")
+  in
   let run socket jobs cache_dir cache_entries cache_bytes journal max_jobs
-      deadline =
+      deadline listen token token_file max_connections idle_timeout
+      write_timeout max_frame_bytes max_pending =
     if jobs < 1 then or_die (Error "--jobs must be >= 1");
     if max_jobs < 1 then or_die (Error "--max-jobs must be >= 1");
+    if max_pending < 1 then or_die (Error "--max-pending must be >= 1");
+    if max_connections < 1 then
+      or_die (Error "--max-connections must be >= 1");
+    if max_frame_bytes < 1024 then
+      or_die (Error "--max-frame-bytes must be >= 1024");
+    let token =
+      match (token, token_file) with
+      | Some _, Some _ ->
+        or_die (Error "give only one of --token and --token-file")
+      | Some t, None -> Some t
+      | None, Some path -> Some (String.trim (read_file path))
+      | None, None -> None
+    in
+    let listen =
+      match listen with
+      | None -> None
+      | Some s -> (
+        match Serve.Server.endpoint_of_string s with
+        | Ok (Serve.Server.Tcp _ as e) -> Some e
+        | Ok (Serve.Server.Unix_path _) ->
+          or_die (Error "--listen wants HOST:PORT (the Unix socket is \
+                         always bound via --socket)")
+        | Error msg -> or_die (Error msg))
+    in
     let session =
       try
         Serve.Session.create ?cache_dir ?cache_entries:cache_entries
@@ -1273,22 +1368,40 @@ let serve_cmd =
          with Checkpoint.Journal.Journal_error msg -> or_die (Error msg))
     in
     let scheduler =
-      Serve.Scheduler.create ?journal ~jobs ~max_jobs
+      Serve.Scheduler.create ?journal ~jobs ~max_jobs ~max_pending
         ?default_deadline_s:deadline session
     in
+    let config =
+      {
+        Serve.Server.default_config with
+        cfg_token = token;
+        cfg_max_connections = max_connections;
+        cfg_max_frame_bytes = max_frame_bytes;
+        cfg_idle_timeout_s =
+          (if idle_timeout <= 0. then None else Some idle_timeout);
+        cfg_write_timeout_s =
+          (if write_timeout <= 0. then None else Some write_timeout);
+      }
+    in
     let server =
-      try Serve.Server.start ~socket scheduler
-      with Unix.Unix_error (err, _, _) ->
+      try Serve.Server.start ~config ?listen ~socket scheduler
+      with Unix.Unix_error (err, _, msg) ->
         or_die
           (Error
-             (Printf.sprintf "cannot listen on %s: %s" socket
-                (Unix.error_message err)))
+             (Printf.sprintf "cannot listen on %s: %s%s" socket
+                (Unix.error_message err)
+                (if msg = "" then "" else " (" ^ msg ^ ")")))
     in
     let stop _ = Serve.Server.stop server in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    Printf.eprintf "mrefine serve: listening on %s\n%!" socket;
+    (match Serve.Server.tcp_port server with
+    | Some port ->
+      Printf.eprintf "mrefine serve: listening on %s and tcp port %d%s\n%!"
+        socket port
+        (if token = None then " (no token!)" else "")
+    | None -> Printf.eprintf "mrefine serve: listening on %s\n%!" socket);
     Serve.Server.run server;
     Option.iter Checkpoint.Journal.close journal
   in
@@ -1301,10 +1414,16 @@ let serve_cmd =
           explore, faults and litmus jobs.  One long-lived process keeps the \
           evaluation cache and every elaborated specification hot across \
           requests; with $(b,--journal), a killed daemon resumes its \
-          in-flight jobs on restart.")
+          in-flight jobs on restart.  With $(b,--listen) the same daemon \
+          also serves TCP, guarded by a shared-secret token; SIGTERM \
+          drains gracefully (stop accepting, finish or journal in-flight \
+          jobs, exit).")
     Term.(
       const run $ socket_arg $ jobs_arg $ cache_dir_arg $ cache_entries_arg
-      $ cache_bytes_arg $ journal_arg $ max_jobs_arg $ deadline_arg)
+      $ cache_bytes_arg $ journal_arg $ max_jobs_arg $ deadline_arg
+      $ listen_arg $ token_arg $ token_file_arg $ max_connections_arg
+      $ idle_timeout_arg $ write_timeout_arg $ max_frame_bytes_arg
+      $ max_pending_arg)
 
 let client_cmd =
   let socket_arg =
@@ -1392,24 +1511,53 @@ let client_cmd =
       & opt (some string) None
       & info [ "raw" ] ~docv:"JSON" ~doc:"Send one raw request line.")
   in
-  let connect socket =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Unix.ADDR_UNIX socket) with
-    | () -> (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
-    | exception Unix.Unix_error (err, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      or_die
-        (Error
-           (Printf.sprintf "cannot connect to %s: %s" socket
-              (Unix.error_message err)))
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Connect over TCP instead of the Unix socket.")
   in
-  let roundtrip (ic, oc) line =
-    output_string oc line;
-    output_char oc '\n';
-    flush oc;
-    match input_line ic with
-    | line -> line
-    | exception End_of_file -> or_die (Error "daemon closed the connection")
+  let token_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "token" ] ~docv:"SECRET"
+          ~doc:"Shared-secret token presented as the first frame (needed \
+                for TCP daemons started with one).")
+  in
+  let token_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "token-file" ] ~docv:"FILE"
+          ~doc:"Read the token from FILE (trailing whitespace stripped).")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Reconnect-and-retry attempts after transport failures or \
+                busy rejections (jittered exponential backoff, honoring \
+                the daemon's $(i,retry_after_ms) hint).  0 disables \
+                retrying.")
+  in
+  let retry_backoff_arg =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "retry-backoff" ] ~docv:"MS"
+          ~doc:"Base backoff before the first retry; doubles per attempt \
+                with +/-50% jitter, capped at 10s.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-request socket timeout; an expired request counts as \
+                a failed attempt (and is retried when idempotent).")
   in
   let field_value raw =
     match Serve.Protocol.parse raw with
@@ -1458,21 +1606,174 @@ let client_cmd =
           in
           or_die (Error (Printf.sprintf "job %s%s" state error)))
   in
-  let run socket submit spec id args wait print_output status result cancel
-      stats ping shutdown raw =
-    let send_simple req =
-      let conn = connect socket in
-      print_endline (roundtrip conn (Serve.Protocol.to_string req))
+  let run socket connect_to token token_file retries retry_backoff timeout
+      submit spec id args wait print_output status result cancel stats ping
+      shutdown raw =
+    if retries < 0 then or_die (Error "--retries must be >= 0");
+    if retry_backoff < 1 then or_die (Error "--retry-backoff must be >= 1");
+    let token =
+      match (token, token_file) with
+      | Some _, Some _ ->
+        or_die (Error "give only one of --token and --token-file")
+      | Some t, None -> Some t
+      | None, Some path -> Some (String.trim (read_file path))
+      | None, None -> None
+    in
+    let endpoint =
+      match connect_to with
+      | None -> Serve.Server.Unix_path socket
+      | Some s -> (
+        match Serve.Server.endpoint_of_string s with
+        | Ok (Serve.Server.Tcp _ as e) -> e
+        | Ok (Serve.Server.Unix_path _) ->
+          or_die (Error "--connect wants HOST:PORT (Unix sockets go via \
+                         --socket)")
+        | Error msg -> or_die (Error msg))
+    in
+    Random.self_init ();
+    (* One cached connection, re-dialed transparently after transport
+       failures.  Authentication is part of dialing: a rejected token is
+       a permanent error, a dropped connection is a retryable one. *)
+    let conn = ref None in
+    let drop_conn () =
+      match !conn with
+      | Some (ic, _) ->
+        conn := None;
+        (try close_in_noerr ic with Sys_error _ -> ())
+      | None -> ()
+    in
+    let dial () =
+      match Serve.Server.connect_endpoint endpoint with
+      | Error msg -> Error msg
+      | Ok fd -> (
+        (match timeout with
+        | Some s when s > 0. -> (
+          try
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+            Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+          with Unix.Unix_error _ -> ())
+        | _ -> ());
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        match token with
+        | None -> Ok (ic, oc)
+        | Some tok -> (
+          let auth =
+            Serve.Protocol.to_string
+              (Serve.Protocol.request_to_json (Serve.Protocol.Auth tok))
+          in
+          match
+            output_string oc auth;
+            output_char oc '\n';
+            flush oc;
+            input_line ic
+          with
+          | exception (End_of_file | Sys_error _) ->
+            close_in_noerr ic;
+            Error "connection closed during authentication"
+          | reply -> (
+            match Serve.Protocol.parse reply with
+            | Ok r -> (
+              match Serve.Protocol.member "ok" r with
+              | Some (Serve.Protocol.Bool true) -> Ok (ic, oc)
+              | _ ->
+                (* a refused token never gets better by retrying *)
+                close_in_noerr ic;
+                or_die
+                  (Error
+                     (match Serve.Protocol.member "error" r with
+                     | Some (Serve.Protocol.String e) -> e
+                     | _ -> "authentication failed")))
+            | Error msg ->
+              close_in_noerr ic;
+              Error ("unreadable authentication reply: " ^ msg))))
+    in
+    let backoff attempt hint_ms =
+      let d =
+        match hint_ms with
+        | Some ms -> float_of_int ms /. 1000.
+        | None ->
+          float_of_int retry_backoff /. 1000.
+          *. (2. ** float_of_int attempt)
+          *. (0.5 +. Random.float 1.0)
+      in
+      Unix.sleepf (Float.min 10.0 d)
+    in
+    (* [resend] marks requests safe to re-issue after a failure past the
+       send (submits under an id, polls, cancels); shutdown and raw
+       lines only retry failures to connect. *)
+    let rpc ?(resend = true) line =
+      let rec attempt n =
+        let fail ?hint msg =
+          if n >= retries then or_die (Error msg)
+          else begin
+            backoff n hint;
+            attempt (n + 1)
+          end
+        in
+        match
+          match !conn with Some c -> Ok c | None -> dial ()
+        with
+        | Error msg ->
+          fail (Printf.sprintf "cannot connect to %s: %s"
+                  (Serve.Server.endpoint_to_string endpoint) msg)
+        | Ok ((ic, oc) as c) -> (
+          conn := Some c;
+          match
+            output_string oc line;
+            output_char oc '\n';
+            flush oc
+          with
+          | exception Sys_error msg ->
+            drop_conn ();
+            fail ("connection lost: " ^ msg)
+          | () -> (
+            match input_line ic with
+            | exception End_of_file ->
+              drop_conn ();
+              if resend then fail "daemon closed the connection"
+              else or_die (Error "daemon closed the connection")
+            | exception Sys_error msg ->
+              drop_conn ();
+              if resend then fail ("connection lost: " ^ msg)
+              else or_die (Error ("connection lost: " ^ msg))
+            | reply -> (
+              (* structured backpressure: busy rejections tell us when
+                 to come back *)
+              match Serve.Protocol.parse reply with
+              | Ok r
+                when Serve.Protocol.member "ok" r
+                     = Some (Serve.Protocol.Bool false) -> (
+                match Serve.Protocol.member "retry_after_ms" r with
+                | Some (Serve.Protocol.Int ms) when n < retries ->
+                  fail ~hint:ms
+                    (Printf.sprintf "daemon busy: %s" reply)
+                | _ -> reply)
+              | _ -> reply)))
+      in
+      attempt 0
+    in
+    let send_simple ?resend req =
+      print_endline (rpc ?resend (Serve.Protocol.to_string req))
     in
     match (submit, status, result, cancel, stats, ping, shutdown, raw) with
     | Some kind, None, None, None, false, false, false, None ->
-      let conn = connect socket in
       let job = Serve.Protocol.Obj (job_fields kind spec args) in
+      (* Retrying a submit is only safe under a stable id: pick one for
+         the caller so a resent request lands on the same job. *)
+      let id =
+        match id with
+        | Some _ -> id
+        | None when retries > 0 ->
+          Some
+            (Printf.sprintf "c-%08x%08x" (Random.bits ()) (Random.bits ()))
+        | None -> None
+      in
       let submit_req =
         Serve.Protocol.request_to_json
           (Serve.Protocol.Submit { sb_id = id; sb_job = job })
       in
-      let reply = roundtrip conn (Serve.Protocol.to_string submit_req) in
+      let reply = rpc (Serve.Protocol.to_string submit_req) in
       if not wait then print_endline reply
       else begin
         let id =
@@ -1492,18 +1793,18 @@ let client_cmd =
           Serve.Protocol.request_to_json
             (Serve.Protocol.Result { rs_id = id; rs_wait = true })
         in
-        print_reply ~print_output
-          (roundtrip conn (Serve.Protocol.to_string result_req))
+        (* The wait survives daemon restarts: the result poll is
+           idempotent, so a dropped connection just re-requests it. *)
+        print_reply ~print_output (rpc (Serve.Protocol.to_string result_req))
       end
     | None, Some id, None, None, false, false, false, None ->
       send_simple (Serve.Protocol.request_to_json (Serve.Protocol.Status id))
     | None, None, Some id, None, false, false, false, None ->
-      let conn = connect socket in
       let req =
         Serve.Protocol.request_to_json
           (Serve.Protocol.Result { rs_id = id; rs_wait = wait })
       in
-      print_reply ~print_output (roundtrip conn (Serve.Protocol.to_string req))
+      print_reply ~print_output (rpc (Serve.Protocol.to_string req))
     | None, None, None, Some id, false, false, false, None ->
       send_simple (Serve.Protocol.request_to_json (Serve.Protocol.Cancel id))
     | None, None, None, None, true, false, false, None ->
@@ -1511,10 +1812,10 @@ let client_cmd =
     | None, None, None, None, false, true, false, None ->
       send_simple (Serve.Protocol.request_to_json Serve.Protocol.Ping)
     | None, None, None, None, false, false, true, None ->
-      send_simple (Serve.Protocol.request_to_json Serve.Protocol.Shutdown)
+      send_simple ~resend:false
+        (Serve.Protocol.request_to_json Serve.Protocol.Shutdown)
     | None, None, None, None, false, false, false, Some line ->
-      let conn = connect socket in
-      print_endline (roundtrip conn line)
+      print_endline (rpc ~resend:false line)
     | _ ->
       or_die
         (Error
@@ -1524,13 +1825,100 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client"
        ~doc:
-         "Talk to a running $(b,mrefine serve) daemon: submit refine / \
-          lint / explore / faults jobs, poll or await their results, \
-          cancel them, or fetch daemon statistics.")
+         "Talk to a running $(b,mrefine serve) daemon — over its Unix \
+          socket or TCP ($(b,--connect), with $(b,--token)) — to submit \
+          refine / lint / explore / faults jobs, poll or await their \
+          results, cancel them, or fetch daemon statistics.  Transport \
+          failures and busy rejections are retried with jittered \
+          exponential backoff; submits pick a stable job id so retries \
+          never double-execute work.")
     Term.(
-      const run $ socket_arg $ submit_arg $ spec_arg $ id_arg $ arg_arg
-      $ wait_arg $ print_output_arg $ status_arg $ result_arg $ cancel_arg
-      $ stats_arg $ ping_arg $ shutdown_arg $ raw_arg)
+      const run $ socket_arg $ connect_arg $ token_arg $ token_file_arg
+      $ retries_arg $ retry_backoff_arg $ timeout_arg $ submit_arg
+      $ spec_arg $ id_arg $ arg_arg $ wait_arg $ print_output_arg
+      $ status_arg $ result_arg $ cancel_arg $ stats_arg $ ping_arg
+      $ shutdown_arg $ raw_arg)
+
+let chaos_cmd =
+  let listen_arg =
+    Arg.(
+      value
+      & opt string "127.0.0.1:7464"
+      & info [ "listen" ] ~docv:"ENDPOINT"
+          ~doc:"Where the proxy listens: HOST:PORT or a Unix-socket \
+                path (TCP port 0 picks an ephemeral port).")
+  in
+  let upstream_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "upstream" ] ~docv:"ENDPOINT"
+          ~doc:"The real daemon to forward to: HOST:PORT or a \
+                Unix-socket path.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Fault-schedule seed.  The fault of connection $(i,i) is \
+                a pure function of (seed, i), so a failing run replays \
+                exactly from its seed.")
+  in
+  let run listen upstream seed =
+    let parse s =
+      match Serve.Server.endpoint_of_string s with
+      | Ok e -> e
+      | Error msg -> or_die (Error msg)
+    in
+    let upstream =
+      match upstream with
+      | Some u -> parse u
+      | None -> or_die (Error "--upstream is required")
+    in
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let proxy =
+      try
+        Serve.Chaos.start
+          ~log:(fun i fault ->
+            Printf.eprintf "mrefine chaos: conn %d: %s\n%!" i
+              (Serve.Chaos.fault_to_string fault))
+          ~listen:(parse listen) ~upstream ~seed ()
+      with Unix.Unix_error (err, _, msg) ->
+        or_die
+          (Error
+             (Printf.sprintf "cannot listen on %s: %s%s" listen
+                (Unix.error_message err)
+                (if msg = "" then "" else " (" ^ msg ^ ")")))
+    in
+    (match Serve.Chaos.port proxy with
+    | Some port ->
+      Printf.eprintf "mrefine chaos: tcp port %d -> %s (seed %d)\n%!" port
+        (match upstream with
+        | Serve.Server.Unix_path p -> p
+        | Serve.Server.Tcp { host; port } -> Printf.sprintf "%s:%d" host port)
+        seed
+    | None ->
+      Printf.eprintf "mrefine chaos: %s (seed %d)\n%!" listen seed);
+    let stop = ref false in
+    let handler _ = stop := true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle handler);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+    while not !stop do
+      Unix.sleepf 0.2
+    done;
+    Serve.Chaos.stop proxy
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded fault-injecting proxy in front of an $(b,mrefine \
+          serve) daemon: connections are dropped mid-frame, torn, \
+          delayed, fed garbage or reset, on a schedule that is a pure \
+          function of $(b,--seed).  Used to verify that clients with \
+          idempotent retries converge to byte-identical results under \
+          transport failure.")
+    Term.(const run $ listen_arg $ upstream_arg $ seed_arg)
 
 let () =
   let info =
@@ -1543,4 +1931,4 @@ let () =
           [ parse_cmd; graph_cmd; partition_cmd; refine_cmd; simulate_cmd;
             cosim_cmd; typecheck_cmd; lint_cmd; export_cmd; quality_cmd;
             demo_cmd; explore_cmd; faults_cmd; litmus_cmd; serve_cmd;
-            client_cmd ]))
+            client_cmd; chaos_cmd ]))

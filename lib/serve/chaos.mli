@@ -1,0 +1,61 @@
+(** A seeded fault-injecting TCP/Unix proxy for torturing the serve
+    stack: it sits between a client and the daemon and breaks each
+    connection in a way drawn deterministically from a seed, so a chaos
+    run that finds a bug is replayable from two integers (seed,
+    connection index).
+
+    Determinism mirrors {!Faults}/{!Partitioning.Rng} discipline: the
+    fault schedule is a pure function {!plan} of the seed and the
+    connection's accept-order index — no shared generator state, no
+    timing dependence.  The same seed always yields the same schedule.
+
+    The proxy never touches job semantics; it only damages transport.
+    Clients with idempotent retries (journaled ids) must converge to
+    exactly the same results as a fault-free run — that is the property
+    the chaos harness checks. *)
+
+(** What happens to one proxied connection. *)
+type fault =
+  | Pass  (** forward faithfully *)
+  | Delay of { dl_every_bytes : int; dl_ms : int }
+      (** trickle: sleep [dl_ms] every [dl_every_bytes] towards the
+          server *)
+  | Drop_after of { dr_bytes : int }
+      (** forward a shared byte budget across both directions, then go
+          dark mid-frame (no trustworthy FIN) *)
+  | Torn_write of { tw_bytes : int }
+      (** forward only the first [tw_bytes] of the client's stream,
+          then sever both directions — a write cut mid-frame *)
+  | Garbage of { gb_bytes : int }
+      (** prepend junk bytes to the client's stream, corrupting the
+          first frame into a parse error *)
+  | Reset  (** close the client immediately on accept *)
+
+val plan : seed:int -> int -> fault
+(** [plan ~seed i] is the fault of connection [i] (accept order) under
+    [seed].  Pure: the whole schedule of a run is reproducible from the
+    seed alone. *)
+
+val fault_to_string : fault -> string
+
+type t
+
+val start :
+  ?log:(int -> fault -> unit) ->
+  listen:Server.endpoint ->
+  upstream:Server.endpoint ->
+  seed:int ->
+  unit ->
+  t
+(** Bind [listen] and proxy every accepted connection to [upstream]
+    under its planned fault.  [log] observes (index, fault) at accept
+    time.
+    @raise Unix.Unix_error when [listen] cannot be bound. *)
+
+val port : t -> int option
+(** The bound TCP port when [listen] was TCP (kernel-chosen for port
+    0). *)
+
+val stop : t -> unit
+(** Stop accepting and join the acceptor.  Already-proxied connections
+    finish on their own. *)

@@ -347,6 +347,7 @@ let string_list_field ?default key j =
 (* ------------------------------------------------------------------ *)
 
 type request =
+  | Auth of string
   | Submit of { sb_id : string option; sb_job : json }
   | Status of string
   | Result of { rs_id : string; rs_wait : bool }
@@ -360,6 +361,9 @@ let ( let* ) = Result.bind
 let request_of_json j =
   let* op = string_field "op" j in
   match op with
+  | "auth" ->
+    let* token = string_field "token" j in
+    Ok (Auth token)
   | "submit" -> (
     match member "job" j with
     | None -> Error "submit needs a \"job\" object"
@@ -384,6 +388,7 @@ let request_of_json j =
   | op -> Error (Printf.sprintf "unknown op %S" op)
 
 let request_to_json = function
+  | Auth token -> Obj [ ("op", String "auth"); ("token", String token) ]
   | Submit { sb_id; sb_job } ->
     Obj
       ((("op", String "submit") :: ("job", sb_job)
@@ -432,3 +437,6 @@ let terminal = function
 let ok fields = Obj (("ok", Bool true) :: fields)
 
 let error msg = Obj [ ("ok", Bool false); ("error", String msg) ]
+
+let error_with msg fields =
+  Obj (("ok", Bool false) :: ("error", String msg) :: fields)

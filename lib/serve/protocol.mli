@@ -49,6 +49,9 @@ val string_list_field :
 (** {1 Requests} *)
 
 type request =
+  | Auth of string
+      (** present the shared-secret token; must be the first frame of a
+          TCP connection when the daemon was started with a token *)
   | Submit of { sb_id : string option; sb_job : json }
       (** enqueue a job; [sb_id] makes the submit idempotent: resubmitting
           an existing id returns its current state instead of enqueueing
@@ -84,3 +87,7 @@ val ok : (string * json) list -> json
 
 val error : string -> json
 (** An [{"ok":false,"error":msg}] reply. *)
+
+val error_with : string -> (string * json) list -> json
+(** {!error} with extra structured fields, e.g. the [retry_after_ms]
+    backpressure hint attached to a busy rejection. *)

@@ -10,19 +10,32 @@ type job = {
   mutable j_error : string option;
   mutable j_meta : (string * Protocol.json) list;
   mutable j_replayed : bool;
+  mutable j_started : float;  (* 0.0 until the job leaves the queue *)
   j_cancel : bool Atomic.t;
   j_deadline_hit : bool Atomic.t;
   j_deadline_s : float option;
 }
 
+(* Recent terminal-job latencies, the signal behind the retry_after_ms
+   backpressure hint.  Fixed ring so a long-lived daemon tracks the
+   current workload, not its lifetime average. *)
+let latency_ring = 32
+
 type t = {
   sc_session : Session.t;
   sc_jobs : int;
   sc_max : int;
+  sc_max_pending : int;
   sc_default_deadline : float option;
   sc_journal : Checkpoint.Journal.t option;
   sc_table : (string, job) Hashtbl.t;
   sc_pending : string Queue.t;
+  sc_latencies : float array;
+  mutable sc_lat_next : int;
+  mutable sc_lat_count : int;
+  mutable sc_busy_rejects : int;
+  mutable sc_full_rejects : int;
+  mutable sc_running : int;
   mutable sc_counter : int;
   mutable sc_batches : int;
   mutable sc_stopping : bool;
@@ -99,7 +112,33 @@ let journal_append t ~key blob =
 
 (* --- job completion (mutex held) ---------------------------------------- *)
 
+let record_latency t j =
+  if j.j_started > 0.0 then begin
+    t.sc_latencies.(t.sc_lat_next) <- Unix.gettimeofday () -. j.j_started;
+    t.sc_lat_next <- (t.sc_lat_next + 1) mod latency_ring;
+    t.sc_lat_count <- min latency_ring (t.sc_lat_count + 1)
+  end
+
+(* Mean recent per-job wall clock; a conservative floor stands in until
+   the first job completes. *)
+let recent_latency_s t =
+  if t.sc_lat_count = 0 then 0.05
+  else begin
+    let sum = ref 0.0 in
+    for i = 0 to t.sc_lat_count - 1 do
+      sum := !sum +. t.sc_latencies.(i)
+    done;
+    !sum /. float_of_int t.sc_lat_count
+  end
+
+let retry_hint_ms t ~depth =
+  let s = float_of_int (max 1 depth) *. recent_latency_s t
+          /. float_of_int t.sc_jobs in
+  max 25 (min 60_000 (int_of_float (ceil (s *. 1e3))))
+
 let finish t j outcome =
+  record_latency t j;
+  if j.j_started > 0.0 then t.sc_running <- max 0 (t.sc_running - 1);
   (match outcome with
   | Ok (o : Jobs.outcome) ->
     j.j_state <- Protocol.Done;
@@ -169,6 +208,8 @@ let rec dispatcher_loop t =
               match Hashtbl.find_opt t.sc_table id with
               | Some j when j.j_state = Protocol.Pending ->
                 j.j_state <- Protocol.Running;
+                j.j_started <- Unix.gettimeofday ();
+                t.sc_running <- t.sc_running + 1;
                 batch := j :: !batch
               | _ -> () (* cancelled while pending, or aged out *))
             t.sc_pending;
@@ -228,6 +269,7 @@ let replay t =
               j_error = None;
               j_meta = [];
               j_replayed = true;
+              j_started = 0.0;
               j_cancel = Atomic.make false;
               j_deadline_hit = Atomic.make false;
               j_deadline_s = t.sc_default_deadline;
@@ -267,18 +309,27 @@ let replay t =
           | _ -> ()))
       (List.rev !specs)
 
-let create ?journal ?(jobs = 1) ?(max_jobs = 4096) ?default_deadline_s session =
+let create ?journal ?(jobs = 1) ?(max_jobs = 4096) ?(max_pending = 256)
+    ?default_deadline_s session =
   if jobs < 1 then invalid_arg "Scheduler.create: jobs < 1";
   if max_jobs < 1 then invalid_arg "Scheduler.create: max_jobs < 1";
+  if max_pending < 1 then invalid_arg "Scheduler.create: max_pending < 1";
   let t =
     {
       sc_session = session;
       sc_jobs = jobs;
       sc_max = max_jobs;
+      sc_max_pending = max_pending;
       sc_default_deadline = default_deadline_s;
       sc_journal = journal;
       sc_table = Hashtbl.create 64;
       sc_pending = Queue.create ();
+      sc_latencies = Array.make latency_ring 0.0;
+      sc_lat_next = 0;
+      sc_lat_count = 0;
+      sc_busy_rejects = 0;
+      sc_full_rejects = 0;
+      sc_running = 0;
       sc_counter = 0;
       sc_batches = 0;
       sc_stopping = false;
@@ -298,16 +349,42 @@ let job_deadline t spec =
   | Ok (Some d) -> Some d
   | _ -> t.sc_default_deadline
 
+type reject = {
+  rj_reason : string;
+  rj_retry_after_ms : int option;
+}
+
+let retry_after_ms t =
+  locked t (fun () ->
+      retry_hint_ms t ~depth:(Queue.length t.sc_pending + t.sc_running))
+
 let submit t ?id spec =
   locked t (fun () ->
-      if t.sc_stopping then Error "scheduler is shutting down"
+      if t.sc_stopping then
+        Error
+          { rj_reason = "scheduler is shutting down"; rj_retry_after_ms = None }
       else
         match id with
         | Some id when Hashtbl.mem t.sc_table id ->
           Ok (view_of_job (Hashtbl.find t.sc_table id))
         | _ ->
-          if Hashtbl.length t.sc_table >= t.sc_max then
-            Error "job table full"
+          let depth = Queue.length t.sc_pending + t.sc_running in
+          if Hashtbl.length t.sc_table >= t.sc_max then begin
+            t.sc_full_rejects <- t.sc_full_rejects + 1;
+            Error { rj_reason = "job table full"; rj_retry_after_ms = None }
+          end
+          else if depth >= t.sc_max_pending then begin
+            (* Backpressure before hard rejection: the queue is deep but
+               draining, so tell the client when to come back instead of
+               turning it away for good. *)
+            t.sc_busy_rejects <- t.sc_busy_rejects + 1;
+            Error
+              {
+                rj_reason =
+                  Printf.sprintf "server busy: %d jobs queued" depth;
+                rj_retry_after_ms = Some (retry_hint_ms t ~depth);
+              }
+          end
           else begin
             let id =
               match id with
@@ -325,6 +402,7 @@ let submit t ?id spec =
                 j_error = None;
                 j_meta = [];
                 j_replayed = false;
+                j_started = 0.0;
                 j_cancel = Atomic.make false;
                 j_deadline_hit = Atomic.make false;
                 j_deadline_s = job_deadline t spec;
@@ -384,12 +462,17 @@ let stats t =
       [
         ("jobs", Protocol.Int (Hashtbl.length t.sc_table));
         ("max_jobs", Protocol.Int t.sc_max);
+        ("max_pending", Protocol.Int t.sc_max_pending);
         ("pending", Protocol.Int (count Protocol.Pending));
         ("running", Protocol.Int (count Protocol.Running));
         ("done", Protocol.Int (count Protocol.Done));
         ("failed", Protocol.Int (count Protocol.Failed));
         ("cancelled", Protocol.Int (count Protocol.Cancelled));
         ("batches", Protocol.Int t.sc_batches);
+        ("busy_rejects", Protocol.Int t.sc_busy_rejects);
+        ("full_rejects", Protocol.Int t.sc_full_rejects);
+        ( "recent_job_ms",
+          Protocol.Float (1e3 *. recent_latency_s t) );
         ( "elab_cache",
           Protocol.Obj
             [

@@ -30,6 +30,7 @@ val create :
   ?journal:Checkpoint.Journal.t ->
   ?jobs:int ->
   ?max_jobs:int ->
+  ?max_pending:int ->
   ?default_deadline_s:float ->
   Session.t ->
   t
@@ -39,11 +40,16 @@ val create :
     session cache hot across batches; raise it to trade that warmth for
     intra-batch parallelism); [max_jobs] bounds the retained job
     table (default 4096; submits beyond it are rejected until old jobs
-    age out — the backpressure that keeps a daemon's memory bounded);
-    [default_deadline_s] applies to jobs that set no deadline of their
-    own.  With [journal], previously recorded jobs are replayed as
-    described above — in-flight ones are re-enqueued immediately.
-    @raise Invalid_argument when [jobs < 1] or [max_jobs < 1]. *)
+    age out — the hard stop that keeps a daemon's memory bounded);
+    [max_pending] is the admission-control soft cap (default 256): when
+    the queue is that deep, submits are turned away with a
+    [retry_after_ms] hint instead of being enqueued, so clients back off
+    while the queue drains; [default_deadline_s] applies to jobs that
+    set no deadline of their own.  With [journal], previously recorded
+    jobs are replayed as described above — in-flight ones are
+    re-enqueued immediately (replay is exempt from [max_pending]).
+    @raise Invalid_argument when [jobs < 1], [max_jobs < 1] or
+    [max_pending < 1]. *)
 
 val journal_meta : string
 (** The {!Checkpoint.Journal} meta string of scheduler journals (binds
@@ -63,11 +69,28 @@ val view_fields : view -> (string * Protocol.json) list
 (** The reply-envelope fields of a snapshot ([id], [state], and when
     present [output] / [error] / [meta] / [replayed]). *)
 
+(** Why a submit was refused.  [rj_retry_after_ms] is the backpressure
+    hint of a queue-depth rejection: the queue is draining, come back in
+    roughly that long (queue depth × recent mean per-job latency ÷
+    worker count, clamped to [25 ms, 60 s]).  Hard rejections (table
+    full, shutting down) carry no hint. *)
+type reject = {
+  rj_reason : string;
+  rj_retry_after_ms : int option;
+}
+
 val submit :
-  t -> ?id:string -> Protocol.json -> (view, string) result
+  t -> ?id:string -> Protocol.json -> (view, reject) result
 (** Enqueue a job (or return the existing state under an already-used
-    id).  Fails when the job table is full or the scheduler is shutting
-    down. *)
+    id — idempotent resubmits bypass admission control).  Refused with a
+    [retry_after_ms] hint when the pending queue is at [max_pending],
+    and without one when the job table is full or the scheduler is
+    shutting down. *)
+
+val retry_after_ms : t -> int
+(** The backpressure hint for the current queue depth — what a busy
+    rejection would advise right now.  Used by the server when turning
+    away work for non-queue reasons (e.g. the connection cap). *)
 
 val status : t -> string -> view option
 
@@ -81,8 +104,9 @@ val cancel : t -> string -> (view, string) result
 
 val stats : t -> (string * Protocol.json) list
 (** Counters for the [stats] reply: jobs by state, batches dispatched,
-    the session's elaboration-cache and the shared evaluation cache's
-    hit/miss/resident/eviction figures. *)
+    busy/full submit rejections, the recent mean per-job latency behind
+    the backpressure hint, the session's elaboration-cache and the
+    shared evaluation cache's hit/miss/resident/eviction figures. *)
 
 val shutdown : t -> unit
 (** Stop accepting submits, wake every waiter, finish the in-flight

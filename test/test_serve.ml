@@ -133,20 +133,31 @@ let fresh_socket_path () =
   Sys.remove path;
   path
 
-let with_server ?journal ?(jobs = 1) f =
+(* Several tests write into sockets the server may close under them. *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let with_server_full ?config ?listen ?journal ?(jobs = 1) f =
   let session = Serve.Session.create () in
   let scheduler = Serve.Scheduler.create ?journal ~jobs session in
   let socket = fresh_socket_path () in
-  let server = Serve.Server.start ~socket scheduler in
+  let server = Serve.Server.start ?config ?listen ~socket scheduler in
   Fun.protect
     ~finally:(fun () ->
       Serve.Server.stop server;
       Serve.Server.run server)
-    (fun () -> f socket)
+    (fun () -> f server socket)
+
+let with_server ?journal ?(jobs = 1) f =
+  with_server_full ?journal ~jobs (fun _server socket -> f socket)
 
 let connect socket =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_UNIX socket);
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd, fd)
+
+let connect_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
   (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd, fd)
 
 let send (_, oc, _) line =
@@ -444,6 +455,314 @@ let test_idempotent_submit () =
       Alcotest.(check string) "same id" "stable" (reply_string "id" v2);
       Alcotest.(check string) "already done" "done" (reply_string "state" v2))
 
+(* --- robustness: framing, auth, timeouts, disconnects ------------------- *)
+
+let nested_int outer key v =
+  match Serve.Protocol.member outer v with
+  | Some inner -> (
+    match Serve.Protocol.member key inner with
+    | Some (Serve.Protocol.Int n) -> n
+    | _ ->
+      Alcotest.failf "stats without %s.%s: %s" outer key
+        (Serve.Protocol.to_string v))
+  | None ->
+    Alcotest.failf "stats without %S: %s" outer (Serve.Protocol.to_string v)
+
+let test_oversized_frame_rejected () =
+  let config =
+    { Serve.Server.default_config with cfg_max_frame_bytes = 1024 }
+  in
+  with_server_full ~config (fun _server socket ->
+      let conn = connect socket in
+      Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+      (* One burst over the cap: one error reply, connection survives. *)
+      let ok, v = reply_ok (roundtrip conn (String.make 2000 'x')) in
+      Alcotest.(check bool) "oversized rejected" false ok;
+      Alcotest.(check bool) "names the limit" true
+        (contains_sub ~sub:"1024" (reply_string "error" v));
+      let ok, _ = reply_ok (roundtrip conn "{\"op\":\"ping\"}") in
+      Alcotest.(check bool) "ping after oversized burst" true ok;
+      (* An unterminated frame trickled past the cap: the error comes
+         before any newline, and the eventual tail is swallowed. *)
+      let _, oc, _ = conn in
+      output_string oc (String.make 600 'y');
+      flush oc;
+      output_string oc (String.make 600 'y');
+      flush oc;
+      let ok, _ = reply_ok (recv conn) in
+      Alcotest.(check bool) "unterminated frame rejected" false ok;
+      send conn (String.make 100 'y');
+      let ok, _ = reply_ok (roundtrip conn "{\"op\":\"ping\"}") in
+      Alcotest.(check bool) "ping after discarded tail" true ok;
+      (* The reject is visible in the stats counters. *)
+      let _, v = reply_ok (roundtrip conn "{\"op\":\"stats\"}") in
+      Alcotest.(check bool) "oversized counter" true
+        (nested_int "server" "oversized_frames" v >= 2))
+
+let auth_line token =
+  Serve.Protocol.to_string
+    (Serve.Protocol.request_to_json (Serve.Protocol.Auth token))
+
+let test_tcp_token_auth () =
+  let config =
+    { Serve.Server.default_config with cfg_token = Some "sekrit" }
+  in
+  let listen = Serve.Server.Tcp { host = "127.0.0.1"; port = 0 } in
+  with_server_full ~config ~listen (fun server socket ->
+      let port =
+        match Serve.Server.tcp_port server with
+        | Some p -> p
+        | None -> Alcotest.fail "no TCP port bound"
+      in
+      (* Unauthenticated request: one error reply, then the close. *)
+      (let conn = connect_tcp port in
+       Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+       let ok, v = reply_ok (roundtrip conn "{\"op\":\"ping\"}") in
+       Alcotest.(check bool) "unauthenticated refused" false ok;
+       Alcotest.(check bool) "names auth" true
+         (contains_sub ~sub:"auth" (reply_string "error" v));
+       match recv conn with
+       | exception End_of_file -> ()
+       | line -> Alcotest.failf "connection survived auth failure: %s" line);
+      (* Wrong token: same containment. *)
+      (let conn = connect_tcp port in
+       Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+       let ok, _ = reply_ok (roundtrip conn (auth_line "wrong")) in
+       Alcotest.(check bool) "wrong token refused" false ok;
+       match recv conn with
+       | exception End_of_file -> ()
+       | line -> Alcotest.failf "connection survived bad token: %s" line);
+      (* Right token: the connection serves jobs like any other. *)
+      (let conn = connect_tcp port in
+       Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+       let ok, _ = reply_ok (roundtrip conn (auth_line "sekrit")) in
+       Alcotest.(check bool) "token accepted" true ok;
+       let ok, v = reply_ok (roundtrip conn (submit_line (refine_job ()))) in
+       Alcotest.(check bool) "submit over TCP" true ok;
+       let result = await_result conn (reply_string "id" v) in
+       Alcotest.(check string) "done over TCP" "done"
+         (reply_string "state" result));
+      (* The Unix socket stays trusted: no token needed there, and the
+         failed attempts show up in the server counters. *)
+      let conn = connect socket in
+      Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+      let ok, v = reply_ok (roundtrip conn "{\"op\":\"stats\"}") in
+      Alcotest.(check bool) "unix socket needs no auth" true ok;
+      Alcotest.(check bool) "auth failures counted" true
+        (nested_int "server" "auth_failures" v >= 2);
+      Alcotest.(check bool) "accept_errors exposed" true
+        (nested_int "server" "accept_errors" v >= 0))
+
+let test_mid_job_disconnect () =
+  with_server (fun socket ->
+      (* Submit, then vanish before the result: the job must finish and
+         stay fetchable from a fresh connection. *)
+      (let conn = connect socket in
+       let ok, _ =
+         reply_ok (roundtrip conn (submit_line ~id:"orphan" (refine_job ())))
+       in
+       Alcotest.(check bool) "submitted" true ok;
+       close_conn conn);
+      let conn = connect socket in
+      Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+      let result = await_result conn "orphan" in
+      Alcotest.(check string) "orphan finished" "done"
+        (reply_string "state" result);
+      let g = Agraph.Access_graph.of_program Workloads.Smallspecs.fig1 in
+      let part = Partitioning.Greedy.run g ~n_parts:2 in
+      let r =
+        Core.Refiner.refine Workloads.Smallspecs.fig1 g part Core.Model.Model2
+      in
+      Alcotest.(check string) "orphan output intact"
+        (Spec.Printer.program_to_string r.Core.Refiner.rf_program)
+        (reply_string "output" result))
+
+let test_idle_timeout_reaps_connection () =
+  let config =
+    {
+      Serve.Server.default_config with
+      cfg_idle_timeout_s = Some 0.2;
+      cfg_write_timeout_s = None;
+    }
+  in
+  with_server_full ~config (fun _server socket ->
+      let conn = connect socket in
+      Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+      let ok, _ = reply_ok (roundtrip conn "{\"op\":\"ping\"}") in
+      Alcotest.(check bool) "ping before idling" true ok;
+      (* Sit silent past the idle timeout: the server hangs up. *)
+      (match recv conn with
+      | exception End_of_file -> ()
+      | line -> Alcotest.failf "idle connection survived: %s" line);
+      let conn2 = connect socket in
+      Fun.protect ~finally:(fun () -> close_conn conn2) @@ fun () ->
+      let _, v = reply_ok (roundtrip conn2 "{\"op\":\"stats\"}") in
+      Alcotest.(check bool) "reap counted" true
+        (nested_int "server" "reaped_timeouts" v >= 1))
+
+let test_slow_reader_write_timeout () =
+  let config =
+    {
+      Serve.Server.default_config with
+      cfg_write_timeout_s = Some 0.2;
+      cfg_idle_timeout_s = None;
+    }
+  in
+  with_server_full ~config (fun _server socket ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      (* Flood pings and never read a reply: the reply path fills, the
+         server's writes stall past its write timeout, it reaps us.  The
+         flood keeps pushing through transient fullness (its own send
+         timeout outlives the server's write timeout) so it ends only
+         once the server is wedged or has already hung up. *)
+      (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0
+       with Unix.Unix_error _ -> ());
+      let ping = Bytes.of_string "{\"op\":\"ping\"}\n" in
+      let rec flood n =
+        if n > 0 then
+          match Unix.write fd ping 0 (Bytes.length ping) with
+          | _ -> flood (n - 1)
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            ()
+          | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _)
+            ->
+            ()
+      in
+      flood 500_000;
+      (* Still not reading: consuming replies early would unblock the
+         server's writes and defeat the timeout.  Give the reap time to
+         fire, then drain the buffered replies down to the EOF. *)
+      Thread.delay 1.0;
+      (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0
+       with Unix.Unix_error _ -> ());
+      let buf = Bytes.create 65536 in
+      let rec drain () =
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> ()
+        | _ -> drain ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          Alcotest.fail "slow reader never reaped"
+      in
+      drain ();
+      let conn2 = connect socket in
+      Fun.protect ~finally:(fun () -> close_conn conn2) @@ fun () ->
+      let _, v = reply_ok (roundtrip conn2 "{\"op\":\"stats\"}") in
+      Alcotest.(check bool) "write-timeout reap counted" true
+        (nested_int "server" "reaped_timeouts" v >= 1))
+
+(* --- chaos proxy -------------------------------------------------------- *)
+
+let test_chaos_plan_deterministic () =
+  let schedule seed =
+    List.init 200 (fun i ->
+        Serve.Chaos.fault_to_string (Serve.Chaos.plan ~seed i))
+  in
+  Alcotest.(check (list string))
+    "same seed, same schedule" (schedule 42) (schedule 42);
+  Alcotest.(check bool) "different seeds diverge" true
+    (schedule 42 <> schedule 43);
+  (* The schedule actually mixes fault kinds, not just Pass. *)
+  let kinds =
+    List.sort_uniq compare
+      (List.map
+         (fun s ->
+           match String.index_opt s '(' with
+           | Some i -> String.sub s 0 i
+           | None -> s)
+         (schedule 42))
+  in
+  Alcotest.(check bool) "several fault kinds" true (List.length kinds >= 4)
+
+(* Under the chaos proxy, a client retrying idempotent submits must end
+   with results byte-identical to a fault-free run — transport damage
+   never corrupts or duplicates work. *)
+let test_chaos_proxy_converges () =
+  with_server (fun socket ->
+      let proxy =
+        Serve.Chaos.start
+          ~listen:(Serve.Server.Tcp { host = "127.0.0.1"; port = 0 })
+          ~upstream:(Serve.Server.Unix_path socket) ~seed:7 ()
+      in
+      Fun.protect ~finally:(fun () -> Serve.Chaos.stop proxy) @@ fun () ->
+      let port =
+        match Serve.Chaos.port proxy with
+        | Some p -> p
+        | None -> Alcotest.fail "chaos proxy has no port"
+      in
+      (* One attempt: fresh connection through the proxy, one request,
+         one reply.  Any transport damage surfaces as None. *)
+      let attempt line =
+        match connect_tcp port with
+        | exception Unix.Unix_error _ -> None
+        | conn -> (
+          Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+          let _, _, fd = conn in
+          (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0
+           with Unix.Unix_error _ -> ());
+          match roundtrip conn line with
+          | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> None
+          | reply -> (
+            match Serve.Protocol.parse reply with
+            | Ok v -> (
+              match Serve.Protocol.member "ok" v with
+              | Some (Serve.Protocol.Bool true) -> Some v
+              | _ -> None)
+            | Error _ -> None))
+      in
+      let until_ok line =
+        let deadline = Unix.gettimeofday () +. 60.0 in
+        let rec go () =
+          match attempt line with
+          | Some v -> v
+          | None ->
+            if Unix.gettimeofday () > deadline then
+              Alcotest.failf "no success before deadline: %s" line
+            else begin
+              Thread.delay 0.02;
+              go ()
+            end
+        in
+        go ()
+      in
+      let ids = List.init 12 (Printf.sprintf "chaos-%d") in
+      List.iter
+        (fun id -> ignore (until_ok (submit_line ~id (refine_job ()))))
+        ids;
+      let outputs =
+        List.map
+          (fun id ->
+            let v =
+              until_ok
+                (Serve.Protocol.to_string
+                   (Serve.Protocol.request_to_json
+                      (Serve.Protocol.Result { rs_id = id; rs_wait = true })))
+            in
+            Alcotest.(check string)
+              (id ^ " done") "done" (reply_string "state" v);
+            reply_string "output" v)
+          ids
+      in
+      let g = Agraph.Access_graph.of_program Workloads.Smallspecs.fig1 in
+      let part = Partitioning.Greedy.run g ~n_parts:2 in
+      let expected =
+        Spec.Printer.program_to_string
+          (Core.Refiner.refine Workloads.Smallspecs.fig1 g part
+             Core.Model.Model2)
+            .Core.Refiner.rf_program
+      in
+      List.iter
+        (fun out ->
+          Alcotest.(check string) "byte-identical under chaos" expected out)
+        outputs)
+
 (* --- scheduler journal resume ------------------------------------------- *)
 
 let fresh_journal_path () =
@@ -467,7 +786,7 @@ let test_restart_replays_done_and_resumes_inflight () =
     in
     (match Serve.Scheduler.submit scheduler ~id:"finished" job with
     | Ok _ -> ()
-    | Error msg -> Alcotest.fail msg);
+    | Error r -> Alcotest.fail r.Serve.Scheduler.rj_reason);
     let view =
       match Serve.Scheduler.result scheduler ~wait:true "finished" with
       | Some v -> v
@@ -537,16 +856,57 @@ let test_max_jobs_backpressure () =
   in
   (match Serve.Scheduler.submit scheduler ~id:"one" job with
   | Ok _ -> ()
-  | Error msg -> Alcotest.fail msg);
+  | Error r -> Alcotest.fail r.Serve.Scheduler.rj_reason);
   (match Serve.Scheduler.submit scheduler ~id:"two" job with
   | Ok _ -> Alcotest.fail "second submit exceeded max_jobs"
-  | Error msg ->
+  | Error r ->
     Alcotest.(check bool) "mentions full" true
-      (contains_sub ~sub:"full" msg));
+      (contains_sub ~sub:"full" r.Serve.Scheduler.rj_reason);
+    (* a hard table-full rejection carries no backoff hint *)
+    Alcotest.(check bool) "no retry hint" true
+      (r.Serve.Scheduler.rj_retry_after_ms = None));
   (* Idempotent resubmits of a retained id still work at the cap. *)
   (match Serve.Scheduler.submit scheduler ~id:"one" job with
   | Ok _ -> ()
-  | Error msg -> Alcotest.fail msg);
+  | Error r -> Alcotest.fail r.Serve.Scheduler.rj_reason);
+  Serve.Scheduler.shutdown scheduler
+
+let test_max_pending_backpressure () =
+  let session = Serve.Session.create () in
+  (* A tiny admission cap: saturating it must turn submits away with a
+     retry hint, and an idempotent resubmit of an admitted id must
+     bypass admission.  The cap is 4 so the queue cannot drain to below
+     it in the microseconds between the saturating and the overflow
+     submit. *)
+  let scheduler = Serve.Scheduler.create ~jobs:1 ~max_pending:4 session in
+  let job =
+    Serve.Protocol.Obj
+      [ ("kind", Serve.Protocol.String "refine");
+        ("spec", Serve.Protocol.String fig1_src) ]
+  in
+  let rec fill n =
+    (* saturate queue + running so depth >= max_pending *)
+    if n < 64 then
+      match Serve.Scheduler.submit scheduler ~id:(Printf.sprintf "f%d" n) job with
+      | Ok _ -> fill (n + 1)
+      | Error _ -> n
+    else n
+  in
+  let admitted = fill 0 in
+  Alcotest.(check bool) "queue saturates" true (admitted < 64);
+  (match Serve.Scheduler.submit scheduler ~id:"overflow" job with
+  | Ok _ -> Alcotest.fail "submit admitted past max_pending"
+  | Error r ->
+    Alcotest.(check bool) "mentions busy" true
+      (contains_sub ~sub:"busy" r.Serve.Scheduler.rj_reason);
+    (match r.Serve.Scheduler.rj_retry_after_ms with
+    | Some ms ->
+      Alcotest.(check bool) "hint in clamp range" true (ms >= 25 && ms <= 60_000)
+    | None -> Alcotest.fail "busy rejection lost its retry hint"));
+  (* Resubmitting an admitted id is idempotent even while saturated. *)
+  (match Serve.Scheduler.submit scheduler ~id:"f0" job with
+  | Ok _ -> ()
+  | Error r -> Alcotest.fail r.Serve.Scheduler.rj_reason);
   Serve.Scheduler.shutdown scheduler
 
 (* --- jobs: lint fix field handling -------------------------------------- *)
@@ -665,6 +1025,22 @@ let () =
             test_concurrent_submits_with_status_polls;
           Alcotest.test_case "cancel mid-job" `Quick test_cancel_mid_job;
           Alcotest.test_case "idempotent submit" `Quick test_idempotent_submit;
+          Alcotest.test_case "oversized frame rejected" `Quick
+            test_oversized_frame_rejected;
+          Alcotest.test_case "TCP token auth" `Quick test_tcp_token_auth;
+          Alcotest.test_case "mid-job disconnect" `Quick
+            test_mid_job_disconnect;
+          Alcotest.test_case "idle timeout reaps connection" `Quick
+            test_idle_timeout_reaps_connection;
+          Alcotest.test_case "slow reader write timeout" `Quick
+            test_slow_reader_write_timeout;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "plan is seed-deterministic" `Quick
+            test_chaos_plan_deterministic;
+          Alcotest.test_case "idempotent retries converge under faults"
+            `Quick test_chaos_proxy_converges;
         ] );
       ( "scheduler",
         [
@@ -674,6 +1050,8 @@ let () =
             test_cancelled_pending_survives_restart;
           Alcotest.test_case "max-jobs backpressure" `Quick
             test_max_jobs_backpressure;
+          Alcotest.test_case "max-pending admission control" `Quick
+            test_max_pending_backpressure;
         ] );
       ( "jobs",
         [
